@@ -1,0 +1,111 @@
+"""Ablation: which compiler passes cost how many debug symbols?
+
+DESIGN.md notes a deliberate choice: the default pipeline keeps named nodes
+in the netlist (like FIRRTL) so optimized builds stay debuggable, and the
+``inline_nodes`` pass (FIRRTL's emit-time expression folding) is *not* run
+by default.  This bench quantifies that trade-off and the per-pass symbol
+cost on the CPU design:
+
+* netlist statements vs surviving breakpoints per pipeline variant,
+* simulation speed per variant (what the optimization buys).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+import repro.hgf as hgf
+from repro.cpu import RV32Core, assemble, benchmark_by_name
+from repro.ir.compiler import compile_circuit
+from repro.ir.debug import DebugInfo
+from repro.ir.passes import const_prop, cse, dce, expand_whens, lower_types
+from repro.ir.passes.inline_nodes import inline_nodes
+from repro.ir.stmt import DefNode
+from repro.sim import Simulator
+
+
+def _pipeline(circuit_high, variant: str):
+    """Run a named pipeline variant; returns (low circuit, debug info)."""
+    debug = DebugInfo()
+    low = lower_types(circuit_high, debug)
+    low, _ = expand_whens(low, debug)
+    if variant == "none":
+        pass
+    elif variant in ("constprop", "constprop+cse", "full", "full+inline"):
+        low = const_prop(low)
+        if variant != "constprop":
+            low, renames = cse(low)
+            for module, table in renames.items():
+                debug.apply_renames(module, table)
+        if variant in ("full", "full+inline"):
+            if variant == "full+inline":
+                low = inline_nodes(low)
+            low, _alive = dce(low)
+    else:
+        raise ValueError(variant)
+    # Algorithm 1 second pass:
+    for name, m in low.modules.items():
+        defined = {p.name for p in m.ports}
+        for s in m.body:
+            if hasattr(s, "name"):
+                defined.add(s.name)
+        debug.prune_dead(name, defined)
+    return low, debug
+
+
+_VARIANTS = ["none", "constprop", "constprop+cse", "full", "full+inline"]
+
+
+def _stats(low, debug):
+    stmts = sum(len(m.body) for m in low.modules.values())
+    nodes = sum(
+        1 for m in low.modules.values() for s in m.body if isinstance(s, DefNode)
+    )
+    return stmts, nodes, len(debug.all_entries())
+
+
+def test_ablation_table(benchmark, capsys):
+    bench = benchmark_by_name("median")
+    words = assemble(bench.source).words
+    circuit = hgf.elaborate(RV32Core(words, mem_words=8192))
+
+    rows = {}
+
+    def sweep():
+        rows.clear()
+        for variant in _VARIANTS:
+            low, debug = _pipeline(circuit, variant)
+            rows[variant] = (_stats(low, debug), low)
+
+    benchmark.pedantic(sweep, rounds=1)
+
+    import time
+
+    lines = ["", "=== Ablation: pass pipeline vs netlist size vs debug symbols ==="]
+    lines.append(
+        f"{'pipeline':16s} {'stmts':>7s} {'nodes':>7s} {'symbols':>8s} {'sim ms':>8s}"
+    )
+    sim_ms = {}
+    for variant in _VARIANTS:
+        (stmts, nodes, symbols), low = rows[variant]
+        sim = Simulator(low)
+        sim.reset()
+        t0 = time.perf_counter()
+        sim.run(100_000)
+        dt = (time.perf_counter() - t0) * 1e3
+        sim_ms[variant] = dt
+        assert sim.peek("tohost") == bench.expected, variant
+        lines.append(f"{variant:16s} {stmts:7d} {nodes:7d} {symbols:8d} {dt:8.1f}")
+    with capsys.disabled():
+        print("\n".join(lines))
+
+    # The trade-off the design choice rests on:
+    none_syms = rows["none"][0][2]
+    full_syms = rows["full"][0][2]
+    inline_syms = rows["full+inline"][0][2]
+    assert none_syms >= full_syms >= inline_syms
+    assert inline_syms < full_syms, "inline_nodes must cost extra symbols"
+    # Every variant still computes the right answer (asserted above), and
+    # optimization must not make simulation slower.
+    assert sim_ms["full"] <= sim_ms["none"] * 1.2

@@ -1,0 +1,116 @@
+"""Figure 2: the breakpoint scheduling loop.
+
+Measures the properties the algorithm is designed for:
+
+* the *fast exit* when no breakpoint is inserted (the whole reason
+  overhead stays < 5% — step (1) "if there is no breakpoint left to
+  select, we exit the loop");
+* per-cycle scheduling cost as inserted breakpoints grow;
+* group evaluation over many concurrent instances ("tens of threads that
+  share the same source information");
+* forward vs reversed selection order (intra-cycle reverse debugging)
+  costing the same.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+import repro.hgf as hgf
+from repro.core import CONTINUE, Runtime
+from repro.sim import Simulator
+from repro.symtable import SQLiteSymbolTable, write_symbol_table
+
+
+class _Lane(hgf.Module):
+    def __init__(self):
+        super().__init__()
+        self.x = self.input("x", 8)
+        self.y = self.output("y", 8)
+        acc = self.reg("acc", 8, init=0)
+        with self.when(self.x > 0):
+            acc <<= (acc + self.x)[7:0]
+        self.y <<= acc
+
+
+class _ManyLanes(hgf.Module):
+    """N instances sharing source lines: one scheduling group, N threads."""
+
+    def __init__(self, n: int):
+        super().__init__()
+        self.n = n
+        self.x = self.input("x", 8)
+        self.y = self.output("y", 8)
+        out = self.lit(0, 8)
+        for i in range(n):
+            lane = self.instance(f"lane{i}", _Lane())
+            lane.x <<= self.x
+            out = out ^ lane.y
+        self.y <<= out
+
+
+def _make(n_lanes: int):
+    design = repro.compile(_ManyLanes(n_lanes))
+    sim = Simulator(design.low)
+    st = SQLiteSymbolTable(write_symbol_table(design))
+    rt = Runtime(sim, st, lambda h: CONTINUE)
+    rt.attach()
+    return design, sim, rt
+
+
+def test_fig2_fast_exit_no_breakpoints(benchmark):
+    """Scheduling cost with zero inserted breakpoints: the fast path."""
+    _design, sim, rt = _make(8)
+    sim.reset()
+    sim.poke("x", 1)
+
+    benchmark(lambda: sim.step(100))
+    assert rt.stats_bp_evals == 0
+
+
+@pytest.mark.parametrize("n_lanes", [1, 4, 16])
+def test_fig2_group_evaluation_scales(benchmark, n_lanes):
+    """One source breakpoint over N concurrent instances: the scheduler
+    evaluates the whole group per cycle."""
+    design, sim, rt = _make(n_lanes)
+    entry = next(e for e in design.debug_info.all_entries() if e.sink == "acc")
+    sim.reset()
+    rt.add_breakpoint(entry.info.filename, entry.info.line)
+    sim.poke("x", 1)
+
+    benchmark(lambda: sim.step(50))
+    assert rt.stats_bp_evals >= 50 * n_lanes
+
+
+def test_fig2_reverse_order_costs_like_forward(benchmark, capsys):
+    """Intra-cycle reverse scheduling is the same loop, reversed."""
+    import time
+
+    design, sim, rt = _make(4)
+    entry = next(e for e in design.debug_info.all_entries() if e.sink == "acc")
+    rt.add_breakpoint(entry.info.filename, entry.info.line)
+    sim.poke("x", 1)
+    sim.reset()
+
+    from repro.core import REVERSE_STEP, STEP, Command
+
+    timings = {}
+
+    def measure():
+        for label, cmds in (("forward", [STEP] * 40), ("reverse", [STEP, REVERSE_STEP] * 20)):
+            seq = iter(cmds)
+            rt.on_hit = lambda h: next(seq, CONTINUE)
+            t0 = time.perf_counter()
+            sim.step(20)
+            timings[label] = time.perf_counter() - t0
+
+    benchmark.pedantic(measure, rounds=1)
+    with capsys.disabled():
+        print(
+            f"\n=== Fig. 2: scheduling order ===\n"
+            f"forward stepping: {timings['forward'] * 1e3:.2f} ms / 20 cycles\n"
+            f"with reverse-steps: {timings['reverse'] * 1e3:.2f} ms / 20 cycles"
+        )
+    # Reverse scheduling must be the same order of magnitude.
+    assert timings["reverse"] < timings["forward"] * 10

@@ -1,0 +1,76 @@
+"""Figure 3: the SQLite symbol table schema.
+
+"The SQL schema is designed to be simple yet efficient to query debugging
+information" and "arrows in the figure illustrate relations, which can be
+used to improve search performance".  Measured: the four Sec. 3.4
+primitives against a realistically sized table (the CPU design), and the
+location index's effect.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.cpu import RV32Core, assemble, benchmark_by_name
+from repro.symtable import SQLiteSymbolTable, write_symbol_table
+
+
+@pytest.fixture(scope="module")
+def big_table():
+    bench = benchmark_by_name("qsort")
+    words = assemble(bench.source).words
+    design = repro.compile(RV32Core(words, mem_words=8192), debug=True)
+    st = SQLiteSymbolTable(write_symbol_table(design))
+    return st
+
+
+def test_fig3_breakpoints_from_location(benchmark, big_table):
+    st = big_table
+    f = st.filenames()[0]
+    lines = st.breakpoint_lines(f)
+    benchmark(lambda: [st.breakpoints_at(f, line) for line in lines])
+
+
+def test_fig3_scope_info(benchmark, big_table):
+    st = big_table
+    bps = st.all_breakpoints()[:50]
+    benchmark(lambda: [st.scope_variables(bp.id) for bp in bps])
+
+
+def test_fig3_resolve_scoped(benchmark, big_table):
+    st = big_table
+    bp = st.all_breakpoints()[0]
+    names = [v.name for v in st.scope_variables(bp.id)][:10]
+    benchmark(lambda: [st.resolve_scoped_var(bp.id, n) for n in names])
+
+
+def test_fig3_resolve_instance(benchmark, big_table):
+    st = big_table
+    insts = st.instances()
+    benchmark(
+        lambda: [
+            st.resolve_instance_var(i.id, v.name)
+            for i in insts
+            for v in st.generator_variables(i.id)[:5]
+        ]
+    )
+
+
+def test_fig3_index_speedup(benchmark, big_table, capsys):
+    """Location lookups must hit idx_bp_loc, not scan."""
+    st = big_table
+    plan = st.conn.execute(
+        "EXPLAIN QUERY PLAN SELECT * FROM breakpoint WHERE filename=? AND line_num=?",
+        ("x", 1),
+    ).fetchall()
+    plan_text = " ".join(str(tuple(r)) for r in plan)
+    with capsys.disabled():
+        print(f"\n=== Fig. 3 query plan === {plan_text}")
+    assert "idx_bp_loc" in plan_text
+
+    n = st.conn.execute("SELECT COUNT(*) FROM breakpoint").fetchone()[0]
+    f = st.filenames()[0]
+    line = st.breakpoint_lines(f)[0]
+    benchmark(lambda: st.breakpoints_at(f, line))
+    assert n > 50  # realistic table, not a toy

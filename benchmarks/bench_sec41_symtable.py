@@ -1,0 +1,99 @@
+"""Sec. 4.1: symbol table growth in debug mode.
+
+"We have noticed about 30% increase in the symbol table size when the
+debug mode is on."  Debug mode DontTouch-protects every named signal, so
+no SSA temp or enable condition is optimized away and the symbol table
+keeps every source statement.
+
+``test_sec41_table`` reports the symbol table footprint (breakpoint rows,
+variable rows, serialized bytes) for the CPU and FPU designs in both modes
+and asserts a meaningful debug-mode growth.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.cpu import RV32Core, assemble, benchmark_by_name
+from repro.fpu import FpuCmp
+from repro.symtable import SQLiteSymbolTable, write_symbol_table
+
+
+def _designs():
+    bench = benchmark_by_name("median")
+    words = assemble(bench.source).words
+    return {
+        "RV32Core": lambda debug: repro.compile(RV32Core(words, mem_words=8192), debug=debug),
+        "FpuCmp": lambda debug: repro.compile(FpuCmp(), debug=debug),
+    }
+
+
+def _table_stats(design) -> dict[str, int]:
+    conn = write_symbol_table(design)
+    st = SQLiteSymbolTable(conn)
+    counts = {}
+    for table in ("breakpoint", "variable", "scope_variable", "instance"):
+        counts[table] = conn.execute(f"SELECT COUNT(*) FROM {table}").fetchone()[0]
+    # Serialized size: dump the database to bytes.
+    counts["bytes"] = sum(len(line) for line in conn.iterdump())
+    return counts
+
+
+def test_sec41_table(benchmark, capsys):
+    results: dict[str, dict[bool, dict[str, int]]] = {}
+
+    def sweep():
+        results.clear()
+        for name, make in _designs().items():
+            results[name] = {}
+            for debug in (False, True):
+                results[name][debug] = _table_stats(make(debug))
+
+    benchmark.pedantic(sweep, rounds=1)
+
+    lines = ["", "=== Sec. 4.1: symbol table size, optimized vs debug mode ==="]
+    lines.append(
+        f"{'design':10s} {'mode':6s} {'bps':>6s} {'vars':>7s} {'scope':>7s} {'bytes':>9s} {'growth':>8s}"
+    )
+    for name, modes in results.items():
+        opt, dbg = modes[False], modes[True]
+        for debug in (False, True):
+            c = modes[debug]
+            growth = ""
+            if debug:
+                growth = f"{100 * (dbg['bytes'] / opt['bytes'] - 1):+.1f}%"
+            lines.append(
+                f"{name:10s} {'debug' if debug else 'opt':6s} {c['breakpoint']:6d}"
+                f" {c['variable']:7d} {c['scope_variable']:7d} {c['bytes']:9d} {growth:>8s}"
+            )
+    lines.append("paper: ~30% size increase with debug mode on")
+    with capsys.disabled():
+        print("\n".join(lines))
+
+    # Growth scales with how much the optimizer could have removed: the
+    # paper reports ~30% on RocketChip; our largest design (the CPU) shows
+    # ~15%, the small FPU ~5%.  Assert the direction for every design and a
+    # substantial effect on the large one.
+    for name, modes in results.items():
+        opt, dbg = modes[False], modes[True]
+        assert dbg["breakpoint"] >= opt["breakpoint"], name
+        assert dbg["bytes"] > opt["bytes"], f"{name}: debug table not larger"
+    cpu_opt, cpu_dbg = results["RV32Core"][False], results["RV32Core"][True]
+    assert cpu_dbg["bytes"] > cpu_opt["bytes"] * 1.10, (
+        "expected ≥10% debug-mode growth on the CPU design, got "
+        f"{100 * (cpu_dbg['bytes'] / cpu_opt['bytes'] - 1):.1f}%"
+    )
+
+
+@pytest.mark.parametrize("debug", [False, True], ids=["optimized", "debug"])
+def test_sec41_generation_time(benchmark, debug):
+    """Symbol table generation latency per mode (compile + write)."""
+    bench = benchmark_by_name("median")
+    words = assemble(bench.source).words
+
+    def generate():
+        design = repro.compile(RV32Core(words, mem_words=8192), debug=debug)
+        return write_symbol_table(design)
+
+    benchmark.pedantic(generate, rounds=3)

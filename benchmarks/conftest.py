@@ -1,0 +1,26 @@
+"""Shared fixtures for the benchmark harness.
+
+Compiled designs are cached per session: compilation is not what any of the
+paper's figures measure.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.cpu import RV32Core, assemble, build_suite
+from repro.symtable import SQLiteSymbolTable, write_symbol_table
+
+
+@pytest.fixture(scope="session")
+def compiled_suite():
+    """{(bench name, debug): (Benchmark, Design, SymbolTable)}."""
+    out = {}
+    for bench in build_suite():
+        words = assemble(bench.source).words
+        for debug in (False, True):
+            design = repro.compile(RV32Core(words, mem_words=8192), debug=debug)
+            st = SQLiteSymbolTable(write_symbol_table(design))
+            out[(bench.name, debug)] = (bench, design, st)
+    return out

@@ -1,0 +1,57 @@
+"""Debugging a CPU running software — the RocketChip scenario at our scale.
+
+The RV32 core executes a quicksort; we debug the *CPU generator's* source
+while the program runs: break on the register-file writeback statement with
+a condition over architectural state (pc), inspect decoded fields, and
+single-step hardware statements.
+
+Run:  python examples/cpu_debugging.py
+"""
+
+import repro
+from repro.client import ConsoleDebugger
+from repro.core import Runtime
+from repro.cpu import RV32Core, assemble, benchmark_by_name
+from repro.sim import Simulator
+from repro.symtable import SQLiteSymbolTable, write_symbol_table
+
+
+def main() -> None:
+    bench = benchmark_by_name("qsort")
+    words = assemble(bench.source).words
+    print(f"program: {bench.name}, {len(words)} words, expecting checksum {bench.expected}")
+
+    design = repro.compile(RV32Core(words, mem_words=8192))
+    sim = Simulator(design.low)
+    symtable = SQLiteSymbolTable(write_symbol_table(design))
+    runtime = Runtime(sim, symtable)
+
+    # Break on the writeback statement (`regs.write(...)` in cpu.py) the
+    # first time the partition pivot register (s6 = x22) is loaded.
+    wb = next(e for e in design.debug_info.all_entries() if e.sink == "regs")
+    print(f"breakpoint: cpu.py:{wb.info.line} (enable: {wb.enable_src})")
+
+    debugger = ConsoleDebugger(
+        runtime,
+        script=[
+            "p pc",           # where in the program are we?
+            "p instr",
+            "p rd",           # destination register
+            "p wb_val",       # the value being written back
+            "s",              # step to the next hardware statement
+            "where",
+            "q",
+        ],
+        echo=True,
+    )
+    runtime.attach()
+    debugger.execute(f"b cpu.py:{wb.info.line} if rd == 22")
+
+    sim.reset()
+    sim.run(100_000)
+    assert sim.peek("tohost") == bench.expected
+    print(f"\nqsort finished: tohost={sim.peek('tohost')} in {sim.get_time()} cycles")
+
+
+if __name__ == "__main__":
+    main()

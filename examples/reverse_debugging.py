@@ -1,0 +1,108 @@
+"""Reverse debugging from a captured trace (paper Sec. 3.2, Fig. 1 replay).
+
+First run: simulate normally, dumping a VCD.  Second run: load the trace
+into the replay engine — the same unified simulator interface — and debug
+*backwards*: reverse-continue to earlier breakpoint hits, reverse-step
+through statements, all without re-running the simulation.
+
+Run:  python examples/reverse_debugging.py
+"""
+
+import os
+import tempfile
+
+import repro
+import repro.hgf as hgf
+from repro.client import ConsoleDebugger
+from repro.core import Runtime
+from repro.sim import Simulator
+from repro.symtable import SQLiteSymbolTable, write_symbol_table
+from repro.trace import ReplayEngine, VcdWriter
+
+
+class Fifo(hgf.Module):
+    """A small FIFO whose occupancy bug we want to chase backwards."""
+
+    def __init__(self, depth=4):
+        super().__init__()
+        self.depth = depth
+        self.push = self.input("push", 1)
+        self.pop = self.input("pop", 1)
+        self.din = self.input("din", 8)
+        self.count = self.output("count", 3)
+        self.dout = self.output("dout", 8)
+
+        mem = self.mem("store", 8, depth)
+        wptr = self.reg("wptr", 2, init=0)
+        rptr = self.reg("rptr", 2, init=0)
+        occupancy = self.reg("occupancy", 3, init=0)
+
+        do_push = self.node("do_push", (self.push == 1) & (occupancy < depth))
+        do_pop = self.node("do_pop", (self.pop == 1) & (occupancy > 0))
+        with self.when(do_push == 1):
+            mem.write(wptr, self.din, self.lit(1, 1))
+            wptr <<= (wptr + 1)[1:0]
+        with self.when(do_pop == 1):
+            rptr <<= (rptr + 1)[1:0]
+        with self.when((do_push & ~do_pop) == 1):
+            occupancy <<= (occupancy + 1)[2:0]
+        with self.elsewhen((do_pop & ~do_push) == 1):
+            occupancy <<= (occupancy - 1)[2:0]
+        self.count <<= occupancy
+        self.dout <<= mem[rptr]
+
+
+def main() -> None:
+    design = repro.compile(Fifo())
+    vcd_path = os.path.join(tempfile.gettempdir(), "fifo_run.vcd")
+
+    # --- capture phase: live simulation with VCD tracing -------------------
+    writer = VcdWriter(vcd_path)
+    sim = Simulator(design.low, trace=writer)
+    sim.reset()
+    stimulus = [
+        dict(push=1, pop=0, din=d) for d in (10, 20, 30)
+    ] + [dict(push=0, pop=1, din=0)] * 2 + [
+        dict(push=1, pop=1, din=40),
+        dict(push=1, pop=0, din=50),
+    ]
+    for txn in stimulus:
+        for k, v in txn.items():
+            sim.poke(k, v)
+        sim.step()
+    writer.close()
+    print(f"captured {sim.get_time()} cycles into {vcd_path}")
+
+    # --- replay phase: offline reverse debugging ----------------------------
+    replay = ReplayEngine.from_file(vcd_path)
+    symtable = SQLiteSymbolTable(write_symbol_table(design))
+    runtime = Runtime(replay, symtable)
+
+    occ_stmt = next(
+        e for e in design.debug_info.all_entries()
+        if e.sink == "occupancy"
+    )
+    debugger = ConsoleDebugger(
+        runtime,
+        script=[
+            # ride forward to the last hit, then walk back through time
+            "c", "c", "c",
+            "p occupancy", "info time",
+            "rc",                      # reverse-continue: previous hit
+            "p occupancy", "info time",
+            "rs",                      # reverse-step: previous statement
+            "where",
+            "q",
+        ],
+        echo=True,
+    )
+    runtime.attach()
+    debugger.execute(f"b reverse_debugging.py:{occ_stmt.info.line}")
+    replay.run()
+    print("\nreplay cursor ended at cycle", replay.get_time())
+    print("note: set_value is correctly rejected on traces:",
+          not replay.can_set_value)
+
+
+if __name__ == "__main__":
+    main()

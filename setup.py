@@ -1,0 +1,5 @@
+"""Setup shim for environments whose setuptools lacks PEP 660 support."""
+
+from setuptools import setup
+
+setup()

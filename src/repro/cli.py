@@ -1,0 +1,123 @@
+"""Command-line interface.
+
+``hgdb-py`` drives the debugger from a shell, the workflow a hardware
+engineer would actually use with trace files and symbol tables on disk::
+
+    hgdb-py replay run.vcd symbols.db          # offline debugging session
+    hgdb-py info symbols.db                    # inspect a symbol table
+    hgdb-py vcd-info run.vcd                   # inspect a trace
+
+Also usable as ``python -m repro.cli ...``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_info(args) -> int:
+    from .symtable import SQLiteSymbolTable
+
+    st = SQLiteSymbolTable(args.symbols)
+    print(f"top module : {st.top_name()}")
+    print(f"debug mode : {st.attribute('debug_mode') == '1'}")
+    insts = st.instances()
+    print(f"instances  : {len(insts)}")
+    for inst in insts[: args.limit]:
+        gen = st.generator_variables(inst.id)
+        print(f"  {inst.name}  (module {inst.module}, {len(gen)} generator vars)")
+    bps = st.all_breakpoints()
+    print(f"breakpoints: {len(bps)}")
+    for f in st.filenames():
+        lines = st.breakpoint_lines(f)
+        print(f"  {f}: {len(lines)} breakable lines ({lines[0]}..{lines[-1]})")
+    return 0
+
+
+def _cmd_vcd_info(args) -> int:
+    from .trace import parse_vcd_file
+
+    vcd = parse_vcd_file(args.vcd)
+    clock = vcd.find_clock()
+    print(f"signals  : {len(vcd.by_path)}")
+    print(f"end time : {vcd.end_time}")
+    if clock is not None:
+        posedges = sum(1 for v in clock.values if v == 1)
+        print(f"clock    : {clock.path} ({posedges} rising edges)")
+    scopes = list(vcd.root_scopes)
+    while scopes:
+        scope = scopes.pop(0)
+        print(f"  scope {scope.path}: {len(scope.signals)} signals")
+        scopes.extend(scope.children)
+    return 0
+
+
+def _cmd_replay(args) -> int:
+    from .client import ConsoleDebugger
+    from .core import Runtime
+    from .symtable import SQLiteSymbolTable
+    from .trace import ReplayEngine
+
+    replay = ReplayEngine.from_file(args.vcd, args.clock)
+    symtable = SQLiteSymbolTable(args.symbols)
+    runtime = Runtime(replay, symtable)
+
+    script = None
+    if args.command:
+        script = [c.strip() for c in args.command.split(";") if c.strip()]
+    debugger = ConsoleDebugger(runtime, script=script, echo=True)
+    runtime.attach()
+
+    print(f"replaying {args.vcd}: {replay.n_cycles} cycles")
+    print(f"symbol table top: {symtable.top_name()}")
+    for pre in args.breakpoint or []:
+        debugger.execute(f"b {pre}")
+    replay.run()
+    print(f"replay finished at cycle {replay.get_time()}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="hgdb-py",
+        description="source-level debugging for hardware generators",
+    )
+    sub = parser.add_subparsers(dest="command_name", required=True)
+
+    p_info = sub.add_parser("info", help="inspect a symbol table")
+    p_info.add_argument("symbols", help="SQLite symbol table path")
+    p_info.add_argument("--limit", type=int, default=20, help="max instances shown")
+    p_info.set_defaults(fn=_cmd_info)
+
+    p_vcd = sub.add_parser("vcd-info", help="inspect a VCD trace")
+    p_vcd.add_argument("vcd", help="VCD file path")
+    p_vcd.set_defaults(fn=_cmd_vcd_info)
+
+    p_rep = sub.add_parser("replay", help="debug a captured trace")
+    p_rep.add_argument("vcd", help="VCD file path")
+    p_rep.add_argument("symbols", help="SQLite symbol table path")
+    p_rep.add_argument("--clock", help="full clock path (auto-detected otherwise)")
+    p_rep.add_argument(
+        "-b", "--breakpoint", action="append",
+        help="breakpoint FILE:LINE to insert before replay (repeatable)",
+    )
+    p_rep.add_argument(
+        "-c", "--command",
+        help="semicolon-separated debugger commands (otherwise interactive)",
+    )
+    p_rep.set_defaults(fn=_cmd_replay)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except (FileNotFoundError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

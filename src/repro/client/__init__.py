@@ -1,0 +1,10 @@
+"""repro.client — debugger front ends (paper Sec. 3.5).
+
+``ConsoleDebugger`` is the gdb-inspired debugger; ``DapAdapter`` is the
+IDE (VSCode / Debug Adapter Protocol) integration of paper Fig. 4.
+"""
+
+from .console import ConsoleDebugger
+from .dap import DapAdapter, ScriptedDapSession
+
+__all__ = ["ConsoleDebugger", "DapAdapter", "ScriptedDapSession"]

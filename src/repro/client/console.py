@@ -1,0 +1,272 @@
+"""A gdb-inspired console debugger (paper Sec. 3.5).
+
+Works in-process against a :class:`repro.core.Runtime`: when a breakpoint
+hits, the REPL runs inside the (blocking) clock callback, exactly like gdb
+sitting on a ptrace stop.  Fully scriptable — pass ``script`` a list of
+commands and read ``transcript`` — which is how the tests and the paper's
+case study drive it.
+
+Commands::
+
+    b FILE:LINE [if COND]    insert breakpoint(s)
+    watch NAME [if COND]     data breakpoint: stop when NAME changes
+    ignore ID N              skip the next N hits of breakpoint ID
+    delete [ID]              remove one or all breakpoints
+    c / continue             resume until next breakpoint
+    s / step                 stop at next source statement
+    rs / reverse-step        step backwards (intra-cycle, then prior cycle)
+    rc / reverse-continue    run backwards to the previous breakpoint hit
+    p EXPR                   evaluate in the current frame's scope
+    info threads|breakpoints|time|files|warnings
+    frame [N]                select the N-th concurrent thread
+    locals                   print the current frame's local variables
+    gen                      print the current frame's generator variables
+    set PATH VALUE           force a signal value (live simulation only)
+    q / quit                 detach from the simulation
+"""
+
+from __future__ import annotations
+
+from ..core.runtime import (
+    CONTINUE,
+    DETACH,
+    REVERSE_CONTINUE,
+    REVERSE_STEP,
+    STEP,
+    Command,
+    DebuggerError,
+    HitGroup,
+    Runtime,
+)
+from ..core.frames import VariableView
+
+
+class ConsoleDebugger:
+    """Scriptable gdb-like front end."""
+
+    def __init__(
+        self,
+        runtime: Runtime,
+        script: list[str] | None = None,
+        echo: bool = False,
+    ):
+        self.runtime = runtime
+        runtime.on_hit = self._on_hit
+        self.script = list(script) if script else None
+        self.echo = echo
+        self.transcript: list[str] = []
+        self.current_hit: HitGroup | None = None
+        self.current_frame = 0
+
+    # -- I/O -----------------------------------------------------------------
+
+    def _out(self, text: str) -> None:
+        self.transcript.append(text)
+        if self.echo:
+            print(text)
+
+    def _read(self) -> str:
+        if self.script is not None:
+            if not self.script:
+                return "c"  # scripted session exhausted: keep running
+            cmd = self.script.pop(0)
+            self._out(f"(hgdb) {cmd}")
+            return cmd
+        return input("(hgdb) ")
+
+    # -- hit handling -----------------------------------------------------------
+
+    def _on_hit(self, hit: HitGroup) -> Command:
+        self.current_hit = hit
+        self.current_frame = 0
+        if hit.watch is not None:
+            w = hit.watch
+            self._out(
+                f"watchpoint #{w['id']} {w['label']}: {w['old']} -> {w['new']}"
+                f" @ cycle {hit.time}"
+            )
+        else:
+            short = hit.filename.rsplit("/", 1)[-1]
+            self._out(
+                f"stopped at {short}:{hit.line} @ cycle {hit.time} "
+                f"[{len(hit.frames)} thread(s)]"
+            )
+        while True:
+            cmd = self.execute(self._read())
+            if cmd is not None:
+                self.current_hit = None
+                return cmd
+
+    # -- command dispatch ------------------------------------------------------------
+
+    def execute(self, line: str) -> Command | None:
+        """Run one command.  Returns a control Command to resume, or None to
+        stay paused / when not at a breakpoint."""
+        line = line.strip()
+        if not line:
+            return None
+        try:
+            return self._dispatch(line)
+        except (DebuggerError, Exception) as exc:  # noqa: BLE001 - REPL surface
+            self._out(f"error: {exc}")
+            return None
+
+    def _dispatch(self, line: str) -> Command | None:
+        parts = line.split()
+        cmd, args = parts[0], parts[1:]
+
+        if cmd in ("c", "continue"):
+            return CONTINUE
+        if cmd in ("s", "step", "n", "next"):
+            return STEP
+        if cmd in ("rs", "reverse-step"):
+            return REVERSE_STEP
+        if cmd in ("rc", "reverse-continue"):
+            return REVERSE_CONTINUE
+        if cmd in ("q", "quit", "detach"):
+            return DETACH
+
+        if cmd == "b" or cmd == "break":
+            self._cmd_break(args)
+        elif cmd == "watch":
+            condition = None
+            if len(args) >= 3 and args[1] == "if":
+                condition = " ".join(args[2:])
+            wp = self.runtime.add_watchpoint(args[0], condition=condition)
+            self._out(f"watchpoint #{wp.id} on {wp.path}")
+        elif cmd == "ignore":
+            bp = self.runtime.scheduler.inserted.get(int(args[0]))
+            if bp is None:
+                self._out(f"no breakpoint {args[0]}")
+            else:
+                bp.ignore_count = int(args[1])
+                self._out(f"ignoring next {args[1]} hits of #{args[0]}")
+        elif cmd == "delete":
+            if args:
+                ok = self.runtime.remove_breakpoint(int(args[0]))
+                self._out("deleted" if ok else f"no breakpoint {args[0]}")
+            else:
+                self.runtime.clear_breakpoints()
+                self._out("all breakpoints deleted")
+        elif cmd == "p" or cmd == "print":
+            self._cmd_print(" ".join(args))
+        elif cmd == "info":
+            self._cmd_info(args[0] if args else "time", args[1:])
+        elif cmd == "frame":
+            self._cmd_frame(args)
+        elif cmd == "locals":
+            self._print_vars(self._frame().local_vars)
+        elif cmd == "gen":
+            self._print_vars(self._frame().generator_vars)
+        elif cmd == "where":
+            hit = self.current_hit
+            if hit is None:
+                self._out("not stopped")
+            else:
+                self._out(f"{hit.filename}:{hit.line} @ cycle {hit.time}")
+        elif cmd == "set":
+            self.runtime.sim.set_value(args[0], int(args[1], 0))
+            self._out(f"{args[0]} = {args[1]}")
+        else:
+            self._out(f"unknown command {cmd!r}; try c/s/rs/rc/b/p/info/q")
+        return None
+
+    # -- individual commands ----------------------------------------------------
+
+    def _cmd_break(self, args: list[str]) -> None:
+        if not args:
+            self._out("usage: b FILE:LINE [if COND]")
+            return
+        location = args[0]
+        condition = None
+        if len(args) >= 3 and args[1] == "if":
+            condition = " ".join(args[2:])
+        filename, _, line_s = location.rpartition(":")
+        bps = self.runtime.add_breakpoint(filename, int(line_s), condition=condition)
+        self._out(
+            f"breakpoint set: {len(bps)} emulated breakpoint(s) at "
+            f"{location}" + (f" if {condition}" if condition else "")
+        )
+        for bp in bps:
+            enable = bp.rec.enable_src or bp.rec.enable or "always"
+            self._out(f"  #{bp.rec.id} {bp.rec.instance_name} [{enable}]")
+
+    def _cmd_print(self, expr: str) -> None:
+        if not expr:
+            self._out("usage: p EXPR")
+            return
+        bp = None
+        if self.current_hit is not None and self.current_hit.frames:
+            bp = self._frame().breakpoint
+        value = self.runtime.evaluate(expr, bp)
+        self._out(f"{expr} = {value} (0x{value:x})" if isinstance(value, int) else f"{expr} = {value}")
+
+    def _cmd_info(self, what: str, rest: list[str]) -> None:
+        rt = self.runtime
+        if what == "threads":
+            hit = self.current_hit
+            if hit is None:
+                self._out("not stopped")
+                return
+            for i, f in enumerate(hit.frames):
+                marker = "*" if i == self.current_frame else " "
+                self._out(f"{marker} thread {i}: {f.instance_path}")
+        elif what == "breakpoints":
+            for bp in rt.list_breakpoints():
+                cond = f" if {bp.condition_src}" if bp.condition_src else ""
+                short = bp.rec.filename.rsplit("/", 1)[-1]
+                self._out(
+                    f"#{bp.rec.id} {short}:{bp.rec.line} {bp.rec.instance_name}"
+                    f"{cond} (hits: {bp.hit_count})"
+                )
+            for wp in rt.watchpoints:
+                self._out(f"watch #{wp.id} {wp.path} (hits: {wp.hit_count})")
+            if not rt.list_breakpoints() and not len(rt.watchpoints):
+                self._out("no breakpoints")
+        elif what == "time":
+            self._out(f"cycle {rt.sim.get_time()}")
+        elif what == "files":
+            for f in rt.symtable.filenames():
+                self._out(f)
+        elif what == "warnings":
+            for w in rt.warnings:
+                self._out(w)
+            if not rt.warnings:
+                self._out("no warnings")
+        else:
+            self._out(f"unknown info {what!r}")
+
+    def _cmd_frame(self, args: list[str]) -> None:
+        hit = self.current_hit
+        if hit is None:
+            self._out("not stopped")
+            return
+        if args:
+            idx = int(args[0])
+            if not 0 <= idx < len(hit.frames):
+                self._out(f"no thread {idx}")
+                return
+            self.current_frame = idx
+        f = hit.frames[self.current_frame]
+        self._out(f"thread {self.current_frame}: {f.instance_path}")
+
+    def _frame(self):
+        if self.current_hit is None:
+            raise DebuggerError("not stopped at a breakpoint")
+        if not self.current_hit.frames:
+            raise DebuggerError("watchpoint stop has no source frame")
+        return self.current_hit.frames[self.current_frame]
+
+    def _print_vars(self, views: list[VariableView], indent: str = "  ") -> None:
+        def rec(v: VariableView, pad: str) -> None:
+            if v.is_aggregate:
+                self._out(f"{pad}{v.name}:")
+                for c in v.children:
+                    rec(c, pad + "  ")
+            else:
+                val = v.value
+                shown = f"{val} (0x{val:x})" if isinstance(val, int) else str(val)
+                self._out(f"{pad}{v.name} = {shown}")
+
+        for v in views:
+            rec(v, indent)

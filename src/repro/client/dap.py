@@ -1,0 +1,273 @@
+"""A Debug Adapter Protocol (DAP) style adapter — the IDE integration.
+
+The paper's second debugger is a VSCode extension (Fig. 4).  VSCode talks
+DAP; this adapter translates DAP-shaped requests into runtime operations and
+produces DAP-shaped events/responses, reproducing each panel of Fig. 4:
+
+* **A** — ``scopes``/``variables``: local + generator variables per frame;
+* **B** — ``threads``: one thread per concurrent instance at a stop;
+* **C** — ``continue``/``next``/``stepBack``/``reverseContinue`` controls;
+* **D** — ``setBreakpoints`` with optional per-line conditions.
+
+The adapter is transport-agnostic: feed it request dicts and collect event
+dicts (tests and ``examples/ide_session.py`` do exactly that; a real IDE
+would frame them over stdin/stdout).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.frames import Frame, VariableView
+from ..core.runtime import (
+    CONTINUE,
+    DETACH,
+    REVERSE_CONTINUE,
+    REVERSE_STEP,
+    STEP,
+    Command,
+    HitGroup,
+    Runtime,
+)
+
+
+@dataclass(slots=True)
+class DapEvent:
+    event: str
+    body: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {"type": "event", "event": self.event, "body": self.body}
+
+
+class DapAdapter:
+    """In-process DAP-style debug adapter over a :class:`Runtime`."""
+
+    def __init__(self, runtime: Runtime):
+        self.runtime = runtime
+        runtime.on_hit = self._on_hit
+        self.events: list[dict] = []
+        self._seq = 0
+        self._stopped: HitGroup | None = None
+        self._pending: Command | None = None
+        self._var_refs: dict[int, list[VariableView]] = {}
+        self._next_ref = 1
+        self._frame_ids: dict[int, Frame] = {}
+
+    # -- runtime side ---------------------------------------------------------
+
+    def _on_hit(self, hit: HitGroup) -> Command:
+        self._stopped = hit
+        self._var_refs.clear()
+        self._frame_ids.clear()
+        self._emit(
+            "stopped",
+            {
+                "reason": "breakpoint",
+                "description": f"{hit.filename}:{hit.line}",
+                "threadId": 0,
+                "allThreadsStopped": True,
+                "hgdbTime": hit.time,
+            },
+        )
+        # Scripted usage: the embedding client queues a control request
+        # (continue/next/stepBack/...) before the simulation reaches the
+        # next hit; with nothing queued the adapter auto-continues.  Use
+        # ScriptedDapSession for per-stop interaction.
+        cmd = self._pending or CONTINUE
+        self._pending = None
+        self._stopped = None
+        self._emit("continued", {"threadId": 0, "allThreadsContinued": True})
+        return cmd
+
+    def _emit(self, event: str, body: dict) -> None:
+        self.events.append(DapEvent(event, body).to_dict())
+
+    # -- request handling ---------------------------------------------------------
+
+    def handle(self, request: dict) -> dict:
+        """Handle one DAP request dict, returning the response dict."""
+        command = request.get("command")
+        args = request.get("arguments", {})
+        self._seq += 1
+        try:
+            body = self._dispatch(command, args)
+            return {
+                "type": "response",
+                "request_seq": request.get("seq", self._seq),
+                "command": command,
+                "success": True,
+                "body": body,
+            }
+        except Exception as exc:  # noqa: BLE001 - protocol boundary
+            return {
+                "type": "response",
+                "request_seq": request.get("seq", self._seq),
+                "command": command,
+                "success": False,
+                "message": str(exc),
+            }
+
+    def _dispatch(self, command: str, args: dict) -> dict:
+        rt = self.runtime
+        if command == "initialize":
+            return {
+                "supportsConfigurationDoneRequest": True,
+                "supportsStepBack": rt.sim.can_set_time or True,  # intra-cycle always
+                "supportsConditionalBreakpoints": True,
+                "supportsEvaluateForHovers": True,
+            }
+        if command == "setBreakpoints":
+            source = args["source"]["path"]
+            rt_bps = []
+            # DAP replaces the whole set for a file each time.
+            resolved = rt.resolve_filename(source)
+            for bp in list(rt.list_breakpoints()):
+                if resolved and bp.rec.filename == resolved:
+                    rt.remove_breakpoint(bp.rec.id)
+            results = []
+            for spec in args.get("breakpoints", []):
+                try:
+                    inserted = rt.add_breakpoint(
+                        source, spec["line"], condition=spec.get("condition")
+                    )
+                    rt_bps.extend(inserted)
+                    results.append({"verified": True, "line": spec["line"]})
+                except Exception as exc:  # noqa: BLE001
+                    results.append(
+                        {"verified": False, "line": spec["line"], "message": str(exc)}
+                    )
+            return {"breakpoints": results}
+        if command == "threads":
+            hit = self._require_stopped()
+            return {
+                "threads": [
+                    {"id": i, "name": f.instance_path}
+                    for i, f in enumerate(hit.frames)
+                ]
+            }
+        if command == "stackTrace":
+            hit = self._require_stopped()
+            tid = args.get("threadId", 0)
+            frame = hit.frames[tid]
+            frame_id = tid + 1
+            self._frame_ids[frame_id] = frame
+            return {
+                "stackFrames": [
+                    {
+                        "id": frame_id,
+                        "name": frame.instance_path,
+                        "source": {"path": hit.filename},
+                        "line": hit.line,
+                        "column": hit.column,
+                    }
+                ],
+                "totalFrames": 1,
+            }
+        if command == "scopes":
+            frame = self._frame_ids[args["frameId"]]
+            local_ref = self._register_vars(frame.local_vars)
+            gen_ref = self._register_vars(frame.generator_vars)
+            return {
+                "scopes": [
+                    {"name": "Local", "variablesReference": local_ref},
+                    {"name": "Generator Variables", "variablesReference": gen_ref},
+                ]
+            }
+        if command == "variables":
+            views = self._var_refs.get(args["variablesReference"], [])
+            out = []
+            for v in views:
+                if v.is_aggregate:
+                    out.append(
+                        {
+                            "name": v.name,
+                            "value": "{...}",
+                            "variablesReference": self._register_vars(v.children),
+                        }
+                    )
+                else:
+                    shown = (
+                        f"{v.value} (0x{v.value:x})"
+                        if isinstance(v.value, int)
+                        else str(v.value)
+                    )
+                    out.append(
+                        {"name": v.name, "value": shown, "variablesReference": 0}
+                    )
+            return {"variables": out}
+        if command == "evaluate":
+            hit = self._stopped
+            bp = hit.frames[0].breakpoint if hit else None
+            value = rt.evaluate(args["expression"], bp)
+            return {"result": str(value), "variablesReference": 0}
+        if command in ("continue", "next", "stepBack", "reverseContinue", "disconnect"):
+            mapping = {
+                "continue": CONTINUE,
+                "next": STEP,
+                "stepBack": REVERSE_STEP,
+                "reverseContinue": REVERSE_CONTINUE,
+                "disconnect": DETACH,
+            }
+            self._pending = mapping[command]
+            return {}
+        if command == "configurationDone":
+            return {}
+        raise ValueError(f"unsupported DAP command {command!r}")
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _require_stopped(self) -> HitGroup:
+        if self._stopped is None:
+            raise ValueError("not stopped")
+        return self._stopped
+
+    def _register_vars(self, views: list[VariableView]) -> int:
+        ref = self._next_ref
+        self._next_ref += 1
+        self._var_refs[ref] = views
+        return ref
+
+
+class ScriptedDapSession:
+    """Drives a DapAdapter with a scripted list of per-stop requests.
+
+    For each breakpoint stop, the session replays ``at_stop`` requests
+    (recording responses), then issues the next control command from
+    ``controls`` (default: continue).  This reproduces an IDE session
+    without threads — suitable for tests and the Fig. 4 example.
+    """
+
+    def __init__(self, adapter: DapAdapter, at_stop: list[dict], controls: list[str]):
+        self.adapter = adapter
+        self.at_stop = at_stop
+        self.controls = list(controls)
+        self.stops: list[list[dict]] = []
+        adapter.runtime.on_hit = self._on_hit
+
+    def _on_hit(self, hit: HitGroup) -> Command:
+        self.adapter._stopped = hit
+        self.adapter._var_refs.clear()
+        self.adapter._frame_ids.clear()
+        self.adapter._emit(
+            "stopped",
+            {
+                "reason": "breakpoint",
+                "description": f"{hit.filename}:{hit.line}",
+                "threadId": 0,
+                "allThreadsStopped": True,
+                "hgdbTime": hit.time,
+            },
+        )
+        responses = [self.adapter.handle(req) for req in self.at_stop]
+        self.stops.append(responses)
+        control = self.controls.pop(0) if self.controls else "continue"
+        self.adapter._stopped = None
+        mapping = {
+            "continue": CONTINUE,
+            "next": STEP,
+            "stepBack": REVERSE_STEP,
+            "reverseContinue": REVERSE_CONTINUE,
+            "disconnect": DETACH,
+        }
+        return mapping[control]

@@ -1,0 +1,52 @@
+"""repro.core — the hgdb debugger runtime (the paper's primary contribution).
+
+``Runtime`` bridges a simulation backend and a symbol table, emulating
+breakpoints at clock edges with SSA-derived enable conditions, scheduling
+them in lexical order (forward or reverse), reconstructing source-level
+stack frames, and serving debugger clients over an RPC protocol.
+"""
+
+from .expr_eval import ExprError, evaluate_str, parse
+from .frames import Frame, FrameBuilder, VariableView, build_variable_tree
+from .matching import MatchError, locate_instance
+from .protocol import DebugClient, DebugServer
+from .runtime import (
+    CONTINUE,
+    DETACH,
+    REVERSE_CONTINUE,
+    REVERSE_STEP,
+    STEP,
+    Command,
+    CommandKind,
+    DebuggerError,
+    HitGroup,
+    Runtime,
+)
+from .scheduler import Group, InsertedBreakpoint, Scheduler
+
+__all__ = [
+    "CONTINUE",
+    "Command",
+    "CommandKind",
+    "DETACH",
+    "DebugClient",
+    "DebugServer",
+    "DebuggerError",
+    "ExprError",
+    "Frame",
+    "FrameBuilder",
+    "Group",
+    "HitGroup",
+    "InsertedBreakpoint",
+    "MatchError",
+    "REVERSE_CONTINUE",
+    "REVERSE_STEP",
+    "Runtime",
+    "STEP",
+    "Scheduler",
+    "VariableView",
+    "build_variable_tree",
+    "evaluate_str",
+    "locate_instance",
+    "parse",
+]

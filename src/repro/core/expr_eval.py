@@ -1,0 +1,250 @@
+"""A C-like expression language for breakpoint conditions.
+
+hgdb evaluates two kinds of conditions at a potential breakpoint (paper
+Sec. 3.2 step 2): the SSA-derived *enable condition* stored in the symbol
+table, and an optional *user condition* attached when inserting the
+breakpoint (Fig. 4D "conditional breakpoints").  Both are expressions over
+signal/variable names; this module parses and evaluates them.
+
+Grammar (C precedence): ternary ``?:``, ``||``, ``&&``, ``|``, ``^``, ``&``,
+equality, relational, shifts, additive, multiplicative, unary ``! ~ -``.
+Names may be hierarchical (``io.a``, ``vec[3]``, ``a.b[2].c``); literals may
+be decimal, hex (``0x``), or binary (``0b``).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+
+class ExprError(Exception):
+    """Raised on parse errors or unresolvable names."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<name>[A-Za-z_$][A-Za-z0-9_$]*(?:(?:\.[A-Za-z_$][A-Za-z0-9_$]*)|(?:\[\d+\]))*)
+  | (?P<num>0[xX][0-9a-fA-F_]+|0[bB][01_]+|\d+)
+  | (?P<op><<|>>|<=|>=|==|!=|&&|\|\||[-+*/%&|^~!<>()?:])
+  | (?P<ws>\s+)
+""",
+    re.VERBOSE,
+)
+
+
+def tokenize(text: str) -> list[str]:
+    out: list[str] = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if m is None:
+            raise ExprError(f"bad character {text[pos]!r} in expression {text!r}")
+        pos = m.end()
+        if m.lastgroup != "ws":
+            out.append(m.group(0))
+    return out
+
+
+@dataclass(frozen=True, slots=True)
+class Name:
+    name: str
+
+
+@dataclass(frozen=True, slots=True)
+class Num:
+    value: int
+
+
+@dataclass(frozen=True, slots=True)
+class Unary:
+    op: str
+    operand: object
+
+
+@dataclass(frozen=True, slots=True)
+class Binary:
+    op: str
+    left: object
+    right: object
+
+
+@dataclass(frozen=True, slots=True)
+class Ternary:
+    cond: object
+    then: object
+    other: object
+
+
+_BINARY_LEVELS = [
+    ["||"],
+    ["&&"],
+    ["|"],
+    ["^"],
+    ["&"],
+    ["==", "!="],
+    ["<", "<=", ">", ">="],
+    ["<<", ">>"],
+    ["+", "-"],
+    ["*", "/", "%"],
+]
+
+
+class _Parser:
+    def __init__(self, tokens: list[str], source: str):
+        self.tokens = tokens
+        self.pos = 0
+        self.source = source
+
+    def peek(self) -> str | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def next(self) -> str:
+        tok = self.peek()
+        if tok is None:
+            raise ExprError(f"unexpected end of expression: {self.source!r}")
+        self.pos += 1
+        return tok
+
+    def expect(self, tok: str) -> None:
+        got = self.next()
+        if got != tok:
+            raise ExprError(f"expected {tok!r}, got {got!r} in {self.source!r}")
+
+    def parse(self):
+        node = self.ternary()
+        if self.peek() is not None:
+            raise ExprError(f"trailing tokens in {self.source!r}")
+        return node
+
+    def ternary(self):
+        cond = self.binary(0)
+        if self.peek() == "?":
+            self.next()
+            then = self.ternary()
+            self.expect(":")
+            other = self.ternary()
+            return Ternary(cond, then, other)
+        return cond
+
+    def binary(self, level: int):
+        if level >= len(_BINARY_LEVELS):
+            return self.unary()
+        node = self.binary(level + 1)
+        ops = _BINARY_LEVELS[level]
+        while self.peek() in ops:
+            op = self.next()
+            rhs = self.binary(level + 1)
+            node = Binary(op, node, rhs)
+        return node
+
+    def unary(self):
+        tok = self.peek()
+        if tok in ("!", "~", "-", "+"):
+            self.next()
+            return Unary(tok, self.unary())
+        return self.primary()
+
+    def primary(self):
+        tok = self.next()
+        if tok == "(":
+            node = self.ternary()
+            self.expect(")")
+            return node
+        if re.fullmatch(r"0[xX][0-9a-fA-F_]+", tok):
+            return Num(int(tok.replace("_", ""), 16))
+        if re.fullmatch(r"0[bB][01_]+", tok):
+            return Num(int(tok.replace("_", ""), 2))
+        if tok.isdigit():
+            return Num(int(tok))
+        if re.fullmatch(r"[A-Za-z_$].*", tok):
+            return Name(tok)
+        raise ExprError(f"unexpected token {tok!r} in {self.source!r}")
+
+
+def parse(text: str):
+    """Parse an expression into its AST."""
+    return _Parser(tokenize(text), text).parse()
+
+
+def names_in(node) -> set[str]:
+    """All names an expression references."""
+    if isinstance(node, Name):
+        return {node.name}
+    if isinstance(node, Unary):
+        return names_in(node.operand)
+    if isinstance(node, Binary):
+        return names_in(node.left) | names_in(node.right)
+    if isinstance(node, Ternary):
+        return names_in(node.cond) | names_in(node.then) | names_in(node.other)
+    return set()
+
+
+def evaluate(node, resolve) -> int:
+    """Evaluate an AST.  ``resolve(name) -> int`` supplies variable values
+    (raise :class:`ExprError` for unknown names)."""
+    if isinstance(node, Num):
+        return node.value
+    if isinstance(node, Name):
+        return resolve(node.name)
+    if isinstance(node, Unary):
+        v = evaluate(node.operand, resolve)
+        if node.op == "!":
+            return int(v == 0)
+        if node.op == "~":
+            return ~v
+        if node.op == "-":
+            return -v
+        return v
+    if isinstance(node, Binary):
+        a = evaluate(node.left, resolve)
+        if node.op == "||":
+            return int(bool(a) or bool(evaluate(node.right, resolve)))
+        if node.op == "&&":
+            return int(bool(a) and bool(evaluate(node.right, resolve)))
+        b = evaluate(node.right, resolve)
+        if node.op == "|":
+            return a | b
+        if node.op == "^":
+            return a ^ b
+        if node.op == "&":
+            return a & b
+        if node.op == "==":
+            return int(a == b)
+        if node.op == "!=":
+            return int(a != b)
+        if node.op == "<":
+            return int(a < b)
+        if node.op == "<=":
+            return int(a <= b)
+        if node.op == ">":
+            return int(a > b)
+        if node.op == ">=":
+            return int(a >= b)
+        if node.op == "<<":
+            return a << min(b, 256)
+        if node.op == ">>":
+            return a >> min(b, 256)
+        if node.op == "+":
+            return a + b
+        if node.op == "-":
+            return a - b
+        if node.op == "*":
+            return a * b
+        if node.op == "/":
+            return a // b if b else 0
+        if node.op == "%":
+            return a % b if b else 0
+        raise ExprError(f"unknown operator {node.op!r}")
+    if isinstance(node, Ternary):
+        return (
+            evaluate(node.then, resolve)
+            if evaluate(node.cond, resolve)
+            else evaluate(node.other, resolve)
+        )
+    raise ExprError(f"cannot evaluate {node!r}")
+
+
+def evaluate_str(text: str, resolve) -> int:
+    """Parse and evaluate in one call."""
+    return evaluate(parse(text), resolve)

@@ -1,0 +1,187 @@
+"""Stack frame reconstruction (paper Sec. 3.2 step 3, Fig. 4A).
+
+When a breakpoint hits, hgdb rebuilds a source-level frame per concurrent
+instance ("thread"): local variables from the breakpoint's scope (with the
+SSA context mapping applied), generator variables from the instance, and
+structured variables reassembled from flattened RTL signals — "the IO ports
+are represented as a Chisel PortBundle, as one would expect from the source
+code" (Sec. 4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..sim.interface import SimulatorError, SimulatorInterface
+from ..symtable.query import BreakpointRec, SymbolTableInterface, VarRec
+
+
+@dataclass(slots=True)
+class VariableView:
+    """One variable in a frame; aggregates carry children instead of a
+    value."""
+
+    name: str
+    value: int | str | None = None
+    rtl: str | None = None
+    children: list["VariableView"] = field(default_factory=list)
+
+    @property
+    def is_aggregate(self) -> bool:
+        return bool(self.children)
+
+    def flatten(self, prefix: str = "") -> list[tuple[str, int | str | None]]:
+        """(dotted name, value) pairs for display/testing."""
+        label = f"{prefix}.{self.name}" if prefix else self.name
+        if not self.children:
+            return [(label, self.value)]
+        out = []
+        for c in self.children:
+            out.extend(c.flatten(label))
+        return out
+
+    def child(self, name: str) -> "VariableView | None":
+        for c in self.children:
+            if c.name == name:
+                return c
+        return None
+
+    def to_dict(self) -> dict:
+        if self.children:
+            return {
+                "name": self.name,
+                "children": [c.to_dict() for c in self.children],
+            }
+        return {"name": self.name, "value": self.value, "rtl": self.rtl}
+
+
+@dataclass(slots=True)
+class Frame:
+    """A reconstructed stack frame for one instance at one breakpoint."""
+
+    breakpoint: BreakpointRec
+    instance_path: str            # full simulator path of the instance
+    time: int
+    local_vars: list[VariableView] = field(default_factory=list)
+    generator_vars: list[VariableView] = field(default_factory=list)
+
+    def var(self, dotted: str) -> int | str | None:
+        """Look up a (possibly nested) local variable value by dotted name."""
+        parts = _split_dotted(dotted)
+        pool = self.local_vars
+        node: VariableView | None = None
+        for p in parts:
+            node = next((v for v in pool if v.name == p), None)
+            if node is None:
+                return None
+            pool = node.children
+        return node.value if node else None
+
+    def to_dict(self) -> dict:
+        return {
+            "breakpoint_id": self.breakpoint.id,
+            "instance": self.instance_path,
+            "filename": self.breakpoint.filename,
+            "line": self.breakpoint.line,
+            "time": self.time,
+            "local": [v.to_dict() for v in self.local_vars],
+            "generator": [v.to_dict() for v in self.generator_vars],
+        }
+
+
+def _split_dotted(name: str) -> list[str]:
+    """Split ``a.b[2].c`` into ``["a", "b", "[2]", "c"]``."""
+    parts: list[str] = []
+    for chunk in name.split("."):
+        while "[" in chunk:
+            head, _, rest = chunk.partition("[")
+            idx, _, chunk = rest.partition("]")
+            if head:
+                parts.append(head)
+            parts.append(f"[{idx}]")
+            if not chunk:
+                break
+        else:
+            if chunk:
+                parts.append(chunk)
+    return parts
+
+
+def build_variable_tree(
+    bindings: list[tuple[str, int | str | None, str | None]]
+) -> list[VariableView]:
+    """Reassemble structured variables from flattened bindings.
+
+    ``bindings`` is a list of (dotted name, value, rtl path).  Dotted names
+    sharing prefixes become nested :class:`VariableView` aggregates — the
+    bundle reconstruction of paper Sec. 4.2.
+    """
+    roots: list[VariableView] = []
+
+    def get_child(pool: list[VariableView], name: str) -> VariableView:
+        for v in pool:
+            if v.name == name:
+                return v
+        v = VariableView(name)
+        pool.append(v)
+        return v
+
+    for dotted, value, rtl in bindings:
+        parts = _split_dotted(dotted)
+        pool = roots
+        for p in parts[:-1]:
+            node = get_child(pool, p)
+            pool = node.children
+        leaf = get_child(pool, parts[-1])
+        leaf.value = value
+        leaf.rtl = rtl
+    return roots
+
+
+class FrameBuilder:
+    """Builds frames by joining symbol table scope info with live values."""
+
+    def __init__(
+        self,
+        symtable: SymbolTableInterface,
+        sim: SimulatorInterface,
+        instance_map: dict[str, str],
+    ):
+        self.symtable = symtable
+        self.sim = sim
+        self.instance_map = instance_map
+
+    def rtl_path(self, instance_name: str, local: str) -> str:
+        base = self.instance_map.get(instance_name, instance_name)
+        return f"{base}.{local}"
+
+    def read(self, instance_name: str, local: str) -> int | None:
+        try:
+            return self.sim.get_value(self.rtl_path(instance_name, local))
+        except SimulatorError:
+            return None
+
+    def build(self, bp: BreakpointRec, time: int) -> Frame:
+        locals_raw: list[tuple[str, int | str | None, str | None]] = []
+        for var in self.symtable.scope_variables(bp.id):
+            if var.is_rtl:
+                value = self.read(bp.instance_name, var.value)
+                locals_raw.append((var.name, value, var.value))
+            else:
+                locals_raw.append((var.name, var.value, None))
+
+        gen_raw: list[tuple[str, int | str | None, str | None]] = []
+        for var in self.symtable.generator_variables(bp.instance_id):
+            if var.is_rtl:
+                value = self.read(bp.instance_name, var.value)
+                gen_raw.append((var.name, value, var.value))
+            else:
+                gen_raw.append((var.name, var.value, None))
+
+        return Frame(
+            breakpoint=bp,
+            instance_path=self.instance_map.get(bp.instance_name, bp.instance_name),
+            time=time,
+            local_vars=build_variable_tree(locals_raw),
+            generator_vars=build_variable_tree(gen_raw),
+        )

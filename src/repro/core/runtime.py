@@ -1,0 +1,441 @@
+"""The hgdb debugger runtime.
+
+Connects a simulation backend (live simulator or trace replay — any
+:class:`~repro.sim.interface.SimulatorInterface`) with a symbol table and
+implements the breakpoint scheduling loop of paper Fig. 2:
+
+1. at every clock posedge, select the next group of breakpoints sharing a
+   source location (pre-computed lexical order);
+2. evaluate each breakpoint's enable condition and optional user condition
+   against the stable simulation state;
+3. on a hit, reconstruct one stack frame per concurrent instance and hand
+   the batch to the client;
+4. apply the client's command (continue / step / reverse-step / ...) and
+   loop.
+
+Reversing the group selection order yields *intra-cycle reverse debugging*;
+when the backend supports ``set_time`` (snapshots or trace replay), reverse
+debugging extends across cycles (Sec. 3.2).
+
+When no breakpoints are inserted the clock callback returns immediately —
+this is the only per-cycle cost of attaching hgdb, and the reason overall
+overhead stays under 5% (paper Sec. 4.3, Fig. 5).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..sim.interface import SimulatorError, SimulatorInterface
+from ..symtable.query import BreakpointRec, SymbolTableInterface
+from . import expr_eval
+from .frames import Frame, FrameBuilder
+from .matching import locate_instance
+from .scheduler import Group, InsertedBreakpoint, Scheduler, group_key
+from .watch import WatchStore, Watchpoint
+
+
+class CommandKind(enum.Enum):
+    CONTINUE = "continue"
+    STEP = "step"
+    REVERSE_STEP = "reverse_step"
+    REVERSE_CONTINUE = "reverse_continue"
+    DETACH = "detach"
+
+
+@dataclass(frozen=True, slots=True)
+class Command:
+    kind: CommandKind
+
+
+CONTINUE = Command(CommandKind.CONTINUE)
+STEP = Command(CommandKind.STEP)
+REVERSE_STEP = Command(CommandKind.REVERSE_STEP)
+REVERSE_CONTINUE = Command(CommandKind.REVERSE_CONTINUE)
+DETACH = Command(CommandKind.DETACH)
+
+
+@dataclass(slots=True)
+class HitGroup:
+    """Delivered to the client when a scheduling group hits: one frame per
+    concurrent hardware thread (paper Fig. 4B).
+
+    Watchpoint hits reuse the same shape with ``watch`` set to
+    ``{"id", "label", "path", "old", "new"}`` and no frames.
+    """
+
+    time: int
+    filename: str
+    line: int
+    column: int
+    frames: list[Frame] = field(default_factory=list)
+    watch: dict | None = None
+
+    @property
+    def location(self) -> str:
+        return f"{self.filename}:{self.line}"
+
+
+class DebuggerError(Exception):
+    """Raised on invalid debugger operations."""
+
+
+class Runtime:
+    """The hgdb runtime (Fig. 1 center box).
+
+    Args:
+        sim: any simulation backend implementing the unified interface.
+        symtable: any symbol table implementing the unified interface
+            (native SQLite or RPC client).
+        on_hit: synchronous handler called with a :class:`HitGroup`;
+            returns the next :class:`Command`.  While the handler runs the
+            simulator is paused — exactly like a blocking VPI callback.
+    """
+
+    def __init__(
+        self,
+        sim: SimulatorInterface,
+        symtable: SymbolTableInterface,
+        on_hit=None,
+    ):
+        self.sim = sim
+        self.symtable = symtable
+        self.on_hit = on_hit or (lambda hit: CONTINUE)
+        self.instance_map = locate_instance(symtable, sim.hierarchy())
+        self.frames = FrameBuilder(symtable, sim, self.instance_map)
+        self.scheduler = Scheduler(symtable)
+        self.watchpoints = WatchStore()
+        self.warnings: list[str] = []
+        self._warned: set[str] = set()
+        self._cb_id: int | None = None
+        self._step_mode = False
+        self._pause_requested = False
+        self._detached = False
+        self._armed = False  # precomputed: anything to do at a posedge?
+        self.stats_callbacks = 0
+        self.stats_bp_evals = 0
+
+    # -- attachment -------------------------------------------------------
+
+    def attach(self) -> None:
+        """Register the clock-edge callback (paper Sec. 3.3)."""
+        if self._cb_id is None:
+            self._cb_id = self.sim.add_clock_callback(self._on_clock)
+            self._detached = False
+
+    def detach(self) -> None:
+        if self._cb_id is not None:
+            self.sim.remove_clock_callback(self._cb_id)
+            self._cb_id = None
+        self._detached = True
+
+    @property
+    def attached(self) -> bool:
+        return self._cb_id is not None
+
+    # -- breakpoint management ------------------------------------------------
+
+    def resolve_filename(self, filename: str) -> str | None:
+        """Match a user-supplied (possibly partial) filename against the
+        symbol table's absolute paths."""
+        known = self.symtable.filenames()
+        if filename in known:
+            return filename
+        matches = [
+            k for k in known
+            if k.endswith("/" + filename) or k.rsplit("/", 1)[-1] == filename
+        ]
+        if len(matches) == 1:
+            return matches[0]
+        return None
+
+    def _update_armed(self) -> None:
+        self._armed = bool(
+            self.scheduler.inserted
+            or self._step_mode
+            or self._pause_requested
+            or len(self.watchpoints)
+        )
+
+    def add_breakpoint(
+        self, filename: str, line: int, column: int | None = None,
+        condition: str | None = None,
+    ) -> list[InsertedBreakpoint]:
+        """Insert all emulated breakpoints for a source location.
+
+        One source line can map to several emulated breakpoints (loop
+        unrolling + SSA, paper Listings 1/2) across several instances; all
+        of them are inserted, as the paper prescribes (Sec. 3.2).
+        """
+        resolved = self.resolve_filename(filename)
+        if resolved is None:
+            raise DebuggerError(f"unknown source file {filename!r}")
+        recs = self.symtable.breakpoints_at(resolved, line, column)
+        if not recs:
+            raise DebuggerError(f"no statement maps to {filename}:{line}")
+        out = [self.scheduler.insert(rec, condition) for rec in recs]
+        self._update_armed()
+        return out
+
+    def remove_breakpoint(self, bp_id: int) -> bool:
+        removed = self.scheduler.remove(bp_id)
+        self._update_armed()
+        return removed
+
+    def clear_breakpoints(self) -> None:
+        self.scheduler.clear()
+        self._update_armed()
+
+    def list_breakpoints(self) -> list[InsertedBreakpoint]:
+        return sorted(self.scheduler.inserted.values(), key=lambda b: b.rec.id)
+
+    def add_watchpoint(
+        self,
+        name: str,
+        instance: str | None = None,
+        condition: str | None = None,
+    ) -> Watchpoint:
+        """Watch a signal for value changes (a data breakpoint).
+
+        ``name`` may be a full simulator path, an RTL name local to
+        ``instance`` (default: the design top), or a source-level variable
+        resolvable through the symbol table.  ``condition`` may reference
+        ``old``/``new``/``value``.
+        """
+        path = self._resolve_watch_path(name, instance)
+        wp = self.watchpoints.add(path, name, condition)
+        self._update_armed()
+        return wp
+
+    def remove_watchpoint(self, wp_id: int) -> bool:
+        removed = self.watchpoints.remove(wp_id)
+        self._update_armed()
+        return removed
+
+    def _resolve_watch_path(self, name: str, instance: str | None) -> str:
+        inst = instance or self.symtable.top_name()
+        base = self.instance_map.get(inst, inst)
+        candidates = [name, f"{base}.{name}"]
+        # Source-level name: resolve through any breakpoint scope of the
+        # instance (the scope tables carry the variable -> RTL mapping).
+        for bp in self.symtable.all_breakpoints():
+            if bp.instance_name != inst:
+                continue
+            rtl = self.symtable.resolve_scoped_var(bp.id, name)
+            if rtl is not None:
+                candidates.append(f"{base}.{rtl}")
+            break
+        for path in candidates:
+            try:
+                self.sim.get_value(path)
+                return path
+            except SimulatorError:
+                continue
+        raise DebuggerError(f"cannot resolve watch target {name!r}")
+
+    def request_pause(self) -> None:
+        """Stop at the next potential breakpoint (async 'pause' button)."""
+        self._pause_requested = True
+        self._armed = True
+
+    # -- condition evaluation ---------------------------------------------------
+
+    def _warn_once(self, message: str) -> None:
+        if message not in self._warned:
+            self._warned.add(message)
+            self.warnings.append(message)
+
+    def _rtl_resolver(self, instance_name: str):
+        base = self.instance_map.get(instance_name, instance_name)
+
+        def resolve(name: str) -> int:
+            try:
+                return self.sim.get_value(f"{base}.{name}")
+            except SimulatorError as exc:
+                raise expr_eval.ExprError(str(exc)) from exc
+
+        return resolve
+
+    def _scope_resolver(self, bp: BreakpointRec):
+        """Resolve source-level names: scoped vars, generator vars, then raw
+        RTL names within the instance."""
+        rtl = self._rtl_resolver(bp.instance_name)
+
+        def resolve(name: str) -> int:
+            local = self.symtable.resolve_scoped_var(bp.id, name)
+            if local is not None:
+                return rtl(local)
+            var = self.symtable.resolve_instance_var(bp.instance_id, name)
+            if var is not None:
+                if var.is_rtl:
+                    return rtl(var.value)
+                try:
+                    return int(var.value, 0)
+                except ValueError as exc:
+                    raise expr_eval.ExprError(
+                        f"generator variable {name!r} is not numeric"
+                    ) from exc
+            return rtl(name)
+
+        return resolve
+
+    def _bp_hits(self, bp: InsertedBreakpoint) -> bool:
+        self.stats_bp_evals += 1
+        if bp.enable_ast is not None:
+            try:
+                if not expr_eval.evaluate(bp.enable_ast, self._rtl_resolver(bp.rec.instance_name)):
+                    return False
+            except expr_eval.ExprError as exc:
+                self._warn_once(
+                    f"enable condition {bp.rec.enable!r} unevaluable "
+                    f"({exc}); treating as always-on"
+                )
+        if bp.condition_ast is not None:
+            try:
+                if not expr_eval.evaluate(bp.condition_ast, self._scope_resolver(bp.rec)):
+                    return False
+            except expr_eval.ExprError as exc:
+                self._warn_once(
+                    f"breakpoint condition {bp.condition_src!r} failed: {exc}"
+                )
+                return False
+        bp.hit_count += 1
+        if bp.ignore_count > 0:
+            bp.ignore_count -= 1
+            return False
+        return True
+
+    def evaluate(self, expr: str, bp: BreakpointRec | None = None) -> int:
+        """Evaluate a user expression, in a breakpoint's scope when given
+        (the debugger's ``p``/watch functionality)."""
+        if bp is not None:
+            return expr_eval.evaluate_str(expr, self._scope_resolver(bp))
+        top = self.symtable.top_name()
+        return expr_eval.evaluate_str(expr, self._rtl_resolver(top))
+
+    # -- the Fig. 2 scheduling loop -------------------------------------------
+
+    def _on_clock(self, sim) -> None:
+        self.stats_callbacks += 1
+        # Fast path: nothing to do — this is the entire overhead hgdb adds
+        # per cycle when no breakpoints are active (paper Sec. 4.3).
+        if not self._armed:
+            return
+        if len(self.watchpoints):
+            self._check_watchpoints()
+            if self._detached:
+                return
+        if self.scheduler.inserted or self._step_mode or self._pause_requested:
+            self._scan_cycle()
+
+    def _check_watchpoints(self) -> None:
+        for wp, old, new in self.watchpoints.changed(self.sim):
+            hit = HitGroup(
+                time=self.sim.get_time(),
+                filename="<watch>",
+                line=0,
+                column=0,
+                watch={
+                    "id": wp.id,
+                    "label": wp.label,
+                    "path": wp.path,
+                    "old": old,
+                    "new": new,
+                },
+            )
+            cmd = self.on_hit(hit)
+            kind = cmd.kind if isinstance(cmd, Command) else CommandKind(cmd)
+            if kind is CommandKind.DETACH:
+                self.detach()
+                return
+            self._step_mode = kind in (CommandKind.STEP, CommandKind.REVERSE_STEP)
+
+    def _groups(self) -> list[Group]:
+        return self.scheduler.groups(all_bps=self._step_mode)
+
+    def _index_for(self, groups: list[Group], key, direction: int) -> int:
+        """First index to scan (exclusive of ``key``) in ``direction``."""
+        if direction > 0:
+            for i, g in enumerate(groups):
+                if g.key > key:
+                    return i
+            return len(groups)
+        for i in range(len(groups) - 1, -1, -1):
+            if groups[i].key < key:
+                return i
+        return -1
+
+    def _scan_cycle(self) -> None:
+        direction = 1
+        groups = self._groups()
+        idx = 0
+        if self._pause_requested:
+            self._pause_requested = False
+            self._step_mode = True
+            groups = self._groups()
+
+        while True:
+            hit_idx, hits = self._find_hit(groups, idx, direction)
+            if hit_idx is None:
+                if direction > 0:
+                    return  # cycle scan complete; simulation proceeds
+                # Reverse past the beginning of the cycle: previous cycle.
+                if not self._reverse_time():
+                    self._warn_once(
+                        "cannot reverse beyond current history; stopping at "
+                        "earliest available state"
+                    )
+                    direction = 1
+                    idx = 0
+                    continue
+                groups = self._groups()
+                idx = len(groups) - 1
+                continue
+
+            group = groups[hit_idx]
+            hit = HitGroup(
+                time=self.sim.get_time(),
+                filename=group.key[0],
+                line=group.key[1],
+                column=group.key[2],
+                frames=[
+                    self.frames.build(bp.rec, self.sim.get_time()) for bp in hits
+                ],
+            )
+            cmd = self.on_hit(hit)
+            kind = cmd.kind if isinstance(cmd, Command) else CommandKind(cmd)
+
+            if kind is CommandKind.DETACH:
+                self.detach()
+                return
+            self._step_mode = kind in (CommandKind.STEP, CommandKind.REVERSE_STEP)
+            self._update_armed()
+            direction = -1 if kind in (
+                CommandKind.REVERSE_STEP, CommandKind.REVERSE_CONTINUE
+            ) else 1
+            groups = self._groups()
+            idx = self._index_for(groups, group.key, direction)
+            if direction > 0 and kind is CommandKind.CONTINUE and not self.scheduler.inserted:
+                return  # nothing to continue to; resume free-running
+
+    def _find_hit(self, groups: list[Group], idx: int, direction: int):
+        """Scan groups from ``idx`` in ``direction`` for the first hit."""
+        while 0 <= idx < len(groups):
+            hits = [bp for bp in groups[idx].breakpoints if self._bp_hits(bp)]
+            if hits:
+                return idx, hits
+            idx += direction
+        return None, []
+
+    def _reverse_time(self) -> bool:
+        if not self.sim.can_set_time:
+            return False
+        t = self.sim.get_time()
+        if t <= 0:
+            return False
+        try:
+            self.sim.set_time(t - 1)
+        except SimulatorError:
+            return False
+        return True

@@ -1,0 +1,88 @@
+"""Watchpoints: pause when a signal's value changes.
+
+hgdb's breakpoint emulation checks state at every clock posedge; the same
+hook supports *data* breakpoints — watch a source-level variable (resolved
+through the symbol table, instance mapping applied) or a raw hierarchical
+signal, with an optional condition on the new value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from . import expr_eval
+
+
+@dataclass(slots=True)
+class Watchpoint:
+    """One watched signal."""
+
+    id: int
+    path: str                      # full simulator hierarchical path
+    label: str                     # what the user asked to watch
+    condition_ast: object | None = None
+    condition_src: str | None = None
+    last: int | None = None
+    hit_count: int = 0
+
+
+class WatchStore:
+    """Owns watchpoints and detects value changes each cycle."""
+
+    def __init__(self):
+        self._watch: dict[int, Watchpoint] = {}
+        self._next_id = 1
+
+    def add(self, path: str, label: str, condition: str | None = None) -> Watchpoint:
+        wp = Watchpoint(
+            self._next_id,
+            path,
+            label,
+            expr_eval.parse(condition) if condition else None,
+            condition,
+        )
+        self._watch[wp.id] = wp
+        self._next_id += 1
+        return wp
+
+    def remove(self, wp_id: int) -> bool:
+        return self._watch.pop(wp_id, None) is not None
+
+    def clear(self) -> None:
+        self._watch.clear()
+
+    def __len__(self) -> int:
+        return len(self._watch)
+
+    def __iter__(self):
+        return iter(self._watch.values())
+
+    def changed(self, sim) -> list[tuple[Watchpoint, int, int]]:
+        """(watchpoint, old, new) for every watched signal that changed.
+
+        The first observation primes ``last`` without reporting a change.
+        """
+        out: list[tuple[Watchpoint, int, int]] = []
+        for wp in self._watch.values():
+            value = sim.get_value(wp.path)
+            if wp.last is None:
+                wp.last = value
+                continue
+            if value != wp.last:
+                old, wp.last = wp.last, value
+                if wp.condition_ast is not None:
+                    env = {"old": old, "new": value, "value": value}
+
+                    def resolve(name, env=env):
+                        if name in env:
+                            return env[name]
+                        raise expr_eval.ExprError(f"unknown name {name!r}")
+
+                    try:
+                        if not expr_eval.evaluate(wp.condition_ast, resolve):
+                            continue
+                    except expr_eval.ExprError:
+                        continue
+                wp.hit_count += 1
+                out.append((wp, old, value))
+        return out

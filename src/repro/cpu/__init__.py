@@ -1,0 +1,33 @@
+"""repro.cpu — the RISC-V CPU substrate (the RocketChip stand-in).
+
+RV32I+M single-cycle core written in ``repro.hgf``, a two-pass assembler,
+a golden-model ISS, and the ten Fig. 5 benchmark programs.
+"""
+
+from .assembler import AsmError, AsmResult, Assembler, assemble
+from .cpu import Alu, RV32Core
+from .golden import TOHOST_ADDR, Iss, IssError, IssState, run_program
+from .harness import RtlRun, build_rtl, run_on_iss, run_on_rtl, verify_benchmark
+from .programs import Benchmark, benchmark_by_name, build_suite
+
+__all__ = [
+    "Alu",
+    "AsmError",
+    "AsmResult",
+    "Assembler",
+    "Benchmark",
+    "Iss",
+    "IssError",
+    "IssState",
+    "RV32Core",
+    "RtlRun",
+    "TOHOST_ADDR",
+    "assemble",
+    "benchmark_by_name",
+    "build_rtl",
+    "build_suite",
+    "run_on_iss",
+    "run_on_rtl",
+    "run_program",
+    "verify_benchmark",
+]

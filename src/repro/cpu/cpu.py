@@ -1,0 +1,246 @@
+"""A single-cycle RV32I(+M) CPU written in the generator framework.
+
+This is the reproduction's RocketChip stand-in (see DESIGN.md): a complete
+synchronous CPU whose simulation workload exercises the hgdb clock-edge
+callback exactly like the paper's Fig. 5 benchmark — and whose generator
+source is itself debuggable with hgdb (``examples/cpu_debugging.py``).
+
+Memory map (word-addressed unified memory):
+
+* ``0x0000 .. 0x3FFF``  program + static data (16 KiB)
+* ``0x4000``            ``tohost``: a store here reports the result checksum
+* ``0x4004 .. 0x7FFF``  heap / stack (sp conventionally starts at 0x7FF0)
+"""
+
+from __future__ import annotations
+
+from .. import hgf
+from .golden import TOHOST_ADDR
+
+#: ALU operation encodings (port ``op`` of :class:`Alu`).
+ALU_ADD, ALU_SUB, ALU_SLL, ALU_SLT, ALU_SLTU = 0, 1, 2, 3, 4
+ALU_XOR, ALU_SRL, ALU_SRA, ALU_OR, ALU_AND = 5, 6, 7, 8, 9
+ALU_MUL, ALU_MULH, ALU_MULHSU, ALU_MULHU = 10, 11, 12, 13
+ALU_DIV, ALU_DIVU, ALU_REM, ALU_REMU = 14, 15, 16, 17
+
+
+class Alu(hgf.Module):
+    """Combinational ALU covering RV32I ops plus the M extension."""
+
+    def __init__(self):
+        super().__init__()
+        self.a = self.input("a", 32)
+        self.b = self.input("b", 32)
+        self.op = self.input("op", 5)
+        self.out = self.output("out", 32)
+
+        a, b, op = self.a, self.b, self.op
+        shamt = self.node("shamt", b[4:0])
+        a_s = a.as_sint()
+        b_s = b.as_sint()
+
+        add = self.node("add_r", (a + b)[31:0])
+        sub = self.node("sub_r", (a - b)[31:0])
+        slt = self.node("slt_r", (a_s < b_s).pad(32))
+        sltu = self.node("sltu_r", (a < b).pad(32))
+        sll = self.node("sll_r", a << shamt)
+        srl = self.node("srl_r", a >> shamt)
+        sra = self.node("sra_r", (a_s >> shamt).as_uint())
+        mul_full = self.node("mul_full", (a_s * b_s).as_uint())
+        mulu_full = self.node("mulu_full", (a * b))
+        mulsu_full = self.node("mulsu_full", (a_s * b.pad(33).as_sint()).as_uint())
+
+        # RISC-V division semantics: x/0 = -1, x%0 = x; signed overflow
+        # (-2^31 / -1) wraps naturally through two's complement masking.
+        div = hgf.mux(b == 0, self.lit(0xFFFFFFFF, 32), (a_s // b_s).as_uint()[31:0])
+        divu = hgf.mux(b == 0, self.lit(0xFFFFFFFF, 32), (a // b)[31:0])
+        rem = hgf.mux(b == 0, a, (a_s % b_s).as_uint()[31:0])
+        remu = hgf.mux(b == 0, a, (a % b)[31:0])
+
+        result = self.lit(0, 32)
+        table = [
+            (ALU_ADD, add), (ALU_SUB, sub), (ALU_SLL, sll), (ALU_SLT, slt),
+            (ALU_SLTU, sltu), (ALU_XOR, (a ^ b)), (ALU_SRL, srl),
+            (ALU_SRA, sra), (ALU_OR, (a | b)), (ALU_AND, (a & b)),
+            (ALU_MUL, mul_full[31:0]), (ALU_MULH, mul_full[63:32]),
+            (ALU_MULHSU, mulsu_full[63:32]), (ALU_MULHU, mulu_full[63:32]),
+            (ALU_DIV, div), (ALU_DIVU, divu), (ALU_REM, rem), (ALU_REMU, remu),
+        ]
+        for code, value in table:
+            result = hgf.mux(op == code, value, result)
+        self.out <<= result
+
+
+class RV32Core(hgf.Module):
+    """Single-cycle RV32I+M core with a unified instruction/data memory."""
+
+    def __init__(self, program: list[int], mem_words: int = 8192):
+        super().__init__()
+        self.isa = "RV32IM"
+        self.mem_words = mem_words
+        if len(program) > mem_words:
+            raise ValueError(
+                f"program ({len(program)} words) exceeds memory ({mem_words})"
+            )
+
+        self.pc_out = self.output("pc_out", 32)
+        self.tohost = self.output("tohost", 32)
+        self.instret = self.output("instret", 32)
+
+        mem = self.mem("mem", 32, mem_words, init=program)
+        regs = self.mem("regs", 32, 32)
+        pc = self.reg("pc", 32, init=0)
+        tohost_r = self.reg("tohost_r", 32, init=0)
+        instret_r = self.reg("instret_r", 32, init=0)
+
+        # ---- fetch -----------------------------------------------------
+        instr = self.node("instr", mem[pc >> 2])
+
+        # ---- decode ----------------------------------------------------
+        opcode = self.node("opcode", instr[6:0])
+        rd = self.node("rd", instr[11:7])
+        funct3 = self.node("funct3", instr[14:12])
+        rs1 = self.node("rs1", instr[19:15])
+        rs2 = self.node("rs2", instr[24:20])
+        funct7 = self.node("funct7", instr[31:25])
+
+        imm_i = self.node("imm_i", instr[31:20].as_sint().pad(32).as_uint())
+        imm_s = self.node(
+            "imm_s",
+            hgf.cat(instr[31:25], instr[11:7]).as_sint().pad(32).as_uint(),
+        )
+        imm_b = self.node(
+            "imm_b",
+            hgf.cat(instr[31], instr[7], instr[30:25], instr[11:8], self.lit(0, 1))
+            .as_sint().pad(32).as_uint(),
+        )
+        imm_u = self.node("imm_u", instr[31:12] << 12)
+        imm_j = self.node(
+            "imm_j",
+            hgf.cat(instr[31], instr[19:12], instr[20], instr[30:21], self.lit(0, 1))
+            .as_sint().pad(32).as_uint(),
+        )
+
+        is_lui = self.node("is_lui", opcode == 0b0110111)
+        is_auipc = self.node("is_auipc", opcode == 0b0010111)
+        is_jal = self.node("is_jal", opcode == 0b1101111)
+        is_jalr = self.node("is_jalr", opcode == 0b1100111)
+        is_branch = self.node("is_branch", opcode == 0b1100011)
+        is_load = self.node("is_load", opcode == 0b0000011)
+        is_store = self.node("is_store", opcode == 0b0100011)
+        is_imm = self.node("is_imm", opcode == 0b0010011)
+        is_reg = self.node("is_reg", opcode == 0b0110011)
+        is_system = self.node("is_system", opcode == 0b1110011)
+
+        # ---- register read (x0 hard-wired to zero) -----------------------
+        rs1_val = self.node("rs1_val", hgf.mux(rs1 == 0, self.lit(0, 32), regs[rs1]))
+        rs2_val = self.node("rs2_val", hgf.mux(rs2 == 0, self.lit(0, 32), regs[rs2]))
+
+        # ---- ALU operation select ------------------------------------------
+        is_m = self.node("is_m", is_reg & (funct7 == 0b0000001))
+        alu_op = self.wire("alu_op", 5)
+        alu_op <<= ALU_ADD
+        with self.when(is_m == 1):
+            # funct3 indexes the M-extension block contiguously.
+            alu_op <<= funct3 + ALU_MUL
+        with self.elsewhen((is_reg | is_imm) == 1):
+            base = self.wire("alu_base", 5)
+            base <<= ALU_ADD
+            with self.when(funct3 == 0b000):
+                # sub only for OP with funct7[5]; addi never subtracts
+                base <<= hgf.mux((is_reg & funct7[5]) == 1, ALU_SUB, ALU_ADD)
+            with self.elsewhen(funct3 == 0b001):
+                base <<= ALU_SLL
+            with self.elsewhen(funct3 == 0b010):
+                base <<= ALU_SLT
+            with self.elsewhen(funct3 == 0b011):
+                base <<= ALU_SLTU
+            with self.elsewhen(funct3 == 0b100):
+                base <<= ALU_XOR
+            with self.elsewhen(funct3 == 0b101):
+                base <<= hgf.mux(funct7[5] == 1, ALU_SRA, ALU_SRL)
+            with self.elsewhen(funct3 == 0b110):
+                base <<= ALU_OR
+            with self.otherwise():
+                base <<= ALU_AND
+            alu_op <<= base
+
+        alu = self.instance("alu", Alu())
+        alu.a <<= rs1_val
+        alu.b <<= hgf.mux(is_imm == 1, imm_i, rs2_val)
+        alu.op <<= alu_op
+        alu_out = self.node("alu_out", alu.out)
+
+        # ---- branch resolution ------------------------------------------------
+        rs1_s = rs1_val.as_sint()
+        rs2_s = rs2_val.as_sint()
+        br_taken = self.wire("br_taken", 1)
+        br_taken <<= 0
+        with self.when(funct3 == 0b000):
+            br_taken <<= rs1_val == rs2_val
+        with self.elsewhen(funct3 == 0b001):
+            br_taken <<= rs1_val != rs2_val
+        with self.elsewhen(funct3 == 0b100):
+            br_taken <<= rs1_s < rs2_s
+        with self.elsewhen(funct3 == 0b101):
+            br_taken <<= rs1_s >= rs2_s
+        with self.elsewhen(funct3 == 0b110):
+            br_taken <<= rs1_val < rs2_val
+        with self.otherwise():
+            br_taken <<= rs1_val >= rs2_val
+
+        # ---- memory access ----------------------------------------------------
+        mem_addr = self.node(
+            "mem_addr",
+            (rs1_val + hgf.mux(is_store == 1, imm_s, imm_i))[31:0],
+        )
+        load_val = self.node("load_val", mem[mem_addr >> 2])
+        with self.when(is_store == 1):
+            mem.write(mem_addr >> 2, rs2_val, en=self.lit(1, 1))
+            with self.when(mem_addr == TOHOST_ADDR):
+                tohost_r <<= rs2_val
+
+        # ---- writeback ---------------------------------------------------------
+        pc_plus4 = self.node("pc_plus4", (pc + 4)[31:0])
+        wb_val = self.node(
+            "wb_val",
+            hgf.mux(
+                is_lui == 1, imm_u,
+                hgf.mux(
+                    is_auipc == 1, (pc + imm_u)[31:0],
+                    hgf.mux(
+                        (is_jal | is_jalr) == 1, pc_plus4,
+                        hgf.mux(is_load == 1, load_val, alu_out),
+                    ),
+                ),
+            ),
+        )
+        reg_wen = self.node(
+            "reg_wen",
+            (is_lui | is_auipc | is_jal | is_jalr | is_load | is_imm | is_reg)
+            & (rd != 0),
+        )
+        with self.when(reg_wen == 1):
+            regs.write(rd, wb_val, en=self.lit(1, 1))
+
+        # ---- next PC -------------------------------------------------------------
+        next_pc = self.node(
+            "next_pc",
+            hgf.mux(
+                is_jal == 1, (pc + imm_j)[31:0],
+                hgf.mux(
+                    is_jalr == 1, ((rs1_val + imm_i) & 0xFFFFFFFE)[31:0],
+                    hgf.mux(
+                        (is_branch & br_taken) == 1, (pc + imm_b)[31:0], pc_plus4
+                    ),
+                ),
+            ),
+        )
+        pc <<= next_pc
+        instret_r <<= (instret_r + 1)[31:0]
+
+        # ---- halt / outputs ----------------------------------------------------
+        self.stop(is_system == 1, 0)
+        self.pc_out <<= pc
+        self.tohost <<= tohost_r
+        self.instret <<= instret_r

@@ -1,0 +1,217 @@
+"""A golden-model instruction set simulator (ISS) for RV32I+M.
+
+This is the *functional model* the RTL CPU is checked against — the same
+role RocketChip's functional model plays in the paper's FPU case study
+("the FPU output mismatches with the functional model", Sec. 4.2).
+Differential tests run random programs on both the ISS and the RTL core and
+compare architectural state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from . import isa
+from .isa import decode
+
+#: Word-aligned store address that acts as the ``tohost`` device: writing
+#: here reports the benchmark's result checksum (RISC-V test convention).
+TOHOST_ADDR = 0x0000_4000
+
+_MASK32 = 0xFFFFFFFF
+
+
+def _s32(x: int) -> int:
+    return x - (1 << 32) if x & 0x8000_0000 else x
+
+
+class IssError(Exception):
+    """Raised on unsupported instructions or runaway execution."""
+
+
+@dataclass(slots=True)
+class IssState:
+    """Architectural state + simple execution telemetry."""
+
+    regs: list[int] = field(default_factory=lambda: [0] * 32)
+    pc: int = 0
+    memory: dict[int, int] = field(default_factory=dict)  # word addr -> word
+    tohost: int | None = None
+    halted: bool = False
+    instret: int = 0
+
+
+class Iss:
+    """Execute RV32I(+M) programs over a sparse word-addressed memory."""
+
+    def __init__(self, program: list[int], max_instructions: int = 2_000_000):
+        self.program = list(program)
+        self.max_instructions = max_instructions
+        self.state = IssState()
+        for i, word in enumerate(program):
+            self.state.memory[i] = word & _MASK32
+
+    # -- memory ----------------------------------------------------------
+
+    def _load_word(self, addr: int) -> int:
+        if addr % 4:
+            raise IssError(f"misaligned load at {addr:#x}")
+        return self.state.memory.get(addr // 4, 0)
+
+    def _store_word(self, addr: int, value: int) -> None:
+        if addr % 4:
+            raise IssError(f"misaligned store at {addr:#x}")
+        value &= _MASK32
+        if addr == TOHOST_ADDR:
+            self.state.tohost = value
+        self.state.memory[addr // 4] = value
+
+    # -- execution ----------------------------------------------------------
+
+    def run(self) -> IssState:
+        """Run until ``ecall`` or the instruction budget is exhausted."""
+        st = self.state
+        for _ in range(self.max_instructions):
+            if st.halted:
+                return st
+            self.step()
+        raise IssError(f"no ecall within {self.max_instructions} instructions")
+
+    def step(self) -> None:
+        st = self.state
+        word = st.memory.get(st.pc // 4, 0)
+        d = decode(word)
+        st.instret += 1
+        next_pc = (st.pc + 4) & _MASK32
+        rs1 = st.regs[d.rs1]
+        rs2 = st.regs[d.rs2]
+        rd_val: int | None = None
+
+        op = d.opcode
+        if op == isa.OP_LUI:
+            rd_val = (d.imm_u << 12) & _MASK32
+        elif op == isa.OP_AUIPC:
+            rd_val = (st.pc + (d.imm_u << 12)) & _MASK32
+        elif op == isa.OP_JAL:
+            rd_val = next_pc
+            next_pc = (st.pc + d.imm_j) & _MASK32
+        elif op == isa.OP_JALR:
+            rd_val = next_pc
+            next_pc = (rs1 + d.imm_i) & _MASK32 & ~1
+        elif op == isa.OP_BRANCH:
+            taken = self._branch_taken(d.funct3, rs1, rs2)
+            if taken:
+                next_pc = (st.pc + d.imm_b) & _MASK32
+        elif op == isa.OP_LOAD:
+            if d.funct3 != 0b010:
+                raise IssError(f"unsupported load funct3 {d.funct3}")
+            rd_val = self._load_word((rs1 + d.imm_i) & _MASK32)
+        elif op == isa.OP_STORE:
+            if d.funct3 != 0b010:
+                raise IssError(f"unsupported store funct3 {d.funct3}")
+            self._store_word((rs1 + d.imm_s) & _MASK32, rs2)
+        elif op == isa.OP_IMM:
+            rd_val = self._alu_imm(d, rs1)
+        elif op == isa.OP_REG:
+            rd_val = self._alu_reg(d, rs1, rs2)
+        elif op == isa.OP_SYSTEM:
+            st.halted = True
+        else:
+            raise IssError(f"unsupported opcode {op:#09b} at pc {st.pc:#x}")
+
+        if rd_val is not None and d.rd != 0:
+            st.regs[d.rd] = rd_val & _MASK32
+        st.pc = next_pc
+
+    @staticmethod
+    def _branch_taken(funct3: int, rs1: int, rs2: int) -> bool:
+        if funct3 == isa.B_TYPE["beq"]:
+            return rs1 == rs2
+        if funct3 == isa.B_TYPE["bne"]:
+            return rs1 != rs2
+        if funct3 == isa.B_TYPE["blt"]:
+            return _s32(rs1) < _s32(rs2)
+        if funct3 == isa.B_TYPE["bge"]:
+            return _s32(rs1) >= _s32(rs2)
+        if funct3 == isa.B_TYPE["bltu"]:
+            return rs1 < rs2
+        if funct3 == isa.B_TYPE["bgeu"]:
+            return rs1 >= rs2
+        raise IssError(f"unsupported branch funct3 {funct3}")
+
+    @staticmethod
+    def _alu_imm(d, rs1: int) -> int:
+        f3 = d.funct3
+        imm = d.imm_i
+        if f3 == 0b000:
+            return rs1 + imm
+        if f3 == 0b010:
+            return int(_s32(rs1) < imm)
+        if f3 == 0b011:
+            return int(rs1 < (imm & _MASK32))
+        if f3 == 0b100:
+            return rs1 ^ (imm & _MASK32)
+        if f3 == 0b110:
+            return rs1 | (imm & _MASK32)
+        if f3 == 0b111:
+            return rs1 & (imm & _MASK32)
+        shamt = d.rs2
+        if f3 == 0b001:
+            return rs1 << shamt
+        if f3 == 0b101:
+            if d.funct7 == 0b0100000:
+                return _s32(rs1) >> shamt
+            return rs1 >> shamt
+        raise IssError(f"unsupported OP-IMM funct3 {f3}")
+
+    @staticmethod
+    def _alu_reg(d, rs1: int, rs2: int) -> int:
+        f3, f7 = d.funct3, d.funct7
+        if f7 == 0b0000001:  # M extension
+            a, b = _s32(rs1), _s32(rs2)
+            if f3 == 0b000:
+                return a * b
+            if f3 == 0b001:
+                return (a * b) >> 32
+            if f3 == 0b010:
+                return (a * rs2) >> 32
+            if f3 == 0b011:
+                return (rs1 * rs2) >> 32
+            if f3 == 0b100:  # div
+                if b == 0:
+                    return -1
+                q = abs(a) // abs(b)
+                return -q if (a < 0) != (b < 0) else q
+            if f3 == 0b101:  # divu
+                return _MASK32 if rs2 == 0 else rs1 // rs2
+            if f3 == 0b110:  # rem
+                if b == 0:
+                    return a
+                r = abs(a) % abs(b)
+                return -r if a < 0 else r
+            if f3 == 0b111:  # remu
+                return rs1 if rs2 == 0 else rs1 % rs2
+        if f3 == 0b000:
+            return rs1 - rs2 if f7 == 0b0100000 else rs1 + rs2
+        if f3 == 0b001:
+            return rs1 << (rs2 & 31)
+        if f3 == 0b010:
+            return int(_s32(rs1) < _s32(rs2))
+        if f3 == 0b011:
+            return int(rs1 < rs2)
+        if f3 == 0b100:
+            return rs1 ^ rs2
+        if f3 == 0b101:
+            if f7 == 0b0100000:
+                return _s32(rs1) >> (rs2 & 31)
+            return rs1 >> (rs2 & 31)
+        if f3 == 0b110:
+            return rs1 | rs2
+        if f3 == 0b111:
+            return rs1 & rs2
+        raise IssError(f"unsupported OP funct3/funct7 {f3}/{f7:#09b}")
+
+
+def run_program(words: list[int], max_instructions: int = 2_000_000) -> IssState:
+    """Assembled words -> final architectural state."""
+    return Iss(words, max_instructions).run()

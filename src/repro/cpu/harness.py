@@ -1,0 +1,80 @@
+"""Benchmark harness: assemble, simulate, verify.
+
+``run_on_iss`` / ``run_on_rtl`` execute one benchmark on the golden model
+or the RTL core; ``verify_benchmark`` cross-checks both against the
+Python-computed expected checksum.  The Fig. 5 overhead benchmark
+(``benchmarks/bench_fig5_overhead.py``) builds on these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .. import compile as compile_design
+from ..sim import Simulator
+from .assembler import assemble
+from .cpu import RV32Core
+from .golden import IssState, run_program
+from .programs import Benchmark
+
+
+@dataclass(slots=True)
+class RtlRun:
+    """Outcome of an RTL simulation of one benchmark."""
+
+    name: str
+    tohost: int
+    cycles: int
+    instret: int
+    exit_code: int | None
+
+
+def run_on_iss(bench: Benchmark, max_instructions: int = 2_000_000) -> IssState:
+    """Execute on the golden-model ISS."""
+    words = assemble(bench.source).words
+    return run_program(words, max_instructions)
+
+
+def build_rtl(bench: Benchmark, debug: bool = False, mem_words: int = 8192):
+    """Compile the CPU with the benchmark preloaded.  ``debug=True`` builds
+    the unoptimized (-O0 analog) netlist of paper Sec. 4.1."""
+    words = assemble(bench.source).words
+    return compile_design(RV32Core(words, mem_words), debug=debug)
+
+
+def run_on_rtl(
+    bench: Benchmark,
+    debug: bool = False,
+    max_cycles: int = 200_000,
+    sim: Simulator | None = None,
+) -> RtlRun:
+    """Execute on the RTL core (optionally reusing a prepared simulator)."""
+    if sim is None:
+        design = build_rtl(bench, debug)
+        sim = Simulator(design.low)
+    sim.reset()
+    exit_code = sim.run(max_cycles)
+    return RtlRun(
+        name=bench.name,
+        tohost=sim.peek("tohost"),
+        cycles=sim.get_time(),
+        instret=sim.peek("instret"),
+        exit_code=exit_code,
+    )
+
+
+def verify_benchmark(bench: Benchmark) -> RtlRun:
+    """Run on both ISS and RTL; assert both match the expected checksum."""
+    iss = run_on_iss(bench)
+    if iss.tohost != bench.expected:
+        raise AssertionError(
+            f"{bench.name}: ISS checksum {iss.tohost} != expected {bench.expected}"
+        )
+    run = run_on_rtl(bench)
+    if run.exit_code is None:
+        raise AssertionError(f"{bench.name}: RTL did not halt")
+    if run.tohost != bench.expected:
+        raise AssertionError(
+            f"{bench.name}: RTL checksum {run.tohost} != expected {bench.expected}"
+        )
+    return run

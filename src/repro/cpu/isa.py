@@ -1,0 +1,222 @@
+"""RV32I (+ M multiply/divide) instruction encodings.
+
+Shared by the assembler, the golden-model ISS, and the tests that check
+encode/decode round trips.  Only the subset the benchmark suite needs is
+implemented; unsupported encodings raise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# Opcodes
+OP_LUI = 0b0110111
+OP_AUIPC = 0b0010111
+OP_JAL = 0b1101111
+OP_JALR = 0b1100111
+OP_BRANCH = 0b1100011
+OP_LOAD = 0b0000011
+OP_STORE = 0b0100011
+OP_IMM = 0b0010011
+OP_REG = 0b0110011
+OP_SYSTEM = 0b1110011
+
+#: name -> (opcode, funct3, funct7) for R-type
+R_TYPE = {
+    "add": (OP_REG, 0b000, 0b0000000),
+    "sub": (OP_REG, 0b000, 0b0100000),
+    "sll": (OP_REG, 0b001, 0b0000000),
+    "slt": (OP_REG, 0b010, 0b0000000),
+    "sltu": (OP_REG, 0b011, 0b0000000),
+    "xor": (OP_REG, 0b100, 0b0000000),
+    "srl": (OP_REG, 0b101, 0b0000000),
+    "sra": (OP_REG, 0b101, 0b0100000),
+    "or": (OP_REG, 0b110, 0b0000000),
+    "and": (OP_REG, 0b111, 0b0000000),
+    # M extension
+    "mul": (OP_REG, 0b000, 0b0000001),
+    "mulh": (OP_REG, 0b001, 0b0000001),
+    "mulhsu": (OP_REG, 0b010, 0b0000001),
+    "mulhu": (OP_REG, 0b011, 0b0000001),
+    "div": (OP_REG, 0b100, 0b0000001),
+    "divu": (OP_REG, 0b101, 0b0000001),
+    "rem": (OP_REG, 0b110, 0b0000001),
+    "remu": (OP_REG, 0b111, 0b0000001),
+}
+
+#: name -> (opcode, funct3) for I-type ALU
+I_TYPE = {
+    "addi": (OP_IMM, 0b000),
+    "slti": (OP_IMM, 0b010),
+    "sltiu": (OP_IMM, 0b011),
+    "xori": (OP_IMM, 0b100),
+    "ori": (OP_IMM, 0b110),
+    "andi": (OP_IMM, 0b111),
+    "jalr": (OP_JALR, 0b000),
+    "lw": (OP_LOAD, 0b010),
+}
+
+#: shift-immediate instructions (I-type with funct7 in imm[11:5])
+SHIFT_IMM = {
+    "slli": (0b001, 0b0000000),
+    "srli": (0b101, 0b0000000),
+    "srai": (0b101, 0b0100000),
+}
+
+S_TYPE = {"sw": (OP_STORE, 0b010)}
+
+B_TYPE = {
+    "beq": 0b000,
+    "bne": 0b001,
+    "blt": 0b100,
+    "bge": 0b101,
+    "bltu": 0b110,
+    "bgeu": 0b111,
+}
+
+REG_NAMES = {
+    "zero": 0, "ra": 1, "sp": 2, "gp": 3, "tp": 4,
+    "t0": 5, "t1": 6, "t2": 7,
+    "s0": 8, "fp": 8, "s1": 9,
+    "a0": 10, "a1": 11, "a2": 12, "a3": 13,
+    "a4": 14, "a5": 15, "a6": 16, "a7": 17,
+    "s2": 18, "s3": 19, "s4": 20, "s5": 21, "s6": 22,
+    "s7": 23, "s8": 24, "s9": 25, "s10": 26, "s11": 27,
+    "t3": 28, "t4": 29, "t5": 30, "t6": 31,
+}
+for _i in range(32):
+    REG_NAMES[f"x{_i}"] = _i
+
+
+class EncodingError(Exception):
+    """Raised on malformed operands or unsupported instructions."""
+
+
+def _check_reg(r: int) -> int:
+    if not 0 <= r < 32:
+        raise EncodingError(f"register x{r} out of range")
+    return r
+
+
+def _fit_signed(value: int, bits: int, what: str) -> int:
+    lo, hi = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+    if not lo <= value <= hi:
+        raise EncodingError(f"{what} {value} does not fit in {bits} bits")
+    return value & ((1 << bits) - 1)
+
+
+def encode_r(name: str, rd: int, rs1: int, rs2: int) -> int:
+    opcode, f3, f7 = R_TYPE[name]
+    return (
+        (f7 << 25) | (_check_reg(rs2) << 20) | (_check_reg(rs1) << 15)
+        | (f3 << 12) | (_check_reg(rd) << 7) | opcode
+    )
+
+
+def encode_i(name: str, rd: int, rs1: int, imm: int) -> int:
+    opcode, f3 = I_TYPE[name]
+    imm12 = _fit_signed(imm, 12, "immediate")
+    return (
+        (imm12 << 20) | (_check_reg(rs1) << 15) | (f3 << 12)
+        | (_check_reg(rd) << 7) | opcode
+    )
+
+
+def encode_shift(name: str, rd: int, rs1: int, shamt: int) -> int:
+    f3, f7 = SHIFT_IMM[name]
+    if not 0 <= shamt < 32:
+        raise EncodingError(f"shift amount {shamt} out of range")
+    return (
+        (f7 << 25) | (shamt << 20) | (_check_reg(rs1) << 15) | (f3 << 12)
+        | (_check_reg(rd) << 7) | OP_IMM
+    )
+
+
+def encode_s(name: str, rs2: int, rs1: int, imm: int) -> int:
+    opcode, f3 = S_TYPE[name]
+    imm12 = _fit_signed(imm, 12, "store offset")
+    return (
+        ((imm12 >> 5) << 25) | (_check_reg(rs2) << 20) | (_check_reg(rs1) << 15)
+        | (f3 << 12) | ((imm12 & 0x1F) << 7) | opcode
+    )
+
+
+def encode_b(name: str, rs1: int, rs2: int, offset: int) -> int:
+    f3 = B_TYPE[name]
+    if offset % 2:
+        raise EncodingError(f"branch offset {offset} misaligned")
+    imm = _fit_signed(offset, 13, "branch offset")
+    return (
+        (((imm >> 12) & 1) << 31) | (((imm >> 5) & 0x3F) << 25)
+        | (_check_reg(rs2) << 20) | (_check_reg(rs1) << 15) | (f3 << 12)
+        | (((imm >> 1) & 0xF) << 8) | (((imm >> 11) & 1) << 7) | OP_BRANCH
+    )
+
+
+def encode_u(name: str, rd: int, imm: int) -> int:
+    opcode = OP_LUI if name == "lui" else OP_AUIPC
+    if not 0 <= imm < (1 << 20):
+        raise EncodingError(f"upper immediate {imm} out of range")
+    return (imm << 12) | (_check_reg(rd) << 7) | opcode
+
+
+def encode_j(rd: int, offset: int) -> int:
+    if offset % 2:
+        raise EncodingError(f"jump offset {offset} misaligned")
+    imm = _fit_signed(offset, 21, "jump offset")
+    return (
+        (((imm >> 20) & 1) << 31) | (((imm >> 1) & 0x3FF) << 21)
+        | (((imm >> 11) & 1) << 20) | (((imm >> 12) & 0xFF) << 12)
+        | (_check_reg(rd) << 7) | OP_JAL
+    )
+
+
+def encode_ecall() -> int:
+    return OP_SYSTEM  # imm=0, rs1=0, f3=0, rd=0
+
+
+@dataclass(frozen=True, slots=True)
+class Decoded:
+    """Fields of a fetched instruction (for the ISS and tests)."""
+
+    opcode: int
+    rd: int
+    funct3: int
+    rs1: int
+    rs2: int
+    funct7: int
+    imm_i: int
+    imm_s: int
+    imm_b: int
+    imm_u: int
+    imm_j: int
+
+
+def _sext(value: int, bits: int) -> int:
+    if value & (1 << (bits - 1)):
+        return value - (1 << bits)
+    return value
+
+
+def decode(word: int) -> Decoded:
+    """Split a 32-bit instruction into its fields (immediates signed)."""
+    opcode = word & 0x7F
+    rd = (word >> 7) & 0x1F
+    funct3 = (word >> 12) & 0x7
+    rs1 = (word >> 15) & 0x1F
+    rs2 = (word >> 20) & 0x1F
+    funct7 = (word >> 25) & 0x7F
+    imm_i = _sext(word >> 20, 12)
+    imm_s = _sext(((word >> 25) << 5) | ((word >> 7) & 0x1F), 12)
+    imm_b = _sext(
+        (((word >> 31) & 1) << 12) | (((word >> 7) & 1) << 11)
+        | (((word >> 25) & 0x3F) << 5) | (((word >> 8) & 0xF) << 1),
+        13,
+    )
+    imm_u = word >> 12
+    imm_j = _sext(
+        (((word >> 31) & 1) << 20) | (((word >> 12) & 0xFF) << 12)
+        | (((word >> 20) & 1) << 11) | (((word >> 21) & 0x3FF) << 1),
+        21,
+    )
+    return Decoded(opcode, rd, funct3, rs1, rs2, funct7, imm_i, imm_s, imm_b, imm_u, imm_j)

@@ -1,0 +1,640 @@
+"""The benchmark programs of paper Fig. 5.
+
+The RocketChip suite's ten benchmarks, reimplemented as RV32 assembly for
+our core: multiply, mm, mt-matmul, vvadd, qsort, dhrystone, median, towers,
+spmv, mt-vvadd.  Each benchmark computes a checksum, stores it to the
+``tohost`` address, and halts with ``ecall``; the expected checksum is
+computed independently in Python so both the ISS and the RTL core can be
+checked against it.
+
+The ``mt-`` variants are software-interleaved two-"thread" versions (our
+core is single-hart; the interleaving preserves the memory access pattern —
+see DESIGN.md substitutions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .golden import TOHOST_ADDR
+
+_MASK32 = 0xFFFFFFFF
+
+
+def _lcg(seed: int):
+    """Deterministic data generator shared by program text and golden."""
+    state = seed & _MASK32
+    while True:
+        state = (state * 1103515245 + 12345) & _MASK32
+        yield state
+
+
+def _words(name: str, values: list[int]) -> str:
+    lines = [f"{name}:"]
+    for i in range(0, len(values), 8):
+        chunk = ", ".join(str(v & _MASK32) for v in values[i : i + 8])
+        lines.append(f"    .word {chunk}")
+    return "\n".join(lines)
+
+
+_EPILOGUE = f"""
+finish:
+    li t0, {TOHOST_ADDR}
+    sw a0, 0(t0)
+    ecall
+"""
+
+
+@dataclass(frozen=True, slots=True)
+class Benchmark:
+    """One Fig. 5 workload: assembly source plus its expected checksum."""
+
+    name: str
+    source: str
+    expected: int
+
+
+# ---------------------------------------------------------------------------
+# multiply — software shift-add multiplication over an array of pairs.
+# ---------------------------------------------------------------------------
+
+def _multiply(n: int = 24) -> Benchmark:
+    gen = _lcg(7)
+    a = [next(gen) % 1000 for _ in range(n)]
+    b = [next(gen) % 1000 for _ in range(n)]
+    expected = 0
+    for x, y in zip(a, b):
+        expected = (expected + x * y) & _MASK32
+    source = f"""
+start:
+    li sp, 0x7FF0
+    li s0, arr_a
+    li s1, arr_b
+    li s2, {n}
+    li s3, 0          # checksum
+    li s4, 0          # i
+mul_loop:
+    slli t0, s4, 2
+    add t1, s0, t0
+    lw a1, 0(t1)      # a[i]
+    add t1, s1, t0
+    lw a2, 0(t1)      # b[i]
+    # software multiply: a0 = a1 * a2 (shift-add)
+    li a0, 0
+umul_loop:
+    beqz a2, umul_done
+    andi t2, a2, 1
+    beqz t2, umul_skip
+    add a0, a0, a1
+umul_skip:
+    slli a1, a1, 1
+    srli a2, a2, 1
+    j umul_loop
+umul_done:
+    add s3, s3, a0
+    addi s4, s4, 1
+    blt s4, s2, mul_loop
+    mv a0, s3
+    j finish
+{_EPILOGUE}
+{_words("arr_a", a)}
+{_words("arr_b", b)}
+"""
+    return Benchmark("multiply", source, expected)
+
+
+# ---------------------------------------------------------------------------
+# vvadd / mt-vvadd — vector-vector addition (mt: two interleaved halves).
+# ---------------------------------------------------------------------------
+
+def _vvadd(n: int = 64, interleaved: bool = False) -> Benchmark:
+    gen = _lcg(11 if not interleaved else 13)
+    a = [next(gen) % 100000 for _ in range(n)]
+    b = [next(gen) % 100000 for _ in range(n)]
+    expected = 0
+    for x, y in zip(a, b):
+        expected = (expected + x + y) & _MASK32
+
+    if not interleaved:
+        body = f"""
+    li s4, 0
+loop:
+    slli t0, s4, 2
+    add t1, s0, t0
+    lw t2, 0(t1)
+    add t1, s1, t0
+    lw t3, 0(t1)
+    add t2, t2, t3
+    add s3, s3, t2
+    addi s4, s4, 1
+    blt s4, s2, loop
+"""
+    else:
+        half = n // 2
+        body = f"""
+    li s4, 0          # thread 0 index
+    li s5, {half}     # thread 1 index
+loop:
+    # "thread 0" element
+    slli t0, s4, 2
+    add t1, s0, t0
+    lw t2, 0(t1)
+    add t1, s1, t0
+    lw t3, 0(t1)
+    add t2, t2, t3
+    add s3, s3, t2
+    # "thread 1" element
+    slli t0, s5, 2
+    add t1, s0, t0
+    lw t2, 0(t1)
+    add t1, s1, t0
+    lw t3, 0(t1)
+    add t2, t2, t3
+    add s3, s3, t2
+    addi s4, s4, 1
+    addi s5, s5, 1
+    li t0, {half}
+    blt s4, t0, loop
+"""
+    source = f"""
+start:
+    li sp, 0x7FF0
+    li s0, arr_a
+    li s1, arr_b
+    li s2, {n}
+    li s3, 0
+{body}
+    mv a0, s3
+    j finish
+{_EPILOGUE}
+{_words("arr_a", a)}
+{_words("arr_b", b)}
+"""
+    return Benchmark("mt-vvadd" if interleaved else "vvadd", source, expected)
+
+
+# ---------------------------------------------------------------------------
+# mm / mt-matmul — dense matrix multiply using the M extension.
+# ---------------------------------------------------------------------------
+
+def _matmul(n: int = 6, interleaved: bool = False) -> Benchmark:
+    gen = _lcg(17 if not interleaved else 19)
+    a = [next(gen) % 50 for _ in range(n * n)]
+    b = [next(gen) % 50 for _ in range(n * n)]
+    c = [0] * (n * n)
+    for i in range(n):
+        for j in range(n):
+            acc = 0
+            for k in range(n):
+                acc = (acc + a[i * n + k] * b[k * n + j]) & _MASK32
+            c[i * n + j] = acc
+    expected = 0
+    for v in c:
+        expected = (expected + v) & _MASK32
+
+    # Row order: sequential, or interleaved halves ("two threads").
+    if interleaved:
+        half = n // 2
+        rows = [r for pair in zip(range(half), range(half, n)) for r in pair]
+        rows += list(range(2 * half, n))
+    else:
+        rows = list(range(n))
+    row_list = _words("row_order", rows)
+
+    source = f"""
+start:
+    li sp, 0x7FF0
+    li s0, mat_a
+    li s1, mat_b
+    li s2, {n}
+    li s3, 0          # checksum
+    li s6, row_order
+    li s7, 0          # row index cursor
+row_loop:
+    slli t0, s7, 2
+    add t0, s6, t0
+    lw s4, 0(t0)      # i = row_order[cursor]
+    li s5, 0          # j
+col_loop:
+    li t4, 0          # acc
+    li t5, 0          # k
+dot_loop:
+    # a[i*n + k]
+    mul t0, s4, s2
+    add t0, t0, t5
+    slli t0, t0, 2
+    add t0, s0, t0
+    lw t1, 0(t0)
+    # b[k*n + j]
+    mul t0, t5, s2
+    add t0, t0, s5
+    slli t0, t0, 2
+    add t0, s1, t0
+    lw t2, 0(t0)
+    mul t1, t1, t2
+    add t4, t4, t1
+    addi t5, t5, 1
+    blt t5, s2, dot_loop
+    add s3, s3, t4
+    addi s5, s5, 1
+    blt s5, s2, col_loop
+    addi s7, s7, 1
+    blt s7, s2, row_loop
+    mv a0, s3
+    j finish
+{_EPILOGUE}
+{_words("mat_a", a)}
+{_words("mat_b", b)}
+{row_list}
+"""
+    return Benchmark("mt-matmul" if interleaved else "mm", source, expected)
+
+
+# ---------------------------------------------------------------------------
+# qsort — iterative quicksort with an explicit stack of (lo, hi) ranges.
+# ---------------------------------------------------------------------------
+
+def _qsort(n: int = 48) -> Benchmark:
+    gen = _lcg(23)
+    data = [next(gen) % 100000 for _ in range(n)]
+    swept = sorted(data)
+    expected = 0
+    for i, v in enumerate(swept):
+        expected = (expected + (i + 1) * v) & _MASK32
+
+    source = f"""
+start:
+    li sp, 0x7FF0
+    li s0, arr        # base
+    li s1, {n}
+    # push (0, n-1) onto a work stack at 0x6000
+    li s2, 0x6000     # stack pointer (grows up, pairs)
+    li t0, 0
+    sw t0, 0(s2)
+    addi t0, s1, -1
+    sw t0, 4(s2)
+    addi s2, s2, 8
+qs_loop:
+    li t0, 0x6000
+    beq s2, t0, qs_done
+    addi s2, s2, -8
+    lw s4, 0(s2)      # lo
+    lw s5, 4(s2)      # hi
+    bge s4, s5, qs_loop
+    # partition: pivot = a[hi]
+    slli t0, s5, 2
+    add t0, s0, t0
+    lw s6, 0(t0)      # pivot
+    addi s7, s4, -1   # i
+    mv s8, s4         # j
+part_loop:
+    bge s8, s5, part_done
+    slli t0, s8, 2
+    add t0, s0, t0
+    lw t1, 0(t0)      # a[j]
+    bgt t1, s6, part_next
+    addi s7, s7, 1
+    # swap a[i], a[j]
+    slli t2, s7, 2
+    add t2, s0, t2
+    lw t3, 0(t2)
+    sw t1, 0(t2)
+    sw t3, 0(t0)
+part_next:
+    addi s8, s8, 1
+    j part_loop
+part_done:
+    addi s7, s7, 1
+    # swap a[i], a[hi]
+    slli t0, s7, 2
+    add t0, s0, t0
+    lw t1, 0(t0)
+    slli t2, s5, 2
+    add t2, s0, t2
+    lw t3, 0(t2)
+    sw t3, 0(t0)
+    sw t1, 0(t2)
+    # push (lo, i-1) and (i+1, hi)
+    addi t0, s7, -1
+    sw s4, 0(s2)
+    sw t0, 4(s2)
+    addi s2, s2, 8
+    addi t0, s7, 1
+    sw t0, 0(s2)
+    sw s5, 4(s2)
+    addi s2, s2, 8
+    j qs_loop
+qs_done:
+    # checksum: sum (i+1)*a[i]
+    li s3, 0
+    li s4, 0
+sum_loop:
+    slli t0, s4, 2
+    add t0, s0, t0
+    lw t1, 0(t0)
+    addi t2, s4, 1
+    mul t1, t1, t2
+    add s3, s3, t1
+    addi s4, s4, 1
+    blt s4, s1, sum_loop
+    mv a0, s3
+    j finish
+{_EPILOGUE}
+{_words("arr", data)}
+"""
+    return Benchmark("qsort", source, expected)
+
+
+# ---------------------------------------------------------------------------
+# median — 3-tap sliding median filter (RocketChip's median benchmark).
+# ---------------------------------------------------------------------------
+
+def _median(n: int = 48) -> Benchmark:
+    gen = _lcg(29)
+    data = [next(gen) % 10000 for _ in range(n)]
+    expected = 0
+    for i in range(1, n - 1):
+        window = sorted(data[i - 1 : i + 2])
+        expected = (expected + window[1]) & _MASK32
+
+    source = f"""
+start:
+    li sp, 0x7FF0
+    li s0, arr
+    li s1, {n}
+    li s3, 0          # checksum
+    li s4, 1          # i
+med_loop:
+    addi t0, s4, -1
+    slli t0, t0, 2
+    add t0, s0, t0
+    lw t1, 0(t0)      # a[i-1]
+    lw t2, 4(t0)      # a[i]
+    lw t3, 8(t0)      # a[i+1]
+    # median of (t1, t2, t3) -> t4
+    # min/max dance: order t1 <= t2
+    ble t1, t2, med_1
+    mv t5, t1
+    mv t1, t2
+    mv t2, t5
+med_1:
+    # now t1 <= t2; median = min(t2, max(t1, t3))
+    ble t1, t3, med_2
+    mv t3, t1         # max(t1, t3)
+med_2:
+    ble t3, t2, med_3
+    mv t3, t2         # min(t2, .)
+med_3:
+    add s3, s3, t3
+    addi s4, s4, 1
+    addi t0, s1, -1
+    blt s4, t0, med_loop
+    mv a0, s3
+    j finish
+{_EPILOGUE}
+{_words("arr", data)}
+"""
+    return Benchmark("median", source, expected)
+
+
+# ---------------------------------------------------------------------------
+# towers — recursive Towers of Hanoi (exercises call/ret and the stack).
+# ---------------------------------------------------------------------------
+
+def _towers(n: int = 6) -> Benchmark:
+    moves: list[tuple[int, int]] = []
+
+    def hanoi(k: int, src: int, dst: int, via: int) -> None:
+        if k == 0:
+            return
+        hanoi(k - 1, src, via, dst)
+        moves.append((src, dst))
+        hanoi(k - 1, via, dst, src)
+
+    hanoi(n, 0, 2, 1)
+    expected = 0
+    for src, dst in moves:
+        expected = (expected * 3 + src * 5 + dst + 1) & _MASK32
+
+    source = f"""
+start:
+    li sp, 0x7FF0
+    li s3, 0          # checksum accumulator
+    li a0, {n}        # disks
+    li a1, 0          # from
+    li a2, 2          # to
+    li a3, 1          # via
+    call hanoi
+    mv a0, s3
+    j finish
+
+# hanoi(a0=n, a1=from, a2=to, a3=via); clobbers t0..t2
+hanoi:
+    beqz a0, hanoi_ret
+    addi sp, sp, -20
+    sw ra, 0(sp)
+    sw a0, 4(sp)
+    sw a1, 8(sp)
+    sw a2, 12(sp)
+    sw a3, 16(sp)
+    # hanoi(n-1, from, via, to)
+    addi a0, a0, -1
+    mv t0, a2
+    mv a2, a3
+    mv a3, t0
+    call hanoi
+    lw a0, 4(sp)
+    lw a1, 8(sp)
+    lw a2, 12(sp)
+    lw a3, 16(sp)
+    # record move: chk = chk*3 + from*5 + to + 1
+    slli t0, s3, 1
+    add t0, t0, s3    # chk*3
+    slli t1, a1, 2
+    add t1, t1, a1    # from*5
+    add t0, t0, t1
+    add t0, t0, a2
+    addi s3, t0, 1
+    # hanoi(n-1, via, to, from)
+    addi a0, a0, -1
+    mv t0, a1
+    mv a1, a3
+    mv a3, t0
+    call hanoi
+    lw ra, 0(sp)
+    addi sp, sp, 20
+hanoi_ret:
+    ret
+{_EPILOGUE}
+"""
+    return Benchmark("towers", source, expected)
+
+
+# ---------------------------------------------------------------------------
+# spmv — sparse matrix-vector multiply (CSR).
+# ---------------------------------------------------------------------------
+
+def _spmv(rows: int = 16, nnz_per_row: int = 4) -> Benchmark:
+    gen = _lcg(31)
+    row_ptr = [0]
+    col_idx: list[int] = []
+    vals: list[int] = []
+    for _r in range(rows):
+        cols = sorted({next(gen) % rows for _ in range(nnz_per_row)})
+        for c in cols:
+            col_idx.append(c)
+            vals.append(next(gen) % 100)
+        row_ptr.append(len(col_idx))
+    x = [next(gen) % 100 for _ in range(rows)]
+
+    expected = 0
+    for r in range(rows):
+        acc = 0
+        for k in range(row_ptr[r], row_ptr[r + 1]):
+            acc = (acc + vals[k] * x[col_idx[k]]) & _MASK32
+        expected = (expected + acc) & _MASK32
+
+    source = f"""
+start:
+    li sp, 0x7FF0
+    li s0, row_ptr
+    li s1, col_idx
+    li s2, vals
+    li s6, vec_x
+    li s3, 0          # checksum
+    li s4, 0          # row
+spmv_row:
+    slli t0, s4, 2
+    add t0, s0, t0
+    lw s7, 0(t0)      # k = row_ptr[r]
+    lw s8, 4(t0)      # end = row_ptr[r+1]
+    li t4, 0          # acc
+spmv_inner:
+    bge s7, s8, spmv_row_done
+    slli t0, s7, 2
+    add t1, s1, t0
+    lw t2, 0(t1)      # col
+    add t1, s2, t0
+    lw t3, 0(t1)      # val
+    slli t2, t2, 2
+    add t2, s6, t2
+    lw t2, 0(t2)      # x[col]
+    mul t3, t3, t2
+    add t4, t4, t3
+    addi s7, s7, 1
+    j spmv_inner
+spmv_row_done:
+    add s3, s3, t4
+    addi s4, s4, 1
+    li t0, {rows}
+    blt s4, t0, spmv_row
+    mv a0, s3
+    j finish
+{_EPILOGUE}
+{_words("row_ptr", row_ptr)}
+{_words("col_idx", col_idx)}
+{_words("vals", vals)}
+{_words("vec_x", x)}
+"""
+    return Benchmark("spmv", source, expected)
+
+
+# ---------------------------------------------------------------------------
+# dhrystone — synthetic integer mix (simplified kernel; see DESIGN.md).
+# ---------------------------------------------------------------------------
+
+def _dhrystone(iterations: int = 20) -> Benchmark:
+    # Python golden model of the same kernel.
+    buf = [0] * 8
+    chk = 0
+    for it in range(1, iterations + 1):
+        v = (it * 7 + 3) & _MASK32
+        for i in range(8):
+            buf[i] = (v + i) & _MASK32
+        acc = 0
+        for i in range(8):
+            acc = (acc + buf[i] * 2) & _MASK32
+        if acc & 1:
+            chk = (chk + acc) & _MASK32
+        else:
+            chk = (chk ^ acc) & _MASK32
+        chk = (chk + ((v << 3) & _MASK32) + (v >> 2)) & _MASK32
+
+    source = f"""
+start:
+    li sp, 0x7FF0
+    li s0, buffer
+    li s1, {iterations}
+    li s3, 0          # chk
+    li s4, 1          # it
+dhry_loop:
+    # v = it*7 + 3
+    slli t0, s4, 3
+    sub t0, t0, s4
+    addi s5, t0, 3
+    # fill buffer: buf[i] = v + i
+    li t1, 0
+fill_loop:
+    add t2, s5, t1
+    slli t3, t1, 2
+    add t3, s0, t3
+    sw t2, 0(t3)
+    addi t1, t1, 1
+    li t4, 8
+    blt t1, t4, fill_loop
+    # acc = sum buf[i]*2
+    li t5, 0
+    li t1, 0
+acc_loop:
+    slli t3, t1, 2
+    add t3, s0, t3
+    lw t2, 0(t3)
+    slli t2, t2, 1
+    add t5, t5, t2
+    addi t1, t1, 1
+    li t4, 8
+    blt t1, t4, acc_loop
+    # branchy mix
+    andi t0, t5, 1
+    beqz t0, dhry_xor
+    add s3, s3, t5
+    j dhry_tail
+dhry_xor:
+    xor s3, s3, t5
+dhry_tail:
+    slli t0, s5, 3
+    add s3, s3, t0
+    srli t0, s5, 2
+    add s3, s3, t0
+    addi s4, s4, 1
+    ble s4, s1, dhry_loop
+    mv a0, s3
+    j finish
+{_EPILOGUE}
+buffer:
+    .space 32
+"""
+    return Benchmark("dhrystone", source, chk)
+
+
+def build_suite() -> list[Benchmark]:
+    """The ten Fig. 5 benchmarks, in the paper's display order."""
+    return [
+        _multiply(),
+        _matmul(),
+        _matmul(interleaved=True),
+        _vvadd(),
+        _qsort(),
+        _dhrystone(),
+        _median(),
+        _towers(),
+        _spmv(),
+        _vvadd(interleaved=True),
+    ]
+
+
+def benchmark_by_name(name: str) -> Benchmark:
+    for b in build_suite():
+        if b.name == name:
+            return b
+    raise KeyError(f"no benchmark named {name!r}")

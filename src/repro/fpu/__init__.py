@@ -1,0 +1,42 @@
+"""repro.fpu — the FPU comparison unit of the paper's case study.
+
+``FpuCmp(buggy=True)`` contains the seeded ``signaling`` bug of paper
+Listing 3; ``repro.fpu.model`` is the golden functional model the RTL is
+checked against.  See ``examples/fpu_bug_hunt.py`` for the full debugging
+walkthrough.
+"""
+
+from .fcmp import FCmp, FpuCmp
+from .model import (
+    FLAG_NV,
+    QNAN,
+    RM_FEQ,
+    RM_FLE,
+    RM_FLT,
+    SNAN,
+    CmpResult,
+    bits_to_float,
+    compare_op,
+    fcmp,
+    float_to_bits,
+    is_nan,
+    is_signaling_nan,
+)
+
+__all__ = [
+    "CmpResult",
+    "FCmp",
+    "FLAG_NV",
+    "FpuCmp",
+    "QNAN",
+    "RM_FEQ",
+    "RM_FLE",
+    "RM_FLT",
+    "SNAN",
+    "bits_to_float",
+    "compare_op",
+    "fcmp",
+    "float_to_bits",
+    "is_nan",
+    "is_signaling_nan",
+]

@@ -1,0 +1,125 @@
+"""The FPU comparison hardware of the paper's case study (Listing 3).
+
+``FCmp`` is the ``dcmp`` unit: it compares two IEEE-754 singles and reports
+lt/eq/gt plus exception flags, honoring the ``signaling`` input.  ``FpuCmp``
+is the surrounding unit with the ``when (in.wflags)`` block of Listing 3;
+``buggy=True`` seeds the paper's bug — ``dcmp.io.signaling := Bool(true)``
+— which raises spurious invalid-operation flags for quiet (feq) compares
+of quiet NaNs.
+
+The IO of ``FCmp`` is a single Bundle port so the debugger demonstrates
+structured-variable reconstruction from flattened RTL (Sec. 4.2).
+"""
+
+from __future__ import annotations
+
+from .. import hgf
+
+
+class FCmp(hgf.Module):
+    """Recoded-float comparator: the ``dcmp`` instance of Listing 3."""
+
+    def __init__(self):
+        super().__init__()
+        self.io = self.input(
+            "io",
+            typ=hgf.Bundle(
+                a=hgf.UInt(32),
+                b=hgf.UInt(32),
+                signaling=hgf.UInt(1),
+                lt=hgf.Flip(hgf.UInt(1)),
+                eq=hgf.Flip(hgf.UInt(1)),
+                gt=hgf.Flip(hgf.UInt(1)),
+                exceptionFlags=hgf.Flip(hgf.UInt(5)),
+            ),
+        )
+        io = self.io
+
+        a_exp = self.node("a_exp", io.a[30:23])
+        a_mant = self.node("a_mant", io.a[22:0])
+        b_exp = self.node("b_exp", io.b[30:23])
+        b_mant = self.node("b_mant", io.b[22:0])
+
+        a_nan = self.node("a_nan", (a_exp == 0xFF) & (a_mant != 0))
+        b_nan = self.node("b_nan", (b_exp == 0xFF) & (b_mant != 0))
+        a_snan = self.node("a_snan", a_nan & ~io.a[22])
+        b_snan = self.node("b_snan", b_nan & ~io.b[22])
+        any_nan = self.node("any_nan", a_nan | b_nan)
+        any_snan = self.node("any_snan", a_snan | b_snan)
+
+        # Sign-magnitude ordering with +0 == -0.
+        a_sign = self.node("a_sign", io.a[31])
+        b_sign = self.node("b_sign", io.b[31])
+        a_mag = self.node("a_mag", io.a[30:0])
+        b_mag = self.node("b_mag", io.b[30:0])
+        both_zero = self.node("both_zero", (a_mag == 0) & (b_mag == 0))
+
+        ordered_eq = self.node(
+            "ordered_eq", both_zero | ((io.a == io.b) & ~any_nan)
+        )
+        mag_lt = self.node("mag_lt", a_mag < b_mag)
+        mag_gt = self.node("mag_gt", a_mag > b_mag)
+        lt_same_sign = self.node(
+            "lt_same_sign", hgf.mux(a_sign == 1, mag_gt, mag_lt)
+        )
+        lt_diff_sign = self.node("lt_diff_sign", (a_sign == 1) & ~both_zero)
+        ordered_lt = self.node(
+            "ordered_lt",
+            ~ordered_eq & hgf.mux(a_sign == b_sign, lt_same_sign, lt_diff_sign),
+        )
+
+        io.lt <<= ~any_nan & ordered_lt
+        io.eq <<= ~any_nan & ordered_eq
+        io.gt <<= ~any_nan & ~ordered_lt & ~ordered_eq
+
+        # Invalid (NV) is flags bit 4; the signaling input decides whether a
+        # quiet NaN also signals.
+        invalid = self.node(
+            "invalid", (any_nan & io.signaling) | any_snan
+        )
+        io.exceptionFlags <<= invalid.pad(5) << 4
+
+
+class FpuCmp(hgf.Module):
+    """The unit containing Listing 3's logic.
+
+    Inputs mirror the listing: ``in1``/``in2`` (operands), ``rm`` (compare
+    op select: 0=fle, 1=flt, 2=feq), ``wflags`` (compare enabled).  Outputs:
+    ``toint`` (the comparison result as an integer) and ``exc`` (exception
+    flags).
+    """
+
+    def __init__(self, buggy: bool = False):
+        super().__init__()
+        self.buggy = buggy
+        self.in1 = self.input("in1", 32)
+        self.in2 = self.input("in2", 32)
+        self.rm = self.input("rm", 2)
+        self.wflags = self.input("wflags", 1)
+        self.toint = self.output("toint", 32)
+        self.exc = self.output("exc", 5)
+
+        dcmp = self.instance("dcmp", FCmp())
+        dcmp.io.a <<= self.in1
+        dcmp.io.b <<= self.in2
+        if buggy:
+            # The seeded bug of Listing 3: signaling is permanently
+            # asserted, so quiet compares (feq) of qNaNs raise invalid.
+            dcmp.io.signaling <<= 1
+        else:
+            # Correct: only flt/fle (rm[1] == 0) are signaling compares.
+            dcmp.io.signaling <<= ~self.rm[1]
+
+        self.toint <<= 0
+        self.exc <<= 0
+        with self.when(self.wflags == 1):  # feq/flt/fle, fcvt
+            lt_eq = self.node("lt_eq", hgf.cat(dcmp.io.lt, dcmp.io.eq))
+            sel = self.node(
+                "sel",
+                hgf.mux(
+                    self.rm == 0, dcmp.io.lt | dcmp.io.eq,
+                    hgf.mux(self.rm == 1, dcmp.io.lt, dcmp.io.eq),
+                ),
+            )
+            self.toint <<= sel.pad(32)
+            self.exc <<= dcmp.io.exceptionFlags

@@ -1,0 +1,94 @@
+"""Golden functional model for IEEE-754 single-precision comparison.
+
+Plays the role of RocketChip's functional model in the paper's case study:
+"the FPU output mismatches with the functional model" (Sec. 4.2).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+#: Exception flag bit positions (RISC-V fflags order: NV DZ OF UF NX).
+FLAG_NV = 1 << 4  # invalid operation
+FLAG_DZ = 1 << 3
+FLAG_OF = 1 << 2
+FLAG_UF = 1 << 1
+FLAG_NX = 1 << 0
+
+#: Compare rounding-mode encodings used by the wrapper (paper's rm field):
+RM_FLE = 0
+RM_FLT = 1
+RM_FEQ = 2
+
+
+def float_to_bits(x: float) -> int:
+    """IEEE-754 single bits of a Python float (round-to-nearest)."""
+    return struct.unpack("<I", struct.pack("<f", x))[0]
+
+
+def bits_to_float(bits: int) -> float:
+    return struct.unpack("<f", struct.pack("<I", bits & 0xFFFFFFFF))[0]
+
+
+def is_nan(bits: int) -> bool:
+    exp = (bits >> 23) & 0xFF
+    mant = bits & 0x7FFFFF
+    return exp == 0xFF and mant != 0
+
+
+def is_signaling_nan(bits: int) -> bool:
+    """sNaN: NaN with the quiet bit (mantissa MSB) clear."""
+    return is_nan(bits) and not (bits & (1 << 22))
+
+
+QNAN = 0x7FC00000      #: canonical quiet NaN
+SNAN = 0x7F800001      #: a signaling NaN
+
+
+@dataclass(frozen=True, slots=True)
+class CmpResult:
+    lt: int
+    eq: int
+    gt: int
+    flags: int
+
+
+def fcmp(a_bits: int, b_bits: int, signaling: bool) -> CmpResult:
+    """Compare two floats given as raw bits.
+
+    ``signaling`` selects the signaling comparison (used by flt/fle): any
+    NaN operand raises invalid.  The quiet comparison (feq) raises invalid
+    only for signaling NaNs.
+    """
+    a_bits &= 0xFFFFFFFF
+    b_bits &= 0xFFFFFFFF
+    nan = is_nan(a_bits) or is_nan(b_bits)
+    snan = is_signaling_nan(a_bits) or is_signaling_nan(b_bits)
+    flags = 0
+    if nan:
+        if signaling or snan:
+            flags |= FLAG_NV
+        return CmpResult(0, 0, 0, flags)
+
+    # Interpret as sign-magnitude integers; +0 == -0.
+    def key(bits: int) -> int:
+        mag = bits & 0x7FFFFFFF
+        return -mag if bits >> 31 else mag
+
+    ka, kb = key(a_bits), key(b_bits)
+    return CmpResult(int(ka < kb), int(ka == kb), int(ka > kb), flags)
+
+
+def compare_op(a_bits: int, b_bits: int, rm: int) -> tuple[int, int]:
+    """The wrapper-level operation: (result bit, exception flags) for
+    fle/flt/feq selected by ``rm`` — matching IEEE/RISC-V semantics."""
+    signaling = rm in (RM_FLE, RM_FLT)
+    r = fcmp(a_bits, b_bits, signaling)
+    if rm == RM_FLE:
+        return (r.lt | r.eq, r.flags)
+    if rm == RM_FLT:
+        return (r.lt, r.flags)
+    if rm == RM_FEQ:
+        return (r.eq, r.flags)
+    raise ValueError(f"bad compare rm {rm}")

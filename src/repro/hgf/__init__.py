@@ -1,0 +1,47 @@
+"""repro.hgf — a Chisel-like hardware generator framework embedded in Python.
+
+Quick example::
+
+    import repro.hgf as hgf
+
+    class Counter(hgf.Module):
+        def __init__(self, width=8):
+            super().__init__()
+            self.width = width                     # generator variable
+            self.en = self.input("en", 1)
+            self.out = self.output("out", width)
+            count = self.reg("count", width, init=0)
+            with self.when(self.en == 1):
+                count <<= count + 1
+            self.out <<= count
+
+    circuit = hgf.elaborate(Counter())
+
+Every statement records its Python source location; ``repro.compile`` turns
+the elaborated circuit into simulator-ready RTL plus the hgdb symbol table.
+"""
+
+from .dsl_types import Bundle, Flip, SInt, UInt, Vec
+from .elaborate import elaborate
+from .module import HgfError, InstanceHandle, MemHandle, Module, Var
+from .value import Signal, Value, cat, fill, mux, select
+
+__all__ = [
+    "Bundle",
+    "Flip",
+    "HgfError",
+    "InstanceHandle",
+    "MemHandle",
+    "Module",
+    "SInt",
+    "Signal",
+    "UInt",
+    "Value",
+    "Var",
+    "Vec",
+    "cat",
+    "elaborate",
+    "fill",
+    "mux",
+    "select",
+]

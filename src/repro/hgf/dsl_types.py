@@ -1,0 +1,54 @@
+"""Type constructors for the eDSL, mirroring Chisel's ``UInt``/``SInt``/
+``Bundle``/``Vec``/``Flipped``."""
+
+from __future__ import annotations
+
+from ..ir.types import (
+    BundleType,
+    Field,
+    SIntType,
+    Type,
+    UIntType,
+    VecType,
+)
+
+
+def UInt(width: int) -> UIntType:
+    """Unsigned hardware integer of ``width`` bits."""
+    return UIntType(width)
+
+
+def SInt(width: int) -> SIntType:
+    """Signed (two's complement) hardware integer of ``width`` bits."""
+    return SIntType(width)
+
+
+class Flip:
+    """Marks a bundle field as flipped (opposite direction), like Chisel's
+    ``Flipped``.  Used for ready/valid handshakes and bidirectional IO."""
+
+    def __init__(self, typ: Type):
+        if isinstance(typ, Flip):
+            raise TypeError("cannot flip a flipped type")
+        self.typ = typ
+
+
+def Bundle(**fields) -> BundleType:
+    """A record type.  Field order follows keyword order::
+
+        io_t = Bundle(data=UInt(8), valid=UInt(1), ready=Flip(UInt(1)))
+    """
+    out = []
+    for name, typ in fields.items():
+        if isinstance(typ, Flip):
+            out.append(Field(name, typ.typ, flip=True))
+        else:
+            out.append(Field(name, typ, flip=False))
+    return BundleType(tuple(out))
+
+
+def Vec(size: int, elem: Type) -> VecType:
+    """A fixed-size array type of ``size`` elements."""
+    if isinstance(elem, Flip):
+        raise TypeError("vec elements cannot be flipped")
+    return VecType(elem, size)

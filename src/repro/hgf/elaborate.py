@@ -1,0 +1,169 @@
+"""Elaboration: convert constructed Module objects into a High-form Circuit.
+
+Walks the instance tree from the top module, assigns unique IR module names,
+converts the mutable builder statements into immutable IR blocks, and emits
+annotations: ``NameHint`` for versioned ``var`` bindings and ``GeneratorVar``
+for the generator object's public attributes (parameters become constant
+generator variables, signal attributes become RTL-backed ones — paper
+Fig. 4A shows both kinds in the IDE's variable panel).
+"""
+
+from __future__ import annotations
+
+from ..ir.stmt import (
+    Block,
+    Circuit,
+    Conditionally,
+    DefInstance,
+    GeneratorVar,
+    ModuleIR,
+    NameHint,
+    Stmt,
+)
+from .module import HgfError, InstanceHandle, MemHandle, Module, Var, _When
+from .value import Signal, Value
+
+
+def _convert_body(stmts: list) -> Block:
+    out: list[Stmt] = []
+    for s in stmts:
+        if isinstance(s, _When):
+            out.append(
+                Conditionally(
+                    s.pred,
+                    _convert_body(s.conseq),
+                    _convert_body(s.alt),
+                    s.info,
+                )
+            )
+        else:
+            out.append(s)
+    return Block(tuple(out))
+
+
+def _patch_instances(block: Block, mapping: dict[int, str]) -> Block:
+    """Fill in the IR module name of each DefInstance."""
+    out: list[Stmt] = []
+    for s in block:
+        if isinstance(s, DefInstance):
+            out.append(DefInstance(s.name, mapping[id(s)], s.info))
+        elif isinstance(s, Conditionally):
+            out.append(
+                Conditionally(
+                    s.pred,
+                    _patch_instances(s.conseq, mapping),
+                    _patch_instances(s.alt, mapping),
+                    s.info,
+                )
+            )
+        else:
+            out.append(s)
+    return Block(tuple(out))
+
+
+def _render_path(value: Value) -> str | None:
+    """Render a Value's expression as a dotted path if it is one."""
+    from ..ir.expr import Ref, SubField, SubIndex
+
+    e = value.expr
+    parts: list[str] = []
+    while True:
+        if isinstance(e, Ref):
+            parts.append(e.name)
+            break
+        if isinstance(e, SubField):
+            parts.append(e.name)
+            e = e.expr
+        elif isinstance(e, SubIndex):
+            parts.append(f"[{e.index}]")
+            e = e.expr
+        else:
+            return None
+    parts.reverse()
+    out = parts[0]
+    for p in parts[1:]:
+        out += p if p.startswith("[") else f".{p}"
+    return out
+
+
+def _generator_vars(module: Module, ir_name: str) -> list[GeneratorVar]:
+    out: list[GeneratorVar] = []
+    for attr, val in vars(module).items():
+        if attr.startswith("_") or attr in ("clock", "reset"):
+            continue
+        if isinstance(val, bool):
+            out.append(GeneratorVar(ir_name, attr, str(int(val)), False))
+        elif isinstance(val, (int, float)):
+            out.append(GeneratorVar(ir_name, attr, str(val), False))
+        elif isinstance(val, str):
+            out.append(GeneratorVar(ir_name, attr, val, False))
+        elif isinstance(val, Value):
+            path = _render_path(val)
+            if path is not None:
+                out.append(GeneratorVar(ir_name, attr, path, True))
+        elif isinstance(val, Var):
+            path = _render_path(val.value)
+            if path is not None:
+                out.append(GeneratorVar(ir_name, attr, path, True))
+        # InstanceHandle / MemHandle are structure, not variables.
+    return out
+
+
+def elaborate(top: Module, name: str | None = None) -> Circuit:
+    """Elaborate ``top`` (and every reachable child) into a Circuit."""
+    if not isinstance(top, Module):
+        raise HgfError("elaborate() requires a Module instance")
+
+    # Assign unique IR names breadth-first so the top gets the plain name.
+    modules_in_order: list[Module] = []
+    names: dict[int, str] = {}
+    used: set[str] = set()
+    queue: list[Module] = [top]
+    seen: set[int] = set()
+    while queue:
+        m = queue.pop(0)
+        if id(m) in seen:
+            raise HgfError("module instance used in more than one place")
+        seen.add(id(m))
+        base = type(m).__name__ if id(m) != id(top) or name is None else name
+        candidate = base
+        k = 1
+        while candidate in used:
+            candidate = f"{base}_{k}"
+            k += 1
+        used.add(candidate)
+        names[id(m)] = candidate
+        modules_in_order.append(m)
+        for _inst_name, child in m._mb._children:
+            queue.append(child)
+
+    annotations: list = []
+    ir_modules: dict[str, ModuleIR] = {}
+    for m in modules_in_order:
+        mb = m._mb
+        mb._finalized = True
+        ir_name = names[id(m)]
+        # Map each DefInstance statement to its child's IR module name.
+        inst_map: dict[int, str] = {}
+        child_by_name = dict(mb._children)
+        for s in _walk_raw(mb.stmts):
+            if isinstance(s, DefInstance):
+                inst_map[id(s)] = names[id(child_by_name[s.name])]
+        body = _patch_instances(_convert_body(mb.stmts), inst_map)
+        ir_modules[ir_name] = ModuleIR(ir_name, list(mb.ports), body)
+        for rtl, source in mb._name_hints:
+            annotations.append(NameHint(ir_name, rtl, source))
+        annotations.extend(_generator_vars(m, ir_name))
+
+    top_name = names[id(top)]
+    circuit = Circuit(top_name, ir_modules, top_name, annotations)
+    return circuit
+
+
+def _walk_raw(stmts: list):
+    for s in stmts:
+        if isinstance(s, _When):
+            yield from _walk_raw(s.conseq)
+            yield from _walk_raw(s.alt)
+        else:
+            yield s

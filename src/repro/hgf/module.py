@@ -1,0 +1,520 @@
+"""Module construction: the generator frontend's core.
+
+Users subclass :class:`Module` and describe hardware in ``__init__`` (after
+calling ``super().__init__()``), exactly like Chisel describes hardware in a
+module's constructor.  Python control flow *is* the generator language:
+``for`` loops unroll, ``if`` selects at elaboration time, functions and
+classes compose circuits.  Hardware conditionals use ``when``/``elsewhen``/
+``otherwise`` blocks.
+
+Every statement records its generator source location, and the ``var``
+facility tracks versioned variable bindings — together these produce the
+line table and SSA variable mapping of the paper (Listings 1/2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ir import expr as E
+from ..ir.expr import Expr, Literal, MemRead, Ref
+from ..ir.source import UNKNOWN, SourceInfo
+from ..ir.stmt import (
+    Block,
+    Conditionally,
+    Connect,
+    DefInstance,
+    DefMemory,
+    DefNode,
+    DefRegister,
+    DefWire,
+    MemWrite,
+    Port,
+    Printf,
+    Stop,
+)
+from ..ir.types import (
+    BundleType,
+    ClockType,
+    ResetType,
+    SIntType,
+    Type,
+    UIntType,
+)
+from . import srcloc
+from .value import Signal, Value, mux
+
+
+class HgfError(Exception):
+    """Raised on misuse of the generator API."""
+
+
+@dataclass
+class _When:
+    """Mutable when-block under construction.
+
+    ``chain_neg`` accumulates the negated predicates of a
+    when/elsewhen/... chain so nested `var` bindings see the correct path
+    condition.
+    """
+
+    pred: Expr
+    info: SourceInfo
+    conseq: list = field(default_factory=list)
+    alt: list = field(default_factory=list)
+    chain_neg: Expr | None = None
+
+
+class _WhenContext:
+    def __init__(self, mb: "ModuleBuilder", when: _When, body: list, term: Expr):
+        self._mb = mb
+        self._when = when
+        self._body = body
+        self._term = term
+
+    def __enter__(self):
+        self._mb._stack.append(self._body)
+        self._mb._pred_stack.append(self._term)
+        return self
+
+    def __exit__(self, *exc):
+        popped = self._mb._stack.pop()
+        assert popped is self._body
+        self._mb._pred_stack.pop()
+        self._mb._last_when[len(self._mb._stack) - 1] = self._when
+        return False
+
+
+class ModuleBuilder:
+    """Records declarations and statements for one module."""
+
+    def __init__(self, owner: "Module"):
+        self.owner = owner
+        self.ports: list[Port] = [
+            Port("clock", "input", ClockType()),
+            Port("reset", "input", ResetType()),
+        ]
+        self.stmts: list = []
+        self._stack: list[list] = [self.stmts]
+        self._pred_stack: list[Expr] = []
+        self._last_when: dict[int, _When] = {}
+        self._names: set[str] = {"clock", "reset"}
+        self._children: list[tuple[str, Module]] = []
+        self._name_hints: list[tuple[str, str]] = []  # (rtl, source)
+        self._finalized = False
+
+    # -- naming ------------------------------------------------------------
+
+    def _unique(self, name: str) -> str:
+        if not name or not name.replace("_", "a").isalnum():
+            raise HgfError(f"invalid signal name {name!r}")
+        candidate = name
+        k = 1
+        while candidate in self._names:
+            candidate = f"{name}_{k}"
+            k += 1
+        self._names.add(candidate)
+        return candidate
+
+    def _emit(self, stmt) -> None:
+        if self._finalized:
+            raise HgfError("module already elaborated; cannot add hardware")
+        self._stack[-1].append(stmt)
+
+    # -- conditions ----------------------------------------------------------
+
+    def current_pred(self) -> Expr | None:
+        """Conjunction of all enclosing when-conditions (for `var`)."""
+        if not self._pred_stack:
+            return None
+        out = self._pred_stack[0]
+        for p in self._pred_stack[1:]:
+            out = E.and_(out, p)
+        return out
+
+    # -- connects ---------------------------------------------------------------
+
+    def connect(self, target: Signal, value, info: SourceInfo) -> None:
+        if not isinstance(target, Signal):
+            raise HgfError(f"cannot connect to non-signal {target!r}")
+        loc = target.expr
+        if isinstance(value, Value):
+            if value._mb is not self:
+                raise HgfError(
+                    "cannot connect a value from another module; use ports"
+                )
+            expr = value.expr
+        elif isinstance(value, bool):
+            expr = E.uint(int(value), 1)
+        elif isinstance(value, int):
+            expr = self._int_literal(value, loc.typ)
+        else:
+            raise HgfError(f"cannot connect {value!r}")
+        self._emit(Connect(loc, expr, info))
+
+    def _int_literal(self, value: int, typ: Type) -> Literal:
+        if typ.is_ground():
+            width = typ.bit_width()
+            if isinstance(typ, SIntType) or value < 0:
+                return E.sint(value, max(width, value.bit_length() + 1))
+            return E.uint(value, max(width, value.bit_length(), 1))
+        raise HgfError(f"cannot connect int literal to aggregate {typ}")
+
+
+class Module:
+    """Base class for hardware generators.
+
+    Subclasses describe hardware in ``__init__``; public scalar attributes
+    become *generator variables* visible in the debugger (paper Fig. 4A),
+    and every port/wire/register attribute is a source-level variable.
+    """
+
+    def __init__(self) -> None:
+        mb = ModuleBuilder(self)
+        object.__setattr__(self, "_mb", mb)
+        object.__setattr__(self, "clock", Value(Ref("clock", ClockType()), mb))
+        object.__setattr__(self, "reset", Value(Ref("reset", ResetType()), mb))
+
+    # -- declarations -------------------------------------------------------
+
+    def input(self, name: str, width: int | None = None, typ: Type | None = None) -> Signal:
+        """Declare an input port (``width`` bits UInt, or an explicit type)."""
+        return self._port(name, "input", width, typ)
+
+    def output(self, name: str, width: int | None = None, typ: Type | None = None) -> Signal:
+        """Declare an output port."""
+        return self._port(name, "output", width, typ)
+
+    def _port(self, name, direction, width, typ) -> Signal:
+        mb = self._mb
+        t = _resolve_type(width, typ)
+        uname = mb._unique(name)
+        mb.ports.append(Port(uname, direction, t, srcloc.capture()))
+        return Signal(Ref(uname, t), mb)
+
+    def wire(self, name: str, width: int | None = None, typ: Type | None = None) -> Signal:
+        """Declare a combinational wire."""
+        mb = self._mb
+        t = _resolve_type(width, typ)
+        uname = mb._unique(name)
+        mb._emit(DefWire(uname, t, srcloc.capture()))
+        return Signal(Ref(uname, t), mb)
+
+    def reg(
+        self,
+        name: str,
+        width: int | None = None,
+        typ: Type | None = None,
+        init: int | None = None,
+    ) -> Signal:
+        """Declare a register.  With ``init``, the register synchronously
+        resets to that value while the module reset is asserted."""
+        mb = self._mb
+        t = _resolve_type(width, typ)
+        uname = mb._unique(name)
+        reset = Ref("reset", ResetType()) if init is not None else None
+        init_expr = None
+        if init is not None:
+            if t.is_ground():
+                init_expr = (
+                    E.sint(init, t.bit_width())
+                    if isinstance(t, SIntType)
+                    else E.uint(init, t.bit_width())
+                )
+            else:
+                if init != 0:
+                    raise HgfError("aggregate register init must be 0")
+                init_expr = E.uint(0, 1)
+        mb._emit(
+            DefRegister(uname, t, Ref("clock", ClockType()), reset, init_expr, srcloc.capture())
+        )
+        return Signal(Ref(uname, t), mb)
+
+    def node(self, name: str, value: Value) -> Value:
+        """Name an intermediate value (Chisel's ``val x = ...``); the name
+        becomes a source-level variable in the debugger."""
+        mb = self._mb
+        if not isinstance(value, Value):
+            raise HgfError("node value must be a hardware value")
+        uname = mb._unique(name)
+        mb._emit(DefNode(uname, value.expr, srcloc.capture()))
+        if uname != name:
+            mb._name_hints.append((uname, name))
+        return Value(Ref(uname, value.typ), mb)
+
+    def var(self, name: str, init) -> "Var":
+        """A mutable generator-level binding with SSA version tracking —
+        the idiom of paper Listing 1 (``sum`` accumulated in a loop).
+
+        Each ``.set(value)`` creates a new versioned node (``sum_0``,
+        ``sum_1``, ...) and, inside ``when`` blocks, muxes with the previous
+        version so the binding is condition-correct.
+        """
+        return Var(self, name, init)
+
+    def mem(
+        self, name: str, width: int, depth: int, init: list[int] | None = None
+    ) -> "MemHandle":
+        """Declare a memory with combinational read / synchronous write."""
+        mb = self._mb
+        uname = mb._unique(name)
+        t = UIntType(width)
+        mask = (1 << width) - 1
+        init_t = tuple(v & mask for v in init) if init is not None else None
+        if init_t is not None and len(init_t) > depth:
+            raise HgfError(f"memory init longer than depth {depth}")
+        mb._emit(DefMemory(uname, t, depth, init_t, srcloc.capture()))
+        return MemHandle(self, uname, t, depth)
+
+    def instance(self, name: str, child: "Module") -> "InstanceHandle":
+        """Instantiate ``child`` under ``name``; clock and reset are
+        connected automatically (reconnect to override)."""
+        mb = self._mb
+        if not isinstance(child, Module):
+            raise HgfError("instance child must be a Module")
+        if child is self:
+            raise HgfError("a module cannot instantiate itself")
+        cmb = child._mb
+        if cmb._finalized:
+            raise HgfError("child module already used in another parent")
+        uname = mb._unique(name)
+        mb._children.append((uname, child))
+        mb._emit(DefInstance(uname, "?", srcloc.capture()))  # module name patched at elaborate
+        handle = InstanceHandle(self, uname, child)
+        # Auto-connect clock/reset first so user connects override them.
+        mb._emit(Connect(handle.clock.expr, Ref("clock", ClockType()), UNKNOWN))
+        mb._emit(Connect(handle.reset.expr, Ref("reset", ResetType()), UNKNOWN))
+        return handle
+
+    # -- control flow --------------------------------------------------------
+
+    def when(self, cond: Value) -> _WhenContext:
+        """Hardware conditional: ``with m.when(cond): ...``"""
+        mb = self._mb
+        pred = self._as_pred(cond)
+        when = _When(pred, srcloc.capture(), chain_neg=E.not_(pred))
+        mb._emit(when)
+        return _WhenContext(mb, when, when.conseq, term=pred)
+
+    def elsewhen(self, cond: Value) -> _WhenContext:
+        """Chained conditional; must directly follow a ``when`` block."""
+        mb = self._mb
+        prev = mb._last_when.get(len(mb._stack) - 1)
+        if prev is None:
+            raise HgfError("elsewhen without a preceding when at this level")
+        pred = self._as_pred(cond)
+        assert prev.chain_neg is not None
+        nested = _When(
+            pred,
+            srcloc.capture(),
+            chain_neg=E.and_(prev.chain_neg, E.not_(pred)),
+        )
+        prev.alt.append(nested)
+        return _WhenContext(
+            mb, nested, nested.conseq, term=E.and_(prev.chain_neg, pred)
+        )
+
+    def otherwise(self) -> _WhenContext:
+        """Else branch; must directly follow a ``when``/``elsewhen``."""
+        mb = self._mb
+        prev = mb._last_when.get(len(mb._stack) - 1)
+        if prev is None:
+            raise HgfError("otherwise without a preceding when at this level")
+        assert prev.chain_neg is not None
+        return _WhenContext(mb, prev, prev.alt, term=prev.chain_neg)
+
+    def _as_pred(self, cond: Value) -> Expr:
+        if not isinstance(cond, Value):
+            raise HgfError("hardware condition must be a hardware value")
+        if cond._mb is not self._mb:
+            raise HgfError("condition belongs to another module")
+        pred = cond.expr
+        if pred.typ.bit_width() != 1:
+            pred = E.orr(pred)
+        return pred
+
+    # -- side effects -----------------------------------------------------------
+
+    def stop(self, cond: Value, exit_code: int = 0) -> None:
+        """Finish simulation when ``cond`` holds at a clock edge."""
+        self._mb._emit(Stop(self._as_pred(cond), exit_code, srcloc.capture()))
+
+    def printf(self, cond: Value, fmt: str, *args: Value) -> None:
+        """Print when ``cond`` holds at a clock edge; ``{}`` holes."""
+        self._mb._emit(
+            Printf(
+                self._as_pred(cond),
+                fmt,
+                tuple(a.expr for a in args),
+                srcloc.capture(),
+            )
+        )
+
+    # -- literals ------------------------------------------------------------------
+
+    def lit(self, value: int, width: int, signed: bool = False) -> Value:
+        """An explicit literal value."""
+        expr = E.sint(value, width) if signed else E.uint(value, width)
+        return Value(expr, self._mb)
+
+
+class Var:
+    """Versioned mutable binding (see :meth:`Module.var`)."""
+
+    def __init__(self, module: Module, name: str, init):
+        self._module = module
+        self._mb = module._mb
+        self.name = name
+        self._version = 0
+        if isinstance(init, Value):
+            value = init
+        else:
+            value = module.lit(int(init), max(int(init).bit_length(), 1))
+        uname = self._mb._unique(f"{name}_0")
+        self._mb._emit(DefNode(uname, value.expr, srcloc.capture()))
+        self._mb._name_hints.append((uname, name))
+        self._current = Value(Ref(uname, value.typ), self._mb)
+
+    @property
+    def value(self) -> Value:
+        """The current (latest version) value."""
+        return self._current
+
+    def set(self, value) -> None:
+        """Bind a new version; inside ``when`` blocks the new version muxes
+        with the previous one under the current condition."""
+        if not isinstance(value, Value):
+            value = self._module.lit(int(value), self._current.width)
+        pred = self._mb.current_pred()
+        expr = value.expr
+        if pred is not None:
+            from ..ir.passes.expand_whens import fit_to
+
+            w = max(expr.typ.bit_width(), self._current.width)
+            from ..ir.types import ground_like
+
+            t = ground_like(expr.typ, w)
+            expr = E.mux(pred, fit_to(expr, t), fit_to(self._current.expr, t))
+        self._version += 1
+        uname = self._mb._unique(f"{self.name}_{self._version}")
+        self._mb._emit(DefNode(uname, expr, srcloc.capture()))
+        self._mb._name_hints.append((uname, self.name))
+        self._current = Value(Ref(uname, expr.typ), self._mb)
+
+    # Arithmetic sugar: var participates in expressions via .value
+    def __add__(self, other):
+        return self._current + other
+
+    def __sub__(self, other):
+        return self._current - other
+
+    def __mul__(self, other):
+        return self._current * other
+
+    def __and__(self, other):
+        return self._current & other
+
+    def __or__(self, other):
+        return self._current | other
+
+    def __xor__(self, other):
+        return self._current ^ other
+
+
+class MemHandle:
+    """Handle to a declared memory."""
+
+    def __init__(self, module: Module, name: str, typ: UIntType, depth: int):
+        self._module = module
+        self._mb = module._mb
+        self.name = name
+        self.typ = typ
+        self.depth = depth
+
+    def __getitem__(self, addr) -> Value:
+        """Combinational read at ``addr``."""
+        if not isinstance(addr, Value):
+            addr = self._module.lit(int(addr), max(int(addr).bit_length(), 1))
+        return Value(MemRead(self.name, addr.expr, self.typ), self._mb)
+
+    def write(self, addr: Value, data, en) -> None:
+        """Synchronous write, effective at the next clock edge when ``en``
+        holds (and all enclosing ``when`` conditions hold)."""
+        if not isinstance(addr, Value):
+            raise HgfError("memory write address must be a hardware value")
+        if not isinstance(data, Value):
+            data = self._module.lit(int(data), self.typ.width)
+        if isinstance(en, bool):
+            en = self._module.lit(int(en), 1)
+        pred = en.expr
+        if pred.typ.bit_width() != 1:
+            pred = E.orr(pred)
+        self._mb._emit(
+            MemWrite(self.name, addr.expr, data.expr, pred, srcloc.capture())
+        )
+
+
+class InstanceHandle:
+    """Handle to a child instance; attribute access reaches its ports."""
+
+    def __init__(self, parent: Module, name: str, child: Module):
+        object.__setattr__(self, "_parent", parent)
+        object.__setattr__(self, "_name", name)
+        object.__setattr__(self, "_child", child)
+
+    @property
+    def instance_name(self) -> str:
+        return self._name
+
+    def __getattr__(self, port: str) -> Signal:
+        child_mb = self._child._mb
+        for p in child_mb.ports:
+            if p.name == port:
+                from ..ir.types import Field
+
+                bundle = BundleType(
+                    tuple(
+                        Field(q.name, q.typ, flip=(q.direction == "input"))
+                        for q in child_mb.ports
+                    )
+                )
+                ref = Ref(self._name, bundle)
+                return Signal(
+                    E.SubField(ref, port, p.typ), self._parent._mb
+                )
+        raise AttributeError(
+            f"instance {self._name!r} has no port {port!r} "
+            f"(ports: {[q.name for q in child_mb.ports]})"
+        )
+
+    def __setattr__(self, name, value):
+        # `inst.port <<= v` desugars to `inst.port = inst.port.__ilshift__(v)`;
+        # accept the write-back of the very signal the connect returned.
+        from ..ir.expr import Ref, SubField
+
+        if isinstance(value, Signal):
+            e = value.expr
+            if (
+                isinstance(e, SubField)
+                and isinstance(e.expr, Ref)
+                and e.expr.name == self._name
+                and e.name == name
+            ):
+                return
+        raise HgfError(
+            "drive instance ports with `inst.port <<= value`, not attribute "
+            "assignment"
+        )
+
+
+def _resolve_type(width: int | None, typ: Type | None) -> Type:
+    if (width is None) == (typ is None):
+        raise HgfError("specify exactly one of width= or typ=")
+    if width is not None:
+        if not isinstance(width, int) or width <= 0:
+            raise HgfError(f"width must be a positive int, got {width!r}")
+        return UIntType(width)
+    assert typ is not None
+    if isinstance(typ, Type):
+        return typ
+    raise HgfError(f"typ must be a hardware type, got {typ!r}")

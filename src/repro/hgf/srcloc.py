@@ -1,0 +1,40 @@
+"""Generator source-location capture.
+
+Chisel records the Scala file/line of every statement into FIRRTL; our eDSL
+does the same for Python by walking the interpreter stack to the first frame
+outside the ``repro`` package.  That locator is what breakpoints are set
+against.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+from ..ir.source import UNKNOWN, SourceInfo
+
+# Only the generator *framework* is skipped when attributing statements —
+# generators shipped inside this package (repro.cpu, repro.fpu) are user
+# code from the debugger's point of view, exactly like RocketChip is user
+# code to Chisel.
+_FRAMEWORK_DIR = os.path.dirname(os.path.abspath(__file__))
+
+
+def capture(extra_skip: int = 0) -> SourceInfo:
+    """Return the source location of the nearest caller outside the hgf
+    framework.
+
+    ``extra_skip`` skips additional user-side frames (rarely needed).
+    """
+    frame = sys._getframe(1)
+    while frame is not None:
+        filename = frame.f_code.co_filename
+        if not filename.startswith(_FRAMEWORK_DIR):
+            for _ in range(extra_skip):
+                if frame.f_back is None:
+                    break
+                frame = frame.f_back
+                filename = frame.f_code.co_filename
+            return SourceInfo(os.path.abspath(filename), frame.f_lineno)
+        frame = frame.f_back
+    return UNKNOWN

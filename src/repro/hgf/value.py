@@ -1,0 +1,315 @@
+"""Hardware values with operator overloading.
+
+A :class:`Value` wraps an IR expression.  Arithmetic, comparison, bitwise,
+and shift operators build new expressions with inferred widths; Python ints
+are lifted to literals automatically.  :class:`Signal` additionally supports
+the connect operator ``<<=`` which records the *generator source location*
+of the assignment — the information breakpoints are built from.
+"""
+
+from __future__ import annotations
+
+from ..ir import expr as E
+from ..ir.expr import Expr, Literal
+from ..ir.types import BundleType, SIntType, Type, UIntType, VecType
+from . import srcloc
+
+
+class Value:
+    """An immutable hardware expression bound to a module under construction."""
+
+    __slots__ = ("_expr", "_mb")
+
+    def __init__(self, expr: Expr, mb) -> None:
+        object.__setattr__(self, "_expr", expr)
+        object.__setattr__(self, "_mb", mb)
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def expr(self) -> Expr:
+        return self._expr
+
+    @property
+    def typ(self) -> Type:
+        return self._expr.typ
+
+    @property
+    def width(self) -> int:
+        return self._expr.typ.bit_width()
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self._expr} : {self.typ}>"
+
+    def __hash__(self) -> int:
+        return id(self)
+
+    def __bool__(self) -> bool:
+        raise TypeError(
+            "hardware values have no Python truth value; use "
+            "`with m.when(cond):` for hardware conditionals"
+        )
+
+    # -- structure -------------------------------------------------------
+
+    def __getattr__(self, name: str):
+        if name.startswith("_"):
+            raise AttributeError(name)
+        typ = self._expr.typ
+        if isinstance(typ, BundleType) and typ.has_field(name):
+            return type(self)(E.sub_field(self._expr, name), self._mb)
+        raise AttributeError(
+            f"{typ} has no field {name!r}"
+            + (f" (fields: {[f.name for f in typ.fields]})" if isinstance(typ, BundleType) else "")
+        )
+
+    def __setattr__(self, name: str, value):
+        # `sig.field <<= v` desugars to `sig.field = sig.field.__ilshift__(v)`;
+        # accept the write-back of the very sub-field signal that connect
+        # returned, reject everything else (hardware values are immutable).
+        from ..ir.expr import SubField as _SubField
+
+        if (
+            isinstance(value, Value)
+            and isinstance(value._expr, _SubField)
+            and value._expr.name == name
+            and value._expr.expr == self._expr
+        ):
+            return
+        raise AttributeError(
+            f"cannot assign attribute {name!r}; drive fields with "
+            "`sig.field <<= value`"
+        )
+
+    def __getitem__(self, idx):
+        typ = self._expr.typ
+        if isinstance(typ, VecType):
+            if isinstance(idx, int):
+                return type(self)(E.sub_index(self._expr, idx), self._mb)
+            raise TypeError(
+                "dynamic vec indexing: use repro.hgf.select(vec, index)"
+            )
+        if isinstance(idx, slice):
+            if idx.step is not None:
+                raise TypeError("bit slices cannot have a step")
+            hi, lo = idx.start, idx.stop
+            if hi is None or lo is None:
+                raise TypeError("bit slices need explicit bounds, e.g. v[7:0]")
+            if hi < lo:
+                raise ValueError(f"bit slice is [hi:lo] (inclusive); got [{hi}:{lo}]")
+            return Value(E.bits(self._expr, hi, lo), self._mb)
+        if isinstance(idx, int):
+            return Value(E.bits(self._expr, idx, idx), self._mb)
+        if isinstance(idx, Value):
+            raise TypeError("dynamic bit select: use (v >> i)[0]")
+        raise TypeError(f"cannot index value with {idx!r}")
+
+    # -- literal lifting ---------------------------------------------------
+
+    def _lift(self, other) -> Expr:
+        if isinstance(other, Value):
+            if other._mb is not self._mb:
+                raise ValueError(
+                    "cannot combine values from different modules; "
+                    "route them through ports"
+                )
+            return other._expr
+        if isinstance(other, bool):
+            return E.uint(int(other), 1)
+        if isinstance(other, int):
+            if isinstance(self.typ, SIntType):
+                width = max(self.width, other.bit_length() + 1)
+                return E.sint(other, width)
+            if other < 0:
+                raise ValueError(
+                    f"negative literal {other} with unsigned operand; "
+                    "use .as_sint() or an SInt signal"
+                )
+            width = max(self.width, other.bit_length(), 1)
+            return E.uint(other, width)
+        raise TypeError(f"cannot lift {other!r} to a hardware value")
+
+    def _binop(self, fn, other, swap: bool = False) -> "Value":
+        rhs = self._lift(other)
+        a, b = (rhs, self._expr) if swap else (self._expr, rhs)
+        return Value(fn(a, b), self._mb)
+
+    # -- arithmetic --------------------------------------------------------
+
+    def __add__(self, other):
+        return self._binop(E.add, other)
+
+    def __radd__(self, other):
+        return self._binop(E.add, other, swap=True)
+
+    def __sub__(self, other):
+        return self._binop(E.sub, other)
+
+    def __rsub__(self, other):
+        return self._binop(E.sub, other, swap=True)
+
+    def __mul__(self, other):
+        return self._binop(E.mul, other)
+
+    def __rmul__(self, other):
+        return self._binop(E.mul, other, swap=True)
+
+    def __floordiv__(self, other):
+        return self._binop(E.div, other)
+
+    def __mod__(self, other):
+        return self._binop(E.rem, other)
+
+    def __neg__(self):
+        return Value(E.neg(self._expr), self._mb)
+
+    # -- comparisons ---------------------------------------------------------
+
+    def __lt__(self, other):
+        return self._binop(E.lt, other)
+
+    def __le__(self, other):
+        return self._binop(E.leq, other)
+
+    def __gt__(self, other):
+        return self._binop(E.gt, other)
+
+    def __ge__(self, other):
+        return self._binop(E.geq, other)
+
+    def __eq__(self, other):  # type: ignore[override]
+        return self._binop(E.eq, other)
+
+    def __ne__(self, other):  # type: ignore[override]
+        return self._binop(E.neq, other)
+
+    # -- bitwise ---------------------------------------------------------------
+
+    def __and__(self, other):
+        return self._binop(E.and_, other)
+
+    def __rand__(self, other):
+        return self._binop(E.and_, other, swap=True)
+
+    def __or__(self, other):
+        return self._binop(E.or_, other)
+
+    def __ror__(self, other):
+        return self._binop(E.or_, other, swap=True)
+
+    def __xor__(self, other):
+        return self._binop(E.xor, other)
+
+    def __rxor__(self, other):
+        return self._binop(E.xor, other, swap=True)
+
+    def __invert__(self):
+        return Value(E.not_(self._expr), self._mb)
+
+    def __lshift__(self, other):
+        if isinstance(other, int):
+            return Value(E.shl(self._expr, other), self._mb)
+        return self._binop(E.dshl, other)
+
+    def __rshift__(self, other):
+        if isinstance(other, int):
+            return Value(E.shr(self._expr, other), self._mb)
+        return self._binop(E.dshr, other)
+
+    # -- methods ----------------------------------------------------------------
+
+    def cat(self, other: "Value") -> "Value":
+        """Concatenate; ``self`` supplies the high bits."""
+        return self._binop(E.cat, other)
+
+    def pad(self, width: int) -> "Value":
+        """Zero-/sign-extend (by signedness) to at least ``width`` bits."""
+        return Value(E.pad(self._expr, width), self._mb)
+
+    def as_sint(self) -> "Value":
+        """Reinterpret the bits as signed."""
+        return Value(E.as_sint(self._expr), self._mb)
+
+    def as_uint(self) -> "Value":
+        """Reinterpret the bits as unsigned."""
+        return Value(E.as_uint(self._expr), self._mb)
+
+    def andr(self) -> "Value":
+        """AND-reduction to 1 bit."""
+        return Value(E.andr(self._expr), self._mb)
+
+    def orr(self) -> "Value":
+        """OR-reduction to 1 bit (non-zero test)."""
+        return Value(E.orr(self._expr), self._mb)
+
+    def xorr(self) -> "Value":
+        """XOR-reduction (parity) to 1 bit."""
+        return Value(E.xorr(self._expr), self._mb)
+
+
+class Signal(Value):
+    """A connectable value: wire, register, output port, or instance port.
+
+    ``sig <<= rhs`` drives the signal, recording the generator source
+    location of the statement (last-connect-wins, condition-sensitive under
+    ``when`` blocks — exactly Chisel's ``:=``).
+    """
+
+    __slots__ = ()
+
+    def __ilshift__(self, other):
+        info = srcloc.capture()
+        self._mb.connect(self, other, info)
+        return self
+
+    def assign(self, other) -> None:
+        """Method form of ``<<=`` (useful in comprehensions)."""
+        info = srcloc.capture()
+        self._mb.connect(self, other, info)
+
+    def __getattr__(self, name: str):
+        # Bundle fields of a connectable are themselves connectable.
+        return super().__getattr__(name)
+
+
+def mux(cond: Value, tval, fval) -> Value:
+    """2:1 multiplexer: ``mux(sel, a, b)`` is ``a`` when ``sel`` else ``b``."""
+    if not isinstance(cond, Value):
+        raise TypeError("mux condition must be a hardware value")
+    t = cond._lift(tval)
+    f = cond._lift(fval)
+    c = cond.expr
+    if c.typ.bit_width() != 1:
+        c = E.orr(c)
+    return Value(E.mux(c, t, f), cond._mb)
+
+
+def cat(*values: Value) -> Value:
+    """Concatenate any number of values, first argument highest."""
+    if len(values) < 2:
+        raise ValueError("cat needs at least two values")
+    out = values[0]
+    for v in values[1:]:
+        out = out.cat(v)
+    return out
+
+
+def select(vec: Value, index: Value) -> Value:
+    """Dynamically index a Vec-typed value with a mux chain."""
+    typ = vec.typ
+    if not isinstance(typ, VecType):
+        raise TypeError(f"select requires a Vec value, got {typ}")
+    out = vec[0]
+    for i in range(1, typ.size):
+        out = mux(index == i, vec[i], out)
+    return out
+
+
+def fill(value: Value, count: int) -> Value:
+    """Replicate a value ``count`` times (like Verilog ``{N{v}}``)."""
+    if count < 1:
+        raise ValueError("fill count must be >= 1")
+    out = value
+    for _ in range(count - 1):
+        out = out.cat(value)
+    return out

@@ -1,0 +1,66 @@
+"""FIRRTL-like intermediate representation.
+
+High form: aggregate types, ``when`` blocks, last-connect-wins.
+Low form: ground types, SSA nodes + single driver per sink.
+
+See ``repro.ir.compiler.compile_circuit`` for the pass pipeline and
+``repro.ir.debug`` for the debug metadata it produces (paper Algorithm 1).
+"""
+
+from . import expr
+from .compiler import CompileResult, compile_circuit
+from .debug import DebugEntry, DebugInfo, ModuleDebugInfo
+from .eval import ExprInterpreter, eval_prim, interp, mask, to_signed
+from .expr import (
+    Expr,
+    Literal,
+    MemRead,
+    PrimOp,
+    Ref,
+    SubField,
+    SubIndex,
+    sint,
+    uint,
+)
+from .source import UNKNOWN, SourceInfo
+from .stmt import (
+    Block,
+    Circuit,
+    Conditionally,
+    Connect,
+    DefInstance,
+    DefMemory,
+    DefNode,
+    DefRegister,
+    DefWire,
+    DontTouch,
+    GeneratorVar,
+    MemWrite,
+    ModuleIR,
+    Port,
+    Printf,
+    Stop,
+)
+from .types import (
+    BundleType,
+    ClockType,
+    Field,
+    ResetType,
+    SIntType,
+    Type,
+    UIntType,
+    VecType,
+)
+from .verilog import emit_verilog
+
+__all__ = [
+    "Block", "BundleType", "Circuit", "ClockType", "CompileResult",
+    "Conditionally", "Connect", "DebugEntry", "DebugInfo", "DefInstance",
+    "DefMemory", "DefNode", "DefRegister", "DefWire", "DontTouch", "Expr",
+    "ExprInterpreter", "Field", "GeneratorVar", "Literal", "MemRead",
+    "MemWrite", "ModuleDebugInfo", "ModuleIR", "Port", "PrimOp", "Printf",
+    "Ref", "ResetType", "SIntType", "SourceInfo", "Stop", "SubField",
+    "SubIndex", "Type", "UIntType", "UNKNOWN", "VecType", "compile_circuit",
+    "emit_verilog", "eval_prim", "expr", "interp", "mask", "sint",
+    "to_signed", "uint",
+]

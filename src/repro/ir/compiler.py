@@ -1,0 +1,114 @@
+"""The IR compilation pipeline.
+
+``compile_circuit`` takes an elaborated High-form circuit and produces the
+Low form the simulator executes, together with the debug metadata
+(Algorithm 1) the symbol table is generated from:
+
+    CheckHighForm -> LowerTypes -> ExpandWhens (SSA, Alg.1 pass 1)
+        -> [ConstProp -> CSE -> InlineNodes -> DCE]   (skipped names in debug mode)
+        -> collect debug info (Alg.1 pass 2) -> CheckLowForm
+
+``debug_mode=True`` is the ``-O0`` analog (paper Sec. 4.1): every named
+signal receives a DontTouch annotation, optimization becomes a no-op for
+them, and the symbol table retains all source information at the cost of a
+larger netlist and slower simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .debug import DebugInfo
+from .passes import (
+    check_high_form,
+    check_low_form,
+    const_prop,
+    cse,
+    dce,
+    expand_whens,
+    lower_types,
+)
+from .passes.inline_nodes import inline_nodes
+from .stmt import (
+    Circuit,
+    DefMemory,
+    DefNode,
+    DefRegister,
+    DefWire,
+    DontTouch,
+    walk_stmts,
+)
+
+
+@dataclass(slots=True)
+class CompileResult:
+    """Everything downstream tools need."""
+
+    high: Circuit
+    low: Circuit
+    debug: DebugInfo
+    lint: list[str] = field(default_factory=list)
+    debug_mode: bool = False
+
+
+def _protect_everything(circuit: Circuit) -> None:
+    """Debug mode: DontTouch every named signal (paper Sec. 4.1)."""
+    for name, m in circuit.modules.items():
+        for s in walk_stmts(m.body):
+            if isinstance(s, (DefWire, DefRegister, DefNode, DefMemory)):
+                circuit.annotations.append(DontTouch(name, s.name))
+
+
+def _defined_names(circuit: Circuit) -> dict[str, set[str]]:
+    out: dict[str, set[str]] = {}
+    for name, m in circuit.modules.items():
+        names = {p.name for p in m.ports}
+        for s in m.body:
+            if isinstance(s, (DefWire, DefRegister, DefNode, DefMemory)):
+                names.add(s.name)
+        out[name] = names
+    return out
+
+
+def compile_circuit(
+    high: Circuit,
+    debug_mode: bool = False,
+    optimize: bool = True,
+) -> CompileResult:
+    """Lower a High-form circuit to the executable Low form.
+
+    Args:
+        high: the elaborated circuit (from ``repro.hgf.elaborate``).
+        debug_mode: protect all signals from optimization (``-O0`` analog).
+        optimize: run ConstProp/CSE/Inline/DCE at all.  ``debug_mode`` with
+            ``optimize=True`` still runs the passes — they simply cannot
+            touch protected names, exactly like FIRRTL with DontTouch.
+    """
+    check_high_form(high)
+    debug = DebugInfo()
+
+    low = lower_types(high, debug)
+    if debug_mode:
+        _protect_everything(low)
+    low, lint = expand_whens(low, debug)
+    if debug_mode:
+        # SSA temps and enable nodes created by ExpandWhens must survive too.
+        _protect_everything(low)
+
+    if optimize:
+        low = const_prop(low)
+        low, renames = cse(low)
+        for module, table in renames.items():
+            debug.apply_renames(module, table)
+        # Note: inline_nodes (FIRRTL's emit-time expression folding) is NOT
+        # part of the default pipeline — like FIRRTL, named nodes survive to
+        # the netlist so the optimized build remains debuggable; see
+        # benchmarks/bench_sec41_symtable_size.py for its effect.
+        low, _alive = dce(low)
+
+    # Algorithm 1, second pass: keep only entries whose nodes survived.
+    for module, names in _defined_names(low).items():
+        debug.prune_dead(module, names)
+
+    check_low_form(low)
+    return CompileResult(high=high, low=low, debug=debug, lint=lint, debug_mode=debug_mode)

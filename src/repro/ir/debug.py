@@ -1,0 +1,114 @@
+"""Debug metadata produced by the compilation pipeline (paper Algorithm 1).
+
+The first pass (on the High form, inside ``ExpandWhens``) annotates every
+statement of interest with its source locator, its SSA value node, and its
+*enable condition* node.  The second pass (``collect_debug_info``, after
+optimization on the Low form) keeps only the entries whose nodes survived
+optimization — "a behavior consistent with software compilers" (Sec. 4.1).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from .source import SourceInfo
+
+_IDENT = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+
+
+def _rename_tokens(expr: str, renames: dict[str, str]) -> str:
+    """Substitute identifiers in an expression string."""
+    return _IDENT.sub(lambda m: renames.get(m.group(0), m.group(0)), expr)
+
+
+@dataclass(slots=True)
+class DebugEntry:
+    """One emulatable breakpoint: a statement in generator source code.
+
+    Attributes:
+        module: IR module name the statement elaborated into.
+        info: generator source location.
+        node: RTL signal (SSA temp) holding the statement's computed value.
+        enable: RTL signal name of the enable condition, or ``None`` when
+            the statement executes unconditionally.
+        sink: original (pre-lowering, dotted) name of the assigned target.
+        var_map: source-level variable name -> RTL signal name *valid at
+            this statement* (the SSA context mapping of paper Listing 2).
+        enable_src: the enable condition rendered in source-level terms
+            (e.g. ``data[0] % 2`` in paper Listing 2), for display.
+    """
+
+    module: str
+    info: SourceInfo
+    node: str
+    enable: str | None
+    sink: str
+    var_map: dict[str, str] = field(default_factory=dict)
+    enable_src: str | None = None
+
+
+@dataclass(slots=True)
+class ModuleDebugInfo:
+    """Per-module debug metadata."""
+
+    module: str
+    entries: list[DebugEntry] = field(default_factory=list)
+    #: flattened RTL name -> original dotted source name (from LowerTypes)
+    rename_map: dict[str, str] = field(default_factory=dict)
+    #: declared source-level variables (original dotted name -> RTL name)
+    variables: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass(slots=True)
+class DebugInfo:
+    """Whole-circuit debug metadata threaded through the pass pipeline."""
+
+    modules: dict[str, ModuleDebugInfo] = field(default_factory=dict)
+
+    def module(self, name: str) -> ModuleDebugInfo:
+        if name not in self.modules:
+            self.modules[name] = ModuleDebugInfo(name)
+        return self.modules[name]
+
+    def all_entries(self) -> list[DebugEntry]:
+        out: list[DebugEntry] = []
+        for m in self.modules.values():
+            out.extend(m.entries)
+        return out
+
+    def apply_renames(self, module: str, renames: dict[str, str]) -> None:
+        """Remap entry node names after a pass renamed signals (CSE)."""
+        if module not in self.modules or not renames:
+            return
+        for entry in self.modules[module].entries:
+            entry.node = renames.get(entry.node, entry.node)
+            if entry.enable is not None:
+                # ``enable`` is an expression string: rename token-wise.
+                entry.enable = _rename_tokens(entry.enable, renames)
+            entry.var_map = {
+                k: renames.get(v, v) for k, v in entry.var_map.items()
+            }
+        mi = self.modules[module]
+        mi.variables = {k: renames.get(v, v) for k, v in mi.variables.items()}
+
+    def prune_dead(self, module: str, alive: set[str]) -> int:
+        """Second pass of Algorithm 1: drop entries whose value node was
+        optimized away.  Returns the number of surviving entries."""
+        if module not in self.modules:
+            return 0
+        mi = self.modules[module]
+        kept: list[DebugEntry] = []
+        for entry in mi.entries:
+            if entry.node not in alive:
+                continue
+            # ``enable`` is an expression string over RTL names, not a
+            # signal; the runtime tolerates references that were optimized
+            # away (falls back to unconditional with a warning).
+            entry.var_map = {
+                k: v for k, v in entry.var_map.items() if v in alive
+            }
+            kept.append(entry)
+        mi.entries = kept
+        mi.variables = {k: v for k, v in mi.variables.items() if v in alive}
+        return len(kept)

@@ -1,0 +1,173 @@
+"""Reference evaluation semantics for IR primitive operations.
+
+Signal values are stored as unsigned masked integers in ``[0, 2**width)``.
+SInt-typed values are *interpreted* as two's complement when an operation is
+arithmetic.  Division/remainder by zero evaluate to 0 (defined semantics so
+simulation is total, as in most RTL simulators' 2-state mode).
+
+Both the constant-propagation pass and the compiled simulator must agree
+with these functions; property-based tests enforce that.
+"""
+
+from __future__ import annotations
+
+from .expr import Expr, Literal, MemRead, PrimOp, Ref, SubField, SubIndex
+from .types import SIntType, Type
+
+
+def mask(value: int, width: int) -> int:
+    """Truncate to ``width`` bits (unsigned representation)."""
+    return value & ((1 << width) - 1)
+
+
+def to_signed(raw: int, width: int) -> int:
+    """Interpret a masked value as two's complement."""
+    if raw & (1 << (width - 1)):
+        return raw - (1 << width)
+    return raw
+
+
+def interp(raw: int, typ: Type) -> int:
+    """Interpret a raw masked value according to its type."""
+    if isinstance(typ, SIntType):
+        return to_signed(raw, typ.bit_width())
+    return raw
+
+
+def literal_raw(lit: Literal) -> int:
+    """The unsigned-masked storage representation of a literal."""
+    return mask(lit.value, lit.typ.bit_width())
+
+
+def eval_prim(
+    op: str,
+    params: tuple[int, ...],
+    raw_args: tuple[int, ...],
+    arg_types: tuple[Type, ...],
+    result_type: Type,
+) -> int:
+    """Evaluate one primitive op over raw (masked) argument values.
+
+    Returns the raw masked result.
+    """
+    rw = result_type.bit_width()
+    vals = tuple(interp(r, t) for r, t in zip(raw_args, arg_types))
+
+    if op == "add":
+        return mask(vals[0] + vals[1], rw)
+    if op == "sub":
+        return mask(vals[0] - vals[1], rw)
+    if op == "mul":
+        return mask(vals[0] * vals[1], rw)
+    if op == "div":
+        if vals[1] == 0:
+            return 0
+        q = abs(vals[0]) // abs(vals[1])
+        if (vals[0] < 0) != (vals[1] < 0):
+            q = -q
+        return mask(q, rw)
+    if op == "rem":
+        if vals[1] == 0:
+            return 0
+        r = abs(vals[0]) % abs(vals[1])
+        if vals[0] < 0:
+            r = -r
+        return mask(r, rw)
+    if op == "lt":
+        return int(vals[0] < vals[1])
+    if op == "leq":
+        return int(vals[0] <= vals[1])
+    if op == "gt":
+        return int(vals[0] > vals[1])
+    if op == "geq":
+        return int(vals[0] >= vals[1])
+    if op == "eq":
+        return int(vals[0] == vals[1])
+    if op == "neq":
+        return int(vals[0] != vals[1])
+    if op == "and":
+        return mask(vals[0] & vals[1], rw)
+    if op == "or":
+        return mask(vals[0] | vals[1], rw)
+    if op == "xor":
+        return mask(vals[0] ^ vals[1], rw)
+    if op == "not":
+        return mask(~vals[0], rw)
+    if op == "neg":
+        return mask(-vals[0], rw)
+    if op == "andr":
+        w = arg_types[0].bit_width()
+        return int(raw_args[0] == (1 << w) - 1)
+    if op == "orr":
+        return int(raw_args[0] != 0)
+    if op == "xorr":
+        return bin(raw_args[0]).count("1") & 1
+    if op == "cat":
+        wb = arg_types[1].bit_width()
+        return (raw_args[0] << wb) | raw_args[1]
+    if op == "bits":
+        hi, lo = params
+        return (raw_args[0] >> lo) & ((1 << (hi - lo + 1)) - 1)
+    if op == "pad":
+        return mask(vals[0], rw)
+    if op == "shl":
+        return mask(vals[0] << params[0], rw)
+    if op == "shr":
+        return mask(vals[0] >> params[0], rw)
+    if op == "dshl":
+        # Shift amounts are unsigned (FIRRTL requires UInt), so use the raw
+        # value even when the operand happens to be SInt-typed.
+        return mask(vals[0] << min(raw_args[1], 256), rw)
+    if op == "dshr":
+        return mask(vals[0] >> min(raw_args[1], 256), rw)
+    if op == "mux":
+        return mask(vals[1] if raw_args[0] else vals[2], rw)
+    if op == "as_uint":
+        return raw_args[0]
+    if op == "as_sint":
+        return raw_args[0]
+    raise ValueError(f"unknown primitive op {op!r}")
+
+
+class ExprInterpreter:
+    """Interpret IR expressions against an environment of raw signal values.
+
+    Used by the High-form reference interpreter in tests and by the debug
+    runtime's enable-condition fallback; the production simulator compiles
+    expressions to Python source for speed instead (``repro.sim.compiler``).
+    """
+
+    def __init__(self, read_ref, read_mem=None):
+        self._read_ref = read_ref
+        self._read_mem = read_mem
+
+    def eval(self, e: Expr) -> int:
+        if isinstance(e, Literal):
+            return literal_raw(e)
+        if isinstance(e, Ref):
+            return self._read_ref(e.name)
+        if isinstance(e, SubField):
+            # Only instance port access survives to evaluation; reads use
+            # the dotted path.
+            return self._read_ref(f"{_path_of(e)}")
+        if isinstance(e, SubIndex):
+            return self._read_ref(f"{_path_of(e)}")
+        if isinstance(e, MemRead):
+            if self._read_mem is None:
+                raise ValueError("memory reads not supported here")
+            return self._read_mem(e.mem, self.eval(e.addr))
+        if isinstance(e, PrimOp):
+            raw_args = tuple(self.eval(a) for a in e.args)
+            arg_types = tuple(a.typ for a in e.args)
+            return eval_prim(e.op, e.params, raw_args, arg_types, e.typ)
+        raise TypeError(f"cannot evaluate {e!r}")
+
+
+def _path_of(e: Expr) -> str:
+    if isinstance(e, Ref):
+        return e.name
+    if isinstance(e, SubField):
+        return f"{_path_of(e.expr)}.{e.name}"
+    if isinstance(e, SubIndex):
+        return f"{_path_of(e.expr)}[{e.index}]"
+    raise TypeError(f"not a path expression: {e!r}")

@@ -1,0 +1,26 @@
+"""IR transformation passes.
+
+The pipeline (``repro.ir.compiler``) runs, in order: ``CheckHighForm`` →
+``LowerTypes`` → ``ExpandWhens`` (SSA + enable conditions, Algorithm 1 pass
+1) → optimization (``ConstProp`` → ``CSE`` → ``DCE``, skipped for
+DontTouch'd names) → ``collect_debug_info`` (Algorithm 1 pass 2) →
+``CheckLowForm``.
+"""
+
+from .check import CheckError, check_high_form, check_low_form
+from .const_prop import const_prop
+from .cse import cse
+from .dce import dce
+from .expand_whens import expand_whens
+from .lower_types import lower_types
+
+__all__ = [
+    "CheckError",
+    "check_high_form",
+    "check_low_form",
+    "const_prop",
+    "cse",
+    "dce",
+    "expand_whens",
+    "lower_types",
+]

@@ -1,0 +1,147 @@
+"""Structural checkers for the High and Low IR forms.
+
+``check_high_form`` validates a freshly elaborated circuit (before
+lowering); ``check_low_form`` validates the invariants the simulator and
+Verilog emitter rely on: ground types only, no ``when`` blocks, and at most
+one driving connect per sink.
+"""
+
+from __future__ import annotations
+
+from ..expr import Expr, Literal, MemRead, PrimOp, Ref, SubField, SubIndex, walk_expr
+from ..stmt import (
+    Circuit,
+    Conditionally,
+    Connect,
+    DefInstance,
+    DefMemory,
+    DefNode,
+    DefRegister,
+    DefWire,
+    MemWrite,
+    ModuleIR,
+    Printf,
+    Stop,
+    walk_stmts,
+)
+
+
+class CheckError(Exception):
+    """Raised when a circuit violates form invariants."""
+
+
+def _stmt_exprs(s) -> list[Expr]:
+    if isinstance(s, DefNode):
+        return [s.value]
+    if isinstance(s, Connect):
+        return [s.loc, s.expr]
+    if isinstance(s, Conditionally):
+        return [s.pred]
+    if isinstance(s, MemWrite):
+        return [s.addr, s.data, s.en]
+    if isinstance(s, Stop):
+        return [s.cond]
+    if isinstance(s, Printf):
+        return [s.cond, *s.args]
+    if isinstance(s, DefRegister):
+        out = [s.clock]
+        if s.reset is not None:
+            out.append(s.reset)
+        if s.init is not None:
+            out.append(s.init)
+        return out
+    return []
+
+
+def _declared_names(m: ModuleIR) -> dict[str, str]:
+    names: dict[str, str] = {}
+
+    def declare(name: str, kind: str) -> None:
+        if name in names:
+            raise CheckError(f"{m.name}: duplicate definition of {name!r}")
+        names[name] = kind
+
+    for p in m.ports:
+        declare(p.name, "port")
+    for s in walk_stmts(m.body):
+        if isinstance(s, DefWire):
+            declare(s.name, "wire")
+        elif isinstance(s, DefRegister):
+            declare(s.name, "reg")
+        elif isinstance(s, DefNode):
+            declare(s.name, "node")
+        elif isinstance(s, DefMemory):
+            declare(s.name, "mem")
+        elif isinstance(s, DefInstance):
+            declare(s.name, "inst")
+    return names
+
+
+def _check_refs(m: ModuleIR, names: dict[str, str], circuit: Circuit) -> None:
+    instances = {
+        s.name: s.module for s in walk_stmts(m.body) if isinstance(s, DefInstance)
+    }
+    for inst, mod in instances.items():
+        if mod not in circuit.modules:
+            raise CheckError(f"{m.name}: instance {inst!r} of unknown module {mod!r}")
+    for s in walk_stmts(m.body):
+        for e in _stmt_exprs(s):
+            for node in walk_expr(e):
+                if isinstance(node, Ref) and node.name not in names:
+                    raise CheckError(
+                        f"{m.name}: reference to undeclared name {node.name!r}"
+                    )
+                if isinstance(node, MemRead) and names.get(node.mem) != "mem":
+                    raise CheckError(
+                        f"{m.name}: memory read of non-memory {node.mem!r}"
+                    )
+                if isinstance(node, PrimOp) and node.op == "mux":
+                    if node.args[0].width() != 1:
+                        raise CheckError(f"{m.name}: mux condition must be 1 bit")
+
+
+def check_high_form(circuit: Circuit) -> None:
+    """Validate an elaborated (pre-lowering) circuit."""
+    if circuit.main not in circuit.modules:
+        raise CheckError(f"main module {circuit.main!r} missing")
+    for m in circuit.modules.values():
+        names = _declared_names(m)
+        _check_refs(m, names, circuit)
+        for s in walk_stmts(m.body):
+            if isinstance(s, Conditionally) and s.pred.typ.bit_width() != 1:
+                raise CheckError(
+                    f"{m.name}: when predicate must be 1 bit, got {s.pred.typ}"
+                )
+
+
+def check_low_form(circuit: Circuit) -> None:
+    """Validate the Low form invariants assumed by the simulator."""
+    for m in circuit.modules.values():
+        names = _declared_names(m)
+        _check_refs(m, names, circuit)
+        driven: set[str] = set()
+        for s in m.body:
+            if isinstance(s, Conditionally):
+                raise CheckError(f"{m.name}: when block in Low form")
+            if isinstance(s, (DefWire, DefRegister, DefNode)):
+                typ = s.typ if not isinstance(s, DefNode) else s.value.typ
+                if not typ.is_ground():
+                    raise CheckError(
+                        f"{m.name}: aggregate type {typ} on {s.name!r} in Low form"
+                    )
+            if isinstance(s, Connect):
+                if isinstance(s.loc, Ref):
+                    key = s.loc.name
+                elif isinstance(s.loc, SubField) and isinstance(s.loc.expr, Ref):
+                    key = f"{s.loc.expr.name}.{s.loc.name}"
+                else:
+                    raise CheckError(f"{m.name}: bad Low-form connect target {s.loc}")
+                if key in driven:
+                    raise CheckError(f"{m.name}: multiple drivers for {key!r}")
+                driven.add(key)
+                lw = s.loc.typ.bit_width()
+                ew = s.expr.typ.bit_width()
+                if lw != ew:
+                    raise CheckError(
+                        f"{m.name}: width mismatch connecting {key!r}: {lw} vs {ew}"
+                    )

@@ -1,0 +1,132 @@
+"""Constant propagation.
+
+Folds primitive operations whose arguments are all literals (using the
+shared reference semantics in ``repro.ir.eval`` so the pass can never
+disagree with the simulator), propagates literal-valued nodes into their
+uses, and folds muxes with constant selects.  Names carrying a
+``DontTouch`` annotation are never propagated away — that is how debug
+mode (paper Sec. 4.1) keeps the full symbol table at the cost of a larger
+netlist.
+"""
+
+from __future__ import annotations
+
+from ..eval import eval_prim, literal_raw, to_signed
+from ..expr import Expr, Literal, MemRead, PrimOp, Ref, SubField, SubIndex
+from ..stmt import (
+    Block,
+    Circuit,
+    Connect,
+    DefNode,
+    DefRegister,
+    MemWrite,
+    ModuleIR,
+    Printf,
+    Stmt,
+    Stop,
+)
+from ..types import SIntType, Type
+
+_MAX_ITERATIONS = 50
+
+
+def make_literal(raw: int, typ: Type) -> Literal:
+    """Build a literal from a raw masked value, reinterpreting for SInt."""
+    if isinstance(typ, SIntType):
+        return Literal(to_signed(raw, typ.bit_width()), typ)
+    return Literal(raw, typ)
+
+
+def fold_expr(e: Expr, env: dict[str, Literal]) -> Expr:
+    """Rewrite ``e`` bottom-up: substitute literal nodes and fold ops."""
+    if isinstance(e, Ref):
+        lit = env.get(e.name)
+        if lit is not None and lit.typ == e.typ:
+            return lit
+        return e
+    if isinstance(e, Literal):
+        return e
+    if isinstance(e, SubField):
+        inner = fold_expr(e.expr, env)
+        return e if inner is e.expr else SubField(inner, e.name, e.typ)
+    if isinstance(e, SubIndex):
+        inner = fold_expr(e.expr, env)
+        return e if inner is e.expr else SubIndex(inner, e.index, e.typ)
+    if isinstance(e, MemRead):
+        addr = fold_expr(e.addr, env)
+        return e if addr is e.addr else MemRead(e.mem, addr, e.typ)
+    if isinstance(e, PrimOp):
+        args = tuple(fold_expr(a, env) for a in e.args)
+        if all(isinstance(a, Literal) for a in args):
+            raw = eval_prim(
+                e.op,
+                e.params,
+                tuple(literal_raw(a) for a in args),
+                tuple(a.typ for a in args),
+                e.typ,
+            )
+            return make_literal(raw, e.typ)
+        if e.op == "mux" and isinstance(args[0], Literal):
+            from .expand_whens import fit_to
+
+            chosen = args[1] if literal_raw(args[0]) else args[2]
+            return fit_to(chosen, e.typ)
+        if args == e.args:
+            return e
+        return PrimOp(e.op, args, e.params, e.typ)
+    return e
+
+
+def _fold_stmt(s: Stmt, env: dict[str, Literal]) -> Stmt:
+    if isinstance(s, DefNode):
+        return DefNode(s.name, fold_expr(s.value, env), s.info)
+    if isinstance(s, Connect):
+        return Connect(s.loc, fold_expr(s.expr, env), s.info)
+    if isinstance(s, MemWrite):
+        return MemWrite(
+            s.mem,
+            fold_expr(s.addr, env),
+            fold_expr(s.data, env),
+            fold_expr(s.en, env),
+            s.info,
+        )
+    if isinstance(s, Stop):
+        return Stop(fold_expr(s.cond, env), s.exit_code, s.info)
+    if isinstance(s, Printf):
+        return Printf(
+            fold_expr(s.cond, env),
+            s.fmt,
+            tuple(fold_expr(a, env) for a in s.args),
+            s.info,
+        )
+    if isinstance(s, DefRegister):
+        init = fold_expr(s.init, env) if s.init is not None else None
+        return DefRegister(s.name, s.typ, s.clock, s.reset, init, s.info)
+    return s
+
+
+def _const_prop_module(m: ModuleIR, protected: set[str]) -> ModuleIR:
+    body = list(m.body)
+    for _ in range(_MAX_ITERATIONS):
+        env: dict[str, Literal] = {}
+        for s in body:
+            if (
+                isinstance(s, DefNode)
+                and isinstance(s.value, Literal)
+                and s.name not in protected
+            ):
+                env[s.name] = s.value
+        new_body = [_fold_stmt(s, env) for s in body]
+        if new_body == body:
+            break
+        body = new_body
+    return ModuleIR(m.name, m.ports, Block(tuple(body)), m.info)
+
+
+def const_prop(circuit: Circuit) -> Circuit:
+    """Run constant propagation on every module (Low form)."""
+    modules = {
+        name: _const_prop_module(m, circuit.dont_touched(name))
+        for name, m in circuit.modules.items()
+    }
+    return Circuit(circuit.name, modules, circuit.main, list(circuit.annotations))

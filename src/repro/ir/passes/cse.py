@@ -1,0 +1,114 @@
+"""Common sub-expression elimination over named nodes.
+
+Two nodes computing structurally identical expressions (after canonicalizing
+through earlier aliases) are merged; the later definition is dropped and all
+its uses are redirected to the earlier one.  DontTouch'd nodes are never
+dropped (debug mode), though other nodes may still alias *to* them.
+
+Returns the rename map (dropped name -> canonical name) so the debug info
+can follow merged SSA temps (Algorithm 1, second pass).
+"""
+
+from __future__ import annotations
+
+from ..expr import Expr, Literal, MemRead, PrimOp, Ref, SubField, SubIndex
+from ..stmt import (
+    Block,
+    Circuit,
+    Connect,
+    DefNode,
+    DefRegister,
+    MemWrite,
+    ModuleIR,
+    Printf,
+    Stmt,
+    Stop,
+)
+
+
+def _subst_refs(e: Expr, alias: dict[str, str]) -> Expr:
+    if isinstance(e, Ref):
+        new = alias.get(e.name)
+        return Ref(new, e.typ) if new is not None else e
+    if isinstance(e, Literal):
+        return e
+    if isinstance(e, SubField):
+        inner = _subst_refs(e.expr, alias)
+        return e if inner is e.expr else SubField(inner, e.name, e.typ)
+    if isinstance(e, SubIndex):
+        inner = _subst_refs(e.expr, alias)
+        return e if inner is e.expr else SubIndex(inner, e.index, e.typ)
+    if isinstance(e, MemRead):
+        addr = _subst_refs(e.addr, alias)
+        return e if addr is e.addr else MemRead(e.mem, addr, e.typ)
+    if isinstance(e, PrimOp):
+        args = tuple(_subst_refs(a, alias) for a in e.args)
+        return e if args == e.args else PrimOp(e.op, args, e.params, e.typ)
+    return e
+
+
+def _expr_key(e: Expr) -> str:
+    """A structural key; str() rendering is deterministic and includes
+    literal types, op names, and static params."""
+    return f"{type(e).__name__}:{e}:{e.typ}"
+
+
+def _rewrite_stmt(s: Stmt, alias: dict[str, str]) -> Stmt:
+    if isinstance(s, DefNode):
+        return DefNode(s.name, _subst_refs(s.value, alias), s.info)
+    if isinstance(s, Connect):
+        return Connect(s.loc, _subst_refs(s.expr, alias), s.info)
+    if isinstance(s, MemWrite):
+        return MemWrite(
+            s.mem,
+            _subst_refs(s.addr, alias),
+            _subst_refs(s.data, alias),
+            _subst_refs(s.en, alias),
+            s.info,
+        )
+    if isinstance(s, Stop):
+        return Stop(_subst_refs(s.cond, alias), s.exit_code, s.info)
+    if isinstance(s, Printf):
+        return Printf(
+            _subst_refs(s.cond, alias),
+            s.fmt,
+            tuple(_subst_refs(a, alias) for a in s.args),
+            s.info,
+        )
+    if isinstance(s, DefRegister) and s.init is not None:
+        return DefRegister(
+            s.name, s.typ, s.clock, s.reset, _subst_refs(s.init, alias), s.info
+        )
+    return s
+
+
+def _cse_module(m: ModuleIR, protected: set[str]) -> tuple[ModuleIR, dict[str, str]]:
+    alias: dict[str, str] = {}
+    seen: dict[str, str] = {}  # expr key -> canonical node name
+    body: list[Stmt] = []
+    for s in m.body:
+        if isinstance(s, DefNode):
+            value = _subst_refs(s.value, alias)
+            key = _expr_key(value)
+            canonical = seen.get(key)
+            if canonical is not None and s.name not in protected:
+                alias[s.name] = canonical
+                continue  # drop duplicate definition
+            if canonical is None:
+                seen[key] = s.name
+            body.append(DefNode(s.name, value, s.info))
+        else:
+            body.append(_rewrite_stmt(s, alias))
+    return ModuleIR(m.name, m.ports, Block(tuple(body)), m.info), alias
+
+
+def cse(circuit: Circuit) -> tuple[Circuit, dict[str, dict[str, str]]]:
+    """Run CSE on every module.  Returns (circuit, per-module renames)."""
+    modules: dict[str, ModuleIR] = {}
+    renames: dict[str, dict[str, str]] = {}
+    for name, m in circuit.modules.items():
+        modules[name], renames[name] = _cse_module(m, circuit.dont_touched(name))
+    return (
+        Circuit(circuit.name, modules, circuit.main, list(circuit.annotations)),
+        renames,
+    )

@@ -1,0 +1,122 @@
+"""Dead code elimination.
+
+Computes liveness over the module's def-use graph.  Roots are: connects to
+output ports and instance ports, memory writes, registers, stops and
+printfs.  Unreferenced nodes and wires (and their drivers) are removed
+unless protected by DontTouch.  "If the compiler optimization removes a
+variable, we will not see it in the Low form ... the generated symbol table
+will not contain the variable optimized away" (paper Sec. 4.1) — the
+returned alive-set feeds :meth:`DebugInfo.prune_dead`.
+"""
+
+from __future__ import annotations
+
+from ..expr import Expr, Ref, SubField, expr_refs
+from ..stmt import (
+    Block,
+    Circuit,
+    Connect,
+    DefInstance,
+    DefMemory,
+    DefNode,
+    DefRegister,
+    DefWire,
+    MemWrite,
+    ModuleIR,
+    Printf,
+    Stmt,
+    Stop,
+    root_ref,
+)
+
+
+def _connect_target(s: Connect) -> tuple[str, bool]:
+    """Return (name, is_instance_port) for a Low-form connect target."""
+    if isinstance(s.loc, Ref):
+        return s.loc.name, False
+    if isinstance(s.loc, SubField) and isinstance(s.loc.expr, Ref):
+        return s.loc.expr.name, True
+    raise ValueError(f"unexpected Low-form connect target {s.loc}")
+
+
+def _dce_module(m: ModuleIR, protected: set[str]) -> tuple[ModuleIR, set[str]]:
+    port_names = {p.name for p in m.ports}
+    out_ports = {p.name for p in m.ports if p.direction == "output"}
+
+    drivers: dict[str, set[str]] = {}  # name -> names its driver reads
+    defs: dict[str, Stmt] = {}
+    root_uses: set[str] = set()
+
+    for s in m.body:
+        if isinstance(s, (DefWire, DefRegister, DefMemory)):
+            defs[s.name] = s
+            if isinstance(s, DefRegister):
+                extra = expr_refs(s.clock)
+                if s.reset is not None:
+                    extra |= expr_refs(s.reset)
+                if s.init is not None:
+                    extra |= expr_refs(s.init)
+                drivers.setdefault(s.name, set()).update(extra)
+        elif isinstance(s, DefNode):
+            defs[s.name] = s
+            drivers.setdefault(s.name, set()).update(expr_refs(s.value))
+        elif isinstance(s, DefInstance):
+            defs[s.name] = s
+        elif isinstance(s, Connect):
+            target, is_inst = _connect_target(s)
+            reads = expr_refs(s.expr)
+            if is_inst or target in out_ports:
+                root_uses |= reads
+                if is_inst:
+                    root_uses.add(target)
+            else:
+                drivers.setdefault(target, set()).update(reads)
+        elif isinstance(s, MemWrite):
+            root_uses |= expr_refs(s.addr) | expr_refs(s.data) | expr_refs(s.en)
+            root_uses.add(s.mem)
+        elif isinstance(s, (Stop, Printf)):
+            root_uses |= expr_refs(s.cond)
+            if isinstance(s, Printf):
+                for a in s.args:
+                    root_uses |= expr_refs(a)
+
+    alive: set[str] = set()
+    work = list(root_uses | protected | out_ports)
+    # Registers, memories, and instances are always roots: their behaviour
+    # is observable across cycles / hierarchy.
+    for name, d in defs.items():
+        if isinstance(d, (DefRegister, DefMemory, DefInstance)):
+            work.append(name)
+    while work:
+        name = work.pop()
+        if name in alive:
+            continue
+        alive.add(name)
+        work.extend(drivers.get(name, ()))
+
+    body: list[Stmt] = []
+    for s in m.body:
+        if isinstance(s, (DefWire, DefNode)):
+            if s.name in alive:
+                body.append(s)
+        elif isinstance(s, Connect):
+            target, is_inst = _connect_target(s)
+            if is_inst or target in out_ports or target in alive:
+                body.append(s)
+        else:
+            body.append(s)
+
+    alive |= port_names
+    return ModuleIR(m.name, m.ports, Block(tuple(body)), m.info), alive
+
+
+def dce(circuit: Circuit) -> tuple[Circuit, dict[str, set[str]]]:
+    """Run DCE on every module.  Returns (circuit, per-module alive sets)."""
+    modules: dict[str, ModuleIR] = {}
+    alive: dict[str, set[str]] = {}
+    for name, m in circuit.modules.items():
+        modules[name], alive[name] = _dce_module(m, circuit.dont_touched(name))
+    return (
+        Circuit(circuit.name, modules, circuit.main, list(circuit.annotations)),
+        alive,
+    )

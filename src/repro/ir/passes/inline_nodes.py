@@ -1,0 +1,147 @@
+"""Inline single-use nodes.
+
+FIRRTL aggressively folds intermediate expressions when emitting RTL, which
+is precisely why generated Verilog is hard to read (paper Listing 4) and why
+optimized builds lose source-level symbols.  This pass models that: a node
+referenced exactly once (and not DontTouch'd) is substituted into its use
+and its definition removed.  In debug mode every named signal is protected,
+so nothing is inlined — the ``-O0`` analog.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from ..expr import Expr, Literal, MemRead, PrimOp, Ref, SubField, SubIndex, expr_refs
+from ..stmt import (
+    Block,
+    Circuit,
+    Connect,
+    DefNode,
+    DefRegister,
+    MemWrite,
+    ModuleIR,
+    Printf,
+    Stmt,
+    Stop,
+)
+
+_MAX_ROUNDS = 10
+
+
+def _stmt_reads(s: Stmt) -> list[str]:
+    out: list[str] = []
+    if isinstance(s, DefNode):
+        out.extend(expr_refs(s.value))
+    elif isinstance(s, Connect):
+        out.extend(expr_refs(s.expr))
+    elif isinstance(s, MemWrite):
+        out.extend(expr_refs(s.addr))
+        out.extend(expr_refs(s.data))
+        out.extend(expr_refs(s.en))
+    elif isinstance(s, (Stop, Printf)):
+        out.extend(expr_refs(s.cond))
+        if isinstance(s, Printf):
+            for a in s.args:
+                out.extend(expr_refs(a))
+    elif isinstance(s, DefRegister):
+        out.extend(expr_refs(s.clock))
+        if s.reset is not None:
+            out.extend(expr_refs(s.reset))
+        if s.init is not None:
+            out.extend(expr_refs(s.init))
+    return out
+
+
+def _subst(e: Expr, table: dict[str, Expr]) -> Expr:
+    if isinstance(e, Ref):
+        repl = table.get(e.name)
+        return repl if repl is not None and repl.typ == e.typ else e
+    if isinstance(e, Literal):
+        return e
+    if isinstance(e, SubField):
+        inner = _subst(e.expr, table)
+        return e if inner is e.expr else SubField(inner, e.name, e.typ)
+    if isinstance(e, SubIndex):
+        inner = _subst(e.expr, table)
+        return e if inner is e.expr else SubIndex(inner, e.index, e.typ)
+    if isinstance(e, MemRead):
+        addr = _subst(e.addr, table)
+        return e if addr is e.addr else MemRead(e.mem, addr, e.typ)
+    if isinstance(e, PrimOp):
+        args = tuple(_subst(a, table) for a in e.args)
+        return e if args == e.args else PrimOp(e.op, args, e.params, e.typ)
+    return e
+
+
+def _rewrite(s: Stmt, table: dict[str, Expr]) -> Stmt:
+    if isinstance(s, DefNode):
+        return DefNode(s.name, _subst(s.value, table), s.info)
+    if isinstance(s, Connect):
+        return Connect(s.loc, _subst(s.expr, table), s.info)
+    if isinstance(s, MemWrite):
+        return MemWrite(
+            s.mem,
+            _subst(s.addr, table),
+            _subst(s.data, table),
+            _subst(s.en, table),
+            s.info,
+        )
+    if isinstance(s, Stop):
+        return Stop(_subst(s.cond, table), s.exit_code, s.info)
+    if isinstance(s, Printf):
+        return Printf(
+            _subst(s.cond, table),
+            s.fmt,
+            tuple(_subst(a, table) for a in s.args),
+            s.info,
+        )
+    if isinstance(s, DefRegister) and s.init is not None:
+        return DefRegister(
+            s.name, s.typ, s.clock, s.reset, _subst(s.init, table), s.info
+        )
+    return s
+
+
+def _inline_module(m: ModuleIR, protected: set[str]) -> ModuleIR:
+    body = list(m.body)
+    for _ in range(_MAX_ROUNDS):
+        uses: Counter[str] = Counter()
+        for s in body:
+            uses.update(_stmt_reads(s))
+        table: dict[str, Expr] = {}
+        for s in body:
+            if (
+                isinstance(s, DefNode)
+                and s.name not in protected
+                and uses[s.name] == 1
+            ):
+                table[s.name] = s.value
+        if not table:
+            break
+        # Resolve chains (a -> expr-using-b where b also inlines) so no
+        # substituted expression references a definition removed this round.
+        for name in list(table):
+            expr = table[name]
+            while True:
+                new = _subst(expr, table)
+                if new is expr:
+                    break
+                expr = new
+            table[name] = expr
+        new_body: list[Stmt] = []
+        for s in body:
+            if isinstance(s, DefNode) and s.name in table:
+                continue
+            new_body.append(_rewrite(s, table))
+        body = new_body
+    return ModuleIR(m.name, m.ports, Block(tuple(body)), m.info)
+
+
+def inline_nodes(circuit: Circuit) -> Circuit:
+    """Inline single-use unprotected nodes in every module."""
+    modules = {
+        name: _inline_module(m, circuit.dont_touched(name))
+        for name, m in circuit.modules.items()
+    }
+    return Circuit(circuit.name, modules, circuit.main, list(circuit.annotations))

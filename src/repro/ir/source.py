@@ -1,0 +1,39 @@
+"""Source locators attached to IR nodes.
+
+Hardware generator frameworks record, for every statement they emit, the
+location in the *generator* source code (the Scala file for Chisel, the
+Python file for our eDSL) that produced it.  This is the raw material from
+which the symbol table is built (paper Sec. 2: "line number mapping").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class SourceInfo:
+    """A (filename, line, column) locator in generator source code."""
+
+    filename: str
+    line: int
+    column: int = 0
+
+    def is_known(self) -> bool:
+        return bool(self.filename) and self.line > 0
+
+    def __str__(self) -> str:
+        if not self.is_known():
+            return "<unknown>"
+        if self.column:
+            return f"{self.filename}:{self.line}:{self.column}"
+        return f"{self.filename}:{self.line}"
+
+    def order_key(self) -> tuple[str, int, int]:
+        """Total ordering used by the breakpoint scheduler (paper Sec. 3.2:
+        breakpoints are ordered by lexical order — line and column)."""
+        return (self.filename, self.line, self.column)
+
+
+#: Sentinel for IR nodes with no known source location.
+UNKNOWN = SourceInfo("", 0, 0)

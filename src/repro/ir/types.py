@@ -1,0 +1,163 @@
+"""Hardware types for the IR.
+
+The type system mirrors FIRRTL's: ground types (``UIntType``, ``SIntType``,
+``ClockType``, ``ResetType``) and aggregate types (``BundleType``,
+``VecType``).  The High form of the IR may use aggregates freely; the
+``LowerTypes`` pass flattens them so that the Low form — what the simulator
+executes and what Verilog emission sees — contains only ground types.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class Type:
+    """Base class of all hardware types."""
+
+    def is_ground(self) -> bool:
+        return False
+
+    def bit_width(self) -> int:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True, slots=True)
+class UIntType(Type):
+    """Unsigned integer of a fixed bit width."""
+
+    width: int
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise ValueError(f"UInt width must be positive, got {self.width}")
+
+    def is_ground(self) -> bool:
+        return True
+
+    def bit_width(self) -> int:
+        return self.width
+
+    def __str__(self) -> str:
+        return f"UInt<{self.width}>"
+
+
+@dataclass(frozen=True, slots=True)
+class SIntType(Type):
+    """Signed (two's complement) integer of a fixed bit width."""
+
+    width: int
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise ValueError(f"SInt width must be positive, got {self.width}")
+
+    def is_ground(self) -> bool:
+        return True
+
+    def bit_width(self) -> int:
+        return self.width
+
+    def __str__(self) -> str:
+        return f"SInt<{self.width}>"
+
+
+@dataclass(frozen=True, slots=True)
+class ClockType(Type):
+    """A clock signal (1 bit, not usable in arithmetic)."""
+
+    def is_ground(self) -> bool:
+        return True
+
+    def bit_width(self) -> int:
+        return 1
+
+    def __str__(self) -> str:
+        return "Clock"
+
+
+@dataclass(frozen=True, slots=True)
+class ResetType(Type):
+    """A reset signal (1 bit, synchronous in this implementation)."""
+
+    def is_ground(self) -> bool:
+        return True
+
+    def bit_width(self) -> int:
+        return 1
+
+    def __str__(self) -> str:
+        return "Reset"
+
+
+@dataclass(frozen=True, slots=True)
+class Field:
+    """A named member of a :class:`BundleType`.
+
+    ``flip`` reverses the direction of the field relative to the bundle,
+    exactly like FIRRTL's ``flip`` — used for ready/valid style interfaces
+    and for modelling instance ports.
+    """
+
+    name: str
+    typ: Type
+    flip: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class BundleType(Type):
+    """A record of named fields, possibly nested."""
+
+    fields: tuple[Field, ...]
+
+    def field(self, name: str) -> Field:
+        for f in self.fields:
+            if f.name == name:
+                return f
+        raise KeyError(f"bundle has no field {name!r}: {self}")
+
+    def has_field(self, name: str) -> bool:
+        return any(f.name == name for f in self.fields)
+
+    def bit_width(self) -> int:
+        return sum(f.typ.bit_width() for f in self.fields)
+
+    def __str__(self) -> str:
+        inner = ", ".join(
+            ("flip " if f.flip else "") + f"{f.name}: {f.typ}" for f in self.fields
+        )
+        return "{" + inner + "}"
+
+
+@dataclass(frozen=True, slots=True)
+class VecType(Type):
+    """A fixed-size homogeneous array."""
+
+    elem: Type
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"Vec size must be positive, got {self.size}")
+
+    def bit_width(self) -> int:
+        return self.elem.bit_width() * self.size
+
+    def __str__(self) -> str:
+        return f"{self.elem}[{self.size}]"
+
+
+def is_signed(typ: Type) -> bool:
+    return isinstance(typ, SIntType)
+
+
+def ground_like(typ: Type, width: int) -> Type:
+    """Return a ground type of ``width`` preserving signedness of ``typ``."""
+    if isinstance(typ, SIntType):
+        return SIntType(width)
+    return UIntType(width)
+
+
+def mask_for(typ: Type) -> int:
+    """All-ones mask covering the bit width of a ground type."""
+    return (1 << typ.bit_width()) - 1

@@ -1,0 +1,33 @@
+"""repro.sim — a zero-delay, cycle-based RTL simulator.
+
+``Simulator`` executes the compiled Low form and implements the unified
+simulator interface (paper Sec. 3.3) used by the hgdb runtime; the same
+interface is implemented by ``repro.trace.ReplayEngine`` for offline traces.
+"""
+
+from .compiler import CombLoopError, CompiledDesign, compile_design
+from .engine import Simulator
+from .interface import (
+    HierNode,
+    SignalInfo,
+    SimulationFinished,
+    SimulatorError,
+    SimulatorInterface,
+)
+from .testbench import Driver, Monitor, Testbench, Transaction
+
+__all__ = [
+    "CombLoopError",
+    "CompiledDesign",
+    "Driver",
+    "HierNode",
+    "Monitor",
+    "SignalInfo",
+    "SimulationFinished",
+    "Simulator",
+    "SimulatorError",
+    "SimulatorInterface",
+    "Testbench",
+    "Transaction",
+    "compile_design",
+]

@@ -1,0 +1,262 @@
+"""The cycle-based RTL simulation engine.
+
+Zero-delay synchronous semantics (the two facts hgdb's breakpoint emulation
+relies on, paper Sec. 3): per cycle the engine settles all combinational
+logic, fires clock-edge callbacks while every value is stable, then updates
+registers and memories and advances time.
+
+Optional state snapshots give the live simulator ``set_time`` support —
+the hook reverse debugging needs when no trace replay is available.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir.stmt import Circuit
+from .compiler import CompiledDesign, compile_design
+from .interface import (
+    HierNode,
+    SimulationFinished,
+    SimulatorError,
+    SimulatorInterface,
+)
+
+
+@dataclass(slots=True)
+class _Snapshot:
+    time: int
+    values: list[int]
+    mem_copy: list[list[int]] | None = None
+
+
+class Simulator(SimulatorInterface):
+    """Execute a compiled Low-form circuit.
+
+    Args:
+        circuit: the Low-form circuit (``design.low``).
+        top_path: hierarchical prefix for the root instance (defaults to the
+            main module name).  Use e.g. ``"TestHarness.dut"`` to emulate a
+            testbench wrapper around the generated IP (paper Sec. 3.4).
+        snapshots: how many per-cycle state snapshots to retain (ring
+            buffer); 0 disables ``set_time``.
+        trace: an optional trace sink with ``begin(sim)`` / ``sample(sim)``
+            methods (see ``repro.trace.VcdWriter.attach``).
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        top_path: str | None = None,
+        snapshots: int = 0,
+        trace=None,
+    ):
+        self.design: CompiledDesign = compile_design(circuit, top_path)
+        self.values: list[int] = self.design.initial_values()
+        self.mems: list[list[int]] = self.design.initial_mems()
+        self._time = 0
+        self._finished: int | None = None
+        self._callbacks: dict[int, object] = {}
+        self._cb_list: tuple = ()
+        self._dirty = False
+        self._next_cb_id = 1
+        self._snap_limit = snapshots
+        self._snapshots: dict[int, _Snapshot] = {}
+        self._mem_undo_current: list[tuple[int, int, int]] = []
+        self._trace = trace
+        self._printf_out: list[str] = []
+        self._install_printf()
+        self.design.comb(self.values, self.mems)
+        if trace is not None:
+            trace.begin(self)
+
+    # -- printf plumbing ----------------------------------------------------
+
+    def _install_printf(self) -> None:
+        specs = self.design.printf_specs
+        out = self._printf_out
+
+        def _pf(index: int, *args: int) -> None:
+            fmt, _n = specs[index]
+            text = fmt
+            for a in args:
+                text = text.replace("{}", str(a), 1)
+            out.append(text)
+            print(text)
+
+        # Patch the generated tick()'s namespace.
+        self.design.tick.__globals__["_pf"] = _pf
+
+    @property
+    def printf_output(self) -> list[str]:
+        return self._printf_out
+
+    # -- basic control -----------------------------------------------------
+
+    @property
+    def finished(self) -> bool:
+        return self._finished is not None
+
+    @property
+    def exit_code(self) -> int | None:
+        return self._finished
+
+    def poke(self, name: str, value: int) -> None:
+        """Drive a top-level input port (by local or full name)."""
+        idx = self.design.top_inputs.get(name)
+        if idx is None:
+            idx = self.design.signal_index.get(name)
+        if idx is None:
+            raise SimulatorError(f"no such input {name!r}")
+        width = self.design.signals[idx].width
+        self.values[idx] = value & ((1 << width) - 1)
+        self.design.comb(self.values, self.mems)
+
+    def peek(self, name: str) -> int:
+        """Read any signal by local top-level or full hierarchical name."""
+        root = self.design.hierarchy.path
+        idx = self.design.signal_index.get(name)
+        if idx is None:
+            idx = self.design.signal_index.get(f"{root}.{name}")
+        if idx is None:
+            raise SimulatorError(f"no such signal {name!r}")
+        return self.values[idx]
+
+    def peek_mem(self, path: str, addr: int) -> int:
+        """Read a memory word (full hierarchical memory path)."""
+        root = self.design.hierarchy.path
+        for spec in self.design.mems:
+            if spec.path == path or spec.path == f"{root}.{path}":
+                return self.mems[spec.index][addr % spec.depth]
+        raise SimulatorError(f"no such memory {path!r}")
+
+    def reset(self, cycles: int = 1) -> None:
+        """Assert reset for ``cycles`` clock cycles, then deassert."""
+        self.values[self.design.reset_index] = 1
+        self.design.comb(self.values, self.mems)
+        self.step(cycles)
+        self.values[self.design.reset_index] = 0
+        self.design.comb(self.values, self.mems)
+
+    def step(self, cycles: int = 1) -> None:
+        """Advance the clock by ``cycles`` posedges."""
+        v, m = self.values, self.mems
+        comb, tick = self.design.comb, self.design.tick
+        cb_list = self._cb_list
+        for _ in range(cycles):
+            if self._finished is not None:
+                return
+            comb(v, m)
+            if self._trace is not None:
+                self._trace.sample(self)
+            if cb_list:
+                for fn in cb_list:
+                    fn(self)
+                cb_list = self._cb_list  # callbacks may attach/detach
+                if self._dirty:
+                    # a callback poked a value: re-settle before the edge
+                    self._dirty = False
+                    comb(v, m)
+            if self._snap_limit:
+                self._take_snapshot()
+            try:
+                tick(v, m, self._time)
+            except SimulationFinished as fin:
+                self._finished = fin.exit_code
+                self._time += 1
+                comb(v, m)
+                return
+            self._time += 1
+        comb(v, m)
+
+    def run(self, max_cycles: int = 1_000_000) -> int | None:
+        """Run until a ``Stop`` fires or ``max_cycles`` elapse.  Returns the
+        exit code, or None on timeout."""
+        budget = max_cycles
+        while budget > 0 and self._finished is None:
+            chunk = min(budget, 1024)
+            self.step(chunk)
+            budget -= chunk
+        return self._finished
+
+    # -- snapshots / reverse execution ------------------------------------------
+
+    def _take_snapshot(self) -> None:
+        snap = _Snapshot(self._time, self.values.copy())
+        # Memories are copied wholesale when the total footprint is modest;
+        # for very large memories snapshotting degrades to register-only
+        # state (set_time then diverges on memory contents — the trace
+        # replay engine is the full-fidelity path for long reverse runs).
+        total_words = sum(spec.depth for spec in self.design.mems)
+        if total_words <= 1 << 16:
+            snap.mem_copy = [mem.copy() for mem in self.mems]
+        self._snapshots[self._time] = snap
+        if len(self._snapshots) > self._snap_limit:
+            oldest = min(self._snapshots)
+            del self._snapshots[oldest]
+
+    @property
+    def can_set_time(self) -> bool:
+        return self._snap_limit > 0
+
+    def set_time(self, time: int) -> None:
+        """Restore simulator state to a previously snapshot cycle."""
+        if not self._snap_limit:
+            raise SimulatorError("snapshots disabled; cannot set_time")
+        snap = self._snapshots.get(time)
+        if snap is None:
+            available = sorted(self._snapshots)
+            raise SimulatorError(
+                f"no snapshot for time {time}; available: "
+                f"{available[:3]}..{available[-3:] if available else []}"
+            )
+        # Mutate in place: step() holds direct references to these lists
+        # while callbacks (which may call set_time for reverse debugging)
+        # are running.
+        self.values[:] = snap.values
+        if snap.mem_copy is not None:
+            for mem, saved in zip(self.mems, snap.mem_copy):
+                mem[:] = saved
+        self._time = time
+        self._finished = None
+        self.design.comb(self.values, self.mems)
+
+    # -- SimulatorInterface ------------------------------------------------------
+
+    def get_value(self, path: str) -> int:
+        idx = self.design.signal_index.get(path)
+        if idx is None:
+            raise SimulatorError(f"no such signal {path!r}")
+        return self.values[idx]
+
+    def set_value(self, path: str, value: int) -> None:
+        idx = self.design.signal_index.get(path)
+        if idx is None:
+            raise SimulatorError(f"no such signal {path!r}")
+        width = self.design.signals[idx].width
+        self.values[idx] = value & ((1 << width) - 1)
+        self.design.comb(self.values, self.mems)
+
+    @property
+    def can_set_value(self) -> bool:
+        return True
+
+    def hierarchy(self) -> HierNode:
+        return self.design.hierarchy
+
+    def clock_name(self) -> str:
+        return self.design.signals[self.design.clock_index].path
+
+    def add_clock_callback(self, fn) -> int:
+        cb_id = self._next_cb_id
+        self._next_cb_id += 1
+        self._callbacks[cb_id] = fn
+        self._cb_list = tuple(self._callbacks.values())
+        return cb_id
+
+    def remove_clock_callback(self, cb_id: int) -> None:
+        self._callbacks.pop(cb_id, None)
+        self._cb_list = tuple(self._callbacks.values())
+
+    def get_time(self) -> int:
+        return self._time

@@ -1,0 +1,130 @@
+"""The unified simulator interface (paper Sec. 3.3).
+
+hgdb defines a minimum set of primitives every simulation backend must
+provide — this module is the Python rendering of that interface.  The live
+simulator (``repro.sim.Simulator``) and the trace replay engine
+(``repro.trace.ReplayEngine``) both implement it, exactly as the paper's
+Figure 1 shows VCS, Xcelium, Verilator, and the replay tool plugged into the
+same runtime.
+
+Primitives (paper's list):
+
+* get signal value                       -> :meth:`get_value`
+* get design hierarchy and clock info    -> :meth:`hierarchy`, :meth:`clock_name`
+* place callbacks on clock changes       -> :meth:`add_clock_callback`
+* get and set simulation time (optional) -> :meth:`get_time`, :meth:`set_time`
+* set signal value (optional)            -> :meth:`set_value`
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+
+class SimulatorError(Exception):
+    """Raised on bad interface usage (unknown signal, unsupported op)."""
+
+
+class SimulationFinished(Exception):
+    """Raised internally when a ``Stop`` statement fires."""
+
+    def __init__(self, exit_code: int = 0, time: int = 0):
+        super().__init__(f"simulation finished with code {exit_code} at {time}")
+        self.exit_code = exit_code
+        self.time = time
+
+
+@dataclass(slots=True)
+class SignalInfo:
+    """Metadata for one signal in the design hierarchy."""
+
+    name: str        # local name within its instance
+    path: str        # full hierarchical path
+    width: int
+    kind: str        # "input" | "output" | "wire" | "reg" | "node"
+    signed: bool = False
+
+
+@dataclass(slots=True)
+class HierNode:
+    """A node in the design instance tree."""
+
+    name: str                 # instance name
+    path: str                 # full hierarchical path
+    module: str               # module definition name
+    children: list["HierNode"] = field(default_factory=list)
+    signals: list[SignalInfo] = field(default_factory=list)
+
+    def find(self, path: str) -> "HierNode | None":
+        """Locate a descendant (or self) by full hierarchical path."""
+        if self.path == path:
+            return self
+        for c in self.children:
+            if path == c.path or path.startswith(c.path + "."):
+                return c.find(path)
+        return None
+
+    def walk(self):
+        """Yield self and every descendant, pre-order."""
+        yield self
+        for c in self.children:
+            yield from c.walk()
+
+
+class SimulatorInterface(ABC):
+    """What the hgdb runtime requires of any simulation backend."""
+
+    # -- values ----------------------------------------------------------
+
+    @abstractmethod
+    def get_value(self, path: str) -> int:
+        """Read the current (stable) value of a signal by full path."""
+
+    def set_value(self, path: str, value: int) -> None:
+        """Optionally drive a signal (not possible on trace files)."""
+        raise SimulatorError(f"{type(self).__name__} cannot set values")
+
+    @property
+    def can_set_value(self) -> bool:
+        return False
+
+    # -- structure --------------------------------------------------------
+
+    @abstractmethod
+    def hierarchy(self) -> HierNode:
+        """The design instance tree with per-instance signal lists."""
+
+    @abstractmethod
+    def clock_name(self) -> str:
+        """Full path of the (single) clock driving the design."""
+
+    # -- callbacks ----------------------------------------------------------
+
+    @abstractmethod
+    def add_clock_callback(self, fn) -> int:
+        """Register ``fn(sim)`` to run at every clock posedge, after the
+        design has stabilized and before state updates.  Returns an id."""
+
+    @abstractmethod
+    def remove_clock_callback(self, cb_id: int) -> None:
+        """Unregister a callback by id."""
+
+    # -- time ------------------------------------------------------------------
+
+    @abstractmethod
+    def get_time(self) -> int:
+        """Current simulation time (cycles)."""
+
+    def set_time(self, time: int) -> None:
+        """Optionally move simulation time (enables reverse debugging)."""
+        raise SimulatorError(f"{type(self).__name__} cannot move time")
+
+    @property
+    def can_set_time(self) -> bool:
+        return False
+
+    @property
+    def is_replay(self) -> bool:
+        """True when this backend replays a trace (no live stimulus)."""
+        return False

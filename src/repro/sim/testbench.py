@@ -1,0 +1,74 @@
+"""A small testbench driver layered on the simulator.
+
+The paper stresses that the debugging system is *orthogonal to the testing
+environment* (Sec. 1) — drivers and monitors come from a testing framework,
+hgdb only observes.  This module is our stand-in for that testing framework:
+a UVM-flavoured driver/monitor pair that pokes stimulus, collects outputs,
+and never touches the debugger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .engine import Simulator
+
+
+@dataclass(slots=True)
+class Transaction:
+    """One cycle's worth of stimulus: input name -> value."""
+
+    pokes: dict[str, int] = field(default_factory=dict)
+
+
+class Driver:
+    """Applies a queue of transactions, one per clock cycle."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self.queue: list[Transaction] = []
+
+    def add(self, **pokes: int) -> None:
+        self.queue.append(Transaction(dict(pokes)))
+
+    def drive_one(self) -> bool:
+        """Apply the next transaction (if any) and step one cycle."""
+        if self.queue:
+            txn = self.queue.pop(0)
+            for name, value in txn.pokes.items():
+                self.sim.poke(name, value)
+        self.sim.step()
+        return bool(self.queue)
+
+
+class Monitor:
+    """Samples a set of signals every cycle via a clock callback."""
+
+    def __init__(self, sim: Simulator, signals: list[str]):
+        self.sim = sim
+        self.signals = list(signals)
+        self.samples: list[dict[str, int]] = []
+        self._cb = sim.add_clock_callback(self._sample)
+
+    def _sample(self, sim: Simulator) -> None:
+        self.samples.append({s: sim.peek(s) for s in self.signals})
+
+    def detach(self) -> None:
+        self.sim.remove_clock_callback(self._cb)
+
+
+class Testbench:
+    """Driver + monitor pair around a simulator."""
+
+    __test__ = False  # not a pytest test class despite the name
+
+    def __init__(self, sim: Simulator, watch: list[str] | None = None):
+        self.sim = sim
+        self.driver = Driver(sim)
+        self.monitor = Monitor(sim, watch or [])
+
+    def run(self, max_cycles: int = 10_000) -> None:
+        cycles = 0
+        while self.driver.queue and cycles < max_cycles:
+            self.driver.drive_one()
+            cycles += 1

@@ -1,0 +1,160 @@
+"""JSON symbol table interchange format.
+
+The real hgdb accepts symbol tables as JSON as well as SQLite, so hardware
+generator frameworks can emit debug information without linking SQLite —
+only the *interface* is fixed (paper Sec. 3.4: "a minimum set of primitives
+that can be easily provided by each HGF").
+
+Schema (one JSON object)::
+
+    {
+      "generator": "repro",
+      "top": "FpuCmp",
+      "instances": [{"name": "FpuCmp", "module": "FpuCmp",
+                     "variables": [{"name": "width", "value": "16", "rtl": false}]}],
+      "breakpoints": [{"filename": "...", "line": 42, "column": 0,
+                       "instance": "FpuCmp", "node": "_ssa_exc_0",
+                       "sink": "exc", "enable": "...", "enable_src": "...",
+                       "scope": [{"name": "rm", "value": "rm", "rtl": true}]}]
+    }
+
+``load_json`` builds a fully functional in-memory SQLite symbol table from
+it; ``dump_json`` exports an existing table.  Round-tripping is lossless —
+enforced by tests.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+
+from .query import SQLiteSymbolTable
+from .schema import open_symbol_db
+
+FORMAT_VERSION = 1
+
+
+def dump_json(table: SQLiteSymbolTable) -> str:
+    """Serialize a symbol table into the JSON interchange format."""
+    instances = []
+    for inst in table.instances():
+        instances.append(
+            {
+                "name": inst.name,
+                "module": inst.module,
+                "variables": [
+                    {"name": v.name, "value": v.value, "rtl": v.is_rtl}
+                    for v in table.generator_variables(inst.id)
+                ],
+            }
+        )
+    breakpoints = []
+    for bp in table.all_breakpoints():
+        breakpoints.append(
+            {
+                "filename": bp.filename,
+                "line": bp.line,
+                "column": bp.column,
+                "instance": bp.instance_name,
+                "node": bp.node,
+                "sink": bp.sink,
+                "enable": bp.enable,
+                "enable_src": bp.enable_src,
+                "scope": [
+                    {"name": v.name, "value": v.value, "rtl": v.is_rtl}
+                    for v in table.scope_variables(bp.id)
+                ],
+            }
+        )
+    doc = {
+        "version": FORMAT_VERSION,
+        "generator": "repro",
+        "top": table.top_name(),
+        "debug_mode": table.attribute("debug_mode") == "1",
+        "instances": instances,
+        "breakpoints": breakpoints,
+    }
+    return json.dumps(doc, indent=1)
+
+
+class JsonFormatError(Exception):
+    """Raised on malformed JSON symbol tables."""
+
+
+def load_json(text: str, path: str = ":memory:") -> SQLiteSymbolTable:
+    """Build a queryable symbol table from the JSON interchange format."""
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise JsonFormatError(f"invalid JSON: {exc}") from exc
+    if not isinstance(doc, dict) or "top" not in doc or "instances" not in doc:
+        raise JsonFormatError("missing required keys (top, instances)")
+    if doc.get("version", FORMAT_VERSION) > FORMAT_VERSION:
+        raise JsonFormatError(f"unsupported format version {doc['version']}")
+
+    conn = open_symbol_db(path)
+    cur = conn.cursor()
+    cur.execute("INSERT INTO attribute(name, value) VALUES ('top', ?)", (doc["top"],))
+    cur.execute(
+        "INSERT INTO attribute(name, value) VALUES ('debug_mode', ?)",
+        (str(int(bool(doc.get("debug_mode", False)))),),
+    )
+
+    instance_ids: dict[str, int] = {}
+    for inst in doc["instances"]:
+        cur.execute(
+            "INSERT INTO instance(name, module) VALUES (?, ?)",
+            (inst["name"], inst.get("module", "")),
+        )
+        iid = cur.lastrowid
+        instance_ids[inst["name"]] = iid
+        for var in inst.get("variables", ()):
+            cur.execute(
+                "INSERT INTO variable(value, is_rtl) VALUES (?, ?)",
+                (var["value"], int(bool(var.get("rtl", True)))),
+            )
+            cur.execute(
+                "INSERT INTO generator_variable(instance_id, variable_id, name)"
+                " VALUES (?, ?, ?)",
+                (iid, cur.lastrowid, var["name"]),
+            )
+
+    for bp in doc.get("breakpoints", ()):
+        iid = instance_ids.get(bp["instance"])
+        if iid is None:
+            raise JsonFormatError(
+                f"breakpoint references unknown instance {bp['instance']!r}"
+            )
+        cur.execute(
+            "INSERT INTO breakpoint(instance_id, filename, line_num, column_num,"
+            " node, sink, enable, enable_src) VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+            (
+                iid,
+                bp["filename"],
+                int(bp["line"]),
+                int(bp.get("column", 0)),
+                bp.get("node", ""),
+                bp.get("sink", ""),
+                bp.get("enable"),
+                bp.get("enable_src"),
+            ),
+        )
+        bp_id = cur.lastrowid
+        for var in bp.get("scope", ()):
+            cur.execute(
+                "INSERT INTO variable(value, is_rtl) VALUES (?, ?)",
+                (var["value"], int(bool(var.get("rtl", True)))),
+            )
+            cur.execute(
+                "INSERT INTO scope_variable(breakpoint_id, variable_id, name)"
+                " VALUES (?, ?, ?)",
+                (bp_id, cur.lastrowid, var["name"]),
+            )
+    conn.commit()
+    return SQLiteSymbolTable(conn)
+
+
+def load_json_file(path: str) -> SQLiteSymbolTable:
+    """Load a JSON symbol table from disk."""
+    with open(path) as f:
+        return load_json(f.read())

@@ -1,0 +1,177 @@
+"""RPC access to a symbol table (paper Fig. 1: "Native | RPC").
+
+HGFs that maintain their own symbol tables serve them over RPC instead of
+handing hgdb a SQLite file; "since the simulator is paused whenever hgdb
+interacts with the symbol table ... the symbol table performance is less
+important compared to the simulator interface" (Sec. 3.4).
+
+The wire format is JSON-lines over TCP: one request object per line,
+one response per line.  (The original uses WebSockets; the framing is
+irrelevant to the protocol content — see DESIGN.md substitutions.)
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import socketserver
+import threading
+
+from .query import (
+    BreakpointRec,
+    InstanceRec,
+    SQLiteSymbolTable,
+    SymbolTableInterface,
+    VarRec,
+)
+
+_METHODS = frozenset(
+    {
+        "breakpoints_at",
+        "scope_variables",
+        "resolve_scoped_var",
+        "resolve_instance_var",
+        "instances",
+        "generator_variables",
+        "all_breakpoints",
+        "breakpoint",
+        "filenames",
+        "breakpoint_lines",
+        "attribute",
+    }
+)
+
+
+def _encode(obj):
+    if isinstance(obj, (BreakpointRec, InstanceRec, VarRec)):
+        d = {k: getattr(obj, k) for k in obj.__dataclass_fields__}
+        d["__type__"] = type(obj).__name__
+        return d
+    if isinstance(obj, list):
+        return [_encode(x) for x in obj]
+    return obj
+
+
+def _decode(obj):
+    if isinstance(obj, list):
+        return [_decode(x) for x in obj]
+    if isinstance(obj, dict) and "__type__" in obj:
+        kind = obj.pop("__type__")
+        cls = {"BreakpointRec": BreakpointRec, "InstanceRec": InstanceRec, "VarRec": VarRec}[kind]
+        return cls(**obj)
+    return obj
+
+
+class SymbolTableServer:
+    """Serve a symbol table over TCP JSON-lines."""
+
+    def __init__(self, table: SymbolTableInterface, host: str = "127.0.0.1", port: int = 0):
+        self.table = table
+        outer = self
+
+        class Handler(socketserver.StreamRequestHandler):
+            def handle(self) -> None:
+                for line in self.rfile:
+                    try:
+                        req = json.loads(line)
+                        method = req.get("method")
+                        params = req.get("params", [])
+                        if method not in _METHODS:
+                            raise ValueError(f"unknown method {method!r}")
+                        result = getattr(outer.table, method)(*params)
+                        resp = {"id": req.get("id"), "result": _encode(result)}
+                    except Exception as exc:  # noqa: BLE001 - protocol boundary
+                        resp = {"id": req.get("id"), "error": str(exc)}
+                    self.wfile.write(json.dumps(resp).encode() + b"\n")
+                    self.wfile.flush()
+
+        class Server(socketserver.ThreadingTCPServer):
+            allow_reuse_address = True
+            daemon_threads = True
+
+        self._server = Server((host, port), Handler)
+        self.address = self._server.server_address
+        self._thread = threading.Thread(target=self._server.serve_forever, daemon=True)
+
+    def start(self) -> tuple[str, int]:
+        self._thread.start()
+        return self.address
+
+    def stop(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+
+    def __enter__(self):
+        self.start()
+        return self
+
+    def __exit__(self, *exc):
+        self.stop()
+        return False
+
+
+class RPCSymbolTable(SymbolTableInterface):
+    """Client-side symbol table speaking the JSON-lines protocol."""
+
+    def __init__(self, host: str, port: int, timeout: float = 10.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        self._lock = threading.Lock()
+        self._next_id = 1
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+            self._sock.close()
+        except OSError:
+            pass
+
+    def _call(self, method: str, *params):
+        with self._lock:
+            req_id = self._next_id
+            self._next_id += 1
+            msg = {"id": req_id, "method": method, "params": list(params)}
+            self._file.write(json.dumps(msg).encode() + b"\n")
+            self._file.flush()
+            line = self._file.readline()
+        if not line:
+            raise ConnectionError("symbol table server closed the connection")
+        resp = json.loads(line)
+        if resp.get("error"):
+            raise RuntimeError(f"symbol table RPC error: {resp['error']}")
+        return _decode(resp.get("result"))
+
+    # -- interface methods, all delegated ---------------------------------
+
+    def breakpoints_at(self, filename, line, column=None):
+        return self._call("breakpoints_at", filename, line, column)
+
+    def scope_variables(self, breakpoint_id):
+        return self._call("scope_variables", breakpoint_id)
+
+    def resolve_scoped_var(self, breakpoint_id, name):
+        return self._call("resolve_scoped_var", breakpoint_id, name)
+
+    def resolve_instance_var(self, instance_id, name):
+        return self._call("resolve_instance_var", instance_id, name)
+
+    def instances(self):
+        return self._call("instances")
+
+    def generator_variables(self, instance_id):
+        return self._call("generator_variables", instance_id)
+
+    def all_breakpoints(self):
+        return self._call("all_breakpoints")
+
+    def breakpoint(self, breakpoint_id):
+        return self._call("breakpoint", breakpoint_id)
+
+    def filenames(self):
+        return self._call("filenames")
+
+    def breakpoint_lines(self, filename):
+        return self._call("breakpoint_lines", filename)
+
+    def attribute(self, name):
+        return self._call("attribute", name)

@@ -1,0 +1,87 @@
+"""SQLite schema for the hgdb symbol table (paper Fig. 3).
+
+Tables (arrows in the paper's figure are foreign keys):
+
+* ``instance``            — hierarchical instance names in the generated RTL
+* ``breakpoint``          — source location + enable condition, per instance
+* ``variable``            — a value holder: either an RTL signal name
+                            (``is_rtl = 1``) or a constant rendered as text
+* ``scope_variable``      — variables visible in a breakpoint's scope
+* ``generator_variable``  — generator-object attributes of an instance
+* ``attribute``           — free-form metadata (top module, debug mode)
+
+The ``enable`` column stores the SSA-derived enable condition as an
+expression string over RTL signal names; ``enable_src`` is the same
+condition rendered with source-level names for display (``data[0] % 2`` in
+paper Listing 2).
+"""
+
+from __future__ import annotations
+
+import sqlite3
+
+SCHEMA = """
+CREATE TABLE instance (
+    id      INTEGER PRIMARY KEY,
+    name    TEXT NOT NULL,
+    module  TEXT NOT NULL
+);
+
+CREATE TABLE breakpoint (
+    id          INTEGER PRIMARY KEY,
+    instance_id INTEGER NOT NULL REFERENCES instance(id),
+    filename    TEXT NOT NULL,
+    line_num    INTEGER NOT NULL,
+    column_num  INTEGER NOT NULL DEFAULT 0,
+    node        TEXT NOT NULL,
+    sink        TEXT NOT NULL,
+    enable      TEXT,
+    enable_src  TEXT
+);
+
+CREATE TABLE variable (
+    id     INTEGER PRIMARY KEY,
+    value  TEXT NOT NULL,
+    is_rtl INTEGER NOT NULL DEFAULT 1
+);
+
+CREATE TABLE scope_variable (
+    breakpoint_id INTEGER NOT NULL REFERENCES breakpoint(id),
+    variable_id   INTEGER NOT NULL REFERENCES variable(id),
+    name          TEXT NOT NULL
+);
+
+CREATE TABLE generator_variable (
+    instance_id INTEGER NOT NULL REFERENCES instance(id),
+    variable_id INTEGER NOT NULL REFERENCES variable(id),
+    name        TEXT NOT NULL
+);
+
+CREATE TABLE attribute (
+    name  TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+
+CREATE INDEX idx_bp_loc ON breakpoint(filename, line_num, column_num);
+CREATE INDEX idx_bp_instance ON breakpoint(instance_id);
+CREATE INDEX idx_scope_bp ON scope_variable(breakpoint_id);
+CREATE INDEX idx_gen_inst ON generator_variable(instance_id);
+"""
+
+
+def create_schema(conn: sqlite3.Connection) -> None:
+    """Create all tables and indices on an empty database."""
+    conn.executescript(SCHEMA)
+    conn.commit()
+
+
+def open_symbol_db(path: str = ":memory:") -> sqlite3.Connection:
+    """Open (and initialize, if empty) a symbol table database."""
+    conn = sqlite3.connect(path, check_same_thread=False)
+    conn.row_factory = sqlite3.Row
+    row = conn.execute(
+        "SELECT name FROM sqlite_master WHERE type='table' AND name='breakpoint'"
+    ).fetchone()
+    if row is None:
+        create_schema(conn)
+    return conn

@@ -1,0 +1,138 @@
+"""Symbol table generation — the output side of paper Algorithm 1.
+
+``write_symbol_table`` turns a compiled :class:`repro.Design` (whose
+``DebugInfo`` already survived the optimize-then-collect pipeline) into the
+SQLite schema of Fig. 3.  A module instantiated N times yields N breakpoint
+rows per source statement — the concurrent hardware "threads" of Fig. 4B.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+
+from ..ir.debug import DebugEntry, DebugInfo
+from ..ir.stmt import Circuit, DefInstance, GeneratorVar, walk_stmts
+from .schema import open_symbol_db
+
+
+def _enumerate_instances(circuit: Circuit) -> list[tuple[str, str]]:
+    """All (hierarchical path, module name) pairs, rooted at the main
+    module's name — the *partial view* the symbol table has (Sec. 3.4)."""
+    out: list[tuple[str, str]] = []
+
+    def visit(path: str, module: str) -> None:
+        out.append((path, module))
+        for s in walk_stmts(circuit.modules[module].body):
+            if isinstance(s, DefInstance):
+                visit(f"{path}.{s.name}", s.module)
+
+    visit(circuit.main, circuit.main)
+    return out
+
+
+def write_symbol_table(
+    design,
+    path: str = ":memory:",
+) -> sqlite3.Connection:
+    """Build the symbol table database for a compiled design.
+
+    Args:
+        design: a :class:`repro.Design` (needs ``.low``, ``.debug_info``,
+            and the High-form annotations for generator variables).
+        path: SQLite target (file path or ``":memory:"``).
+    """
+    circuit: Circuit = design.low
+    debug: DebugInfo = design.debug_info
+    conn = open_symbol_db(path)
+    cur = conn.cursor()
+
+    cur.execute(
+        "INSERT INTO attribute(name, value) VALUES ('top', ?)", (circuit.main,)
+    )
+    cur.execute(
+        "INSERT INTO attribute(name, value) VALUES ('debug_mode', ?)",
+        (str(int(design.result.debug_mode)),),
+    )
+
+    instances = _enumerate_instances(circuit)
+    instance_ids: dict[str, int] = {}
+    module_instances: dict[str, list[int]] = {}
+    for inst_path, module in instances:
+        cur.execute(
+            "INSERT INTO instance(name, module) VALUES (?, ?)",
+            (inst_path, module),
+        )
+        iid = cur.lastrowid
+        instance_ids[inst_path] = iid
+        module_instances.setdefault(module, []).append(iid)
+
+    def add_variable(value: str, is_rtl: bool) -> int:
+        cur.execute(
+            "INSERT INTO variable(value, is_rtl) VALUES (?, ?)",
+            (value, int(is_rtl)),
+        )
+        return cur.lastrowid
+
+    # Generator variables: one row per (annotation, instance of module).
+    for ann in design.high.annotations:
+        if not isinstance(ann, GeneratorVar):
+            continue
+        for iid in module_instances.get(ann.module, ()):
+            vid = add_variable(ann.value, ann.is_rtl)
+            cur.execute(
+                "INSERT INTO generator_variable(instance_id, variable_id, name)"
+                " VALUES (?, ?, ?)",
+                (iid, vid, ann.name),
+            )
+
+    # Breakpoints + scope variables.
+    for module_name, mod_debug in debug.modules.items():
+        iids = module_instances.get(module_name, ())
+        if not iids:
+            continue  # module optimized out of the hierarchy
+        for entry in mod_debug.entries:
+            for iid in iids:
+                cur.execute(
+                    "INSERT INTO breakpoint(instance_id, filename, line_num,"
+                    " column_num, node, sink, enable, enable_src)"
+                    " VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                    (
+                        iid,
+                        entry.info.filename,
+                        entry.info.line,
+                        entry.info.column,
+                        entry.node,
+                        entry.sink,
+                        entry.enable,
+                        entry.enable_src,
+                    ),
+                )
+                bp_id = cur.lastrowid
+                _write_scope_vars(cur, add_variable, bp_id, entry, mod_debug)
+
+    conn.commit()
+    return conn
+
+
+def _write_scope_vars(cur, add_variable, bp_id: int, entry: DebugEntry, mod_debug) -> None:
+    """The variables visible at a breakpoint: every module-level source
+    variable, with the entry's SSA ``var_map`` taking precedence (the
+    context-dependent mapping of paper Listing 2)."""
+    seen: set[str] = set()
+    for name, rtl in entry.var_map.items():
+        vid = add_variable(rtl, True)
+        cur.execute(
+            "INSERT INTO scope_variable(breakpoint_id, variable_id, name)"
+            " VALUES (?, ?, ?)",
+            (bp_id, vid, name),
+        )
+        seen.add(name)
+    for name, rtl in mod_debug.variables.items():
+        if name in seen or name.startswith("_"):
+            continue
+        vid = add_variable(rtl, True)
+        cur.execute(
+            "INSERT INTO scope_variable(breakpoint_id, variable_id, name)"
+            " VALUES (?, ?, ?)",
+            (bp_id, vid, name),
+        )

@@ -1,0 +1,21 @@
+"""repro.trace — VCD writing, parsing, and trace replay.
+
+The replay engine implements the same unified simulator interface as the
+live simulator, enabling offline debugging and full reverse debugging from
+captured traces (paper Fig. 1 "Replay tool").
+"""
+
+from .parser import VcdFile, VcdParseError, VcdScope, VcdSignal, parse_vcd, parse_vcd_file
+from .replay import ReplayEngine
+from .vcd import VcdWriter
+
+__all__ = [
+    "ReplayEngine",
+    "VcdFile",
+    "VcdParseError",
+    "VcdScope",
+    "VcdSignal",
+    "VcdWriter",
+    "parse_vcd",
+    "parse_vcd_file",
+]

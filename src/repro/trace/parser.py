@@ -1,0 +1,188 @@
+"""VCD parsing.
+
+A small but honest VCD reader: handles ``$scope``/``$var`` hierarchies,
+``$dumpvars`` initialization, scalar and vector value changes, and treats
+``x``/``z`` bits as 0 (2-state semantics, matching the simulator).
+
+The parsed form keeps, per signal, a sorted list of ``(time, value)``
+changes for O(log n) random access — the property that makes trace-based
+reverse debugging cheap (paper Sec. 3.2).
+"""
+
+from __future__ import annotations
+
+import io
+from bisect import bisect_right
+from dataclasses import dataclass, field
+
+
+class VcdParseError(Exception):
+    """Raised on malformed VCD input."""
+
+
+@dataclass(slots=True)
+class VcdSignal:
+    """One declared signal and its change history."""
+
+    ident: str
+    name: str
+    width: int
+    path: str
+    kind: str = "wire"
+    times: list[int] = field(default_factory=list)
+    values: list[int] = field(default_factory=list)
+
+    def value_at(self, time: int) -> int:
+        """The signal's value at ``time`` (last change <= time; 0 before)."""
+        i = bisect_right(self.times, time)
+        if i == 0:
+            return 0
+        return self.values[i - 1]
+
+    def record(self, time: int, value: int) -> None:
+        if self.times and self.times[-1] == time:
+            self.values[-1] = value
+            return
+        self.times.append(time)
+        self.values.append(value)
+
+
+@dataclass(slots=True)
+class VcdScope:
+    """A ``$scope`` block: instance-like node in the trace hierarchy."""
+
+    name: str
+    path: str
+    children: list["VcdScope"] = field(default_factory=list)
+    signals: list[VcdSignal] = field(default_factory=list)
+
+
+@dataclass(slots=True)
+class VcdFile:
+    """A fully parsed VCD."""
+
+    root_scopes: list[VcdScope]
+    signals: dict[str, VcdSignal]          # ident -> signal
+    by_path: dict[str, VcdSignal]          # full path -> signal
+    end_time: int = 0
+
+    def find_clock(self) -> VcdSignal | None:
+        """Heuristic clock detection: a 1-bit signal named clock/clk with
+        the most transitions."""
+        candidates = [
+            s for s in self.by_path.values()
+            if s.width == 1 and s.name.lower() in ("clock", "clk")
+        ]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda s: len(s.times))
+
+
+def _parse_value(token: str) -> int:
+    """Binary string with x/z treated as 0."""
+    cleaned = token.lower().replace("x", "0").replace("z", "0")
+    return int(cleaned, 2) if cleaned else 0
+
+
+def parse_vcd(source: str | io.TextIOBase) -> VcdFile:
+    """Parse VCD text (a path-less string or an open file object)."""
+    if isinstance(source, str):
+        stream = io.StringIO(source)
+    else:
+        stream = source
+
+    tokens = _tokenize(stream)
+    root_scopes: list[VcdScope] = []
+    scope_stack: list[VcdScope] = []
+    signals: dict[str, VcdSignal] = {}
+    by_path: dict[str, VcdSignal] = {}
+    time = 0
+    end_time = 0
+    in_defs = True
+
+    it = iter(tokens)
+    for tok in it:
+        if in_defs:
+            if tok == "$scope":
+                _kind = next(it)
+                name = next(it)
+                _skip_to_end(it)
+                path = ".".join([s.name for s in scope_stack] + [name])
+                scope = VcdScope(name, path)
+                if scope_stack:
+                    scope_stack[-1].children.append(scope)
+                else:
+                    root_scopes.append(scope)
+                scope_stack.append(scope)
+            elif tok == "$upscope":
+                _skip_to_end(it)
+                if scope_stack:
+                    scope_stack.pop()
+            elif tok == "$var":
+                kind = next(it)
+                width = int(next(it))
+                ident = next(it)
+                name = next(it)
+                # optional bit range token before $end
+                _skip_to_end(it)
+                prefix = ".".join(s.name for s in scope_stack)
+                path = f"{prefix}.{name}" if prefix else name
+                if ident in signals:
+                    # Aliased declaration: same ident, another path.
+                    by_path[path] = signals[ident]
+                    continue
+                sig = VcdSignal(ident, name, width, path, kind)
+                signals[ident] = sig
+                by_path[path] = sig
+                if scope_stack:
+                    scope_stack[-1].signals.append(sig)
+            elif tok in ("$date", "$version", "$comment", "$timescale"):
+                _skip_to_end(it)
+            elif tok == "$enddefinitions":
+                _skip_to_end(it)
+                in_defs = False
+            continue
+
+        # Value-change section.
+        if tok.startswith("#"):
+            time = int(tok[1:])
+            end_time = max(end_time, time)
+        elif tok in ("$dumpvars", "$dumpall", "$dumpon", "$dumpoff", "$end"):
+            continue
+        elif tok.startswith(("b", "B")):
+            value = _parse_value(tok[1:])
+            ident = next(it)
+            sig = signals.get(ident)
+            if sig is None:
+                raise VcdParseError(f"value change for unknown id {ident!r}")
+            sig.record(time, value)
+        elif tok.startswith(("r", "R")):
+            next(it)  # real values unsupported; skip ident
+        elif tok[0] in "01xXzZ":
+            ident = tok[1:]
+            sig = signals.get(ident)
+            if sig is None:
+                raise VcdParseError(f"value change for unknown id {ident!r}")
+            sig.record(time, _parse_value(tok[0]))
+        else:
+            raise VcdParseError(f"unexpected token {tok!r}")
+
+    return VcdFile(root_scopes, signals, by_path, end_time)
+
+
+def parse_vcd_file(path: str) -> VcdFile:
+    """Parse a VCD file from disk."""
+    with open(path) as f:
+        return parse_vcd(f)
+
+
+def _tokenize(stream: io.TextIOBase):
+    for line in stream:
+        yield from line.split()
+
+
+def _skip_to_end(it) -> None:
+    for tok in it:
+        if tok == "$end":
+            return
+    raise VcdParseError("unterminated $-block")

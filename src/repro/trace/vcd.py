@@ -1,0 +1,127 @@
+"""VCD (Value Change Dump) writing.
+
+The writer attaches to a live simulator and samples every signal at each
+clock posedge (while values are stable), emitting standard VCD that any
+waveform viewer opens and that :class:`repro.trace.ReplayEngine` replays
+for offline reverse debugging.
+
+Time mapping: simulation cycle ``k`` dumps at VCD time ``2k`` with the
+clock rising there and falling at ``2k + 1``.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+
+_ID_FIRST = 33  # '!'
+_ID_LAST = 126  # '~'
+_ID_RANGE = _ID_LAST - _ID_FIRST + 1
+
+
+def _ident(n: int) -> str:
+    """The n-th VCD short identifier."""
+    out = []
+    n += 1
+    while n > 0:
+        n -= 1
+        out.append(chr(_ID_FIRST + n % _ID_RANGE))
+        n //= _ID_RANGE
+    return "".join(out)
+
+
+class VcdWriter:
+    """Write a VCD file from a live :class:`repro.sim.Simulator`.
+
+    Use via the simulator's ``trace=`` argument::
+
+        writer = VcdWriter("dump.vcd")
+        sim = Simulator(design.low, trace=writer)
+        ... simulate ...
+        writer.close()
+    """
+
+    def __init__(self, path: str | None = None, stream: io.TextIOBase | None = None):
+        if (path is None) == (stream is None):
+            raise ValueError("provide exactly one of path or stream")
+        self._own = stream is None
+        self._f = open(path, "w") if path else stream
+        self._ids: dict[int, str] = {}       # signal index -> vcd id
+        self._last: dict[int, int] = {}      # signal index -> last dumped value
+        self._clock_id: str | None = None
+        self._clock_index: int | None = None
+        self._header_done = False
+        self._closed = False
+
+    # -- trace-sink protocol (engine calls these) ---------------------------
+
+    def begin(self, sim) -> None:
+        design = sim.design
+        f = self._f
+        f.write("$date\n    repro.trace\n$end\n")
+        f.write("$version\n    hgdb-py VCD writer\n$end\n")
+        f.write("$timescale 1ns $end\n")
+        self._write_scope(sim, design.hierarchy)
+        f.write("$enddefinitions $end\n")
+        f.write("#0\n$dumpvars\n")
+        for idx, vid in self._ids.items():
+            value = sim.values[idx]
+            width = design.signals[idx].width
+            self._last[idx] = value
+            f.write(self._format(value, width, vid))
+        f.write("$end\n")
+        self._header_done = True
+        self._clock_index = design.clock_index
+
+    def _write_scope(self, sim, node) -> None:
+        f = self._f
+        f.write(f"$scope module {node.name} $end\n")
+        for siginfo in node.signals:
+            idx = sim.design.signal_index[siginfo.path]
+            vid = _ident(len(self._ids))
+            self._ids[idx] = vid
+            kind = "reg" if siginfo.kind == "reg" else "wire"
+            f.write(f"$var {kind} {siginfo.width} {vid} {siginfo.name} $end\n")
+            if idx == sim.design.clock_index:
+                self._clock_id = vid
+        for child in node.children:
+            self._write_scope(sim, child)
+        f.write("$upscope $end\n")
+
+    def sample(self, sim) -> None:
+        """Dump changed values at the current (stable, pre-edge) cycle."""
+        f = self._f
+        t = sim.get_time()
+        lines: list[str] = []
+        for idx, vid in self._ids.items():
+            value = sim.values[idx]
+            if self._last.get(idx) != value:
+                self._last[idx] = value
+                lines.append(self._format(value, sim.design.signals[idx].width, vid))
+        f.write(f"#{2 * t}\n")
+        if self._clock_id is not None:
+            f.write(f"1{self._clock_id}\n")
+        f.writelines(lines)
+        f.write(f"#{2 * t + 1}\n")
+        if self._clock_id is not None:
+            f.write(f"0{self._clock_id}\n")
+
+    @staticmethod
+    def _format(value: int, width: int, vid: str) -> str:
+        if width == 1:
+            return f"{int(value)}{vid}\n"
+        return f"b{value:b} {vid}\n"
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._f.flush()
+            if self._own:
+                self._f.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False

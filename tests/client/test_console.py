@@ -1,0 +1,115 @@
+"""Scripted gdb-like console debugger tests."""
+
+import pytest
+
+import repro
+from repro.client import ConsoleDebugger
+from repro.sim import Simulator
+from tests.helpers import Accumulator, TwoLeaves, line_of, make_runtime
+
+
+def _session(script, mod_cls=Accumulator, pokes=None, cycles=4, bp_sink="acc"):
+    d = repro.compile(mod_cls())
+    sim = Simulator(d.low, snapshots=32)
+    rt = make_runtime(d, sim)
+    dbg = ConsoleDebugger(rt, script=script)
+    rt.attach()
+    _f, line = line_of(d, bp_sink)
+    for k, v in (pokes or {"en": 1, "d": 5}).items():
+        sim.poke(k, v)
+    sim.reset()
+    dbg.execute(f"b helpers.py:{line}")
+    sim.step(cycles)
+    return dbg, sim
+
+
+class TestCommands:
+    def test_breakpoint_insertion_reported(self):
+        dbg, _ = _session(["q"])
+        assert any("breakpoint set" in l for l in dbg.transcript)
+        assert any("(en == 1)" in l for l in dbg.transcript)
+
+    def test_stop_banner(self):
+        dbg, _ = _session(["q"])
+        assert any(l.startswith("stopped at helpers.py:") for l in dbg.transcript)
+
+    def test_locals(self):
+        dbg, _ = _session(["locals", "q"])
+        joined = "\n".join(dbg.transcript)
+        assert "acc = 0" in joined
+        assert "d = 5" in joined
+
+    def test_print_expression(self):
+        dbg, _ = _session(["p acc + d", "q"])
+        assert any("acc + d = 5" in l for l in dbg.transcript)
+
+    def test_gen_vars(self):
+        dbg, _ = _session(["gen", "q"])
+        joined = "\n".join(dbg.transcript)
+        assert "width = 16" in joined
+
+    def test_info_breakpoints(self):
+        dbg, _ = _session(["info breakpoints", "q"])
+        assert any("#" in l and "helpers.py" in l for l in dbg.transcript)
+
+    def test_info_time_and_where(self):
+        dbg, _ = _session(["info time", "where", "q"])
+        joined = "\n".join(dbg.transcript)
+        assert "cycle 1" in joined
+        assert "@ cycle 1" in joined
+
+    def test_step_and_reverse(self):
+        dbg, _ = _session(["s", "rs", "c", "q"])
+        stops = [l for l in dbg.transcript if l.startswith("stopped")]
+        assert len(stops) >= 3
+        # stop 1 and stop 3 are the same location (step then reverse-step)
+        assert stops[0].split("@")[0] == stops[2].split("@")[0]
+
+    def test_continue_until_next_hit(self):
+        dbg, _ = _session(["c", "q"])
+        stops = [l for l in dbg.transcript if l.startswith("stopped")]
+        assert "cycle 1" in stops[0] and "cycle 2" in stops[1]
+
+    def test_conditional_breakpoint_syntax(self):
+        d = repro.compile(Accumulator())
+        sim = Simulator(d.low)
+        rt = make_runtime(d, sim)
+        dbg = ConsoleDebugger(rt, script=["q"])
+        rt.attach()
+        _f, line = line_of(d, "acc")
+        dbg.execute(f"b helpers.py:{line} if acc >= 10")
+        sim.reset()
+        sim.poke("en", 1)
+        sim.poke("d", 5)
+        sim.step(4)
+        stops = [l for l in dbg.transcript if l.startswith("stopped")]
+        assert "cycle 3" in stops[0]  # acc reaches 10 at cycle 3
+
+    def test_threads_listing(self):
+        dbg, _ = _session(
+            ["info threads", "frame 1", "locals", "q"],
+            mod_cls=TwoLeaves,
+            pokes={"x": 6},
+            cycles=1,
+            bp_sink="o",
+        )
+        joined = "\n".join(dbg.transcript)
+        assert "thread 0: TwoLeaves.a" in joined
+        assert "thread 1: TwoLeaves.b" in joined
+
+    def test_delete_all(self):
+        dbg, sim = _session(["delete", "c"], cycles=6)
+        stops = [l for l in dbg.transcript if l.startswith("stopped")]
+        assert len(stops) == 1  # deleted at first stop; continue runs free
+
+    def test_error_reported_not_fatal(self):
+        dbg, _ = _session(["p nonexistent_signal", "q"])
+        assert any(l.startswith("error:") for l in dbg.transcript)
+
+    def test_unknown_command_hint(self):
+        dbg, _ = _session(["wat", "q"])
+        assert any("unknown command" in l for l in dbg.transcript)
+
+    def test_set_value(self):
+        dbg, sim = _session(["set Accumulator.d 9", "c", "q"], cycles=3)
+        assert any("Accumulator.d = 9" in l for l in dbg.transcript)

@@ -1,0 +1,130 @@
+"""Condition expression language tests (parser + evaluator)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.expr_eval import (
+    ExprError,
+    evaluate,
+    evaluate_str,
+    names_in,
+    parse,
+    tokenize,
+)
+
+
+def ev(text, **env):
+    def resolve(name):
+        if name in env:
+            return env[name]
+        raise ExprError(f"unknown {name}")
+
+    return evaluate_str(text, resolve)
+
+
+class TestTokenizer:
+    def test_hierarchical_names_single_token(self):
+        assert tokenize("io.a.b + x[3]") == ["io.a.b", "+", "x[3]"]
+
+    def test_numbers(self):
+        assert tokenize("0x1F 0b101 42") == ["0x1F", "0b101", "42"]
+
+    def test_two_char_ops(self):
+        assert tokenize("a<=b&&c||d") == ["a", "<=", "b", "&&", "c", "||", "d"]
+
+    def test_bad_char(self):
+        with pytest.raises(ExprError):
+            tokenize("a @ b")
+
+
+class TestParser:
+    def test_precedence_mul_over_add(self):
+        assert ev("2 + 3 * 4") == 14
+
+    def test_parens(self):
+        assert ev("(2 + 3) * 4") == 20
+
+    def test_comparison_chains_into_logic(self):
+        assert ev("1 < 2 && 3 > 2") == 1
+
+    def test_unary(self):
+        assert ev("!0") == 1
+        assert ev("!5") == 0
+        assert ev("-3 + 5") == 2
+        assert ev("~0 & 0xF") == 0xF
+
+    def test_ternary(self):
+        assert ev("1 ? 10 : 20") == 10
+        assert ev("0 ? 10 : 20") == 20
+
+    def test_ternary_nested(self):
+        assert ev("x == 1 ? 10 : x == 2 ? 20 : 30", x=2) == 20
+
+    def test_hex_binary_literals(self):
+        assert ev("0xFF & 0b1010") == 0b1010
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ExprError):
+            parse("1 + 2 3")
+
+    def test_unbalanced_parens(self):
+        with pytest.raises(ExprError):
+            parse("(1 + 2")
+
+    def test_empty(self):
+        with pytest.raises(ExprError):
+            parse("")
+
+
+class TestEvaluation:
+    def test_names_resolved(self):
+        assert ev("a + b", a=3, b=4) == 7
+
+    def test_hierarchical_name(self):
+        assert ev("io.valid && io.ready", **{"io.valid": 1, "io.ready": 1}) == 1
+
+    def test_indexed_name(self):
+        assert ev("data[0] % 2", **{"data[0]": 5}) == 1
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ExprError):
+            ev("nope")
+
+    def test_division_by_zero_is_zero(self):
+        assert ev("5 / 0") == 0
+        assert ev("5 % 0") == 0
+
+    def test_shifts(self):
+        assert ev("1 << 4") == 16
+        assert ev("256 >> 4") == 16
+
+    def test_shortcircuit_and(self):
+        # RHS unresolved but LHS false: must not raise.
+        assert ev("0 && nope") == 0
+
+    def test_shortcircuit_or(self):
+        assert ev("1 || nope") == 1
+
+    def test_names_in(self):
+        assert names_in(parse("a.b + c * 2 - d[1]")) == {"a.b", "c", "d[1]"}
+
+
+class TestPropertyVsPython:
+    @given(
+        a=st.integers(0, 1000),
+        b=st.integers(0, 1000),
+        c=st.integers(1, 100),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_arith_matches_python(self, a, b, c):
+        assert ev("a + b * c", a=a, b=b, c=c) == a + b * c
+        assert ev("(a - b) / c", a=a, b=b, c=c) == (a - b) // c
+        assert ev("a % c", a=a, c=c) == a % c
+
+    @given(a=st.integers(0, 255), b=st.integers(0, 255))
+    @settings(max_examples=60, deadline=None)
+    def test_logic_matches_python(self, a, b):
+        assert ev("a == b", a=a, b=b) == int(a == b)
+        assert ev("a < b || a > b", a=a, b=b) == int(a != b)
+        assert ev("a & b | a ^ b", a=a, b=b) == (a & b) | (a ^ b)

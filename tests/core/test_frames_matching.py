@@ -1,0 +1,144 @@
+"""Frame reconstruction (bundles!) and hierarchy matching (Sec. 3.4)."""
+
+import pytest
+
+import repro
+import repro.hgf as hgf
+from repro.core.frames import FrameBuilder, VariableView, build_variable_tree
+from repro.core.matching import MatchError, locate_instance
+from repro.sim import Simulator
+from repro.symtable import SQLiteSymbolTable, write_symbol_table
+from tests.helpers import Counter, TwoLeaves, line_of
+
+
+class TestVariableTree:
+    def test_flat_variables(self):
+        tree = build_variable_tree([("a", 1, "a"), ("b", 2, "b")])
+        assert [v.name for v in tree] == ["a", "b"]
+        assert tree[0].value == 1
+
+    def test_bundle_reconstruction(self):
+        """Flattened RTL signals regroup into the source bundle — the
+        PortBundle reconstruction of paper Sec. 4.2."""
+        tree = build_variable_tree(
+            [
+                ("io.a", 1, "io_a"),
+                ("io.b.lo", 2, "io_b_lo"),
+                ("io.b.hi", 3, "io_b_hi"),
+                ("other", 9, "other"),
+            ]
+        )
+        io = next(v for v in tree if v.name == "io")
+        assert io.is_aggregate
+        assert io.child("a").value == 1
+        b = io.child("b")
+        assert b.child("lo").value == 2 and b.child("hi").value == 3
+
+    def test_vec_reconstruction(self):
+        tree = build_variable_tree([("v[0]", 5, None), ("v[1]", 6, None)])
+        v = tree[0]
+        assert v.name == "v"
+        assert [c.name for c in v.children] == ["[0]", "[1]"]
+
+    def test_flatten_round_trip(self):
+        tree = build_variable_tree([("io.a", 1, None), ("io.b", 2, None)])
+        flat = tree[0].flatten()
+        assert flat == [("io.a", 1), ("io.b", 2)]
+
+    def test_to_dict(self):
+        tree = build_variable_tree([("x.y", 3, "x_y")])
+        d = tree[0].to_dict()
+        assert d["name"] == "x"
+        assert d["children"][0]["value"] == 3
+
+
+class TestMatching:
+    def _symtable(self, design):
+        return SQLiteSymbolTable(write_symbol_table(design))
+
+    def test_identity_mapping(self):
+        d = repro.compile(TwoLeaves())
+        sim = Simulator(d.low)
+        st = self._symtable(d)
+        mapping = locate_instance(st, sim.hierarchy())
+        assert mapping["TwoLeaves"] == "TwoLeaves"
+        assert mapping["TwoLeaves.a"] == "TwoLeaves.a"
+
+    def test_wrapped_design_located(self):
+        """Paper Sec. 3.4: the symbol table has a partial view; the runtime
+        finds the generated IP inside a testbench wrapper."""
+        d = repro.compile(TwoLeaves())
+        sim = Simulator(d.low, top_path="TestHarness.dut.core")
+        st = self._symtable(d)
+        mapping = locate_instance(st, sim.hierarchy())
+        assert mapping["TwoLeaves"] == "TestHarness.dut.core"
+        assert mapping["TwoLeaves.b"] == "TestHarness.dut.core.b"
+
+    def test_wrong_design_rejected(self):
+        d1 = repro.compile(TwoLeaves())
+        d2 = repro.compile(Counter())
+        sim = Simulator(d2.low)
+        st = self._symtable(d1)
+        with pytest.raises(MatchError):
+            locate_instance(st, sim.hierarchy())
+
+
+class TestFrameBuilder:
+    def test_frame_reads_live_values(self):
+        d = repro.compile(Counter())
+        sim = Simulator(d.low)
+        sim.reset()
+        sim.poke("en", 1)
+        sim.step(3)
+        st = SQLiteSymbolTable(write_symbol_table(d))
+        mapping = locate_instance(st, sim.hierarchy())
+        fb = FrameBuilder(st, sim, mapping)
+        filename, line = line_of(d, "out")
+        bp = st.breakpoints_at(filename, line)[0]
+        frame = fb.build(bp, sim.get_time())
+        assert frame.var("count") == 3
+        assert frame.var("en") == 1
+
+    def test_generator_vars_in_frame(self):
+        d = repro.compile(Counter(width=6))
+        sim = Simulator(d.low)
+        sim.reset()
+        st = SQLiteSymbolTable(write_symbol_table(d))
+        fb = FrameBuilder(st, sim, locate_instance(st, sim.hierarchy()))
+        filename, line = line_of(d, "out")
+        bp = st.breakpoints_at(filename, line)[0]
+        frame = fb.build(bp, 0)
+        gen = {v.name: v.value for v in frame.generator_vars}
+        assert gen["width"] == "6"
+
+    def test_bundle_frame(self):
+        class BundleMod(hgf.Module):
+            def __init__(self):
+                super().__init__()
+                self.io = self.input(
+                    "io",
+                    typ=hgf.Bundle(a=hgf.UInt(8), q=hgf.Flip(hgf.UInt(8))),
+                )
+                self.io.q <<= self.io.a + 1
+
+        d = repro.compile(BundleMod())
+        sim = Simulator(d.low)
+        sim.reset()
+        sim.poke("io_a", 41)
+        st = SQLiteSymbolTable(write_symbol_table(d))
+        fb = FrameBuilder(st, sim, locate_instance(st, sim.hierarchy()))
+        bp = st.all_breakpoints()[0]
+        frame = fb.build(bp, 0)
+        io = next(v for v in frame.local_vars if v.name == "io")
+        assert io.is_aggregate
+        assert io.child("a").value == 41
+        assert io.child("q").value == 42
+
+    def test_missing_signal_value_none(self):
+        d = repro.compile(Counter())
+        sim = Simulator(d.low)
+        st = SQLiteSymbolTable(write_symbol_table(d))
+        fb = FrameBuilder(st, sim, {"Counter": "WrongPath"})
+        bp = st.all_breakpoints()[0]
+        frame = fb.build(bp, 0)
+        assert all(v.value is None for v in frame.local_vars if not v.is_aggregate)

@@ -1,0 +1,156 @@
+"""Unit tests for the Scheduler and debug-metadata plumbing."""
+
+import pytest
+
+import repro
+from repro.core.scheduler import Scheduler, group_key
+from repro.ir.debug import DebugEntry, DebugInfo, _rename_tokens
+from repro.ir.source import UNKNOWN, SourceInfo
+from repro.symtable import SQLiteSymbolTable, write_symbol_table
+from tests.helpers import Accumulator, TwoLeaves, line_of
+
+
+@pytest.fixture()
+def sched():
+    d = repro.compile(TwoLeaves())
+    st = SQLiteSymbolTable(write_symbol_table(d))
+    return d, st, Scheduler(st)
+
+
+class TestScheduler:
+    def test_insert_remove(self, sched):
+        d, st, s = sched
+        rec = st.all_breakpoints()[0]
+        s.insert(rec)
+        assert len(s) == 1
+        assert s.remove(rec.id)
+        assert not s.remove(rec.id)
+        assert len(s) == 0
+
+    def test_groups_sorted_lexically(self, sched):
+        d, st, s = sched
+        for rec in st.all_breakpoints():
+            s.insert(rec)
+        groups = s.groups()
+        keys = [g.key for g in groups]
+        assert keys == sorted(keys)
+
+    def test_same_location_shares_group(self, sched):
+        d, st, s = sched
+        filename, line = line_of(d, "o")
+        for rec in st.breakpoints_at(filename, line):
+            s.insert(rec)
+        groups = s.groups()
+        assert len(groups) == 1
+        assert len(groups[0].breakpoints) == 2  # both Leaf instances
+
+    def test_all_groups_cover_every_breakpoint(self, sched):
+        d, st, s = sched
+        groups = s.groups(all_bps=True)
+        total = sum(len(g.breakpoints) for g in groups)
+        assert total == len(st.all_breakpoints())
+
+    def test_all_groups_pick_up_inserted_conditions(self, sched):
+        d, st, s = sched
+        s.groups(all_bps=True)  # warm the cache
+        rec = st.all_breakpoints()[0]
+        bp = s.insert(rec, condition="i == 3")
+        refreshed = s.groups(all_bps=True)
+        found = [
+            b for g in refreshed for b in g.breakpoints if b.rec.id == rec.id
+        ]
+        assert found[0] is bp
+
+    def test_condition_parsed_once(self, sched):
+        d, st, s = sched
+        rec = st.all_breakpoints()[0]
+        bp = s.insert(rec, condition="i > 1")
+        assert bp.condition_ast is not None
+        assert bp.condition_src == "i > 1"
+
+    def test_clear(self, sched):
+        d, st, s = sched
+        for rec in st.all_breakpoints():
+            s.insert(rec)
+        s.clear()
+        assert s.groups() == []
+
+
+class TestDebugInfoPlumbing:
+    def test_rename_tokens(self):
+        out = _rename_tokens("_cond_1 && !_cond_2", {"_cond_1": "x", "_cond_2": "y"})
+        assert out == "x && !y"
+
+    def test_rename_tokens_word_boundaries(self):
+        out = _rename_tokens("ab + abc", {"ab": "z"})
+        assert out == "z + abc"
+
+    def test_apply_renames_updates_entries(self):
+        di = DebugInfo()
+        mi = di.module("M")
+        mi.entries.append(
+            DebugEntry("M", SourceInfo("f", 1), "old_node", "old_node && x", "s", {"v": "old_node"})
+        )
+        di.apply_renames("M", {"old_node": "new_node"})
+        e = mi.entries[0]
+        assert e.node == "new_node"
+        assert e.enable == "new_node && x"
+        assert e.var_map["v"] == "new_node"
+
+    def test_prune_dead_drops_missing_nodes(self):
+        di = DebugInfo()
+        mi = di.module("M")
+        mi.entries.append(DebugEntry("M", SourceInfo("f", 1), "alive", None, "s"))
+        mi.entries.append(DebugEntry("M", SourceInfo("f", 2), "dead", None, "s"))
+        kept = di.prune_dead("M", {"alive"})
+        assert kept == 1
+        assert [e.node for e in mi.entries] == ["alive"]
+
+    def test_prune_dead_filters_var_map(self):
+        di = DebugInfo()
+        mi = di.module("M")
+        mi.entries.append(
+            DebugEntry("M", SourceInfo("f", 1), "n", None, "s", {"a": "n", "b": "gone"})
+        )
+        di.prune_dead("M", {"n"})
+        assert mi.entries[0].var_map == {"a": "n"}
+
+
+class TestSourceInfo:
+    def test_order_key(self):
+        a = SourceInfo("a.py", 10, 2)
+        b = SourceInfo("a.py", 10, 5)
+        c = SourceInfo("b.py", 1)
+        assert a.order_key() < b.order_key() < c.order_key()
+
+    def test_unknown(self):
+        assert not UNKNOWN.is_known()
+        assert str(UNKNOWN) == "<unknown>"
+
+    def test_str_forms(self):
+        assert str(SourceInfo("x.py", 3)) == "x.py:3"
+        assert str(SourceInfo("x.py", 3, 7)) == "x.py:3:7"
+
+
+class TestSrcLocCapture:
+    def test_captures_caller_not_framework(self):
+        from repro.hgf import srcloc
+
+        info = srcloc.capture()
+        assert info.filename.endswith("test_scheduler_unit.py")
+        assert info.line > 0
+
+    def test_lines_distinct_per_statement(self):
+        import repro.hgf as hgf
+
+        class M(hgf.Module):
+            def __init__(self):
+                super().__init__()
+                self.o = self.output("o", 2)
+                a = self.wire("a", 2)
+                a <<= 1
+                self.o <<= a
+
+        d = repro.compile(M(), debug=True)
+        lines = {e.info.line for e in d.debug_info.all_entries()}
+        assert len(lines) == 2

@@ -1,0 +1,198 @@
+"""Watchpoint (data breakpoint) tests."""
+
+import pytest
+
+import repro
+from repro.core import CONTINUE, DETACH, DebuggerError
+from repro.sim import Simulator
+from tests.helpers import Accumulator, Counter, line_of, make_runtime
+
+
+def _setup(mod_cls=Counter):
+    d = repro.compile(mod_cls())
+    sim = Simulator(d.low, snapshots=16)
+    return d, sim
+
+
+class TestWatchpoints:
+    def test_change_detected(self):
+        d, sim = _setup()
+        hits = []
+
+        def on_hit(h):
+            assert h.watch is not None
+            hits.append((h.time, h.watch["old"], h.watch["new"]))
+            return CONTINUE
+
+        rt = make_runtime(d, sim, on_hit)
+        rt.attach()
+        sim.reset()
+        rt.add_watchpoint("count")
+        sim.poke("en", 1)
+        sim.step(4)
+        # priming observation at cycle 1; changes observed at 2, 3, 4
+        assert hits == [(2, 0, 1), (3, 1, 2), (4, 2, 3)]
+
+    def test_no_hit_without_change(self):
+        d, sim = _setup()
+        hits = []
+        rt = make_runtime(d, sim, lambda h: (hits.append(h.time), CONTINUE)[1])
+        rt.attach()
+        sim.reset()
+        rt.add_watchpoint("count")
+        sim.poke("en", 0)
+        sim.step(5)
+        assert hits == []
+
+    def test_full_path_target(self):
+        d, sim = _setup()
+        rt = make_runtime(d, sim)
+        wp = rt.add_watchpoint("Counter.count")
+        assert wp.path == "Counter.count"
+
+    def test_instance_local_target(self):
+        d, sim = _setup()
+        rt = make_runtime(d, sim)
+        wp = rt.add_watchpoint("count")
+        assert wp.path == "Counter.count"
+
+    def test_unresolvable_rejected(self):
+        d, sim = _setup()
+        rt = make_runtime(d, sim)
+        with pytest.raises(DebuggerError, match="watch target"):
+            rt.add_watchpoint("no_such_signal")
+
+    def test_condition_on_new_value(self):
+        d, sim = _setup()
+        hits = []
+        rt = make_runtime(d, sim, lambda h: (hits.append(h.watch["new"]), CONTINUE)[1])
+        rt.attach()
+        sim.reset()
+        rt.add_watchpoint("count", condition="new >= 3")
+        sim.poke("en", 1)
+        sim.step(6)
+        assert hits == [3, 4, 5]
+
+    def test_condition_on_old_value(self):
+        d, sim = _setup()
+        hits = []
+        rt = make_runtime(d, sim, lambda h: (hits.append(h.watch["old"]), CONTINUE)[1])
+        rt.attach()
+        sim.reset()
+        rt.add_watchpoint("count", condition="old == 2")
+        sim.poke("en", 1)
+        sim.step(5)
+        assert hits == [2]
+
+    def test_remove(self):
+        d, sim = _setup()
+        hits = []
+        rt = make_runtime(d, sim, lambda h: (hits.append(1), CONTINUE)[1])
+        rt.attach()
+        sim.reset()
+        wp = rt.add_watchpoint("count")
+        sim.poke("en", 1)
+        sim.step(3)  # prime at 1, hits at 2 and 3
+        assert rt.remove_watchpoint(wp.id)
+        sim.step(2)
+        assert len(hits) == 2
+        assert not rt.remove_watchpoint(wp.id)
+
+    def test_hit_count_tracked(self):
+        d, sim = _setup()
+        rt = make_runtime(d, sim)
+        rt.attach()
+        sim.reset()
+        wp = rt.add_watchpoint("count")
+        sim.poke("en", 1)
+        sim.step(5)  # prime + 4 observed changes
+        assert wp.hit_count == 4
+
+    def test_detach_from_watch_hit(self):
+        d, sim = _setup()
+        hits = []
+
+        def on_hit(h):
+            hits.append(h.time)
+            return DETACH
+
+        rt = make_runtime(d, sim, on_hit)
+        rt.attach()
+        sim.reset()
+        rt.add_watchpoint("count")
+        sim.poke("en", 1)
+        sim.step(4)
+        assert len(hits) == 1
+        assert not rt.attached
+
+    def test_watch_and_breakpoints_combine(self):
+        d, sim = _setup(Accumulator)
+        kinds = []
+
+        def on_hit(h):
+            kinds.append("watch" if h.watch else "bp")
+            return CONTINUE
+
+        rt = make_runtime(d, sim, on_hit)
+        rt.attach()
+        sim.reset()
+        _f, line = line_of(d, "acc")
+        rt.add_breakpoint("helpers.py", line)
+        rt.add_watchpoint("acc")
+        sim.poke("en", 1)
+        sim.poke("d", 5)
+        sim.step(2)
+        # each cycle: watch fires (when acc changed) and the bp fires
+        assert "watch" in kinds and "bp" in kinds
+
+
+class TestIgnoreCounts:
+    def test_ignore_skips_hits(self):
+        d, sim = _setup(Accumulator)
+        hits = []
+        rt = make_runtime(d, sim, lambda h: (hits.append(h.time), CONTINUE)[1])
+        rt.attach()
+        sim.reset()
+        _f, line = line_of(d, "acc")
+        (bp,) = rt.add_breakpoint("helpers.py", line)
+        bp.ignore_count = 2
+        sim.poke("en", 1)
+        sim.poke("d", 1)
+        sim.step(5)
+        assert len(hits) == 3  # first two suppressed
+        assert bp.hit_count == 5  # all condition-passing evaluations counted
+
+    def test_console_ignore_command(self):
+        from repro.client import ConsoleDebugger
+
+        d, sim = _setup(Accumulator)
+        rt = make_runtime(d, sim)
+        dbg = ConsoleDebugger(rt, script=["q"])
+        rt.attach()
+        sim.reset()
+        _f, line = line_of(d, "acc")
+        dbg.execute(f"b helpers.py:{line}")
+        bp_id = rt.list_breakpoints()[0].rec.id
+        dbg.execute(f"ignore {bp_id} 3")
+        sim.poke("en", 1)
+        sim.poke("d", 1)
+        sim.step(5)
+        stops = [l for l in dbg.transcript if l.startswith("stopped")]
+        assert len(stops) == 1 and "cycle 4" in stops[0]
+
+
+class TestConsoleWatch:
+    def test_watch_command(self):
+        from repro.client import ConsoleDebugger
+
+        d, sim = _setup()
+        rt = make_runtime(d, sim)
+        dbg = ConsoleDebugger(rt, script=["info breakpoints", "q"])
+        rt.attach()
+        sim.reset()
+        dbg.execute("watch count")
+        sim.poke("en", 1)
+        sim.step(2)
+        joined = "\n".join(dbg.transcript)
+        assert "watchpoint #1" in joined
+        assert "0 -> 1" in joined

@@ -1,0 +1,198 @@
+"""Assembler tests: directives, pseudo-instructions, labels, errors."""
+
+import pytest
+
+from repro.cpu import assemble
+from repro.cpu.assembler import AsmError
+from repro.cpu.golden import run_program
+from repro.cpu.isa import decode
+
+
+def _run(src):
+    return run_program(assemble(src).words)
+
+
+class TestBasics:
+    def test_simple_program(self):
+        res = assemble("addi a0, zero, 5\necall\n")
+        assert len(res.words) == 2
+
+    def test_comments_stripped(self):
+        res = assemble("addi a0, zero, 1  # comment\n// full line\necall")
+        assert len(res.words) == 2
+
+    def test_labels_resolve(self):
+        res = assemble("start:\n  j start\n")
+        d = decode(res.words[0])
+        assert d.imm_j == 0
+
+    def test_forward_label(self):
+        res = assemble("  j end\n  nop\nend:\n  ecall\n")
+        d = decode(res.words[0])
+        assert d.imm_j == 8
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AsmError, match="duplicate"):
+            assemble("x:\nnop\nx:\nnop\n")
+
+    def test_label_on_same_line(self):
+        res = assemble("loop: addi a0, a0, 1\nj loop\n")
+        assert len(res.words) == 2
+
+    def test_word_directive(self):
+        res = assemble(".word 1, 2, 0xFF\n")
+        assert res.words == [1, 2, 0xFF]
+
+    def test_word_with_label_value(self):
+        res = assemble("a:\n.word b\nb:\n.word 0\n")
+        assert res.words[0] == 4
+
+    def test_space_directive(self):
+        res = assemble(".space 12\n")
+        assert res.words == [0, 0, 0]
+
+    def test_error_has_line_context(self):
+        with pytest.raises(AsmError, match="line 2"):
+            assemble("nop\nbogus x, y\n")
+
+    def test_unknown_register(self):
+        with pytest.raises(AsmError, match="register"):
+            assemble("addi q7, zero, 1\n")
+
+
+class TestPseudoInstructions:
+    def test_li_small(self):
+        res = assemble("li a0, 100\n")
+        assert len(res.words) == 1
+
+    def test_li_large_pair(self):
+        res = assemble("li a0, 0x12345\n")
+        assert len(res.words) == 2
+
+    def test_li_values_execute_correctly(self):
+        for value in (0, 1, -1, 2047, -2048, 2048, 0x12345678, 0xFFFFF800, 0x7FF):
+            src = f"""
+                li a0, {value & 0xFFFFFFFF}
+                li t0, 0x4000
+                sw a0, 0(t0)
+                ecall
+            """
+            st = _run(src)
+            assert st.tohost == value & 0xFFFFFFFF, hex(value)
+
+    def test_li_label_always_wide(self):
+        # labels use the wide form even when their value is small
+        res = assemble("li a0, data\ndata:\n.word 7\n")
+        assert len(res.words) == 3
+
+    def test_mv_j_ret_nop(self):
+        src = """
+            li a1, 42
+            mv a0, a1
+            j store
+            nop
+        store:
+            li t0, 0x4000
+            sw a0, 0(t0)
+            ecall
+        """
+        assert _run(src).tohost == 42
+
+    def test_call_ret(self):
+        src = """
+            li sp, 0x7FF0
+            call f
+            li t0, 0x4000
+            sw a0, 0(t0)
+            ecall
+        f:
+            li a0, 99
+            ret
+        """
+        assert _run(src).tohost == 99
+
+    def test_beqz_bnez(self):
+        src = """
+            li a0, 0
+            beqz a0, yes
+            li a1, 1
+            j out
+        yes:
+            li a1, 2
+        out:
+            li t0, 0x4000
+            sw a1, 0(t0)
+            ecall
+        """
+        assert _run(src).tohost == 2
+
+    def test_ble_bgt(self):
+        src = """
+            li a0, 3
+            li a1, 5
+            li a2, 0
+            ble a0, a1, first     # 3 <= 5: taken
+            j out
+        first:
+            addi a2, a2, 1
+            bgt a1, a0, second    # 5 > 3: taken
+            j out
+        second:
+            addi a2, a2, 1
+        out:
+            li t0, 0x4000
+            sw a2, 0(t0)
+            ecall
+        """
+        assert _run(src).tohost == 2
+
+    def test_not_neg_seqz_snez(self):
+        src = """
+            li a0, 0
+            seqz a1, a0     # 1
+            li a2, 7
+            snez a3, a2     # 1
+            neg a4, a2      # -7
+            not a5, a0      # ~0 = -1
+            add a0, a1, a3
+            add a0, a0, a4
+            add a0, a0, a5
+            li t0, 0x4000
+            sw a0, 0(t0)
+            ecall
+        """
+        assert _run(src).tohost == (1 + 1 - 7 - 1) & 0xFFFFFFFF
+
+
+class TestMemoryOperands:
+    def test_lw_sw_offsets(self):
+        src = """
+            li t0, 0x5000
+            li a0, 11
+            li a1, 22
+            sw a0, 0(t0)
+            sw a1, 4(t0)
+            lw a2, 4(t0)
+            lw a3, 0(t0)
+            add a0, a2, a3
+            li t0, 0x4000
+            sw a0, 0(t0)
+            ecall
+        """
+        assert _run(src).tohost == 33
+
+    def test_negative_offset(self):
+        src = """
+            li t0, 0x5004
+            li a0, 9
+            sw a0, -4(t0)
+            lw a1, -4(t0)
+            li t0, 0x4000
+            sw a1, 0(t0)
+            ecall
+        """
+        assert _run(src).tohost == 9
+
+    def test_bad_operand(self):
+        with pytest.raises(AsmError):
+            assemble("lw a0, [t0]\n")

@@ -1,0 +1,98 @@
+"""ISA encode/decode tests including property-based round trips."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu import isa
+from repro.cpu.isa import EncodingError, decode
+
+
+regs = st.integers(0, 31)
+
+
+class TestEncodeDecodeRoundTrip:
+    @given(rd=regs, rs1=regs, rs2=regs, name=st.sampled_from(sorted(isa.R_TYPE)))
+    @settings(max_examples=60, deadline=None)
+    def test_r_type(self, name, rd, rs1, rs2):
+        word = isa.encode_r(name, rd, rs1, rs2)
+        d = decode(word)
+        opcode, f3, f7 = isa.R_TYPE[name]
+        assert (d.opcode, d.funct3, d.funct7) == (opcode, f3, f7)
+        assert (d.rd, d.rs1, d.rs2) == (rd, rs1, rs2)
+
+    @given(
+        rd=regs, rs1=regs,
+        imm=st.integers(-2048, 2047),
+        name=st.sampled_from(sorted(isa.I_TYPE)),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_i_type(self, name, rd, rs1, imm):
+        word = isa.encode_i(name, rd, rs1, imm)
+        d = decode(word)
+        assert d.imm_i == imm
+        assert (d.rd, d.rs1) == (rd, rs1)
+
+    @given(rs1=regs, rs2=regs, imm=st.integers(-2048, 2047))
+    @settings(max_examples=60, deadline=None)
+    def test_s_type(self, rs1, rs2, imm):
+        word = isa.encode_s("sw", rs2, rs1, imm)
+        d = decode(word)
+        assert d.imm_s == imm
+        assert (d.rs1, d.rs2) == (rs1, rs2)
+
+    @given(
+        rs1=regs, rs2=regs,
+        offset=st.integers(-2048, 2047).map(lambda x: x * 2),
+        name=st.sampled_from(sorted(isa.B_TYPE)),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_b_type(self, name, rs1, rs2, offset):
+        word = isa.encode_b(name, rs1, rs2, offset)
+        d = decode(word)
+        assert d.imm_b == offset
+
+    @given(rd=regs, imm=st.integers(0, (1 << 20) - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_u_type(self, rd, imm):
+        word = isa.encode_u("lui", rd, imm)
+        d = decode(word)
+        assert d.imm_u == imm
+
+    @given(rd=regs, offset=st.integers(-(1 << 19), (1 << 19) - 1).map(lambda x: x * 2))
+    @settings(max_examples=60, deadline=None)
+    def test_j_type(self, rd, offset):
+        word = isa.encode_j(rd, offset)
+        d = decode(word)
+        assert d.imm_j == offset
+
+    @given(rd=regs, rs1=regs, shamt=st.integers(0, 31), name=st.sampled_from(sorted(isa.SHIFT_IMM)))
+    @settings(max_examples=40, deadline=None)
+    def test_shift_imm(self, name, rd, rs1, shamt):
+        word = isa.encode_shift(name, rd, rs1, shamt)
+        d = decode(word)
+        assert d.rs2 == shamt  # shamt occupies the rs2 field
+        assert d.funct7 == isa.SHIFT_IMM[name][1]
+
+
+class TestBounds:
+    def test_register_range(self):
+        with pytest.raises(EncodingError):
+            isa.encode_r("add", 32, 0, 0)
+
+    def test_imm_range(self):
+        with pytest.raises(EncodingError):
+            isa.encode_i("addi", 0, 0, 2048)
+        with pytest.raises(EncodingError):
+            isa.encode_i("addi", 0, 0, -2049)
+
+    def test_branch_alignment(self):
+        with pytest.raises(EncodingError):
+            isa.encode_b("beq", 0, 0, 3)
+
+    def test_shift_range(self):
+        with pytest.raises(EncodingError):
+            isa.encode_shift("slli", 0, 0, 32)
+
+    def test_ecall_encoding(self):
+        assert isa.encode_ecall() == 0x73

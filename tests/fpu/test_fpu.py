@@ -1,0 +1,158 @@
+"""FPU case-study substrate tests: golden model semantics and RTL parity."""
+
+import itertools
+import math
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.fpu import (
+    FLAG_NV,
+    FpuCmp,
+    QNAN,
+    RM_FEQ,
+    RM_FLE,
+    RM_FLT,
+    SNAN,
+    bits_to_float,
+    compare_op,
+    fcmp,
+    float_to_bits,
+    is_nan,
+    is_signaling_nan,
+)
+from repro.sim import Simulator
+
+
+class TestBitHelpers:
+    def test_round_trip(self):
+        # exactly representable in binary32
+        for x in (0.0, 1.5, -2.25, 2.0**100, -(2.0**-100), 0.125):
+            assert bits_to_float(float_to_bits(x)) == x
+
+    def test_nan_classification(self):
+        assert is_nan(QNAN) and not is_signaling_nan(QNAN)
+        assert is_nan(SNAN) and is_signaling_nan(SNAN)
+        assert not is_nan(float_to_bits(1.0))
+
+
+class TestGoldenModel:
+    @given(a=st.floats(allow_nan=False, allow_infinity=True, width=32),
+           b=st.floats(allow_nan=False, allow_infinity=True, width=32))
+    @settings(max_examples=120, deadline=None)
+    def test_matches_python_ordering(self, a, b):
+        r = fcmp(float_to_bits(a), float_to_bits(b), signaling=True)
+        assert r.lt == int(a < b)
+        assert r.eq == int(a == b)
+        assert r.gt == int(a > b)
+        assert r.flags == 0
+
+    def test_zero_signs_equal(self):
+        r = fcmp(float_to_bits(0.0), float_to_bits(-0.0), signaling=False)
+        assert (r.lt, r.eq, r.gt) == (0, 1, 0)
+
+    def test_quiet_nan_quiet_compare_no_flag(self):
+        r = fcmp(QNAN, float_to_bits(1.0), signaling=False)
+        assert (r.lt, r.eq, r.gt) == (0, 0, 0)
+        assert r.flags == 0
+
+    def test_quiet_nan_signaling_compare_flags(self):
+        r = fcmp(QNAN, float_to_bits(1.0), signaling=True)
+        assert r.flags == FLAG_NV
+
+    def test_snan_always_flags(self):
+        for signaling in (False, True):
+            r = fcmp(SNAN, float_to_bits(1.0), signaling)
+            assert r.flags == FLAG_NV
+
+    def test_compare_op_selects(self):
+        a, b = float_to_bits(1.0), float_to_bits(2.0)
+        assert compare_op(a, b, RM_FLT) == (1, 0)
+        assert compare_op(a, b, RM_FLE) == (1, 0)
+        assert compare_op(a, a, RM_FEQ) == (1, 0)
+        assert compare_op(b, a, RM_FLT) == (0, 0)
+
+    def test_feq_quiet_semantics(self):
+        # IEEE: feq on qNaN raises nothing; flt/fle raise invalid.
+        assert compare_op(QNAN, QNAN, RM_FEQ) == (0, 0)
+        assert compare_op(QNAN, QNAN, RM_FLT) == (0, FLAG_NV)
+        assert compare_op(QNAN, QNAN, RM_FLE) == (0, FLAG_NV)
+
+
+@pytest.fixture(scope="module")
+def fixed_sim():
+    d = repro.compile(FpuCmp(buggy=False))
+    sim = Simulator(d.low)
+    sim.reset()
+    return sim
+
+
+@pytest.fixture(scope="module")
+def buggy_sim():
+    d = repro.compile(FpuCmp(buggy=True))
+    sim = Simulator(d.low)
+    sim.reset()
+    return sim
+
+
+def _drive(sim, a, b, rm, wflags=1):
+    sim.poke("in1", a)
+    sim.poke("in2", b)
+    sim.poke("rm", rm)
+    sim.poke("wflags", wflags)
+    return sim.peek("toint"), sim.peek("exc")
+
+
+_INTERESTING = [
+    float_to_bits(x)
+    for x in (0.0, -0.0, 1.0, -1.0, 1.5, -2.25, 3.0, 1e30, -1e30, 1e-30,
+              float("inf"), float("-inf"))
+] + [QNAN, SNAN]
+
+
+class TestRtlVsGolden:
+    def test_fixed_matches_everywhere(self, fixed_sim):
+        for a, b, rm in itertools.product(_INTERESTING, _INTERESTING, (0, 1, 2)):
+            got = _drive(fixed_sim, a, b, rm)
+            want = compare_op(a, b, rm)
+            assert got == want, (hex(a), hex(b), rm)
+
+    @given(a=st.floats(allow_nan=False, width=32), b=st.floats(allow_nan=False, width=32),
+           rm=st.sampled_from([0, 1, 2]))
+    @settings(max_examples=100, deadline=None)
+    def test_fixed_matches_random(self, fixed_sim, a, b, rm):
+        ab, bb = float_to_bits(a), float_to_bits(b)
+        assert _drive(fixed_sim, ab, bb, rm) == compare_op(ab, bb, rm)
+
+    def test_wflags_zero_gates_everything(self, fixed_sim):
+        got = _drive(fixed_sim, SNAN, SNAN, RM_FLT, wflags=0)
+        assert got == (0, 0)
+
+    def test_buggy_mismatch_is_feq_qnan_only(self, buggy_sim):
+        """The seeded bug's signature: spurious NV on quiet compares of
+        quiet NaNs — exactly the paper's Sec. 4.2 scenario."""
+        mismatches = []
+        for a, b, rm in itertools.product(_INTERESTING, _INTERESTING, (0, 1, 2)):
+            got = _drive(buggy_sim, a, b, rm)
+            want = compare_op(a, b, rm)
+            if got != want:
+                mismatches.append((a, b, rm, got, want))
+        assert mismatches, "bug must be observable"
+        for a, b, rm, got, want in mismatches:
+            assert rm == RM_FEQ
+            assert is_nan(a) or is_nan(b)
+            assert not (is_signaling_nan(a) or is_signaling_nan(b))
+            assert got[0] == want[0]          # result value still correct
+            assert got[1] == FLAG_NV != want[1]  # only the flags differ
+
+    def test_signaling_stuck_high_in_rtl(self, buggy_sim, fixed_sim):
+        """What the debugging session discovers: dcmp.io.signaling is
+        permanently asserted in the buggy build."""
+        for rm in (0, 1, 2):
+            _drive(buggy_sim, float_to_bits(1.0), float_to_bits(2.0), rm)
+            assert buggy_sim.get_value("FpuCmp.dcmp.io_signaling") == 1
+        _drive(fixed_sim, float_to_bits(1.0), float_to_bits(2.0), RM_FEQ)
+        assert fixed_sim.get_value("FpuCmp.dcmp.io_signaling") == 0

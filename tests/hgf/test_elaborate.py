@@ -1,0 +1,103 @@
+"""Tests for elaboration: naming, source locations, generator variables."""
+
+import os
+
+import pytest
+
+import repro
+import repro.hgf as hgf
+from repro.hgf.module import HgfError
+from repro.ir.stmt import GeneratorVar, NameHint
+
+
+class TestNaming:
+    def test_top_named_after_class(self):
+        from tests.helpers import Counter
+
+        circuit = hgf.elaborate(Counter())
+        assert circuit.main == "Counter"
+
+    def test_top_name_override(self):
+        from tests.helpers import Counter
+
+        circuit = hgf.elaborate(Counter(), name="DUT")
+        assert circuit.main == "DUT"
+
+    def test_sibling_instances_get_unique_module_names(self):
+        from tests.helpers import TwoLeaves
+
+        circuit = hgf.elaborate(TwoLeaves())
+        assert "AluLeaf" in circuit.modules
+        assert "AluLeaf_1" in circuit.modules
+
+    def test_elaborate_requires_module(self):
+        with pytest.raises(HgfError):
+            hgf.elaborate(42)
+
+
+class TestSourceLocations:
+    def test_connects_carry_this_file(self):
+        from tests.helpers import Counter
+
+        d = repro.compile(Counter())
+        entries = d.debug_info.all_entries()
+        assert entries, "expected debug entries"
+        helper_file = os.path.join(os.path.dirname(__file__), "..", "helpers.py")
+        expected = os.path.abspath(helper_file)
+        assert all(e.info.filename == expected for e in entries)
+
+    def test_lines_ascend_with_statements(self):
+        from tests.helpers import Counter, line_of
+
+        d = repro.compile(Counter())
+        _f, count_line = line_of(d, "count")
+        _f, out_line = line_of(d, "out")
+        assert out_line > count_line
+
+
+class TestGeneratorVars:
+    def test_scalar_params_recorded(self):
+        from tests.helpers import Counter
+
+        circuit = hgf.elaborate(Counter(width=6))
+        gen = [a for a in circuit.annotations if isinstance(a, GeneratorVar)]
+        widths = [a for a in gen if a.name == "width"]
+        assert widths and widths[0].value == "6" and not widths[0].is_rtl
+
+    def test_signal_attrs_recorded_as_rtl(self):
+        from tests.helpers import Counter
+
+        circuit = hgf.elaborate(Counter())
+        gen = {a.name: a for a in circuit.annotations if isinstance(a, GeneratorVar)}
+        assert gen["en"].is_rtl and gen["en"].value == "en"
+        assert gen["out"].is_rtl
+
+    def test_name_hints_for_vars(self):
+        from tests.helpers import SumLoop
+
+        circuit = hgf.elaborate(SumLoop(2))
+        hints = [a for a in circuit.annotations if isinstance(a, NameHint)]
+        assert {h.rtl_name for h in hints} >= {"sum_0", "sum_1", "sum_2"}
+        assert all(h.source_name == "sum" for h in hints if h.rtl_name.startswith("sum"))
+
+    def test_string_attr_recorded(self):
+        class M(hgf.Module):
+            def __init__(self):
+                super().__init__()
+                self.mode = "fast"
+                self.o = self.output("o", 1)
+                self.o <<= 0
+
+        circuit = hgf.elaborate(M())
+        gen = {a.name: a.value for a in circuit.annotations if isinstance(a, GeneratorVar)}
+        assert gen["mode"] == "fast"
+
+
+class TestPostElaboration:
+    def test_module_frozen_after_elaborate(self):
+        from tests.helpers import Counter
+
+        c = Counter()
+        hgf.elaborate(c)
+        with pytest.raises(HgfError):
+            c.wire("late", 4)

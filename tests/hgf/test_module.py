@@ -1,0 +1,356 @@
+"""Tests for the Module construction API (when/var/mem/instance/errors)."""
+
+import pytest
+
+import repro
+import repro.hgf as hgf
+from repro.hgf.module import HgfError
+from repro.sim import Simulator
+
+
+def _simulate(mod, pokes, reads, cycles=1):
+    d = repro.compile(mod)
+    sim = Simulator(d.low)
+    sim.reset()
+    for k, v in pokes.items():
+        sim.poke(k, v)
+    sim.step(cycles)
+    return {k: sim.peek(k) for k in reads}
+
+
+class TestDeclarations:
+    def test_width_or_typ_exclusive(self):
+        class M(hgf.Module):
+            def __init__(self):
+                super().__init__()
+                with pytest.raises(HgfError):
+                    self.input("a")
+                with pytest.raises(HgfError):
+                    self.input("b", 8, typ=hgf.UInt(8))
+                self.o = self.output("o", 1)
+                self.o <<= 0
+
+        repro.compile(M())
+
+    def test_duplicate_names_uniquified(self):
+        class M(hgf.Module):
+            def __init__(self):
+                super().__init__()
+                a = self.wire("w", 8)
+                b = self.wire("w", 8)
+                self.o = self.output("o", 8)
+                a <<= 1
+                b <<= 2
+                self.o <<= a + b[6:0]
+
+        d = repro.compile(M())
+        # both wires exist under distinct names
+        from repro.ir.stmt import DefWire
+
+        names = [s.name for s in d.high.top.body if isinstance(s, DefWire)]
+        assert names == ["w", "w_1"]
+
+    def test_invalid_name_rejected(self):
+        class M(hgf.Module):
+            def __init__(self):
+                super().__init__()
+                with pytest.raises(HgfError):
+                    self.wire("bad name", 8)
+                self.o = self.output("o", 1)
+                self.o <<= 0
+
+        repro.compile(M())
+
+    def test_reg_init_resets(self):
+        class M(hgf.Module):
+            def __init__(self):
+                super().__init__()
+                self.o = self.output("o", 8)
+                r = self.reg("r", 8, init=42)
+                r <<= (r + 1)[7:0]
+                self.o <<= r
+
+        d = repro.compile(M())
+        sim = Simulator(d.low)
+        sim.reset()
+        assert sim.peek("o") == 42
+        sim.step(3)
+        assert sim.peek("o") == 45
+
+
+class TestWhenChains:
+    def test_when_elsewhen_otherwise(self):
+        from tests.helpers import AluLike
+
+        for op, expected in [(0, 30), (1, 10), (2, 20 & 10), (3, 20 ^ 10)]:
+            out = _simulate(AluLike(), {"a": 20, "b": 10, "op": op}, ["res"])
+            assert out["res"] == expected, f"op={op}"
+
+    def test_nested_when(self):
+        class M(hgf.Module):
+            def __init__(self):
+                super().__init__()
+                self.a = self.input("a", 2)
+                self.b = self.input("b", 2)
+                self.o = self.output("o", 4)
+                self.o <<= 0
+                with self.when(self.a == 1):
+                    with self.when(self.b == 1):
+                        self.o <<= 3
+                    with self.otherwise():
+                        self.o <<= 5
+                with self.elsewhen(self.a == 2):
+                    self.o <<= 7
+
+        m = M
+        assert _simulate(m(), {"a": 1, "b": 1}, ["o"])["o"] == 3
+        assert _simulate(m(), {"a": 1, "b": 0}, ["o"])["o"] == 5
+        assert _simulate(m(), {"a": 2, "b": 0}, ["o"])["o"] == 7
+        assert _simulate(m(), {"a": 0, "b": 0}, ["o"])["o"] == 0
+
+    def test_elsewhen_without_when_rejected(self):
+        class M(hgf.Module):
+            def __init__(self):
+                super().__init__()
+                self.a = self.input("a", 1)
+                with pytest.raises(HgfError):
+                    with self.elsewhen(self.a == 1):
+                        pass
+                self.o = self.output("o", 1)
+                self.o <<= 0
+
+        repro.compile(M())
+
+    def test_otherwise_without_when_rejected(self):
+        class M(hgf.Module):
+            def __init__(self):
+                super().__init__()
+                with pytest.raises(HgfError):
+                    with self.otherwise():
+                        pass
+                self.o = self.output("o", 1)
+                self.o <<= 0
+
+        repro.compile(M())
+
+    def test_wide_condition_reduced(self):
+        class M(hgf.Module):
+            def __init__(self):
+                super().__init__()
+                self.a = self.input("a", 8)
+                self.o = self.output("o", 1)
+                self.o <<= 0
+                with self.when(self.a):  # non-1-bit: orr-reduced
+                    self.o <<= 1
+
+        assert _simulate(M(), {"a": 0}, ["o"])["o"] == 0
+        assert _simulate(M(), {"a": 9}, ["o"])["o"] == 1
+
+
+class TestVar:
+    def test_var_accumulates(self):
+        from tests.helpers import SumLoop
+
+        out = _simulate(SumLoop(4), {"data_0": 3, "data_1": 4, "data_2": 5, "data_3": 7}, ["result"])
+        assert out["result"] == 3 + 5 + 7  # odd elements only
+
+    def test_var_unconditional_set(self):
+        class M(hgf.Module):
+            def __init__(self):
+                super().__init__()
+                self.a = self.input("a", 8)
+                self.o = self.output("o", 8)
+                v = self.var("v", self.lit(1, 8))
+                v.set((v.value + self.a)[7:0])
+                v.set((v.value * 2)[7:0])
+                self.o <<= v.value
+
+        assert _simulate(M(), {"a": 5}, ["o"])["o"] == 12
+
+    def test_var_arith_sugar(self):
+        class M(hgf.Module):
+            def __init__(self):
+                super().__init__()
+                self.a = self.input("a", 8)
+                self.o = self.output("o", 9)
+                v = self.var("v", self.lit(2, 8))
+                self.o <<= v + self.a
+
+        assert _simulate(M(), {"a": 5}, ["o"])["o"] == 7
+
+
+class TestMemories:
+    def test_mem_write_read(self):
+        class M(hgf.Module):
+            def __init__(self):
+                super().__init__()
+                self.waddr = self.input("waddr", 3)
+                self.wdata = self.input("wdata", 8)
+                self.wen = self.input("wen", 1)
+                self.raddr = self.input("raddr", 3)
+                self.rdata = self.output("rdata", 8)
+                m = self.mem("m", 8, 8)
+                m.write(self.waddr, self.wdata, self.wen)
+                self.rdata <<= m[self.raddr]
+
+        d = repro.compile(M())
+        sim = Simulator(d.low)
+        sim.reset()
+        sim.poke("wen", 1)
+        sim.poke("waddr", 3)
+        sim.poke("wdata", 99)
+        sim.step()
+        sim.poke("wen", 0)
+        sim.poke("raddr", 3)
+        assert sim.peek("rdata") == 99
+
+    def test_mem_init(self):
+        class M(hgf.Module):
+            def __init__(self):
+                super().__init__()
+                self.addr = self.input("addr", 2)
+                self.data = self.output("data", 8)
+                rom = self.mem("rom", 8, 4, init=[10, 20, 30, 40])
+                self.data <<= rom[self.addr]
+
+        d = repro.compile(M())
+        sim = Simulator(d.low)
+        sim.reset()
+        for i, v in enumerate([10, 20, 30, 40]):
+            sim.poke("addr", i)
+            assert sim.peek("data") == v
+
+    def test_mem_write_in_when_qualified(self):
+        class M(hgf.Module):
+            def __init__(self):
+                super().__init__()
+                self.en = self.input("en", 1)
+                self.o = self.output("o", 8)
+                m = self.mem("m", 8, 4)
+                with self.when(self.en == 1):
+                    m.write(self.lit(0, 2), self.lit(7, 8), self.lit(1, 1))
+                self.o <<= m[0]
+
+        d = repro.compile(M())
+        sim = Simulator(d.low)
+        sim.reset()
+        sim.poke("en", 0)
+        sim.step()
+        assert sim.peek("o") == 0
+        sim.poke("en", 1)
+        sim.step()
+        assert sim.peek("o") == 7
+
+    def test_mem_init_too_long_rejected(self):
+        class M(hgf.Module):
+            def __init__(self):
+                super().__init__()
+                with pytest.raises(HgfError):
+                    self.mem("m", 8, 2, init=[1, 2, 3])
+                self.o = self.output("o", 1)
+                self.o <<= 0
+
+        repro.compile(M())
+
+
+class TestInstances:
+    def test_child_auto_clocked(self):
+        from tests.helpers import Counter
+
+        class Top(hgf.Module):
+            def __init__(self):
+                super().__init__()
+                self.o = self.output("o", 8)
+                c = self.instance("c", Counter())
+                c.en <<= 1
+                self.o <<= c.out
+
+        d = repro.compile(Top())
+        sim = Simulator(d.low)
+        sim.reset()
+        sim.step(5)
+        assert sim.peek("o") == 5
+
+    def test_unknown_port_rejected(self):
+        from tests.helpers import Counter
+
+        class Top(hgf.Module):
+            def __init__(self):
+                super().__init__()
+                c = self.instance("c", Counter())
+                with pytest.raises(AttributeError, match="ports"):
+                    c.nope
+                c.en <<= 0
+                self.o = self.output("o", 8)
+                self.o <<= c.out
+
+        repro.compile(Top())
+
+    def test_child_reuse_rejected(self):
+        from tests.helpers import Counter
+
+        child = Counter()
+
+        class A(hgf.Module):
+            def __init__(self):
+                super().__init__()
+                c = self.instance("c", child)
+                c.en <<= 0
+                self.o = self.output("o", 8)
+                self.o <<= c.out
+
+        repro.compile(A())
+
+        class B(hgf.Module):
+            def __init__(self):
+                super().__init__()
+                self.instance("c", child)
+
+        with pytest.raises(HgfError):
+            B()
+
+    def test_self_instance_rejected(self):
+        class M(hgf.Module):
+            def __init__(self):
+                super().__init__()
+                with pytest.raises(HgfError):
+                    self.instance("me", self)
+                self.o = self.output("o", 1)
+                self.o <<= 0
+
+        repro.compile(M())
+
+
+class TestEffects:
+    def test_stop_halts(self):
+        class M(hgf.Module):
+            def __init__(self):
+                super().__init__()
+                self.o = self.output("o", 4)
+                r = self.reg("r", 4, init=0)
+                r <<= (r + 1)[3:0]
+                self.o <<= r
+                self.stop(r == 5, exit_code=3)
+
+        d = repro.compile(M())
+        sim = Simulator(d.low)
+        sim.reset()
+        code = sim.run(100)
+        assert code == 3
+        assert sim.peek("o") == 5
+
+    def test_printf(self, capsys):
+        class M(hgf.Module):
+            def __init__(self):
+                super().__init__()
+                self.a = self.input("a", 8)
+                self.o = self.output("o", 8)
+                self.o <<= self.a
+                self.printf(self.a == 3, "a is {}", self.a)
+
+        d = repro.compile(M())
+        sim = Simulator(d.low)
+        sim.reset()
+        sim.poke("a", 3)
+        sim.step()
+        assert "a is 3" in sim.printf_output

@@ -1,0 +1,165 @@
+"""Tests for Value/Signal operator overloading and literal lifting."""
+
+import pytest
+
+import repro.hgf as hgf
+from repro.hgf.module import HgfError
+from repro.ir.types import SIntType, UIntType
+
+
+class _Scratch(hgf.Module):
+    def __init__(self):
+        super().__init__()
+        self.a = self.input("a", 8)
+        self.b = self.input("b", 8)
+        self.s = self.input("s", typ=hgf.SInt(8))
+        self.v = self.input("v", typ=hgf.Vec(4, hgf.UInt(8)))
+        self.bun = self.input("bun", typ=hgf.Bundle(x=hgf.UInt(4), y=hgf.UInt(4)))
+
+
+@pytest.fixture()
+def m():
+    return _Scratch()
+
+
+class TestArithmetic:
+    def test_add_width(self, m):
+        assert (m.a + m.b).width == 9
+
+    def test_add_int_literal(self, m):
+        assert (m.a + 1).width == 9
+
+    def test_radd(self, m):
+        assert (1 + m.a).width == 9
+
+    def test_sub_mul(self, m):
+        assert (m.a - m.b).width == 9
+        assert (m.a * m.b).width == 16
+
+    def test_floordiv_mod(self, m):
+        assert (m.a // m.b).width == 8
+        assert (m.a % m.b).width == 8
+
+    def test_neg(self, m):
+        v = -m.a
+        assert isinstance(v.typ, SIntType)
+        assert v.width == 9
+
+    def test_negative_literal_unsigned_rejected(self, m):
+        with pytest.raises(ValueError):
+            m.a + (-1)
+
+    def test_negative_literal_signed_ok(self, m):
+        assert (m.s + (-1)).width == 9
+
+
+class TestComparisonsAndBitwise:
+    def test_comparisons_one_bit(self, m):
+        for e in (m.a < m.b, m.a <= 3, m.a > m.b, m.a >= 0, m.a == m.b, m.a != 7):
+            assert e.width == 1
+
+    def test_bitwise(self, m):
+        assert (m.a & 0xF).width == 8
+        assert (m.a | m.b).width == 8
+        assert (m.a ^ m.b).width == 8
+        assert (~m.a).width == 8
+
+    def test_shifts_static(self, m):
+        assert (m.a << 2).width == 10
+        assert (m.a >> 2).width == 6
+
+    def test_shifts_dynamic(self, m):
+        assert (m.a << m.b[2:0]).width == 8
+        assert (m.a >> m.b[2:0]).width == 8
+
+
+class TestSlicingAndStructure:
+    def test_single_bit(self, m):
+        assert m.a[7].width == 1
+
+    def test_slice(self, m):
+        assert m.a[7:4].width == 4
+
+    def test_slice_requires_hi_lo(self, m):
+        with pytest.raises(ValueError):
+            m.a[2:5]
+
+    def test_slice_no_step(self, m):
+        with pytest.raises(TypeError):
+            m.a[7:0:2]
+
+    def test_vec_index(self, m):
+        assert m.v[2].width == 8
+
+    def test_vec_dynamic_index_hint(self, m):
+        with pytest.raises(TypeError, match="select"):
+            m.v[m.a]
+
+    def test_bundle_field(self, m):
+        assert m.bun.x.width == 4
+
+    def test_bundle_unknown_field(self, m):
+        with pytest.raises(AttributeError, match="fields"):
+            m.bun.nope
+
+
+class TestMethods:
+    def test_cat(self, m):
+        assert m.a.cat(m.b).width == 16
+        assert hgf.cat(m.a, m.b, m.bun.x).width == 20
+
+    def test_cat_needs_two(self, m):
+        with pytest.raises(ValueError):
+            hgf.cat(m.a)
+
+    def test_pad(self, m):
+        assert m.a.pad(16).width == 16
+
+    def test_reductions(self, m):
+        assert m.a.andr().width == 1
+        assert m.a.orr().width == 1
+        assert m.a.xorr().width == 1
+
+    def test_casts(self, m):
+        assert isinstance(m.a.as_sint().typ, SIntType)
+        assert isinstance(m.s.as_uint().typ, UIntType)
+
+    def test_mux(self, m):
+        v = hgf.mux(m.a[0], m.a, m.b)
+        assert v.width == 8
+
+    def test_mux_wide_condition_reduced(self, m):
+        # A non-1-bit condition is orr-reduced; data literals lift to the
+        # condition operand's width.
+        v = hgf.mux(m.a, 1, 0)
+        assert v.width == 8
+        assert "orr" in str(v.expr)
+
+    def test_select(self, m):
+        v = hgf.select(m.v, m.a[1:0])
+        assert v.width == 8
+
+    def test_select_requires_vec(self, m):
+        with pytest.raises(TypeError):
+            hgf.select(m.a, m.b)
+
+    def test_fill(self, m):
+        assert hgf.fill(m.a[0], 8).width == 8
+
+
+class TestGuards:
+    def test_bool_raises(self, m):
+        with pytest.raises(TypeError, match="when"):
+            bool(m.a == 1)
+
+    def test_cross_module_mixing_rejected(self, m):
+        other = _Scratch()
+        with pytest.raises(ValueError, match="modules"):
+            m.a + other.a
+
+    def test_repr_mentions_type(self, m):
+        assert "UInt<8>" in repr(m.a)
+
+    def test_attribute_assignment_rejected(self, m):
+        with pytest.raises(AttributeError):
+            m.bun.x = 5

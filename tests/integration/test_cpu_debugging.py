@@ -1,0 +1,113 @@
+"""Debugging the CPU substrate with hgdb: breakpoints in the CPU's own
+generator source while it executes a RISC-V program — the RocketChip
+debugging scenario at our scale."""
+
+import pytest
+
+import repro
+from repro.core import CONTINUE, DETACH, Runtime
+from repro.cpu import RV32Core, assemble, benchmark_by_name
+from repro.sim import Simulator
+from repro.symtable import SQLiteSymbolTable, write_symbol_table
+
+
+@pytest.fixture(scope="module")
+def cpu_design():
+    src = """
+        li a0, 0
+        li a1, 1
+        li a2, 6
+    loop:
+        add a0, a0, a1
+        addi a1, a1, 1
+        blt a1, a2, loop
+        li t0, 0x4000
+        sw a0, 0(t0)
+        ecall
+    """
+    words = assemble(src).words
+    design = repro.compile(RV32Core(words, mem_words=1024))
+    return design
+
+
+class TestCpuBreakpoints:
+    def test_break_on_store_statement(self, cpu_design):
+        """Break where the CPU generator captures tohost stores."""
+        entry = next(
+            e for e in cpu_design.debug_info.all_entries() if e.sink == "tohost_r"
+        )
+        sim = Simulator(cpu_design.low)
+        st = SQLiteSymbolTable(write_symbol_table(cpu_design))
+        hits = []
+
+        def on_hit(h):
+            f = h.frames[0]
+            hits.append((h.time, f.var("rs2_val")))
+            return CONTINUE
+
+        rt = Runtime(sim, st, on_hit)
+        rt.attach()
+        rt.add_breakpoint(entry.info.filename, entry.info.line)
+        sim.reset()
+        sim.run(500)
+        # tohost is stored exactly once, with the loop's sum 1+2+..+5 = 15
+        assert len(hits) == 1
+        assert hits[0][1] == 15
+
+    def test_conditional_on_pc(self, cpu_design):
+        """Conditional breakpoint on an architectural value (pc)."""
+        entry = next(
+            e for e in cpu_design.debug_info.all_entries() if e.sink == "pc"
+        )
+        sim = Simulator(cpu_design.low)
+        st = SQLiteSymbolTable(write_symbol_table(cpu_design))
+        hits = []
+        rt = Runtime(sim, st, lambda h: (hits.append(h.frames[0].var("instr")), CONTINUE)[1])
+        rt.attach()
+        rt.add_breakpoint(
+            entry.info.filename, entry.info.line, condition="pc == 12"
+        )
+        sim.reset()
+        sim.run(500)
+        # pc==12 is the `add a0, a0, a1` loop body: executed 5 times
+        assert len(hits) == 5
+        assert len(set(hits)) == 1  # same instruction word each visit
+
+    def test_instance_threads_for_alu(self, cpu_design):
+        """A breakpoint inside the Alu module reports the Alu instance."""
+        alu_entries = [
+            e for e in cpu_design.debug_info.all_entries() if e.module == "Alu"
+        ]
+        assert alu_entries
+        sim = Simulator(cpu_design.low)
+        st = SQLiteSymbolTable(write_symbol_table(cpu_design))
+        seen = []
+
+        def on_hit(h):
+            seen.append(h.frames[0].instance_path)
+            return DETACH
+
+        rt = Runtime(sim, st, on_hit)
+        rt.attach()
+        e = alu_entries[0]
+        rt.add_breakpoint(e.info.filename, e.info.line)
+        sim.reset()
+        sim.run(100)
+        assert seen and seen[0] == "RV32Core.alu"
+
+    def test_benchmark_runs_with_idle_runtime(self):
+        """Fig. 5 configuration: hgdb attached, no breakpoints — the
+        benchmark result must be unaffected."""
+        bench = benchmark_by_name("median")
+        words = assemble(bench.source).words
+        design = repro.compile(RV32Core(words, mem_words=8192))
+        sim = Simulator(design.low)
+        st = SQLiteSymbolTable(write_symbol_table(design))
+        rt = Runtime(sim, st)
+        rt.attach()
+        sim.reset()
+        code = sim.run(100_000)
+        assert code == 0
+        assert sim.peek("tohost") == bench.expected
+        assert rt.stats_callbacks > 100
+        assert rt.stats_bp_evals == 0

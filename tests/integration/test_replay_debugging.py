@@ -1,0 +1,135 @@
+"""Trace-based reverse debugging end to end (paper Sec. 3.2/3.3):
+capture a VCD from a live run, then debug it offline with full
+reverse-continue across cycles."""
+
+import pytest
+
+import repro
+from repro.core import (
+    CONTINUE,
+    DETACH,
+    REVERSE_CONTINUE,
+    REVERSE_STEP,
+    STEP,
+    Runtime,
+)
+from repro.sim import Simulator
+from repro.symtable import SQLiteSymbolTable, write_symbol_table
+from repro.trace import ReplayEngine, VcdWriter
+from tests.helpers import Accumulator, line_of
+
+
+@pytest.fixture()
+def captured(tmp_path):
+    d = repro.compile(Accumulator())
+    path = str(tmp_path / "run.vcd")
+    w = VcdWriter(path)
+    sim = Simulator(d.low, trace=w)
+    sim.reset()
+    sim.poke("en", 1)
+    sim.poke("d", 5)
+    sim.step(10)
+    w.close()
+    st = SQLiteSymbolTable(write_symbol_table(d))
+    return d, path, st
+
+
+class TestOfflineDebugging:
+    def test_breakpoints_on_replay(self, captured):
+        d, path, st = captured
+        rp = ReplayEngine.from_file(path)
+        hits = []
+
+        def on_hit(h):
+            hits.append((h.time, h.frames[0].var("acc")))
+            return CONTINUE
+
+        rt = Runtime(rp, st, on_hit)
+        rt.attach()
+        _f, line = line_of(d, "acc")
+        rt.add_breakpoint("helpers.py", line)
+        rp.run()
+        # acc == 5*(t-1) for cycles 1..10 (en was high the whole run)
+        assert hits[0] == (1, 0)
+        assert hits[1] == (2, 5)
+        assert all(v == 5 * (t - 1) for t, v in hits)
+
+    def test_conditional_on_replay(self, captured):
+        d, path, st = captured
+        rp = ReplayEngine.from_file(path)
+        hits = []
+        rt = Runtime(rp, st, lambda h: (hits.append(h.time), CONTINUE)[1])
+        rt.attach()
+        _f, line = line_of(d, "acc")
+        rt.add_breakpoint("helpers.py", line, condition="acc == 25")
+        rp.run()
+        assert hits == [6]
+
+    def test_reverse_continue_over_trace(self, captured):
+        d, path, st = captured
+        rp = ReplayEngine.from_file(path)
+        seq = []
+        cmds = iter([CONTINUE, CONTINUE, REVERSE_CONTINUE, REVERSE_CONTINUE, DETACH])
+
+        def on_hit(h):
+            seq.append(h.time)
+            return next(cmds, DETACH)
+
+        rt = Runtime(rp, st, on_hit)
+        rt.attach()
+        _f, line = line_of(d, "acc")
+        rt.add_breakpoint("helpers.py", line)
+        rp.run()
+        assert seq[:3] == [1, 2, 3]
+        assert seq[3] == 2 and seq[4] == 1  # walked backwards through time
+
+    def test_reverse_step_lands_on_previous_statement(self, captured):
+        d, path, st = captured
+        rp = ReplayEngine.from_file(path)
+        seq = []
+        cmds = iter([STEP, REVERSE_STEP, DETACH])
+
+        def on_hit(h):
+            seq.append((h.time, h.line))
+            return next(cmds, DETACH)
+
+        rt = Runtime(rp, st, on_hit)
+        rt.attach()
+        _f, acc_line = line_of(d, "acc")
+        rt.add_breakpoint("helpers.py", acc_line)
+        rp.run()
+        assert seq[0][1] == acc_line
+        assert seq[2] == seq[0]  # step forward then back returns exactly
+
+    def test_set_value_rejected_on_replay(self, captured):
+        d, path, st = captured
+        rp = ReplayEngine.from_file(path)
+        rt = Runtime(rp, st)
+        from repro.sim import SimulatorError
+
+        with pytest.raises(SimulatorError):
+            rt.sim.set_value("Accumulator.d", 1)
+
+    def test_values_identical_live_vs_replay(self, captured):
+        """The invariant behind offline debugging: every frame the replay
+        runtime reconstructs equals the live one."""
+        d, path, st = captured
+        # live reference
+        live_hits = []
+        sim = Simulator(d.low)
+        rt_live = Runtime(sim, st, lambda h: (live_hits.append(h.frames[0].var("acc")), CONTINUE)[1])
+        rt_live.attach()
+        _f, line = line_of(d, "acc")
+        rt_live.add_breakpoint("helpers.py", line)
+        sim.reset()
+        sim.poke("en", 1)
+        sim.poke("d", 5)
+        sim.step(10)
+
+        rp = ReplayEngine.from_file(path)
+        replay_hits = []
+        rt_rp = Runtime(rp, st, lambda h: (replay_hits.append(h.frames[0].var("acc")), CONTINUE)[1])
+        rt_rp.attach()
+        rt_rp.add_breakpoint("helpers.py", line)
+        rp.run()
+        assert replay_hits == live_hits

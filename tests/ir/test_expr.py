@@ -1,0 +1,165 @@
+"""Tests for IR expressions and width-inference rules."""
+
+import pytest
+
+from repro.ir import expr as E
+from repro.ir.expr import Literal, PrimOp, Ref, expr_refs, map_expr, walk_expr
+from repro.ir.types import BundleType, Field, SIntType, UIntType, VecType
+
+
+def u(name, w):
+    return Ref(name, UIntType(w))
+
+
+def s(name, w):
+    return Ref(name, SIntType(w))
+
+
+class TestLiterals:
+    def test_uint_range_checked(self):
+        E.uint(255, 8)
+        with pytest.raises(ValueError):
+            E.uint(256, 8)
+        with pytest.raises(ValueError):
+            E.uint(-1, 8)
+
+    def test_sint_range_checked(self):
+        E.sint(-128, 8)
+        E.sint(127, 8)
+        with pytest.raises(ValueError):
+            E.sint(128, 8)
+        with pytest.raises(ValueError):
+            E.sint(-129, 8)
+
+
+class TestWidthInference:
+    def test_add_width(self):
+        assert E.add(u("a", 8), u("b", 4)).typ == UIntType(9)
+
+    def test_add_signed_propagates(self):
+        assert E.add(s("a", 8), u("b", 8)).typ == SIntType(9)
+
+    def test_sub_width(self):
+        assert E.sub(u("a", 3), u("b", 7)).typ == UIntType(8)
+
+    def test_mul_width(self):
+        assert E.mul(u("a", 8), u("b", 4)).typ == UIntType(12)
+
+    def test_mul_signed(self):
+        assert E.mul(s("a", 32), s("b", 32)).typ == SIntType(64)
+
+    def test_div_width(self):
+        assert E.div(u("a", 8), u("b", 4)).typ == UIntType(8)
+        assert E.div(s("a", 8), s("b", 4)).typ == SIntType(9)
+
+    def test_rem_width(self):
+        assert E.rem(u("a", 8), u("b", 4)).typ == UIntType(4)
+
+    def test_comparisons_one_bit(self):
+        for op in (E.lt, E.leq, E.gt, E.geq, E.eq, E.neq):
+            assert op(u("a", 8), s("b", 4)).typ == UIntType(1)
+
+    def test_bitwise_max_width(self):
+        assert E.and_(u("a", 8), u("b", 3)).typ == UIntType(8)
+        assert E.xor(u("a", 2), u("b", 9)).typ == UIntType(9)
+
+    def test_not_same_width_unsigned(self):
+        assert E.not_(s("a", 5)).typ == UIntType(5)
+
+    def test_neg_grows_signed(self):
+        assert E.neg(u("a", 8)).typ == SIntType(9)
+
+    def test_reductions(self):
+        for op in (E.andr, E.orr, E.xorr):
+            assert op(u("a", 9)).typ == UIntType(1)
+
+    def test_cat_width(self):
+        assert E.cat(u("a", 8), u("b", 3)).typ == UIntType(11)
+
+    def test_bits(self):
+        assert E.bits(u("a", 8), 6, 2).typ == UIntType(5)
+
+    def test_bits_bounds_checked(self):
+        with pytest.raises(ValueError):
+            E.bits(u("a", 8), 8, 0)
+        with pytest.raises(ValueError):
+            E.bits(u("a", 8), 2, 3)
+
+    def test_pad_grows_only(self):
+        assert E.pad(u("a", 8), 16).typ == UIntType(16)
+        assert E.pad(u("a", 8), 4).typ == UIntType(8)
+        assert E.pad(s("a", 8), 16).typ == SIntType(16)
+
+    def test_shl_shr(self):
+        assert E.shl(u("a", 8), 3).typ == UIntType(11)
+        assert E.shr(u("a", 8), 3).typ == UIntType(5)
+        assert E.shr(u("a", 8), 10).typ == UIntType(1)
+
+    def test_dynamic_shifts_keep_width(self):
+        assert E.dshl(u("a", 8), u("b", 3)).typ == UIntType(8)
+        assert E.dshr(s("a", 8), u("b", 3)).typ == SIntType(8)
+
+    def test_mux_width(self):
+        m = E.mux(u("c", 1), u("a", 8), u("b", 4))
+        assert m.typ == UIntType(8)
+
+    def test_mux_cond_must_be_one_bit(self):
+        with pytest.raises(TypeError):
+            E.mux(u("c", 2), u("a", 8), u("b", 8))
+
+    def test_mux_sign_mismatch_rejected(self):
+        with pytest.raises(TypeError):
+            E.mux(u("c", 1), s("a", 8), u("b", 8))
+
+    def test_casts(self):
+        assert E.as_uint(s("a", 8)).typ == UIntType(8)
+        assert E.as_sint(u("a", 8)).typ == SIntType(8)
+
+
+class TestPathExpressions:
+    def test_sub_field(self):
+        b = BundleType((Field("x", UIntType(8)),))
+        r = Ref("io", b)
+        f = E.sub_field(r, "x")
+        assert f.typ == UIntType(8)
+        assert str(f) == "io.x"
+
+    def test_sub_field_requires_bundle(self):
+        with pytest.raises(TypeError):
+            E.sub_field(u("a", 8), "x")
+
+    def test_sub_index(self):
+        v = Ref("v", VecType(UIntType(8), 4))
+        i = E.sub_index(v, 2)
+        assert i.typ == UIntType(8)
+
+    def test_sub_index_bounds(self):
+        v = Ref("v", VecType(UIntType(8), 4))
+        with pytest.raises(IndexError):
+            E.sub_index(v, 4)
+
+
+class TestTraversal:
+    def test_walk_expr_visits_all(self):
+        e = E.add(E.mul(u("a", 4), u("b", 4)), E.uint(3, 8))
+        kinds = [type(x).__name__ for x in walk_expr(e)]
+        assert kinds.count("PrimOp") == 2
+        assert kinds.count("Ref") == 2
+        assert kinds.count("Literal") == 1
+
+    def test_expr_refs(self):
+        e = E.add(E.mul(u("a", 4), u("b", 4)), u("a", 8))
+        assert expr_refs(e) == {"a", "b"}
+
+    def test_expr_refs_includes_memories(self):
+        e = E.MemRead("m", u("addr", 4), UIntType(8))
+        assert expr_refs(e) == {"m", "addr"}
+
+    def test_map_expr_identity_preserved(self):
+        e = E.add(u("a", 4), u("b", 4))
+        assert map_expr(e, lambda x: x) is e
+
+    def test_map_expr_rebuilds(self):
+        e = E.add(u("a", 4), u("b", 4))
+        swapped = map_expr(e, lambda x: u("c", 4) if x.name == "a" else x)
+        assert expr_refs(swapped) == {"b", "c"}

@@ -1,0 +1,371 @@
+"""Tests for LowerTypes, ExpandWhens, and the optimization passes."""
+
+import pytest
+
+import repro
+import repro.hgf as hgf
+from repro.ir.debug import DebugInfo
+from repro.ir.expr import Literal, PrimOp, Ref
+from repro.ir.passes import (
+    check_high_form,
+    check_low_form,
+    const_prop,
+    cse,
+    dce,
+    expand_whens,
+    lower_types,
+)
+from repro.ir.passes.inline_nodes import inline_nodes
+from repro.ir.passes.lower_types import flat_name, type_leaves
+from repro.ir.stmt import Connect, DefNode, DontTouch
+from repro.ir.types import BundleType, Field, UIntType, VecType
+
+
+class TestTypeLeaves:
+    def test_ground_single_leaf(self):
+        leaves = list(type_leaves(UIntType(8)))
+        assert leaves == [((), UIntType(8), False)]
+
+    def test_bundle_leaves_in_order(self):
+        b = BundleType((Field("a", UIntType(8)), Field("b", UIntType(1), flip=True)))
+        leaves = list(type_leaves(b))
+        assert [(p, f) for p, _t, f in leaves] == [(("a",), False), (("b",), True)]
+
+    def test_vec_leaves(self):
+        v = VecType(UIntType(4), 3)
+        assert [p for p, _t, _f in type_leaves(v)] == [("0",), ("1",), ("2",)]
+
+    def test_nested_flip_xor(self):
+        inner = BundleType((Field("x", UIntType(1), flip=True),))
+        outer = BundleType((Field("f", inner, flip=True),))
+        (_parts, _t, flipped), = type_leaves(outer)
+        assert flipped is False  # double flip cancels
+
+    def test_flat_name(self):
+        assert flat_name("io", ("a", "b")) == "io_a_b"
+        assert flat_name("io", ()) == "io"
+
+
+class _BundleMod(hgf.Module):
+    def __init__(self):
+        super().__init__()
+        self.io = self.input(
+            "io",
+            typ=hgf.Bundle(
+                a=hgf.UInt(8),
+                b=hgf.Bundle(lo=hgf.UInt(4), hi=hgf.UInt(4)),
+                out=hgf.Flip(hgf.UInt(8)),
+            ),
+        )
+        self.io.out <<= self.io.a + hgf.cat(self.io.b.hi, self.io.b.lo)
+
+
+class TestLowerTypes:
+    def test_bundle_ports_flattened(self):
+        circuit = hgf.elaborate(_BundleMod())
+        debug = DebugInfo()
+        low = lower_types(circuit, debug)
+        names = {p.name: p.direction for p in low.top.ports}
+        assert names["io_a"] == "input"
+        assert names["io_b_lo"] == "input"
+        assert names["io_out"] == "output"  # flipped
+
+    def test_rename_map_recorded(self):
+        circuit = hgf.elaborate(_BundleMod())
+        debug = DebugInfo()
+        lower_types(circuit, debug)
+        rm = debug.modules[circuit.main].rename_map
+        assert rm["io_b_hi"] == "io.b.hi"
+        assert rm["io_out"] == "io.out"
+
+    def test_vec_ports(self):
+        class VecMod(hgf.Module):
+            def __init__(self):
+                super().__init__()
+                self.v = self.input("v", typ=hgf.Vec(3, hgf.UInt(8)))
+                self.o = self.output("o", 8)
+                self.o <<= self.v[1]
+
+        circuit = hgf.elaborate(VecMod())
+        low = lower_types(circuit, DebugInfo())
+        names = [p.name for p in low.top.ports]
+        assert "v_0" in names and "v_2" in names
+
+    def test_bulk_connect_expands_with_flips(self):
+        class Child(hgf.Module):
+            def __init__(self):
+                super().__init__()
+                self.io = self.input(
+                    "io", typ=hgf.Bundle(d=hgf.UInt(8), q=hgf.Flip(hgf.UInt(8)))
+                )
+                self.io.q <<= self.io.d
+
+        class Parent(hgf.Module):
+            def __init__(self):
+                super().__init__()
+                self.io = self.input(
+                    "io", typ=hgf.Bundle(d=hgf.UInt(8), q=hgf.Flip(hgf.UInt(8)))
+                )
+                c = self.instance("c", Child())
+                c.io <<= self.io  # bulk connect with a flipped field
+
+        circuit = hgf.elaborate(Parent())
+        low = lower_types(circuit, DebugInfo())
+        # After lowering, parent drives c.io_d and reads c.io_q.
+        targets = []
+        for s in low.top.body:
+            if isinstance(s, Connect):
+                targets.append(str(s.loc))
+        assert "c.io_d" in targets
+        assert "io_q" in targets  # parent's own flipped output driven from child
+
+
+class TestExpandWhens:
+    def _compile(self, mod):
+        circuit = hgf.elaborate(mod)
+        debug = DebugInfo()
+        low = lower_types(circuit, debug)
+        low, lint = expand_whens(low, debug)
+        return low, debug, lint
+
+    def test_single_driver_per_sink(self):
+        from tests.helpers import AluLike
+
+        low, _debug, _ = self._compile(AluLike())
+        check_low_form(low)
+
+    def test_last_connect_wins(self):
+        class M(hgf.Module):
+            def __init__(self):
+                super().__init__()
+                self.o = self.output("o", 8)
+                self.o <<= 1
+                self.o <<= 2
+
+        low, _d, _ = self._compile(M())
+        final = [s for s in low.top.body if isinstance(s, Connect)]
+        (conn,) = [c for c in final if str(c.loc) == "o"]
+        # the driver chain resolves to the second ssa node
+        assert "_ssa_o_1" in str(conn.expr)
+
+    def test_enable_condition_recorded(self):
+        from tests.helpers import Accumulator
+
+        low, debug, _ = self._compile(Accumulator())
+        entries = [e for e in debug.all_entries() if e.sink == "acc"]
+        assert len(entries) == 1
+        assert entries[0].enable is not None
+        assert "(en == 1)" == entries[0].enable_src
+
+    def test_else_branch_negated_enable(self):
+        from tests.helpers import AluLeaf
+
+        low, debug, _ = self._compile(AluLeaf())
+        entries = [e for e in debug.all_entries() if e.sink == "o"]
+        assert len(entries) == 2
+        assert entries[0].enable_src == "(i > 2)"
+        assert entries[1].enable_src == "!(i > 2)"
+
+    def test_unconnected_wire_lints_and_defaults(self):
+        class M(hgf.Module):
+            def __init__(self):
+                super().__init__()
+                self.o = self.output("o", 8)
+                w = self.wire("w", 8)
+                self.o <<= w
+
+        low, _d, lint = self._compile(M())
+        assert any("never driven" in w for w in lint)
+        check_low_form(low)
+
+    def test_register_holds_without_connect(self):
+        class M(hgf.Module):
+            def __init__(self):
+                super().__init__()
+                self.en = self.input("en", 1)
+                self.o = self.output("o", 8)
+                r = self.reg("r", 8, init=0)
+                with self.when(self.en == 1):
+                    r <<= r + 1
+                self.o <<= r
+
+        low, _d, _ = self._compile(M())
+        # register's driver is a mux whose false branch is the register
+        conns = {str(s.loc): s for s in low.top.body if isinstance(s, Connect)}
+        assert "mux" in str(conns["r"].expr)
+
+    def test_listing12_ssa_versions(self):
+        """Paper Listings 1/2: the loop unrolls into versioned nodes with
+        per-iteration enable conditions."""
+        from tests.helpers import SumLoop
+
+        low, debug, _ = self._compile(SumLoop(2))
+        sums = [e for e in debug.all_entries() if e.sink == "sum"]
+        # sum_0 (init), sum_1, sum_2 — one per unrolled iteration.
+        assert len(sums) == 3
+        nodes = [e.node for e in sums]
+        assert nodes == ["sum_0", "sum_1", "sum_2"]
+        # iterations carry the data[i] % 2 enable conditions
+        assert "data[0]" in (sums[1].enable_src or "")
+        assert "data[1]" in (sums[2].enable_src or "")
+
+    def test_listing12_var_map_context(self):
+        """At each statement, `sum` maps to the version *before* it."""
+        from tests.helpers import SumLoop
+
+        low, debug, _ = self._compile(SumLoop(2))
+        sums = [e for e in debug.all_entries() if e.sink == "sum"]
+        assert sums[1].var_map.get("sum") == "sum_0"
+        assert sums[2].var_map.get("sum") == "sum_1"
+
+
+class TestOptimizations:
+    def _lowered(self, mod, annotations=None):
+        circuit = hgf.elaborate(mod)
+        debug = DebugInfo()
+        low = lower_types(circuit, debug)
+        low, _ = expand_whens(low, debug)
+        if annotations:
+            low.annotations.extend(annotations)
+        return low, debug
+
+    def test_const_prop_folds_literals(self):
+        class M(hgf.Module):
+            def __init__(self):
+                super().__init__()
+                self.o = self.output("o", 8)
+                a = self.node("a", self.lit(3, 8))
+                b = self.node("b", (a + 4)[7:0])
+                self.o <<= b
+
+        low, _ = self._lowered(M())
+        low = const_prop(low)
+        node_b = [s for s in low.top.body if isinstance(s, DefNode) and s.name == "b"]
+        assert isinstance(node_b[0].value, Literal)
+        assert node_b[0].value.value == 7
+
+    def test_const_prop_respects_dont_touch(self):
+        class M(hgf.Module):
+            def __init__(self):
+                super().__init__()
+                self.o = self.output("o", 8)
+                a = self.node("a", self.lit(3, 8))
+                self.o <<= (a + 1)[7:0]
+
+        low, _ = self._lowered(M())
+        low.annotations.append(DontTouch(low.main, "a"))
+        low = const_prop(low)
+        # 'a' itself still exists and its use is not folded into a literal
+        conns = [s for s in low.top.body if isinstance(s, Connect) and str(s.loc) == "o"]
+        assert not isinstance(conns[0].expr, Literal)
+
+    def test_cse_merges_duplicates(self):
+        class M(hgf.Module):
+            def __init__(self):
+                super().__init__()
+                self.a = self.input("a", 8)
+                self.o1 = self.output("o1", 9)
+                self.o2 = self.output("o2", 9)
+                x = self.node("x", self.a + 1)
+                y = self.node("y", self.a + 1)
+                self.o1 <<= x
+                self.o2 <<= y
+
+        low, _ = self._lowered(M())
+        low, renames = cse(low)
+        assert renames[low.main].get("y") == "x"
+        names = [s.name for s in low.top.body if isinstance(s, DefNode)]
+        assert "y" not in names
+
+    def test_dce_removes_unused(self):
+        class M(hgf.Module):
+            def __init__(self):
+                super().__init__()
+                self.a = self.input("a", 8)
+                self.o = self.output("o", 8)
+                dead = self.node("dead", self.a + 1)
+                self.o <<= self.a
+
+        low, _ = self._lowered(M())
+        low, alive = dce(low)
+        names = [s.name for s in low.top.body if isinstance(s, DefNode)]
+        assert "dead" not in names
+        assert "dead" not in alive[low.main]
+
+    def test_dce_keeps_dont_touch(self):
+        class M(hgf.Module):
+            def __init__(self):
+                super().__init__()
+                self.a = self.input("a", 8)
+                self.o = self.output("o", 8)
+                dead = self.node("dead", self.a + 1)
+                self.o <<= self.a
+
+        low, _ = self._lowered(M())
+        low.annotations.append(DontTouch(low.main, "dead"))
+        low, _alive = dce(low)
+        names = [s.name for s in low.top.body if isinstance(s, DefNode)]
+        assert "dead" in names
+
+    def test_inline_single_use(self):
+        class M(hgf.Module):
+            def __init__(self):
+                super().__init__()
+                self.a = self.input("a", 8)
+                self.o = self.output("o", 9)
+                x = self.node("x", self.a + 1)
+                self.o <<= x
+
+        low, _ = self._lowered(M())
+        low = inline_nodes(low)
+        names = {s.name for s in low.top.body if isinstance(s, DefNode)}
+        assert all(n.startswith("_ssa") for n in names) or "x" not in names
+
+    def test_inline_keeps_multi_use(self):
+        class M(hgf.Module):
+            def __init__(self):
+                super().__init__()
+                self.a = self.input("a", 8)
+                self.o1 = self.output("o1", 9)
+                self.o2 = self.output("o2", 9)
+                x = self.node("x", self.a + 1)
+                self.o1 <<= x
+                self.o2 <<= x
+
+        low, _ = self._lowered(M())
+        low = inline_nodes(low)
+        names = {s.name for s in low.top.body if isinstance(s, DefNode)}
+        assert "x" in names
+
+
+class TestCompilePipeline:
+    def test_debug_mode_keeps_more_entries(self):
+        from tests.helpers import TwoLeaves
+
+        opt = repro.compile(TwoLeaves())
+        dbg = repro.compile(TwoLeaves(), debug=True)
+        assert len(dbg.debug_info.all_entries()) >= len(opt.debug_info.all_entries())
+
+    def test_optimized_drops_constant_statements(self):
+        class M(hgf.Module):
+            def __init__(self):
+                super().__init__()
+                self.o = self.output("o", 8)
+                self.o <<= 42  # constant: optimized away in release mode
+
+        opt = repro.compile(M())
+        dbg = repro.compile(M(), debug=True)
+        assert len(opt.debug_info.all_entries()) < len(dbg.debug_info.all_entries())
+
+    def test_low_form_valid_both_modes(self):
+        from tests.helpers import Counter
+
+        for debug in (False, True):
+            d = repro.compile(Counter(), debug=debug)
+            check_low_form(d.low)
+
+    def test_high_form_checked(self):
+        from tests.helpers import Counter
+
+        d = repro.compile(Counter())
+        check_high_form(d.high)

@@ -1,0 +1,100 @@
+"""Tests for the IR type system."""
+
+import pytest
+
+from repro.ir.types import (
+    BundleType,
+    ClockType,
+    Field,
+    ResetType,
+    SIntType,
+    UIntType,
+    VecType,
+    ground_like,
+    is_signed,
+    mask_for,
+)
+
+
+class TestGroundTypes:
+    def test_uint_width(self):
+        assert UIntType(8).bit_width() == 8
+        assert UIntType(1).bit_width() == 1
+
+    def test_sint_width(self):
+        assert SIntType(16).bit_width() == 16
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ValueError):
+            UIntType(0)
+        with pytest.raises(ValueError):
+            SIntType(-3)
+
+    def test_ground_flags(self):
+        assert UIntType(4).is_ground()
+        assert SIntType(4).is_ground()
+        assert ClockType().is_ground()
+        assert ResetType().is_ground()
+
+    def test_clock_reset_one_bit(self):
+        assert ClockType().bit_width() == 1
+        assert ResetType().bit_width() == 1
+
+    def test_signedness(self):
+        assert is_signed(SIntType(3))
+        assert not is_signed(UIntType(3))
+        assert not is_signed(ClockType())
+
+    def test_equality_is_structural(self):
+        assert UIntType(8) == UIntType(8)
+        assert UIntType(8) != UIntType(9)
+        assert UIntType(8) != SIntType(8)
+
+    def test_str(self):
+        assert str(UIntType(8)) == "UInt<8>"
+        assert str(SIntType(2)) == "SInt<2>"
+
+
+class TestAggregates:
+    def test_bundle_field_lookup(self):
+        b = BundleType((Field("a", UIntType(8)), Field("b", UIntType(1), flip=True)))
+        assert b.field("a").typ == UIntType(8)
+        assert b.field("b").flip
+        assert b.has_field("a") and not b.has_field("c")
+
+    def test_bundle_missing_field(self):
+        b = BundleType((Field("a", UIntType(8)),))
+        with pytest.raises(KeyError):
+            b.field("nope")
+
+    def test_bundle_width_sums(self):
+        b = BundleType((Field("a", UIntType(8)), Field("b", UIntType(3))))
+        assert b.bit_width() == 11
+
+    def test_bundle_not_ground(self):
+        b = BundleType((Field("a", UIntType(8)),))
+        assert not b.is_ground()
+
+    def test_vec_width(self):
+        v = VecType(UIntType(8), 4)
+        assert v.bit_width() == 32
+        assert not v.is_ground()
+
+    def test_vec_size_positive(self):
+        with pytest.raises(ValueError):
+            VecType(UIntType(8), 0)
+
+    def test_nested_aggregate_width(self):
+        inner = BundleType((Field("x", UIntType(4)), Field("y", SIntType(4))))
+        outer = VecType(inner, 3)
+        assert outer.bit_width() == 24
+
+
+class TestHelpers:
+    def test_ground_like_preserves_sign(self):
+        assert ground_like(SIntType(4), 9) == SIntType(9)
+        assert ground_like(UIntType(4), 9) == UIntType(9)
+
+    def test_mask_for(self):
+        assert mask_for(UIntType(4)) == 0xF
+        assert mask_for(SIntType(8)) == 0xFF

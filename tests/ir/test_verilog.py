@@ -1,0 +1,137 @@
+"""Verilog emission tests (structure, not simulation — our simulator
+executes the IR directly; the emitter exists for interop and for the
+Listing 4 readability contrast)."""
+
+import re
+
+import pytest
+
+import repro
+import repro.hgf as hgf
+from repro.ir.verilog import emit_verilog
+from tests.helpers import AluLike, Counter, TwoLeaves
+
+
+def _emit(mod, debug=False) -> str:
+    return repro.compile(mod, debug=debug).verilog()
+
+
+class TestModuleStructure:
+    def test_module_ports(self):
+        v = _emit(Counter())
+        assert "module Counter (" in v
+        assert "input clock" in v
+        assert "output [7:0] out" in v
+        assert v.strip().endswith("endmodule")
+
+    def test_one_bit_ports_have_no_range(self):
+        v = _emit(Counter())
+        assert re.search(r"input en", v)
+        assert "[0:0]" not in v
+
+    def test_register_always_block(self):
+        v = _emit(Counter())
+        assert "always @(posedge clock)" in v
+        assert "if (reset) count <= 8'h0;" in v
+
+    def test_wire_assignments(self):
+        v = _emit(AluLike())
+        assert "assign res = " in v
+
+    def test_instances_wired(self):
+        v = _emit(TwoLeaves())
+        # two child modules + instantiations with port maps
+        assert v.count("module ") == 3
+        assert ".i(" in v and ".o(" in v
+        assert re.search(r"AluLeaf\w* a \(", v)
+
+    def test_memory_decl_and_init(self):
+        class M(hgf.Module):
+            def __init__(self):
+                super().__init__()
+                self.a = self.input("a", 2)
+                self.o = self.output("o", 8)
+                rom = self.mem("rom", 8, 4, init=[1, 2, 3, 4])
+                self.o <<= rom[self.a]
+
+        v = _emit(M())
+        assert "reg [7:0] rom [0:3];" in v
+        assert "initial begin" in v
+        assert "rom[2] = 8'h3;" in v
+
+    def test_mem_write_in_always(self):
+        class M(hgf.Module):
+            def __init__(self):
+                super().__init__()
+                self.en = self.input("en", 1)
+                self.d = self.input("d", 8)
+                self.o = self.output("o", 8)
+                m = self.mem("m", 8, 4)
+                m.write(self.lit(0, 2), self.d, self.en)
+                self.o <<= m[0]
+
+        v = _emit(M())
+        assert re.search(r"if \(.*\) m\[.*\] <= ", v)
+
+    def test_stop_emits_finish(self):
+        class M(hgf.Module):
+            def __init__(self):
+                super().__init__()
+                self.go = self.input("go", 1)
+                self.o = self.output("o", 1)
+                self.o <<= 0
+                self.stop(self.go == 1, 0)
+
+        v = _emit(M())
+        assert "$finish;" in v
+
+    def test_printf_emits_display(self):
+        class M(hgf.Module):
+            def __init__(self):
+                super().__init__()
+                self.a = self.input("a", 8)
+                self.o = self.output("o", 8)
+                self.o <<= self.a
+                self.printf(self.a == 1, "a={}", self.a)
+
+        v = _emit(M())
+        assert '$display("a=%d"' in v
+
+
+class TestExpressions:
+    def test_signed_operands_wrapped(self):
+        class M(hgf.Module):
+            def __init__(self):
+                super().__init__()
+                self.a = self.input("a", typ=hgf.SInt(8))
+                self.b = self.input("b", typ=hgf.SInt(8))
+                self.lt = self.output("lt", 1)
+                self.lt <<= self.a < self.b
+
+        v = _emit(M())
+        assert "$signed" in v
+
+    def test_literal_format(self):
+        class M(hgf.Module):
+            def __init__(self):
+                super().__init__()
+                self.o = self.output("o", 8)
+                self.o <<= 0xAB
+
+        v = _emit(M(), debug=True)  # keep the literal un-folded path visible
+        assert "8'hab" in v
+
+    def test_mux_ternary(self):
+        v = _emit(AluLike())
+        assert "?" in v and ":" in v
+
+    def test_cat_braces(self):
+        v = _emit(TwoLeaves())
+        assert re.search(r"\{.*, .*\}", v)
+
+    def test_listing4_contrast(self):
+        """The debug build's Verilog is visibly generator output: SSA temps
+        everywhere and no trace of the when-structure."""
+        v = _emit(AluLike(), debug=True)
+        assert v.count("_ssa_") >= 4
+        assert "when" not in v

@@ -1,0 +1,113 @@
+"""Unit tests for the unified simulator interface surface itself."""
+
+import pytest
+
+import repro
+from repro.sim import Simulator
+from repro.sim.interface import (
+    HierNode,
+    SignalInfo,
+    SimulationFinished,
+    SimulatorError,
+    SimulatorInterface,
+)
+from tests.helpers import Counter, TwoLeaves
+
+
+class TestHierNode:
+    def _tree(self) -> HierNode:
+        root = HierNode("top", "top", "Top")
+        a = HierNode("a", "top.a", "A")
+        b = HierNode("b", "top.b", "B")
+        ab = HierNode("x", "top.a.x", "X")
+        a.children.append(ab)
+        root.children.extend([a, b])
+        return root
+
+    def test_find_self(self):
+        t = self._tree()
+        assert t.find("top") is t
+
+    def test_find_nested(self):
+        t = self._tree()
+        assert t.find("top.a.x").module == "X"
+
+    def test_find_missing(self):
+        t = self._tree()
+        assert t.find("top.c") is None
+        assert t.find("top.a.y") is None
+
+    def test_find_no_prefix_confusion(self):
+        root = HierNode("t", "t", "T")
+        root.children.append(HierNode("ab", "t.ab", "AB"))
+        root.children.append(HierNode("a", "t.a", "A"))
+        assert root.find("t.a").module == "A"
+        assert root.find("t.ab").module == "AB"
+
+    def test_walk_preorder(self):
+        t = self._tree()
+        assert [n.path for n in t.walk()] == ["top", "top.a", "top.a.x", "top.b"]
+
+
+class TestInterfaceDefaults:
+    class _Minimal(SimulatorInterface):
+        def get_value(self, path):
+            return 0
+
+        def hierarchy(self):
+            return HierNode("m", "m", "M")
+
+        def clock_name(self):
+            return "m.clock"
+
+        def add_clock_callback(self, fn):
+            return 1
+
+        def remove_clock_callback(self, cb_id):
+            pass
+
+        def get_time(self):
+            return 0
+
+    def test_set_value_default_rejected(self):
+        m = self._Minimal()
+        assert not m.can_set_value
+        with pytest.raises(SimulatorError):
+            m.set_value("x", 1)
+
+    def test_set_time_default_rejected(self):
+        m = self._Minimal()
+        assert not m.can_set_time
+        with pytest.raises(SimulatorError):
+            m.set_time(3)
+
+    def test_not_replay_by_default(self):
+        assert not self._Minimal().is_replay
+
+    def test_finished_exception_carries_code(self):
+        exc = SimulationFinished(3, 42)
+        assert exc.exit_code == 3 and exc.time == 42
+
+
+class TestDesignApi:
+    def test_design_accessors(self):
+        d = repro.compile(Counter())
+        assert d.name == "Counter"
+        assert d.high.main == "Counter"
+        assert d.low.main == "Counter"
+        assert d.debug_info.all_entries()
+        assert any(True for _ in d.annotations)
+
+    def test_compile_name_override(self):
+        d = repro.compile(Counter(), name="DUT")
+        assert d.name == "DUT"
+        sim = Simulator(d.low)
+        assert sim.clock_name() == "DUT.clock"
+
+    def test_signal_info_metadata(self):
+        d = repro.compile(TwoLeaves())
+        sim = Simulator(d.low)
+        infos = {s.path: s for s in sim.design.signals}
+        assert infos["TwoLeaves.x"].kind == "input"
+        assert infos["TwoLeaves.y"].kind == "output"
+        assert infos["TwoLeaves.a.o"].width == 4

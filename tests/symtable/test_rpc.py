@@ -1,0 +1,87 @@
+"""RPC symbol table tests: native vs RPC answers must be identical
+(paper Fig. 1: the symbol table is queried 'Native' or via 'RPC')."""
+
+import pytest
+
+import repro
+from repro.symtable import (
+    RPCSymbolTable,
+    SQLiteSymbolTable,
+    SymbolTableServer,
+    write_symbol_table,
+)
+from tests.helpers import TwoLeaves, line_of
+
+
+@pytest.fixture()
+def served():
+    d = repro.compile(TwoLeaves())
+    st = SQLiteSymbolTable(write_symbol_table(d))
+    server = SymbolTableServer(st)
+    server.start()
+    client = RPCSymbolTable(*server.address)
+    yield d, st, client
+    client.close()
+    server.stop()
+
+
+class TestParity:
+    def test_top_name(self, served):
+        _d, st, cli = served
+        assert cli.top_name() == st.top_name()
+
+    def test_instances(self, served):
+        _d, st, cli = served
+        assert cli.instances() == st.instances()
+
+    def test_all_breakpoints(self, served):
+        _d, st, cli = served
+        assert cli.all_breakpoints() == st.all_breakpoints()
+
+    def test_breakpoints_at(self, served):
+        d, st, cli = served
+        filename, line = line_of(d, "o")
+        assert cli.breakpoints_at(filename, line) == st.breakpoints_at(filename, line)
+
+    def test_scope_variables(self, served):
+        d, st, cli = served
+        bp = st.all_breakpoints()[0]
+        assert cli.scope_variables(bp.id) == st.scope_variables(bp.id)
+
+    def test_resolvers(self, served):
+        d, st, cli = served
+        filename, line = line_of(d, "o")
+        bp = st.breakpoints_at(filename, line)[0]
+        assert cli.resolve_scoped_var(bp.id, "i") == st.resolve_scoped_var(bp.id, "i")
+        top = st.instances()[0]
+        assert cli.resolve_instance_var(top.id, "x") == st.resolve_instance_var(top.id, "x")
+
+    def test_filenames_lines(self, served):
+        _d, st, cli = served
+        assert cli.filenames() == st.filenames()
+        f = st.filenames()[0]
+        assert cli.breakpoint_lines(f) == st.breakpoint_lines(f)
+
+
+class TestProtocol:
+    def test_unknown_method_errors(self, served):
+        _d, _st, cli = served
+        with pytest.raises(RuntimeError, match="unknown method"):
+            cli._call("drop_tables")
+
+    def test_server_side_exception_propagates(self, served):
+        _d, _st, cli = served
+        with pytest.raises(RuntimeError):
+            cli._call("breakpoints_at")  # missing params
+
+    def test_runtime_accepts_rpc_table(self, served):
+        """The hgdb runtime works identically over an RPC symbol table."""
+        from repro.core import Runtime
+        from repro.sim import Simulator
+
+        d, _st, cli = served
+        sim = Simulator(d.low)
+        rt = Runtime(sim, cli)
+        filename, line = line_of(d, "o")
+        bps = rt.add_breakpoint(filename, line)
+        assert len(bps) == 2

@@ -1,0 +1,76 @@
+"""CLI tests: info, vcd-info, and scripted replay sessions."""
+
+import pytest
+
+import repro
+from repro.cli import main
+from repro.sim import Simulator
+from repro.symtable import write_symbol_table
+from repro.trace import VcdWriter
+from tests.helpers import Accumulator, line_of
+
+
+@pytest.fixture()
+def artifacts(tmp_path):
+    """A symbol table + VCD pair on disk, as a real workflow produces."""
+    d = repro.compile(Accumulator())
+    sym = str(tmp_path / "symbols.db")
+    write_symbol_table(d, sym)
+    vcd = str(tmp_path / "run.vcd")
+    w = VcdWriter(vcd)
+    sim = Simulator(d.low, trace=w)
+    sim.reset()
+    sim.poke("en", 1)
+    sim.poke("d", 5)
+    sim.step(6)
+    w.close()
+    return d, sym, vcd
+
+
+class TestInfo:
+    def test_symbol_table_summary(self, artifacts, capsys):
+        _d, sym, _vcd = artifacts
+        assert main(["info", sym]) == 0
+        out = capsys.readouterr().out
+        assert "top module : Accumulator" in out
+        assert "breakpoints:" in out
+        assert "helpers.py" in out
+
+    def test_vcd_summary(self, artifacts, capsys):
+        _d, _sym, vcd = artifacts
+        assert main(["vcd-info", vcd]) == 0
+        out = capsys.readouterr().out
+        assert "clock    : Accumulator.clock" in out
+        assert "scope Accumulator" in out
+
+    def test_missing_file(self, tmp_path, capsys):
+        assert main(["vcd-info", str(tmp_path / "nope.vcd")]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestReplay:
+    def test_scripted_session(self, artifacts, capsys):
+        d, sym, vcd = artifacts
+        _f, line = line_of(d, "acc")
+        rc = main(
+            [
+                "replay", vcd, sym,
+                "-b", f"helpers.py:{line}",
+                "-c", "locals; c; p acc; q",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "replaying" in out
+        assert "stopped at helpers.py" in out
+        assert "acc = " in out
+
+    def test_no_breakpoints_runs_through(self, artifacts, capsys):
+        _d, sym, vcd = artifacts
+        assert main(["replay", vcd, sym, "-c", "q"]) == 0
+        out = capsys.readouterr().out
+        assert "replay finished" in out
+
+    def test_explicit_clock(self, artifacts):
+        _d, sym, vcd = artifacts
+        assert main(["replay", vcd, sym, "--clock", "Accumulator.clock", "-c", "q"]) == 0

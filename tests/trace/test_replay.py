@@ -1,0 +1,136 @@
+"""Replay engine tests: the trace backend of the unified interface."""
+
+import pytest
+
+import repro
+from repro.sim import Simulator, SimulatorError
+from repro.trace import ReplayEngine, VcdWriter, parse_vcd
+from tests.helpers import Counter, TwoLeaves
+
+
+@pytest.fixture()
+def counter_trace(tmp_path):
+    d = repro.compile(Counter())
+    path = str(tmp_path / "c.vcd")
+    w = VcdWriter(path)
+    sim = Simulator(d.low, trace=w)
+    sim.reset()
+    sim.poke("en", 1)
+    sim.step(10)
+    sim.poke("en", 0)
+    sim.step(2)
+    w.close()
+    return path
+
+
+class TestReplayBasics:
+    def test_cycle_count(self, counter_trace):
+        rp = ReplayEngine.from_file(counter_trace)
+        assert rp.n_cycles == 13  # reset + 10 + 2
+
+    def test_get_value_matches_live(self, counter_trace):
+        rp = ReplayEngine.from_file(counter_trace)
+        rp.set_time(6)
+        assert rp.get_value("Counter.out") == 5
+
+    def test_random_access_both_directions(self, counter_trace):
+        rp = ReplayEngine.from_file(counter_trace)
+        rp.set_time(9)
+        v9 = rp.get_value("Counter.out")
+        rp.set_time(3)
+        v3 = rp.get_value("Counter.out")
+        rp.set_time(9)
+        assert rp.get_value("Counter.out") == v9
+        assert v3 < v9
+
+    def test_set_time_bounds(self, counter_trace):
+        rp = ReplayEngine.from_file(counter_trace)
+        with pytest.raises(SimulatorError):
+            rp.set_time(-1)
+        with pytest.raises(SimulatorError):
+            rp.set_time(999)
+
+    def test_is_replay_flags(self, counter_trace):
+        rp = ReplayEngine.from_file(counter_trace)
+        assert rp.is_replay
+        assert rp.can_set_time
+        assert not rp.can_set_value
+        with pytest.raises(SimulatorError):
+            rp.set_value("Counter.out", 1)
+
+    def test_unknown_signal(self, counter_trace):
+        rp = ReplayEngine.from_file(counter_trace)
+        with pytest.raises(SimulatorError):
+            rp.get_value("Counter.bogus")
+
+
+class TestReplayCallbacks:
+    def test_callbacks_fire_per_cycle(self, counter_trace):
+        rp = ReplayEngine.from_file(counter_trace)
+        hits = []
+        rp.add_clock_callback(lambda s: hits.append(s.get_time()))
+        rp.run(5)
+        assert hits == [1, 2, 3, 4, 5]
+
+    def test_run_to_end_sets_at_end(self, counter_trace):
+        rp = ReplayEngine.from_file(counter_trace)
+        rp.run()
+        assert rp.at_end
+
+    def test_callback_removal(self, counter_trace):
+        rp = ReplayEngine.from_file(counter_trace)
+        hits = []
+        cb = rp.add_clock_callback(lambda s: hits.append(1))
+        rp.step()
+        rp.remove_clock_callback(cb)
+        rp.step()
+        assert len(hits) == 1
+
+
+class TestReplayHierarchy:
+    def test_hierarchy_from_scopes(self, tmp_path):
+        d = repro.compile(TwoLeaves())
+        path = str(tmp_path / "t.vcd")
+        w = VcdWriter(path)
+        sim = Simulator(d.low, trace=w)
+        sim.reset()
+        sim.step(2)
+        w.close()
+        rp = ReplayEngine.from_file(path)
+        paths = [n.path for n in rp.hierarchy().walk()]
+        assert paths == ["TwoLeaves", "TwoLeaves.a", "TwoLeaves.b"]
+
+    def test_clock_name(self, counter_trace):
+        rp = ReplayEngine.from_file(counter_trace)
+        assert rp.clock_name() == "Counter.clock"
+
+    def test_explicit_clock_path(self, counter_trace):
+        rp = ReplayEngine.from_file(counter_trace, clock_path="Counter.clock")
+        assert rp.n_cycles == 13
+
+    def test_bad_clock_path(self, counter_trace):
+        with pytest.raises(SimulatorError):
+            ReplayEngine.from_file(counter_trace, clock_path="no.such.clock")
+
+
+class TestLiveVsReplayEquivalence:
+    def test_every_cycle_matches(self, tmp_path):
+        """Replay must report exactly what the live simulator showed at
+        each posedge — the contract that makes offline debugging sound."""
+        d = repro.compile(Counter())
+        path = str(tmp_path / "c.vcd")
+        w = VcdWriter(path)
+        sim = Simulator(d.low, trace=w)
+        live: list[tuple[int, int]] = []
+        sim.add_clock_callback(
+            lambda s: live.append((s.get_time(), s.get_value("Counter.count")))
+        )
+        sim.reset()
+        sim.poke("en", 1)
+        sim.step(7)
+        w.close()
+
+        rp = ReplayEngine.from_file(path)
+        for t, v in live:
+            rp.set_time(t)
+            assert rp.get_value("Counter.count") == v, f"cycle {t}"

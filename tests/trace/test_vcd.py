@@ -1,0 +1,163 @@
+"""VCD writer/parser round-trip tests plus parser robustness."""
+
+import io
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.sim import Simulator
+from repro.trace import VcdParseError, VcdWriter, parse_vcd
+from repro.trace.vcd import _ident
+from tests.helpers import Counter, TwoLeaves
+
+
+def _trace_counter(tmp_path, cycles=8):
+    d = repro.compile(Counter())
+    path = str(tmp_path / "c.vcd")
+    w = VcdWriter(path)
+    sim = Simulator(d.low, trace=w)
+    sim.reset()
+    sim.poke("en", 1)
+    sim.step(cycles)
+    w.close()
+    return path, sim
+
+
+class TestIdent:
+    def test_unique_and_printable(self):
+        ids = [_ident(i) for i in range(500)]
+        assert len(set(ids)) == 500
+        for s in ids:
+            assert all(33 <= ord(c) <= 126 for c in s)
+
+
+class TestWriter:
+    def test_header_structure(self, tmp_path):
+        path, _ = _trace_counter(tmp_path)
+        text = open(path).read()
+        assert "$scope module Counter $end" in text
+        assert "$enddefinitions $end" in text
+        assert "$dumpvars" in text
+
+    def test_nested_scopes(self, tmp_path):
+        d = repro.compile(TwoLeaves())
+        path = str(tmp_path / "t.vcd")
+        w = VcdWriter(path)
+        sim = Simulator(d.low, trace=w)
+        sim.reset()
+        sim.step(2)
+        w.close()
+        text = open(path).read()
+        assert text.count("$scope module") == 3
+
+    def test_stream_target(self):
+        buf = io.StringIO()
+        d = repro.compile(Counter())
+        w = VcdWriter(stream=buf)
+        sim = Simulator(d.low, trace=w)
+        sim.reset()
+        sim.step(2)
+        w.close()
+        assert "$var" in buf.getvalue()
+
+    def test_exclusive_args(self):
+        with pytest.raises(ValueError):
+            VcdWriter()
+        with pytest.raises(ValueError):
+            VcdWriter("x.vcd", io.StringIO())
+
+
+class TestRoundTrip:
+    def test_values_recoverable(self, tmp_path):
+        path, sim = _trace_counter(tmp_path, cycles=10)
+        vcd = parse_vcd(open(path).read())
+        out = vcd.by_path["Counter.out"]
+        # At VCD time 2k the stable pre-edge value of cycle k is dumped;
+        # out == k - 1 for k >= 1 (reset consumed cycle 0).
+        assert out.value_at(0) == 0
+        assert out.value_at(2 * 5) == 4
+        assert out.value_at(2 * 10) == 9
+
+    def test_clock_edges_present(self, tmp_path):
+        path, _ = _trace_counter(tmp_path, cycles=4)
+        vcd = parse_vcd(open(path).read())
+        clk = vcd.find_clock()
+        assert clk is not None
+        rising = [t for t, v in zip(clk.times, clk.values) if v == 1]
+        assert len(rising) == 5  # reset cycle + 4 steps
+
+    def test_hierarchy_preserved(self, tmp_path):
+        d = repro.compile(TwoLeaves())
+        path = str(tmp_path / "t.vcd")
+        w = VcdWriter(path)
+        sim = Simulator(d.low, trace=w)
+        sim.reset()
+        sim.step(2)
+        w.close()
+        vcd = parse_vcd(open(path).read())
+        assert "TwoLeaves.a.o" in vcd.by_path
+        assert "TwoLeaves.b.i" in vcd.by_path
+
+
+class TestParser:
+    def test_x_z_read_as_zero(self):
+        vcd = parse_vcd(
+            "$var wire 4 ! sig $end\n$enddefinitions $end\n"
+            "#0\nbx01z !\n#2\nb1111 !\n"
+        )
+        sig = vcd.signals["!"]
+        assert sig.value_at(0) == 0b0010
+        assert sig.value_at(2) == 0xF
+
+    def test_scalar_changes(self):
+        vcd = parse_vcd(
+            "$var wire 1 ! clk $end\n$enddefinitions $end\n"
+            "#0\n0!\n#1\n1!\n#2\n0!\n"
+        )
+        sig = vcd.signals["!"]
+        assert sig.value_at(1) == 1
+        assert sig.value_at(2) == 0
+
+    def test_value_before_first_change_is_zero(self):
+        vcd = parse_vcd(
+            "$var wire 8 ! s $end\n$enddefinitions $end\n#5\nb101 !\n"
+        )
+        assert vcd.signals["!"].value_at(3) == 0
+        assert vcd.signals["!"].value_at(5) == 5
+
+    def test_unknown_ident_rejected(self):
+        with pytest.raises(VcdParseError):
+            parse_vcd("$enddefinitions $end\n#0\n1?\n")
+
+    def test_alias_vars_share_signal(self):
+        vcd = parse_vcd(
+            "$scope module a $end\n$var wire 1 ! x $end\n$upscope $end\n"
+            "$scope module b $end\n$var wire 1 ! y $end\n$upscope $end\n"
+            "$enddefinitions $end\n#0\n1!\n"
+        )
+        assert vcd.by_path["a.x"] is vcd.by_path["b.y"]
+
+    def test_end_time_tracked(self):
+        vcd = parse_vcd("$enddefinitions $end\n#0\n#42\n")
+        assert vcd.end_time == 42
+
+    def test_same_time_overwrite(self):
+        vcd = parse_vcd(
+            "$var wire 4 ! s $end\n$enddefinitions $end\n#0\nb1 !\nb10 !\n"
+        )
+        assert vcd.signals["!"].value_at(0) == 2
+
+    @given(values=st.lists(st.integers(0, 255), min_size=1, max_size=30))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_values_property(self, values):
+        """Any change sequence written in VCD form parses back exactly."""
+        lines = ["$var wire 8 ! s $end", "$enddefinitions $end"]
+        for t, v in enumerate(values):
+            lines.append(f"#{t}")
+            lines.append(f"b{v:b} !")
+        vcd = parse_vcd("\n".join(lines))
+        sig = vcd.signals["!"]
+        for t, v in enumerate(values):
+            assert sig.value_at(t) == v
