@@ -1,0 +1,202 @@
+"""Fast-path speedups: dirty-set incremental comb + compiled conditions.
+
+The per-cycle hot paths this repository compiles away (see
+``docs/performance.md``):
+
+* ``poke``/``set_value`` re-evaluated the *entire* combinational schedule;
+  the fast path re-evaluates only the poked signal's fanout cone.  The
+  acceptance bar: >= 2x on a poke-heavy workload driving a single input of
+  the CPU case-study design.
+* breakpoint enable/user conditions were tree-walked with per-evaluation
+  name resolution; compiled conditions evaluate a whole scheduling group
+  as one exec-compiled closure over pre-resolved value-table indices.  The
+  acceptance bar: >= 1.5x on per-cycle condition evaluation.
+
+Both comparisons run the exact same workload through the reference
+implementation (``fast=False`` / ``compile_conditions=False``), and both
+cross-check that the two paths computed identical results before asserting
+on timing.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import repro
+import repro.hgf as hgf
+from repro.core import CONTINUE, Runtime
+from repro.sim import Simulator
+from repro.symtable import SQLiteSymbolTable, write_symbol_table
+
+_SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+_POKE_CYCLES = 20 if _SMOKE else 300
+_POKES_PER_CYCLE = 4
+_COND_ITERS = 100 if _SMOKE else 3000
+_REPEATS = 1 if _SMOKE else 3
+
+
+def _best_of(fn, *args) -> float:
+    best = float("inf")
+    for _ in range(_REPEATS):
+        t0 = time.perf_counter()
+        fn(*args)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+# -- poke-heavy workload on the CPU case study -----------------------------
+
+
+def _poke_workload(sim, cycles: int) -> None:
+    """A testbench-style loop: re-drive an input several times per cycle,
+    then clock.  ``reset`` is the CPU's only data-free input, and its comb
+    fanout cone is tiny — exactly the case the dirty-set path targets."""
+    for c in range(cycles):
+        for i in range(_POKES_PER_CYCLE):
+            sim.poke("reset", (c + i) & 1)
+        sim.step(1)
+
+
+def test_fastpath_poke_speedup(compiled_suite, capsys):
+    _bench, design, _st = compiled_suite[("vvadd", False)]
+    sims = {}
+    for fast in (True, False):
+        sim = Simulator(design.low, fast=fast)
+        sim.reset()
+        _poke_workload(sim, 2)  # warm cone caches / interpreter equally
+        sims[fast] = sim
+
+    t_fast = _best_of(_poke_workload, sims[True], _POKE_CYCLES)
+    t_ref = _best_of(_poke_workload, sims[False], _POKE_CYCLES)
+
+    # Identical stimulus must leave both paths in identical state.
+    assert sims[True].values == sims[False].values
+    assert sims[True].mems == sims[False].mems
+
+    speedup = t_ref / t_fast
+    with capsys.disabled():
+        print(
+            f"\n=== fastpath: poke-heavy workload (RV32 core, "
+            f"{_POKES_PER_CYCLE} pokes/cycle x {_POKE_CYCLES} cycles) ===\n"
+            f"reference (full comb per poke): {t_ref * 1e3:8.2f} ms\n"
+            f"fast (fanout-cone per poke):    {t_fast * 1e3:8.2f} ms\n"
+            f"speedup: {speedup:.2f}x (bar: >= 2x)"
+        )
+    if not _SMOKE:
+        assert speedup >= 2.0, f"poke fast path only {speedup:.2f}x"
+
+
+# -- per-cycle breakpoint-condition evaluation -----------------------------
+
+
+class _CondLane(hgf.Module):
+    def __init__(self):
+        super().__init__()
+        self.x = self.input("x", 8)
+        self.y = self.output("y", 8)
+        acc = self.reg("acc", 8, init=0)
+        with self.when(self.x > 0):
+            acc <<= (acc + self.x)[7:0]
+        self.y <<= acc
+
+
+class _CondLanes(hgf.Module):
+    """N concurrent instances sharing one source line: one scheduling
+    group with N breakpoints, evaluated every armed cycle."""
+
+    def __init__(self, n: int = 16):
+        super().__init__()
+        self.x = self.input("x", 8)
+        self.y = self.output("y", 8)
+        out = self.lit(0, 8)
+        for i in range(n):
+            lane = self.instance(f"lane{i}", _CondLane())
+            lane.x <<= self.x
+            out = out ^ lane.y
+        self.y <<= out
+
+
+def test_fastpath_condition_eval_speedup(capsys):
+    design = repro.compile(_CondLanes(16))
+    st = SQLiteSymbolTable(write_symbol_table(design))
+    entry = next(e for e in design.debug_info.all_entries() if e.sink == "acc")
+
+    timings = {}
+    hits_by_mode = {}
+    for compiled in (True, False):
+        sim = Simulator(design.low)
+        rt = Runtime(sim, st, lambda h: CONTINUE, compile_conditions=compiled)
+        rt.attach()
+        sim.reset()
+        # `acc` is 8 bits: the user condition evaluates fully every cycle
+        # and never stops the simulation — pure evaluation cost.
+        rt.add_breakpoint(
+            entry.info.filename, entry.info.line, condition="acc > 300"
+        )
+        sim.poke("x", 1)
+        sim.step(1)
+        groups = rt.scheduler.groups()
+        rt._find_hit(groups, 0, 1)  # warm: compiles the group closure once
+        evals0 = rt.stats_bp_evals
+
+        t0 = time.perf_counter()
+        for _ in range(_COND_ITERS):
+            rt._find_hit(groups, 0, 1)
+        timings[compiled] = time.perf_counter() - t0
+        hits_by_mode[compiled] = rt.stats_bp_evals - evals0
+
+    # Both modes evaluated the same number of breakpoint conditions.
+    assert hits_by_mode[True] == hits_by_mode[False] == _COND_ITERS * 16
+
+    speedup = timings[False] / timings[True]
+    per_eval_ns = timings[True] / (_COND_ITERS * 16) * 1e9
+    with capsys.disabled():
+        print(
+            f"\n=== fastpath: breakpoint-condition evaluation "
+            f"(16-thread group x {_COND_ITERS} cycles) ===\n"
+            f"interpreted (tree-walk + name resolution): "
+            f"{timings[False] * 1e3:8.2f} ms\n"
+            f"compiled (batched group closure):          "
+            f"{timings[True] * 1e3:8.2f} ms   ({per_eval_ns:.0f} ns/eval)\n"
+            f"speedup: {speedup:.2f}x (bar: >= 1.5x)"
+        )
+    if not _SMOKE:
+        assert speedup >= 1.5, f"condition fast path only {speedup:.2f}x"
+
+
+def test_fastpath_armed_stepping_report(capsys):
+    """End-to-end: armed stepping (simulation + scheduling + conditions)
+    with both paths enabled vs. both references.  Reported for context; the
+    focused speedup bars live in the two tests above."""
+    design = repro.compile(_CondLanes(8))
+    st = SQLiteSymbolTable(write_symbol_table(design))
+    entry = next(e for e in design.debug_info.all_entries() if e.sink == "acc")
+    cycles = 50 if _SMOKE else 500
+
+    timings = {}
+    for label, fast, compiled in (
+        ("fast", True, True),
+        ("reference", False, False),
+    ):
+        sim = Simulator(design.low, fast=fast)
+        rt = Runtime(sim, st, lambda h: CONTINUE, compile_conditions=compiled)
+        rt.attach()
+        sim.reset()
+        rt.add_breakpoint(
+            entry.info.filename, entry.info.line, condition="acc > 300"
+        )
+        sim.poke("x", 1)
+        sim.step(5)  # warm
+        t0 = time.perf_counter()
+        sim.step(cycles)
+        timings[label] = time.perf_counter() - t0
+
+    with capsys.disabled():
+        print(
+            f"\n=== fastpath: armed stepping, {cycles} cycles, 8-thread "
+            f"group ===\n"
+            f"reference: {timings['reference'] * 1e3:8.2f} ms\n"
+            f"fast:      {timings['fast'] * 1e3:8.2f} ms  "
+            f"({timings['reference'] / timings['fast']:.2f}x)"
+        )

@@ -14,6 +14,8 @@ Measures the properties the algorithm is designed for:
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 import repro
@@ -21,6 +23,8 @@ import repro.hgf as hgf
 from repro.core import CONTINUE, Runtime
 from repro.sim import Simulator
 from repro.symtable import SQLiteSymbolTable, write_symbol_table
+
+_SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
 
 
 class _Lane(hgf.Module):
@@ -50,11 +54,11 @@ class _ManyLanes(hgf.Module):
         self.y <<= out
 
 
-def _make(n_lanes: int):
+def _make(n_lanes: int, compile_conditions: bool = True):
     design = repro.compile(_ManyLanes(n_lanes))
     sim = Simulator(design.low)
     st = SQLiteSymbolTable(write_symbol_table(design))
-    rt = Runtime(sim, st, lambda h: CONTINUE)
+    rt = Runtime(sim, st, lambda h: CONTINUE, compile_conditions=compile_conditions)
     rt.attach()
     return design, sim, rt
 
@@ -114,3 +118,47 @@ def test_fig2_reverse_order_costs_like_forward(benchmark, capsys):
         )
     # Reverse scheduling must be the same order of magnitude.
     assert timings["reverse"] < timings["forward"] * 10
+
+
+def test_fig2_compiled_vs_interpreted_conditions(benchmark, capsys):
+    """Fast-vs-reference row: armed scheduling with a conditional
+    breakpoint over 16 concurrent instances, with exec-compiled group
+    conditions vs. the tree-walking interpreter."""
+    import time
+
+    cycles = 20 if _SMOKE else 200
+    timings = {}
+    evals = {}
+
+    def measure():
+        for label, compiled in (("compiled", True), ("interpreted", False)):
+            design, sim, rt = _make(16, compile_conditions=compiled)
+            entry = next(
+                e for e in design.debug_info.all_entries() if e.sink == "acc"
+            )
+            sim.reset()
+            # Never-true user condition: pure per-cycle evaluation cost.
+            rt.add_breakpoint(
+                entry.info.filename, entry.info.line, condition="acc > 300"
+            )
+            sim.poke("x", 1)
+            sim.step(2)  # warm (compiles the group closure once)
+            t0 = time.perf_counter()
+            sim.step(cycles)
+            timings[label] = time.perf_counter() - t0
+            evals[label] = rt.stats_bp_evals
+
+    benchmark.pedantic(measure, rounds=1)
+    assert evals["compiled"] == evals["interpreted"]
+    with capsys.disabled():
+        print(
+            f"\n=== Fig. 2 extension: condition evaluation, 16-thread group "
+            f"x {cycles} cycles ===\n"
+            f"interpreted: {timings['interpreted'] * 1e3:8.2f} ms\n"
+            f"compiled:    {timings['compiled'] * 1e3:8.2f} ms  "
+            f"({timings['interpreted'] / timings['compiled']:.2f}x)"
+        )
+    if not _SMOKE:
+        # Compiled conditions must not be slower; the focused >=1.5x bar
+        # lives in bench_fastpath.py.
+        assert timings["compiled"] < timings["interpreted"] * 1.1

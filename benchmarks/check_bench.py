@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Smoke-run every ``bench_*`` module in reduced-iteration mode.
+
+CI sanity for the benchmark harness: each module must still compile its
+designs, simulate, and print its table.  ``REPRO_BENCH_SMOKE=1`` makes the
+parameterized benchmarks shrink their workloads and relax their timing
+assertions (single-repeat runs are too noisy to bound), and
+``--benchmark-disable`` turns pytest-benchmark measurement loops into
+single calls.
+
+Usage: ``python benchmarks/check_bench.py [bench-name-substring ...]``
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import subprocess
+import sys
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    here = os.path.dirname(os.path.abspath(__file__))
+    root = os.path.dirname(here)
+
+    env = dict(os.environ)
+    env["REPRO_BENCH_SMOKE"] = "1"
+    src = os.path.join(root, "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    )
+
+    benches = sorted(glob.glob(os.path.join(here, "bench_*.py")))
+    if args:
+        benches = [
+            b for b in benches
+            if any(a in os.path.basename(b) for a in args)
+        ]
+    if not benches:
+        print("no benchmark modules matched", file=sys.stderr)
+        return 2
+
+    failed: list[str] = []
+    for path in benches:
+        name = os.path.basename(path)
+        print(f"== smoke: {name}", flush=True)
+        proc = subprocess.run(
+            [
+                sys.executable, "-m", "pytest", path,
+                "-q", "--benchmark-disable", "-p", "no:cacheprovider",
+            ],
+            cwd=root,
+            env=env,
+        )
+        if proc.returncode not in (0, 5):  # 5: no tests collected
+            failed.append(name)
+
+    if failed:
+        print("FAILED: " + ", ".join(failed), file=sys.stderr)
+        return 1
+    print(f"ok: {len(benches)} benchmark modules smoke-tested")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

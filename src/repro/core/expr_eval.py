@@ -248,3 +248,92 @@ def evaluate(node, resolve) -> int:
 def evaluate_str(text: str, resolve) -> int:
     """Parse and evaluate in one call."""
     return evaluate(parse(text), resolve)
+
+
+# -- compilation to Python -------------------------------------------------
+#
+# Tree-walking `evaluate` resolves every name through a callback on every
+# call — fine for one-shot `p expr`, too slow for per-cycle breakpoint
+# conditions.  `to_python` translates an AST into Python expression source
+# with names bound by the caller (typically to a pre-resolved signal index),
+# and `compile_fn` exec-compiles that into a single closure.  The generated
+# code must agree with `evaluate` bit-for-bit — including short-circuiting,
+# shift clamping, and division-by-zero semantics; property tests enforce it.
+
+
+def _ee_div(a: int, b: int) -> int:
+    return a // b if b else 0
+
+
+def _ee_mod(a: int, b: int) -> int:
+    return a % b if b else 0
+
+
+COMPILE_HELPERS = {"_ee_div": _ee_div, "_ee_mod": _ee_mod, "min": min}
+
+_CMP_OPS = ("==", "!=", "<", "<=", ">", ">=")
+_DIRECT_OPS = ("|", "^", "&", "+", "-", "*")
+
+
+def to_python(node, bind) -> str:
+    """Translate an AST into Python expression source.
+
+    ``bind(name) -> str`` supplies the Python expression for a variable
+    reference (raise :class:`ExprError` for unresolvable names).  The
+    emitted source references the :data:`COMPILE_HELPERS` names.
+    """
+    if isinstance(node, Num):
+        return repr(node.value)
+    if isinstance(node, Name):
+        return bind(node.name)
+    if isinstance(node, Unary):
+        v = to_python(node.operand, bind)
+        if node.op == "!":
+            return f"(1 if ({v}) == 0 else 0)"
+        if node.op == "~":
+            return f"(~({v}))"
+        if node.op == "-":
+            return f"(-({v}))"
+        return f"({v})"
+    if isinstance(node, Binary):
+        op = node.op
+        a = to_python(node.left, bind)
+        b = to_python(node.right, bind)
+        if op == "||":
+            return f"(1 if ({a}) or ({b}) else 0)"
+        if op == "&&":
+            return f"(1 if ({a}) and ({b}) else 0)"
+        if op in _DIRECT_OPS:
+            return f"(({a}) {op} ({b}))"
+        if op in _CMP_OPS:
+            return f"(1 if ({a}) {op} ({b}) else 0)"
+        if op == "<<":
+            return f"(({a}) << min(({b}), 256))"
+        if op == ">>":
+            return f"(({a}) >> min(({b}), 256))"
+        if op == "/":
+            return f"_ee_div(({a}), ({b}))"
+        if op == "%":
+            return f"_ee_mod(({a}), ({b}))"
+        raise ExprError(f"unknown operator {op!r}")
+    if isinstance(node, Ternary):
+        return (
+            f"(({to_python(node.then, bind)}) if ({to_python(node.cond, bind)})"
+            f" else ({to_python(node.other, bind)}))"
+        )
+    raise ExprError(f"cannot compile {node!r}")
+
+
+def compile_fn(node, bind, env: dict | None = None, arg: str = "_v"):
+    """Compile an AST into a single closure ``fn(arg) -> int``.
+
+    ``bind`` is as in :func:`to_python`; ``env`` supplies extra names the
+    bound fragments reference (e.g. a value getter).
+    """
+    src = to_python(node, bind)
+    ns = dict(COMPILE_HELPERS)
+    if env:
+        ns.update(env)
+    code = f"def _compiled({arg}):\n    return {src}"
+    exec(compile(code, "<repro-expr>", "exec"), ns)
+    return ns["_compiled"]

@@ -98,6 +98,7 @@ class Runtime:
         sim: SimulatorInterface,
         symtable: SymbolTableInterface,
         on_hit=None,
+        compile_conditions: bool = True,
     ):
         self.sim = sim
         self.symtable = symtable
@@ -113,6 +114,15 @@ class Runtime:
         self._pause_requested = False
         self._detached = False
         self._armed = False  # precomputed: anything to do at a posedge?
+        # Compiled-condition fast path: breakpoint enable∧user conditions
+        # are exec-compiled into one closure per scheduling group, with
+        # names pre-resolved at compile time.  On a live Simulator names
+        # bind directly to value-table indices (no per-eval dict lookups);
+        # other backends bind to pre-resolved get_value paths.
+        self._compile_conditions = compile_conditions
+        self._sim_values = getattr(sim, "values", None)
+        design = getattr(sim, "design", None)
+        self._signal_index = getattr(design, "signal_index", None)
         self.stats_callbacks = 0
         self.stats_bp_evals = 0
 
@@ -280,6 +290,129 @@ class Runtime:
 
         return resolve
 
+    # -- compiled conditions (the per-cycle fast path) ----------------------
+
+    def _bind_path(self, path: str, env: dict) -> str:
+        """Bind a full simulator path to a Python fragment: a direct value-
+        table index on a live simulator, a pre-resolved getter call
+        elsewhere.  Raises ExprError when the signal does not exist."""
+        try:
+            self.sim.get_value(path)
+        except SimulatorError as exc:
+            raise expr_eval.ExprError(str(exc)) from exc
+        if self._sim_values is not None and self._signal_index is not None:
+            idx = self._signal_index.get(path)
+            if idx is not None:
+                return f"_v[{idx}]"
+        key = f"_p{len(env)}"
+        env[key] = path
+        return f"_g({key})"
+
+    def _rtl_binder(self, instance_name: str, env: dict):
+        base = self.instance_map.get(instance_name, instance_name)
+
+        def bind(name: str) -> str:
+            return self._bind_path(f"{base}.{name}", env)
+
+        return bind
+
+    def _scope_binder(self, bp: BreakpointRec, env: dict):
+        """Compile-time variant of :meth:`_scope_resolver`: names resolve
+        once, to an index/path/constant, instead of on every evaluation."""
+        rtl = self._rtl_binder(bp.instance_name, env)
+
+        def bind(name: str) -> str:
+            local = self.symtable.resolve_scoped_var(bp.id, name)
+            if local is not None:
+                return rtl(local)
+            var = self.symtable.resolve_instance_var(bp.instance_id, name)
+            if var is not None:
+                if var.is_rtl:
+                    return rtl(var.value)
+                try:
+                    return repr(int(var.value, 0))
+                except ValueError as exc:
+                    raise expr_eval.ExprError(
+                        f"generator variable {name!r} is not numeric"
+                    ) from exc
+            return rtl(name)
+
+        return bind
+
+    def _bp_condition_source(self, bp: InsertedBreakpoint, env: dict) -> str:
+        """Python source for one breakpoint's enable∧user condition, with
+        the interpreter's warning semantics applied at compile time."""
+        parts = []
+        if bp.enable_ast is not None:
+            try:
+                parts.append(
+                    expr_eval.to_python(
+                        bp.enable_ast,
+                        self._rtl_binder(bp.rec.instance_name, env),
+                    )
+                )
+            except expr_eval.ExprError as exc:
+                self._warn_once(
+                    f"enable condition {bp.rec.enable!r} unevaluable "
+                    f"({exc}); treating as always-on"
+                )
+        if bp.condition_ast is not None:
+            try:
+                parts.append(
+                    expr_eval.to_python(
+                        bp.condition_ast, self._scope_binder(bp.rec, env)
+                    )
+                )
+            except expr_eval.ExprError as exc:
+                self._warn_once(
+                    f"breakpoint condition {bp.condition_src!r} failed: {exc}"
+                )
+                return "0"
+        if not parts:
+            return "1"
+        return "(" + ") and (".join(parts) + ")"
+
+    def _compile_group(self, group: Group):
+        """Compile a whole scheduling group into one batched evaluator
+        ``fn(values) -> [passing breakpoint positions]``.  Returns False on
+        failure (callers fall back to the interpreter)."""
+        try:
+            env: dict = dict(expr_eval.COMPILE_HELPERS)
+            env["_g"] = self.sim.get_value
+            conds = [
+                self._bp_condition_source(bp, env) for bp in group.breakpoints
+            ]
+            lines = ["def _grp(_v):", "    out = []"]
+            for j, src in enumerate(conds):
+                lines.append(f"    if {src}: out.append({j})")
+            lines.append("    return out")
+            exec(compile("\n".join(lines), "<repro-group-cond>", "exec"), env)
+            return env["_grp"]
+        except Exception:
+            return False
+
+    def _eval_group(self, group: Group) -> list[InsertedBreakpoint]:
+        """All breakpoints of a group that hit this cycle."""
+        bps = group.breakpoints
+        if not self._compile_conditions:
+            return [bp for bp in bps if self._bp_hits(bp)]
+        fn = group.compiled
+        if fn is None:
+            fn = self._compile_group(group)
+            group.compiled = fn
+        if fn is False:
+            return [bp for bp in bps if self._bp_hits(bp)]
+        self.stats_bp_evals += len(bps)
+        hits = []
+        for j in fn(self._sim_values):
+            bp = bps[j]
+            bp.hit_count += 1
+            if bp.ignore_count > 0:
+                bp.ignore_count -= 1
+                continue
+            hits.append(bp)
+        return hits
+
     def _bp_hits(self, bp: InsertedBreakpoint) -> bool:
         self.stats_bp_evals += 1
         if bp.enable_ast is not None:
@@ -422,7 +555,7 @@ class Runtime:
     def _find_hit(self, groups: list[Group], idx: int, direction: int):
         """Scan groups from ``idx`` in ``direction`` for the first hit."""
         while 0 <= idx < len(groups):
-            hits = [bp for bp in groups[idx].breakpoints if self._bp_hits(bp)]
+            hits = self._eval_group(groups[idx])
             if hits:
                 return idx, hits
             idx += direction

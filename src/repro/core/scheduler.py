@@ -45,10 +45,17 @@ def group_key(rec: BreakpointRec) -> GroupKey:
 
 @dataclass(slots=True)
 class Group:
-    """All breakpoints sharing one source location."""
+    """All breakpoints sharing one source location.
+
+    ``compiled`` is the runtime's cache slot for the group's batched
+    condition evaluator (None = not yet compiled, False = fall back to the
+    tree-walking interpreter); it is reset whenever group membership or a
+    member's conditions change.
+    """
 
     key: GroupKey
     breakpoints: list[InsertedBreakpoint] = field(default_factory=list)
+    compiled: object = None
 
 
 class Scheduler:
@@ -64,21 +71,34 @@ class Scheduler:
         self.symtable = symtable
         self.inserted: dict[int, InsertedBreakpoint] = {}
         self._all_cache: list[Group] | None = None
+        self._ins_cache: list[Group] | None = None
 
     # -- insertion -----------------------------------------------------------
+
+    def _invalidate(self) -> None:
+        # Rebuilding the inserted-group table produces fresh Group objects,
+        # which also discards their compiled condition closures; the
+        # all-breakpoints cache repairs itself (and resets `compiled`) in
+        # _all_groups.
+        self._ins_cache = None
 
     def insert(self, rec: BreakpointRec, condition: str | None = None) -> InsertedBreakpoint:
         enable_ast = expr_eval.parse(rec.enable) if rec.enable else None
         cond_ast = expr_eval.parse(condition) if condition else None
         bp = InsertedBreakpoint(rec, enable_ast, cond_ast, condition)
         self.inserted[rec.id] = bp
+        self._invalidate()
         return bp
 
     def remove(self, bp_id: int) -> bool:
-        return self.inserted.pop(bp_id, None) is not None
+        removed = self.inserted.pop(bp_id, None) is not None
+        if removed:
+            self._invalidate()
+        return removed
 
     def clear(self) -> None:
         self.inserted.clear()
+        self._invalidate()
 
     def __len__(self) -> int:
         return len(self.inserted)
@@ -86,14 +106,21 @@ class Scheduler:
     # -- grouping -------------------------------------------------------------
 
     def groups(self, all_bps: bool = False) -> list[Group]:
-        """Scheduling groups in ascending lexical order."""
+        """Scheduling groups in ascending lexical order.
+
+        Both group tables are cached between breakpoint mutations — the
+        runtime calls this every armed cycle, and rebuilding/re-sorting per
+        call dominated the scheduling loop.
+        """
         if all_bps:
             return self._all_groups()
-        table: dict[GroupKey, Group] = {}
-        for bp in self.inserted.values():
-            key = group_key(bp.rec)
-            table.setdefault(key, Group(key)).breakpoints.append(bp)
-        return [table[k] for k in sorted(table)]
+        if self._ins_cache is None:
+            table: dict[GroupKey, Group] = {}
+            for bp in self.inserted.values():
+                key = group_key(bp.rec)
+                table.setdefault(key, Group(key)).breakpoints.append(bp)
+            self._ins_cache = [table[k] for k in sorted(table)]
+        return self._ins_cache
 
     def _all_groups(self) -> list[Group]:
         if self._all_cache is None:
@@ -114,4 +141,5 @@ class Scheduler:
                     live = self.inserted.get(bp.rec.id)
                     if live is not None and live is not bp:
                         g.breakpoints[i] = live
+                        g.compiled = None
         return self._all_cache

@@ -62,7 +62,15 @@ class MemSpec:
 
 @dataclass(slots=True)
 class CompiledDesign:
-    """Everything the engine needs to run the flattened design."""
+    """Everything the engine needs to run the flattened design.
+
+    Beyond the monolithic ``comb``/``tick`` functions (the reference path),
+    the design carries enough per-assignment metadata — topo order, dependency
+    sets, levelized blocks — to compile *fanout cones*: for any set of changed
+    signals, a function that re-evaluates only the affected assignments in
+    topo order.  Cones are computed and compiled lazily and cached, so a
+    poke-heavy testbench pays for each distinct stimulus signal once.
+    """
 
     circuit: Circuit
     signal_index: dict[str, int]
@@ -78,6 +86,26 @@ class CompiledDesign:
     reset_index: int
     top_inputs: dict[str, int]   # local input name -> signal index
     printf_specs: list[tuple[str, int]] = field(default_factory=list)
+    mem_index: dict[str, int] = field(default_factory=dict)
+    # journaling tick variant: tick_journal(v, m, time, _jw) additionally
+    # calls _jw((mem_index, addr)) for every memory word it writes.
+    tick_journal: object = None
+    tick_journal_source: str = ""
+    # Per-assignment metadata, aligned with the levelized topo order.
+    order_targets: list[int] = field(default_factory=list)
+    order_code: list[str] = field(default_factory=list)
+    order_deps: list[frozenset] = field(default_factory=list)
+    order_reads_mem: list[bool] = field(default_factory=list)
+    # Level structure of the schedule: same-level assignments are mutually
+    # independent.  Introspection / future multi-seed cone batching (see
+    # ROADMAP); the cone machinery itself only relies on the level *sort*.
+    order_level: list[int] = field(default_factory=list)
+    level_blocks: list[tuple[int, int]] = field(default_factory=list)
+    state_indices: tuple[int, ...] = ()
+    namespace: dict = field(default_factory=dict)
+    _pos_of_target: dict[int, int] = field(default_factory=dict)
+    _cone_cache: dict = field(default_factory=dict)
+    _tick_cone: object = False   # False = not yet built (None = empty cone)
 
     @property
     def n_signals(self) -> int:
@@ -94,6 +122,79 @@ class CompiledDesign:
                 data[: len(spec.init)] = list(spec.init)
             out.append(data)
         return out
+
+    # -- fanout cones (the dirty-set fast path) ---------------------------
+
+    def cone_positions(
+        self, seeds, include_mem_reads: bool = False
+    ) -> tuple[int, ...]:
+        """Topo-ordered assignment positions affected when ``seeds`` change.
+
+        A seed that is itself combinationally driven includes its own driver
+        (matching the reference path, where a forced value is recomputed —
+        and thus restored — by the very next full ``comb``).  With
+        ``include_mem_reads`` every memory-reading assignment is included as
+        well (memory contents may have changed under it).
+        """
+        affected = set(seeds)
+        pos_of = self._pos_of_target
+        forced = {pos_of[s] for s in affected if s in pos_of}
+        targets, deps = self.order_targets, self.order_deps
+        reads_mem = self.order_reads_mem
+        out = []
+        for p in range(len(targets)):
+            if (
+                p in forced
+                or (include_mem_reads and reads_mem[p])
+                or not affected.isdisjoint(deps[p])
+            ):
+                out.append(p)
+                affected.add(targets[p])
+        return tuple(out)
+
+    def compile_cone(self, positions) -> object:
+        """Compile a cone (topo-ordered positions) into ``fn(v, m)``.
+
+        Positions index into the levelized schedule, so emitting them in
+        order yields a faithful subset of ``comb``.  Returns None for an
+        empty cone.
+        """
+        if not positions:
+            return None
+        lines = ["def cone(v, m):"]
+        lines.extend(
+            f"    v[{self.order_targets[p]}] = {self.order_code[p]}"
+            for p in positions
+        )
+        ns = dict(self.namespace)
+        exec(compile("\n".join(lines), "<repro-sim-cone>", "exec"), ns)
+        return ns["cone"]
+
+    def comb_update(self, v, m, seeds) -> None:
+        """Re-settle only the fanout cones of the changed ``seeds`` signals."""
+        if len(seeds) == 1:
+            key = next(iter(seeds))
+        else:
+            key = frozenset(seeds)
+        fn = self._cone_cache.get(key, False)
+        if fn is False:
+            fn = self.compile_cone(self.cone_positions(seeds))
+            self._cone_cache[key] = fn
+        if fn is not None:
+            fn(v, m)
+
+    def tick_settle(self, v, m) -> None:
+        """Re-settle after a clock edge: the cone of every register output
+        plus every memory-reading assignment."""
+        fn = self._tick_cone
+        if fn is False:
+            seeds = {spec.index for spec in self.registers}
+            fn = self.compile_cone(
+                self.cone_positions(seeds, include_mem_reads=True)
+            )
+            self._tick_cone = fn
+        if fn is not None:
+            fn(v, m)
 
 
 def _sg(x: int, w: int) -> int:
@@ -218,6 +319,16 @@ class _Codegen:
         raise SimulatorError(f"cannot compile op {op!r}")
 
 
+def _expr_reads_mem(e: Expr) -> bool:
+    """Whether an expression reads any memory (its value can change on a
+    clock edge even when no dependency signal changed)."""
+    if isinstance(e, MemRead):
+        return True
+    if isinstance(e, PrimOp):
+        return any(_expr_reads_mem(a) for a in e.args)
+    return False
+
+
 def _expr_dep_keys(e: Expr, path: str) -> set[str]:
     """Full-path signal names an expression reads (memories excluded —
     their content is state, but read addresses are dependencies)."""
@@ -255,7 +366,9 @@ def compile_design(circuit: Circuit, top_path: str | None = None) -> CompiledDes
     registers: list[RegisterSpec] = []
     stop_lines: list[str] = []
     mem_lines: list[str] = []
+    mem_journal_lines: list[str] = []
     printf_specs: list[tuple[str, int]] = []
+    reads_mem: dict[int, bool] = {}
 
     def add_signal(path: str, width: int, kind: str, signed: bool, local: str) -> int:
         idx = len(signals)
@@ -324,6 +437,7 @@ def compile_design(circuit: Circuit, top_path: str | None = None) -> CompiledDes
                 target = cg.sig(s.name)
                 assignments.append((target, cg.raw(s.value), path))
                 assigned.add(target)
+                reads_mem[target] = _expr_reads_mem(s.value)
                 dep_map[target] = {
                     signal_index[k]
                     for k in _expr_dep_keys(s.value, path)
@@ -340,6 +454,7 @@ def compile_design(circuit: Circuit, top_path: str | None = None) -> CompiledDes
                     target = cg.sig(f"{inst}.{s.loc.name}")
                 assignments.append((target, cg.raw(s.expr), path))
                 assigned.add(target)
+                reads_mem[target] = _expr_reads_mem(s.expr)
                 dep_map[target] = {
                     signal_index[k]
                     for k in _expr_dep_keys(s.expr, path)
@@ -348,9 +463,16 @@ def compile_design(circuit: Circuit, top_path: str | None = None) -> CompiledDes
             elif isinstance(s, MemWrite):
                 mi = mem_index[f"{path}.{s.mem}"]
                 depth = mems[mi].depth
+                en, addr, data = cg.raw(s.en), cg.raw(s.addr), cg.raw(s.data)
                 mem_lines.append(
-                    f"    if {cg.raw(s.en)}: "
-                    f"m[{mi}][{cg.raw(s.addr)} % {depth}] = {cg.raw(s.data)}"
+                    f"    if {en}: m[{mi}][{addr} % {depth}] = {data}"
+                )
+                wi = len(mem_journal_lines)
+                mem_journal_lines.append(
+                    f"    if {en}:\n"
+                    f"        _ja{wi} = {addr} % {depth}\n"
+                    f"        _jw(({mi}, _ja{wi}))\n"
+                    f"        m[{mi}][_ja{wi}] = {data}"
                 )
             elif isinstance(s, Stop):
                 stop_lines.append(
@@ -383,8 +505,28 @@ def compile_design(circuit: Circuit, top_path: str | None = None) -> CompiledDes
                     )
                 )
 
-    # Topological sort of combinational assignments.
+    # Topological sort of combinational assignments, then levelize: each
+    # assignment's level is one past the deepest combinational input it
+    # reads.  Re-ordering by level is still a valid topo order (same-level
+    # assignments are independent) and partitions the schedule into blocks.
     order = _topo_sort(assignments, dep_map, assigned, signals)
+    level_of: dict[int, int] = {}
+    for target, _code, _path in order:
+        comb_deps = [d for d in dep_map[target] if d in assigned and d != target]
+        level_of[target] = 1 + max((level_of[d] for d in comb_deps), default=-1)
+    order.sort(key=lambda a: level_of[a[0]])
+
+    order_targets = [t for t, _c, _p in order]
+    order_code = [c for _t, c, _p in order]
+    order_deps = [frozenset(dep_map[t]) for t in order_targets]
+    order_reads_mem = [reads_mem[t] for t in order_targets]
+    order_level = [level_of[t] for t in order_targets]
+    level_blocks: list[tuple[int, int]] = []
+    start = 0
+    for i in range(1, len(order_level) + 1):
+        if i == len(order_level) or order_level[i] != order_level[start]:
+            level_blocks.append((start, i))
+            start = i
 
     comb_lines = ["def comb(v, m):"]
     if not order:
@@ -393,31 +535,38 @@ def compile_design(circuit: Circuit, top_path: str | None = None) -> CompiledDes
         comb_lines.append(f"    v[{target}] = {code}")
     comb_source = "\n".join(comb_lines)
 
-    tick_body = ["def tick(v, m, time):"]
-    # Order matters: stops/printfs observe the stable pre-edge state;
-    # register next-values are computed before memory writes so they read
-    # pre-edge memory contents; stores happen last (two-phase update).
-    tick_body.extend(stop_lines)
-    for i, spec in enumerate(registers):
-        if spec.next_code is not None:
-            tick_body.append(f"    _t{i} = {spec.next_code}")
-    tick_body.extend(mem_lines)
-    for i, spec in enumerate(registers):
-        if spec.next_code is not None:
-            if spec.reset_index is not None:
-                tick_body.append(
-                    f"    v[{spec.index}] = {spec.init_code} "
-                    f"if v[{spec.reset_index}] else _t{i}"
+    def _tick_source(header: str, mem_block: list[str]) -> str:
+        body = [header]
+        # Order matters: stops/printfs observe the stable pre-edge state;
+        # register next-values are computed before memory writes so they
+        # read pre-edge memory contents; stores happen last (two-phase
+        # update).
+        body.extend(stop_lines)
+        for i, spec in enumerate(registers):
+            if spec.next_code is not None:
+                body.append(f"    _t{i} = {spec.next_code}")
+        body.extend(mem_block)
+        for i, spec in enumerate(registers):
+            if spec.next_code is not None:
+                if spec.reset_index is not None:
+                    body.append(
+                        f"    v[{spec.index}] = {spec.init_code} "
+                        f"if v[{spec.reset_index}] else _t{i}"
+                    )
+                else:
+                    body.append(f"    v[{spec.index}] = _t{i}")
+            elif spec.reset_index is not None:
+                body.append(
+                    f"    if v[{spec.reset_index}]: v[{spec.index}] = {spec.init_code}"
                 )
-            else:
-                tick_body.append(f"    v[{spec.index}] = _t{i}")
-        elif spec.reset_index is not None:
-            tick_body.append(
-                f"    if v[{spec.reset_index}]: v[{spec.index}] = {spec.init_code}"
-            )
-    if len(tick_body) == 1:
-        tick_body.append("    pass")
-    tick_source = "\n".join(tick_body)
+        if len(body) == 1:
+            body.append("    pass")
+        return "\n".join(body)
+
+    tick_source = _tick_source("def tick(v, m, time):", mem_lines)
+    tick_journal_source = _tick_source(
+        "def tick_journal(v, m, time, _jw):", mem_journal_lines
+    )
 
     namespace = {
         "_sg": _sg,
@@ -429,6 +578,10 @@ def compile_design(circuit: Circuit, top_path: str | None = None) -> CompiledDes
     }
     exec(compile(comb_source, "<repro-sim-comb>", "exec"), namespace)
     exec(compile(tick_source, "<repro-sim-tick>", "exec"), namespace)
+    exec(
+        compile(tick_journal_source, "<repro-sim-tick-journal>", "exec"),
+        namespace,
+    )
 
     main_mod = circuit.modules[circuit.main]
     top_inputs = {
@@ -436,6 +589,10 @@ def compile_design(circuit: Circuit, top_path: str | None = None) -> CompiledDes
         for p in main_mod.ports
         if p.direction == "input"
     }
+
+    state_indices = tuple(
+        i for i in range(len(signals)) if i not in assigned
+    )
 
     return CompiledDesign(
         circuit=circuit,
@@ -452,6 +609,18 @@ def compile_design(circuit: Circuit, top_path: str | None = None) -> CompiledDes
         reset_index=signal_index[f"{root}.reset"],
         top_inputs=top_inputs,
         printf_specs=printf_specs,
+        mem_index=mem_index,
+        tick_journal=namespace["tick_journal"],
+        tick_journal_source=tick_journal_source,
+        order_targets=order_targets,
+        order_code=order_code,
+        order_deps=order_deps,
+        order_reads_mem=order_reads_mem,
+        order_level=order_level,
+        level_blocks=level_blocks,
+        state_indices=state_indices,
+        namespace=namespace,
+        _pos_of_target={t: p for p, t in enumerate(order_targets)},
     )
 
 

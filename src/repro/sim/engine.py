@@ -5,12 +5,28 @@ relies on, paper Sec. 3): per cycle the engine settles all combinational
 logic, fires clock-edge callbacks while every value is stable, then updates
 registers and memories and advances time.
 
+Two execution paths share the compiled design:
+
+* the **reference path** (``fast=False``): every ``poke``/``set_value`` and
+  every clock edge re-runs the full monolithic ``comb`` function;
+* the **fast path** (``fast=True``, default): the engine tracks *which*
+  signals changed and re-evaluates only their compiled fanout cones
+  (``docs/performance.md``).  A clock edge re-settles the pre-computed
+  register/memory cone; a poke re-settles just the poked signal's cone.
+  Property tests pin the two paths to bit-identical results.
+
 Optional state snapshots give the live simulator ``set_time`` support —
 the hook reverse debugging needs when no trace replay is available.
+Snapshots are stored as deltas (state signals and memory words written
+since the previous snapshot) in a ring buffer whose oldest entry is kept
+as a full keyframe: recording scans only the state signals (registers and
+inputs — O(state) + O(mem writes), never the full value table or whole
+memories) and eviction folds the keyframe forward in O(delta).
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 
 from ..ir.stmt import Circuit
@@ -25,9 +41,20 @@ from .interface import (
 
 @dataclass(slots=True)
 class _Snapshot:
+    """One ring-buffer entry.
+
+    The oldest retained snapshot is a *keyframe* (``values``/``mem_copy``
+    are full copies); every later entry stores only the state signals and
+    memory words that changed since the previous entry.  Eviction folds the
+    keyframe into its successor, so the ring never rescans or recopies the
+    whole design state.
+    """
+
     time: int
-    values: list[int]
+    values: list[int] | None = None
     mem_copy: list[list[int]] | None = None
+    delta_values: dict[int, int] | None = None
+    delta_mem: dict[tuple[int, int], int] | None = None
 
 
 class Simulator(SimulatorInterface):
@@ -42,6 +69,10 @@ class Simulator(SimulatorInterface):
             buffer); 0 disables ``set_time``.
         trace: an optional trace sink with ``begin(sim)`` / ``sample(sim)``
             methods (see ``repro.trace.VcdWriter.attach``).
+        fast: select the dirty-set incremental comb path (default).  With
+            ``fast=False`` every stimulus change re-runs the full ``comb``
+            function — the reference semantics the fast path is tested
+            against.
     """
 
     def __init__(
@@ -50,19 +81,29 @@ class Simulator(SimulatorInterface):
         top_path: str | None = None,
         snapshots: int = 0,
         trace=None,
+        fast: bool = True,
     ):
         self.design: CompiledDesign = compile_design(circuit, top_path)
         self.values: list[int] = self.design.initial_values()
         self.mems: list[list[int]] = self.design.initial_mems()
+        self._fast = fast
         self._time = 0
         self._finished: int | None = None
         self._callbacks: dict[int, object] = {}
         self._cb_list: tuple = ()
-        self._dirty = False
         self._next_cb_id = 1
+        # Settle bookkeeping: at most one of these is pending outside step().
+        self._pending_full = False   # full comb required (reference / rewind)
+        self._pending_tick = False   # register/memory cone required (fast)
         self._snap_limit = snapshots
-        self._snapshots: dict[int, _Snapshot] = {}
-        self._mem_undo_current: list[tuple[int, int, int]] = []
+        self._snaps: deque[_Snapshot] = deque()
+        self._snap_by_time: dict[int, _Snapshot] = {}
+        # Hoisted out of the per-cycle snapshot path: the memory footprint
+        # decides once whether memories are snapshotted at all.
+        self._total_mem_words = sum(spec.depth for spec in self.design.mems)
+        self._snap_mems = self._total_mem_words <= 1 << 16
+        self._mem_written: set[tuple[int, int]] = set()
+        self._prev_state: list[int] = []
         self._trace = trace
         self._printf_out: list[str] = []
         self._install_printf()
@@ -73,23 +114,53 @@ class Simulator(SimulatorInterface):
     # -- printf plumbing ----------------------------------------------------
 
     def _install_printf(self) -> None:
-        specs = self.design.printf_specs
+        # Pre-split every format string once: formatting is then a single
+        # join per printf, and an argument whose text contains "{}" can no
+        # longer corrupt later substitutions.
+        parts_table = [fmt.split("{}") for fmt, _n in self.design.printf_specs]
         out = self._printf_out
 
         def _pf(index: int, *args: int) -> None:
-            fmt, _n = specs[index]
-            text = fmt
-            for a in args:
-                text = text.replace("{}", str(a), 1)
+            parts = parts_table[index]
+            pieces = [parts[0]]
+            for i in range(1, len(parts)):
+                pieces.append(str(args[i - 1]) if i <= len(args) else "{}")
+                pieces.append(parts[i])
+            text = "".join(pieces)
             out.append(text)
             print(text)
 
-        # Patch the generated tick()'s namespace.
+        # Patch the generated tick()'s namespace (shared with tick_journal).
         self.design.tick.__globals__["_pf"] = _pf
 
     @property
     def printf_output(self) -> list[str]:
         return self._printf_out
+
+    # -- settling ----------------------------------------------------------
+
+    def _settle(self) -> None:
+        """Bring every combinational signal up to date with current state."""
+        if self._pending_full:
+            self._pending_full = False
+            self._pending_tick = False
+            self.design.comb(self.values, self.mems)
+        elif self._pending_tick:
+            self._pending_tick = False
+            self.design.tick_settle(self.values, self.mems)
+
+    def _drive(self, idx: int, value: int) -> None:
+        """Write a signal and re-settle its combinational fanout."""
+        width = self.design.signals[idx].width
+        value &= (1 << width) - 1
+        if self._fast:
+            if value == self.values[idx]:
+                return
+            self.values[idx] = value
+            self.design.comb_update(self.values, self.mems, (idx,))
+        else:
+            self.values[idx] = value
+            self.design.comb(self.values, self.mems)
 
     # -- basic control -----------------------------------------------------
 
@@ -108,9 +179,7 @@ class Simulator(SimulatorInterface):
             idx = self.design.signal_index.get(name)
         if idx is None:
             raise SimulatorError(f"no such input {name!r}")
-        width = self.design.signals[idx].width
-        self.values[idx] = value & ((1 << width) - 1)
-        self.design.comb(self.values, self.mems)
+        self._drive(idx, value)
 
     def peek(self, name: str) -> int:
         """Read any signal by local top-level or full hierarchical name."""
@@ -124,50 +193,62 @@ class Simulator(SimulatorInterface):
 
     def peek_mem(self, path: str, addr: int) -> int:
         """Read a memory word (full hierarchical memory path)."""
-        root = self.design.hierarchy.path
-        for spec in self.design.mems:
-            if spec.path == path or spec.path == f"{root}.{path}":
-                return self.mems[spec.index][addr % spec.depth]
-        raise SimulatorError(f"no such memory {path!r}")
+        design = self.design
+        mi = design.mem_index.get(path)
+        if mi is None:
+            mi = design.mem_index.get(f"{design.hierarchy.path}.{path}")
+        if mi is None:
+            raise SimulatorError(f"no such memory {path!r}")
+        return self.mems[mi][addr % design.mems[mi].depth]
 
     def reset(self, cycles: int = 1) -> None:
         """Assert reset for ``cycles`` clock cycles, then deassert."""
-        self.values[self.design.reset_index] = 1
-        self.design.comb(self.values, self.mems)
+        self._drive(self.design.reset_index, 1)
         self.step(cycles)
-        self.values[self.design.reset_index] = 0
-        self.design.comb(self.values, self.mems)
+        self._drive(self.design.reset_index, 0)
 
     def step(self, cycles: int = 1) -> None:
         """Advance the clock by ``cycles`` posedges."""
         v, m = self.values, self.mems
-        comb, tick = self.design.comb, self.design.tick
+        design = self.design
         cb_list = self._cb_list
+        journal = self._snap_limit > 0 and self._snap_mems
+        tick = design.tick_journal if journal else design.tick
+        jw = self._mem_written.add
         for _ in range(cycles):
             if self._finished is not None:
                 return
-            comb(v, m)
+            self._settle()
             if self._trace is not None:
                 self._trace.sample(self)
             if cb_list:
                 for fn in cb_list:
                     fn(self)
                 cb_list = self._cb_list  # callbacks may attach/detach
-                if self._dirty:
-                    # a callback poked a value: re-settle before the edge
-                    self._dirty = False
-                    comb(v, m)
+                # Callback pokes re-settle eagerly; set_time re-settles too.
+                self._settle()
             if self._snap_limit:
                 self._take_snapshot()
             try:
-                tick(v, m, self._time)
+                if journal:
+                    tick(v, m, self._time, jw)
+                else:
+                    tick(v, m, self._time)
             except SimulationFinished as fin:
                 self._finished = fin.exit_code
                 self._time += 1
-                comb(v, m)
+                self._mark_edge()
+                self._settle()
                 return
             self._time += 1
-        comb(v, m)
+            self._mark_edge()
+        self._settle()
+
+    def _mark_edge(self) -> None:
+        if self._fast:
+            self._pending_tick = True
+        else:
+            self._pending_full = True
 
     def run(self, max_cycles: int = 1_000_000) -> int | None:
         """Run until a ``Stop`` fires or ``max_cycles`` elapse.  Returns the
@@ -182,18 +263,69 @@ class Simulator(SimulatorInterface):
     # -- snapshots / reverse execution ------------------------------------------
 
     def _take_snapshot(self) -> None:
-        snap = _Snapshot(self._time, self.values.copy())
-        # Memories are copied wholesale when the total footprint is modest;
-        # for very large memories snapshotting degrades to register-only
-        # state (set_time then diverges on memory contents — the trace
-        # replay engine is the full-fidelity path for long reverse runs).
-        total_words = sum(spec.depth for spec in self.design.mems)
-        if total_words <= 1 << 16:
-            snap.mem_copy = [mem.copy() for mem in self.mems]
-        self._snapshots[self._time] = snap
-        if len(self._snapshots) > self._snap_limit:
-            oldest = min(self._snapshots)
-            del self._snapshots[oldest]
+        t = self._time
+        v = self.values
+        state_idx = self.design.state_indices
+        # Re-executing after a rewind: the entries from `t` onwards describe
+        # the previous run — drop them so this run records fresh history
+        # (the full-copy implementation overwrote its per-time entries).
+        # During plain forward stepping the tail is at t-1 and this is a
+        # single comparison.
+        while self._snaps and self._snaps[-1].time >= t:
+            dead = self._snaps.pop()
+            del self._snap_by_time[dead.time]
+        if not self._snaps:
+            snap = _Snapshot(
+                t,
+                values=v.copy(),
+                mem_copy=(
+                    [mem.copy() for mem in self.mems] if self._snap_mems else None
+                ),
+            )
+            self._prev_state = [v[i] for i in state_idx]
+            self._mem_written.clear()
+        else:
+            prev = self._prev_state
+            delta: dict[int, int] = {}
+            for k, i in enumerate(state_idx):
+                val = v[i]
+                if val != prev[k]:
+                    delta[i] = val
+                    prev[k] = val
+            delta_mem: dict[tuple[int, int], int] | None = None
+            if self._snap_mems:
+                mems = self.mems
+                delta_mem = {
+                    key: mems[key[0]][key[1]] for key in self._mem_written
+                }
+                self._mem_written.clear()
+            snap = _Snapshot(t, delta_values=delta, delta_mem=delta_mem)
+        self._snaps.append(snap)
+        self._snap_by_time[t] = snap
+        if len(self._snaps) > self._snap_limit:
+            self._evict_oldest()
+
+    def _evict_oldest(self) -> None:
+        """Drop the oldest snapshot by folding the keyframe into its
+        successor — O(successor delta), no scan over snapshot times."""
+        old = self._snaps.popleft()
+        del self._snap_by_time[old.time]
+        if not self._snaps:
+            return
+        nxt = self._snaps[0]
+        if nxt.values is not None:
+            return  # already a keyframe
+        vals = old.values
+        for i, val in nxt.delta_values.items():
+            vals[i] = val
+        nxt.values = vals
+        if old.mem_copy is not None:
+            mems = old.mem_copy
+            for (mi, a), val in (nxt.delta_mem or {}).items():
+                mems[mi][a] = val
+            nxt.mem_copy = mems
+        nxt.delta_values = None
+        nxt.delta_mem = None
 
     @property
     def can_set_time(self) -> bool:
@@ -203,22 +335,63 @@ class Simulator(SimulatorInterface):
         """Restore simulator state to a previously snapshot cycle."""
         if not self._snap_limit:
             raise SimulatorError("snapshots disabled; cannot set_time")
-        snap = self._snapshots.get(time)
+        snap = self._snap_by_time.get(time)
         if snap is None:
-            available = sorted(self._snapshots)
+            available = sorted(self._snap_by_time)
             raise SimulatorError(
                 f"no snapshot for time {time}; available: "
                 f"{available[:3]}..{available[-3:] if available else []}"
             )
-        # Mutate in place: step() holds direct references to these lists
-        # while callbacks (which may call set_time for reverse debugging)
-        # are running.
-        self.values[:] = snap.values
-        if snap.mem_copy is not None:
-            for mem, saved in zip(self.mems, snap.mem_copy):
+        # Reconstruct by replaying deltas from the keyframe forward.  The
+        # state at the target's *predecessor* is captured on the way: it
+        # becomes the delta baseline for the snapshot re-taken at `time`.
+        vals: list[int] | None = None
+        mems_rec: list[list[int]] | None = None
+        tail_state: list[int] | None = None
+        for s in self._snaps:
+            if s is snap and s.values is None:
+                tail_state = [vals[i] for i in self.design.state_indices]
+            if s.values is not None:
+                vals = s.values.copy()
+                if s.mem_copy is not None:
+                    mems_rec = [mem.copy() for mem in s.mem_copy]
+            else:
+                for i, val in s.delta_values.items():
+                    vals[i] = val
+                if mems_rec is not None and s.delta_mem:
+                    for (mi, a), val in s.delta_mem.items():
+                        mems_rec[mi][a] = val
+            if s is snap:
+                break
+        # Retained entries are left untouched, so repeating set_time or
+        # jumping forward to another retained time keeps working; stale
+        # entries are invalidated lazily by the next _take_snapshot once
+        # re-execution actually overwrites them.
+        #
+        # Mutate values/mems/journal in place: step() holds direct
+        # references to these objects (including the journal's bound
+        # ``add``) while callbacks — which may call set_time for reverse
+        # debugging — are running.
+        self.values[:] = vals
+        if mems_rec is not None:
+            for mem, saved in zip(self.mems, mems_rec):
                 mem[:] = saved
         self._time = time
         self._finished = None
+        self._mem_written.clear()
+        if snap.values is None:
+            # Baselines for the snapshot re-taken at `time`: the delta is
+            # computed against the predecessor's state, and the memory
+            # words the current delta covers changed since then — mark
+            # them written so they are recaptured from the restored arrays.
+            self._prev_state = tail_state
+            self._mem_written.update(snap.delta_mem or ())
+        else:
+            # Rewound to the keyframe: re-stepping restarts the ring with
+            # a fresh keyframe, no delta baseline needed.
+            self._prev_state = []
+        self._pending_tick = False
+        self._pending_full = False
         self.design.comb(self.values, self.mems)
 
     # -- SimulatorInterface ------------------------------------------------------
@@ -233,9 +406,7 @@ class Simulator(SimulatorInterface):
         idx = self.design.signal_index.get(path)
         if idx is None:
             raise SimulatorError(f"no such signal {path!r}")
-        width = self.design.signals[idx].width
-        self.values[idx] = value & ((1 << width) - 1)
-        self.design.comb(self.values, self.mems)
+        self._drive(idx, value)
 
     @property
     def can_set_value(self) -> bool:
