@@ -7,6 +7,11 @@ The per-cycle hot paths this repository compiles away (see
   the fast path re-evaluates only the poked signal's fanout cone.  The
   acceptance bar: >= 2x on a poke-heavy workload driving a single input of
   the CPU case-study design.
+* eager per-poke cone settling paid one cone pass per driven input; the
+  lazy dirty set batches N pokes between settles into one merged cone
+  evaluation (``sim.batch()`` / implicit at the next step).  The
+  acceptance bar: >= 2x driving several inputs per cycle, batched vs.
+  flushing after every poke (PR 1's eager behavior).
 * breakpoint enable/user conditions were tree-walked with per-evaluation
   name resolution; compiled conditions evaluate a whole scheduling group
   as one exec-compiled closure over pre-resolved value-table indices.  The
@@ -85,6 +90,92 @@ def test_fastpath_poke_speedup(compiled_suite, capsys):
         )
     if not _SMOKE:
         assert speedup >= 2.0, f"poke fast path only {speedup:.2f}x"
+
+
+# -- batched multi-poke: lazy dirty-set union vs eager per-poke settling ----
+
+
+class _ManyInputMix(hgf.Module):
+    """N inputs feeding one deep shared arithmetic chain: every input's
+    fanout cone is nearly the whole chain, so eager per-poke settling pays
+    ~N chain evaluations per cycle where the batched dirty set pays one."""
+
+    def __init__(self, n: int = 6, depth: int = 24):
+        super().__init__()
+        ins = [self.input(f"i{k}", 16) for k in range(n)]
+        self.o = self.output("o", 16)
+        acc = self.lit(0x1234, 16)
+        # Materialize every stage as a wire: one assignment per stage keeps
+        # the expression tree linear (no duplicated subtrees) and gives the
+        # schedule a deep chain for the cones to subset.
+        for k, p in enumerate(ins):
+            stage = self.wire(f"s{k}", 16)
+            stage <<= ((acc ^ p) + self.lit(2 * k + 1, 16))[15:0]
+            acc = stage
+        for d in range(depth):
+            stage = self.wire(f"t{d}", 16)
+            stage <<= ((acc * self.lit(3, 16)) ^ (acc >> 1) ^ self.lit(d, 16))[15:0]
+            acc = stage
+        self.o <<= acc
+
+
+_BATCH_INPUTS = 6
+_BATCH_CYCLES = 20 if _SMOKE else 400
+
+
+def _batched_workload(sim, cycles: int) -> None:
+    names = [f"i{k}" for k in range(_BATCH_INPUTS)]
+    for c in range(cycles):
+        with sim.batch():
+            for k, name in enumerate(names):
+                sim.poke(name, (c * 31 + k * 7) & 0xFFFF)
+        sim.step(1)
+
+
+def _eager_workload(sim, cycles: int) -> None:
+    """PR 1 semantics: every poke settles its own fanout cone."""
+    names = [f"i{k}" for k in range(_BATCH_INPUTS)]
+    for c in range(cycles):
+        for k, name in enumerate(names):
+            sim.poke(name, (c * 31 + k * 7) & 0xFFFF)
+            sim.flush()
+        sim.step(1)
+
+
+def test_fastpath_batched_multi_poke_speedup(capsys):
+    design = repro.compile(_ManyInputMix(_BATCH_INPUTS))
+    sims = {}
+    for label, fn in (("batched", _batched_workload), ("eager", _eager_workload)):
+        sim = Simulator(design.low, fast=True)
+        sim.reset()
+        fn(sim, 2)  # warm the cone caches equally
+        sims[label] = (sim, fn)
+
+    t_batched = _best_of(_batched_workload, sims["batched"][0], _BATCH_CYCLES)
+    t_eager = _best_of(_eager_workload, sims["eager"][0], _BATCH_CYCLES)
+
+    # Identical stimulus must leave both schedules in identical state, and
+    # both must match the full-comb reference over the same run count.
+    ref = Simulator(design.low, fast=False)
+    ref.reset()
+    _batched_workload(ref, 2)
+    for _ in range(_REPEATS):
+        _batched_workload(ref, _BATCH_CYCLES)
+    for sim, _fn in sims.values():
+        sim.flush()
+    assert sims["batched"][0].values == sims["eager"][0].values == ref.values
+
+    speedup = t_eager / t_batched
+    with capsys.disabled():
+        print(
+            f"\n=== fastpath: batched multi-poke ({_BATCH_INPUTS} inputs/cycle "
+            f"x {_BATCH_CYCLES} cycles) ===\n"
+            f"eager (cone settle per poke):   {t_eager * 1e3:8.2f} ms\n"
+            f"batched (one merged cone):      {t_batched * 1e3:8.2f} ms\n"
+            f"speedup: {speedup:.2f}x (bar: >= 2x)"
+        )
+    if not _SMOKE:
+        assert speedup >= 2.0, f"batched multi-poke only {speedup:.2f}x"
 
 
 # -- per-cycle breakpoint-condition evaluation -----------------------------

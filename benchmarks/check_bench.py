@@ -8,19 +8,35 @@ assertions (single-repeat runs are too noisy to bound), and
 ``--benchmark-disable`` turns pytest-benchmark measurement loops into
 single calls.
 
-Usage: ``python benchmarks/check_bench.py [bench-name-substring ...]``
+``--json PATH`` writes a machine-readable summary (per-module return code
+and wall time) that CI uploads as a build artifact, so benchmark-harness
+breakage is diagnosable from the artifact alone.
+
+Usage: ``python benchmarks/check_bench.py [--json PATH] [bench-name-substring ...]``
 """
 
 from __future__ import annotations
 
 import glob
+import json
 import os
 import subprocess
 import sys
+import time
 
 
 def main(argv: list[str] | None = None) -> int:
-    args = sys.argv[1:] if argv is None else argv
+    args = sys.argv[1:] if argv is None else list(argv)
+    json_path: str | None = None
+    if "--json" in args:
+        i = args.index("--json")
+        try:
+            json_path = args[i + 1]
+        except IndexError:
+            print("--json requires a path argument", file=sys.stderr)
+            return 2
+        del args[i : i + 2]
+
     here = os.path.dirname(os.path.abspath(__file__))
     root = os.path.dirname(here)
 
@@ -38,13 +54,23 @@ def main(argv: list[str] | None = None) -> int:
             if any(a in os.path.basename(b) for a in args)
         ]
     if not benches:
+        if json_path:
+            with open(json_path, "w") as f:
+                json.dump(
+                    {"smoke": True, "ok": False,
+                     "error": "no benchmark modules matched", "modules": []},
+                    f, indent=2,
+                )
+                f.write("\n")
         print("no benchmark modules matched", file=sys.stderr)
         return 2
 
     failed: list[str] = []
+    results: list[dict] = []
     for path in benches:
         name = os.path.basename(path)
         print(f"== smoke: {name}", flush=True)
+        t0 = time.perf_counter()
         proc = subprocess.run(
             [
                 sys.executable, "-m", "pytest", path,
@@ -53,8 +79,30 @@ def main(argv: list[str] | None = None) -> int:
             cwd=root,
             env=env,
         )
-        if proc.returncode not in (0, 5):  # 5: no tests collected
+        elapsed = time.perf_counter() - t0
+        ok = proc.returncode in (0, 5)  # 5: no tests collected
+        results.append(
+            {
+                "module": name,
+                "returncode": proc.returncode,
+                "ok": ok,
+                "duration_s": round(elapsed, 3),
+            }
+        )
+        if not ok:
             failed.append(name)
+
+    if json_path:
+        summary = {
+            "smoke": True,
+            "python": sys.version.split()[0],
+            "modules": results,
+            "ok": not failed,
+        }
+        with open(json_path, "w") as f:
+            json.dump(summary, f, indent=2)
+            f.write("\n")
+        print(f"wrote {json_path}")
 
     if failed:
         print("FAILED: " + ", ".join(failed), file=sys.stderr)

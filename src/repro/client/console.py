@@ -81,6 +81,11 @@ class ConsoleDebugger:
         self.current_frame = 0
         if hit.watch is not None:
             w = hit.watch
+            if "error" in w:
+                self._out(
+                    f"watchpoint #{w['id']} condition error: {w['error']}; "
+                    f"watching unconditionally"
+                )
             self._out(
                 f"watchpoint #{w['id']} {w['label']}: {w['old']} -> {w['new']}"
                 f" @ cycle {hit.time}"

@@ -106,10 +106,15 @@ class Runtime:
         self.instance_map = locate_instance(symtable, sim.hierarchy())
         self.frames = FrameBuilder(symtable, sim, self.instance_map)
         self.scheduler = Scheduler(symtable)
-        self.watchpoints = WatchStore()
+        self.watchpoints = WatchStore(sim)
         self.warnings: list[str] = []
         self._warned: set[str] = set()
         self._cb_id: int | None = None
+        self._time_cb_id: int | None = None
+        # Debugger-driven pokes (a client's set_value from an on_hit
+        # handler) are lazy on the fast engine; flush before re-reading
+        # the value table so compiled conditions see settled state.
+        self._flush = getattr(sim, "flush", None)
         self._step_mode = False
         self._pause_requested = False
         self._detached = False
@@ -133,12 +138,23 @@ class Runtime:
         if self._cb_id is None:
             self._cb_id = self.sim.add_clock_callback(self._on_clock)
             self._detached = False
+        if self._time_cb_id is None:
+            # Rewind hook: any set_time (reverse debugging, or a client
+            # jumping around directly) re-primes watchpoint `last` values
+            # against the restored state.
+            self._time_cb_id = self.sim.add_set_time_callback(self._on_set_time)
 
     def detach(self) -> None:
         if self._cb_id is not None:
             self.sim.remove_clock_callback(self._cb_id)
             self._cb_id = None
+        if self._time_cb_id is not None:
+            self.sim.remove_set_time_callback(self._time_cb_id)
+            self._time_cb_id = None
         self._detached = True
+
+    def _on_set_time(self, sim, time: int) -> None:
+        self.watchpoints.rewound(sim)
 
     @property
     def attached(self) -> bool:
@@ -215,6 +231,11 @@ class Runtime:
         """
         path = self._resolve_watch_path(name, instance)
         wp = self.watchpoints.add(path, name, condition)
+        if wp.error is not None:
+            # Unresolvable at compile time (e.g. an unknown name): surface
+            # through the warning channel now; the first change event also
+            # carries it once, then the watchpoint reports unconditionally.
+            self._warn_once(wp.error)
         self._update_armed()
         return wp
 
@@ -455,6 +476,10 @@ class Runtime:
         # per cycle when no breakpoints are active (paper Sec. 4.3).
         if not self._armed:
             return
+        if self._flush is not None:
+            # An earlier clock callback this cycle may have poked (lazy on
+            # the fast engine); settle before reading the value table.
+            self._flush()
         if len(self.watchpoints):
             self._check_watchpoints()
             if self._detached:
@@ -464,20 +489,27 @@ class Runtime:
 
     def _check_watchpoints(self) -> None:
         for wp, old, new in self.watchpoints.changed(self.sim):
+            watch = {
+                "id": wp.id,
+                "label": wp.label,
+                "path": wp.path,
+                "old": old,
+                "new": new,
+            }
+            if wp.error is not None and not wp.error_reported:
+                wp.error_reported = True
+                self._warn_once(wp.error)
+                watch["error"] = wp.error
             hit = HitGroup(
                 time=self.sim.get_time(),
                 filename="<watch>",
                 line=0,
                 column=0,
-                watch={
-                    "id": wp.id,
-                    "label": wp.label,
-                    "path": wp.path,
-                    "old": old,
-                    "new": new,
-                },
+                watch=watch,
             )
             cmd = self.on_hit(hit)
+            if self._flush is not None:
+                self._flush()  # client may have poked from the handler
             kind = cmd.kind if isinstance(cmd, Command) else CommandKind(cmd)
             if kind is CommandKind.DETACH:
                 self.detach()
@@ -537,6 +569,8 @@ class Runtime:
                 ],
             )
             cmd = self.on_hit(hit)
+            if self._flush is not None:
+                self._flush()  # client may have poked from the handler
             kind = cmd.kind if isinstance(cmd, Command) else CommandKind(cmd)
 
             if kind is CommandKind.DETACH:

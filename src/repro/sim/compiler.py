@@ -8,6 +8,12 @@ topologically sorted, and two Python functions are generated with ``exec``:
 * ``tick(v, m)``  — fire stops/printfs, apply memory writes, then update all
   registers two-phase.
 
+Two further ``tick`` variants serve the engine's fast path: a *journaling*
+variant reports every memory word it writes (delta snapshots), and an
+*activity-tracked* variant additionally reports which registers actually
+changed on the edge — the engine then re-settles only the changed-register
+fanout instead of the full state cone (Verilator-style activity tracking).
+
 This mirrors how compiled simulators (Verilator) work and keeps the
 per-cycle cost low enough that the hgdb callback overhead (paper Fig. 5) is
 measurable against realistic simulation work.
@@ -91,6 +97,13 @@ class CompiledDesign:
     # calls _jw((mem_index, addr)) for every memory word it writes.
     tick_journal: object = None
     tick_journal_source: str = ""
+    # activity-tracked tick variants: call _ch(index) for every register
+    # whose value actually changed on the edge and return truthy when any
+    # memory word was written — the engine re-settles only that activity.
+    tick_act: object = None
+    tick_act_source: str = ""
+    tick_act_journal: object = None
+    tick_act_journal_source: str = ""
     # Per-assignment metadata, aligned with the levelized topo order.
     order_targets: list[int] = field(default_factory=list)
     order_code: list[str] = field(default_factory=list)
@@ -104,8 +117,15 @@ class CompiledDesign:
     state_indices: tuple[int, ...] = ()
     namespace: dict = field(default_factory=dict)
     _pos_of_target: dict[int, int] = field(default_factory=dict)
-    _cone_cache: dict = field(default_factory=dict)
     _tick_cone: object = False   # False = not yet built (None = empty cone)
+    # Merged-cone machinery: per-seed fanout bitmasks over schedule
+    # positions, a mask-keyed cache of compiled merged cones, and the
+    # fanout-closed cone of all memory-reading assignments.
+    _seed_masks: dict = field(default_factory=dict)
+    _mask_cones: dict = field(default_factory=dict)
+    _mem_read_mask: int = -1     # -1 = not yet computed
+    _tick_mask: int = -1         # -1 = not yet computed
+    _pos_fns: list | None = None
 
     @property
     def n_signals(self) -> int:
@@ -170,19 +190,6 @@ class CompiledDesign:
         exec(compile("\n".join(lines), "<repro-sim-cone>", "exec"), ns)
         return ns["cone"]
 
-    def comb_update(self, v, m, seeds) -> None:
-        """Re-settle only the fanout cones of the changed ``seeds`` signals."""
-        if len(seeds) == 1:
-            key = next(iter(seeds))
-        else:
-            key = frozenset(seeds)
-        fn = self._cone_cache.get(key, False)
-        if fn is False:
-            fn = self.compile_cone(self.cone_positions(seeds))
-            self._cone_cache[key] = fn
-        if fn is not None:
-            fn(v, m)
-
     def tick_settle(self, v, m) -> None:
         """Re-settle after a clock edge: the cone of every register output
         plus every memory-reading assignment."""
@@ -195,6 +202,120 @@ class CompiledDesign:
             self._tick_cone = fn
         if fn is not None:
             fn(v, m)
+
+    # -- merged cones (the lazy dirty-set / activity-tracked fast path) ----
+
+    #: Distinct merged-cone functions cached before falling back to
+    #: sequential per-seed cones (bounds exec-compile cost on designs whose
+    #: per-cycle activity patterns never repeat).
+    MASK_CONE_CAP = 512
+
+    def seed_mask(self, seed: int) -> int:
+        """Bitmask (over schedule positions) of one signal's fanout cone."""
+        mask = self._seed_masks.get(seed)
+        if mask is None:
+            mask = 0
+            for p in self.cone_positions((seed,)):
+                mask |= 1 << p
+            self._seed_masks[seed] = mask
+        return mask
+
+    def mem_read_mask(self) -> int:
+        """Bitmask of the fanout-closed memory-reading cone."""
+        if self._mem_read_mask < 0:
+            mask = 0
+            for p in self.cone_positions((), include_mem_reads=True):
+                mask |= 1 << p
+            self._mem_read_mask = mask
+        return self._mem_read_mask
+
+    def settle_seeds(self, v, m, seeds, include_mem_reads: bool = False) -> None:
+        """Re-settle the *union* cone of every changed seed in one pass.
+
+        N driven inputs (or N changed registers) cost one levelized cone
+        evaluation: the per-seed fanout masks are OR-ed and the merged mask
+        keys a cache of compiled cone functions.  The union of per-seed
+        cones is exactly the cone of the seed set (transitive fanout is
+        monotone), and ascending positions remain a valid topo order.
+        """
+        mask = self.mem_read_mask() if include_mem_reads else 0
+        for s in seeds:
+            mask |= self.seed_mask(s)
+        self._run_mask(v, m, mask)
+
+    def settle_tick(self, v, m, changed_regs, mem_written: bool) -> None:
+        """Activity-driven settle after a clock edge.
+
+        Quiet edges (few registers changed) evaluate exactly the changed
+        registers' merged cone.  Busy edges — where the activity already
+        covers most of the full tick cone — run the single precomputed
+        tick cone instead: a busy design (a CPU retiring instructions)
+        produces a *different* activity pattern almost every cycle, and
+        minting a compiled cone variant per pattern costs far more than
+        the few skipped statements would save.
+        """
+        mask = self.mem_read_mask() if mem_written else 0
+        for s in changed_regs:
+            mask |= self.seed_mask(s)
+        if not mask:
+            return
+        tick_mask = self._tick_mask
+        if tick_mask < 0:
+            tm = self.mem_read_mask()
+            for spec in self.registers:
+                tm |= self.seed_mask(spec.index)
+            tick_mask = self._tick_mask = tm
+        if 2 * mask.bit_count() >= tick_mask.bit_count():
+            self.tick_settle(v, m)
+            return
+        self._run_mask(v, m, mask)
+
+    def _run_mask(self, v, m, mask: int) -> None:
+        if not mask:
+            return
+        fn = self._mask_cones.get(mask)
+        if fn is not None:
+            fn(v, m)
+            return
+        if len(self._mask_cones) < self.MASK_CONE_CAP:
+            fn = self.compile_cone(self._mask_positions(mask))
+            self._mask_cones[mask] = fn
+            fn(v, m)
+            return
+        # Cache saturated (pathological activity variety that never
+        # repeats): execute the merged cone through per-statement thunks —
+        # one-time setup, no recurring exec-compiles, cost still linear in
+        # the cone size rather than the full schedule.
+        fns = self._pos_fns
+        if fns is None:
+            fns = self._build_pos_fns()
+        p = 0
+        while mask:
+            if mask & 1:
+                fns[p](v, m)
+            mask >>= 1
+            p += 1
+
+    def _build_pos_fns(self) -> list:
+        src = []
+        for i, (t, code) in enumerate(zip(self.order_targets, self.order_code)):
+            src.append(f"def _p{i}(v, m):\n    v[{t}] = {code}")
+        ns = dict(self.namespace)
+        exec(compile("\n".join(src), "<repro-sim-pos>", "exec"), ns)
+        fns = [ns[f"_p{i}"] for i in range(len(self.order_targets))]
+        self._pos_fns = fns
+        return fns
+
+    @staticmethod
+    def _mask_positions(mask: int) -> tuple[int, ...]:
+        out = []
+        p = 0
+        while mask:
+            if mask & 1:
+                out.append(p)
+            mask >>= 1
+            p += 1
+        return tuple(out)
 
 
 def _sg(x: int, w: int) -> int:
@@ -365,8 +486,7 @@ def compile_design(circuit: Circuit, top_path: str | None = None) -> CompiledDes
     assignments: list[tuple[int, str, str]] = []  # (target, code, target_path)
     registers: list[RegisterSpec] = []
     stop_lines: list[str] = []
-    mem_lines: list[str] = []
-    mem_journal_lines: list[str] = []
+    mem_ops: list[tuple[str, str, str, int, int]] = []  # (en, addr, data, mi, depth)
     printf_specs: list[tuple[str, int]] = []
     reads_mem: dict[int, bool] = {}
 
@@ -463,17 +583,7 @@ def compile_design(circuit: Circuit, top_path: str | None = None) -> CompiledDes
             elif isinstance(s, MemWrite):
                 mi = mem_index[f"{path}.{s.mem}"]
                 depth = mems[mi].depth
-                en, addr, data = cg.raw(s.en), cg.raw(s.addr), cg.raw(s.data)
-                mem_lines.append(
-                    f"    if {en}: m[{mi}][{addr} % {depth}] = {data}"
-                )
-                wi = len(mem_journal_lines)
-                mem_journal_lines.append(
-                    f"    if {en}:\n"
-                    f"        _ja{wi} = {addr} % {depth}\n"
-                    f"        _jw(({mi}, _ja{wi}))\n"
-                    f"        m[{mi}][_ja{wi}] = {data}"
-                )
+                mem_ops.append((cg.raw(s.en), cg.raw(s.addr), cg.raw(s.data), mi, depth))
             elif isinstance(s, Stop):
                 stop_lines.append(
                     f"    if {cg.raw(s.cond)}: "
@@ -535,19 +645,67 @@ def compile_design(circuit: Circuit, top_path: str | None = None) -> CompiledDes
         comb_lines.append(f"    v[{target}] = {code}")
     comb_source = "\n".join(comb_lines)
 
-    def _tick_source(header: str, mem_block: list[str]) -> str:
+    def _mem_block(journal: bool, activity: bool) -> list[str]:
+        out = []
+        for wi, (en, addr, data, mi, depth) in enumerate(mem_ops):
+            if journal:
+                lines = [
+                    f"    if {en}:",
+                    f"        _ja{wi} = {addr} % {depth}",
+                    f"        _jw(({mi}, _ja{wi}))",
+                    f"        m[{mi}][_ja{wi}] = {data}",
+                ]
+                if activity:
+                    lines.insert(1, "        _mw = 1")
+                out.append("\n".join(lines))
+            elif activity:
+                out.append(
+                    f"    if {en}:\n"
+                    f"        _mw = 1\n"
+                    f"        m[{mi}][{addr} % {depth}] = {data}"
+                )
+            else:
+                out.append(f"    if {en}: m[{mi}][{addr} % {depth}] = {data}")
+        return out
+
+    def _tick_source(header: str, journal: bool, activity: bool) -> str:
         body = [header]
         # Order matters: stops/printfs observe the stable pre-edge state;
         # register next-values are computed before memory writes so they
         # read pre-edge memory contents; stores happen last (two-phase
         # update).
         body.extend(stop_lines)
+        if activity:
+            body.append("    _mw = 0")
         for i, spec in enumerate(registers):
             if spec.next_code is not None:
                 body.append(f"    _t{i} = {spec.next_code}")
-        body.extend(mem_block)
+        body.extend(_mem_block(journal, activity))
         for i, spec in enumerate(registers):
-            if spec.next_code is not None:
+            if activity:
+                # Store-and-report only on an actual change: the engine
+                # re-settles just the reported registers' fanout.
+                if spec.next_code is not None:
+                    if spec.reset_index is not None:
+                        body.append(
+                            f"    _n{i} = {spec.init_code} "
+                            f"if v[{spec.reset_index}] else _t{i}"
+                        )
+                    else:
+                        body.append(f"    _n{i} = _t{i}")
+                    body.append(
+                        f"    if v[{spec.index}] != _n{i}:\n"
+                        f"        v[{spec.index}] = _n{i}\n"
+                        f"        _ch({spec.index})"
+                    )
+                elif spec.reset_index is not None:
+                    body.append(
+                        f"    if v[{spec.reset_index}] "
+                        f"and v[{spec.index}] != ({spec.init_code}):\n"
+                        f"        v[{spec.index}] = {spec.init_code}\n"
+                        f"        _ch({spec.index})"
+                    )
+            elif spec.next_code is not None:
                 if spec.reset_index is not None:
                     body.append(
                         f"    v[{spec.index}] = {spec.init_code} "
@@ -559,13 +717,21 @@ def compile_design(circuit: Circuit, top_path: str | None = None) -> CompiledDes
                 body.append(
                     f"    if v[{spec.reset_index}]: v[{spec.index}] = {spec.init_code}"
                 )
+        if activity:
+            body.append("    return _mw")
         if len(body) == 1:
             body.append("    pass")
         return "\n".join(body)
 
-    tick_source = _tick_source("def tick(v, m, time):", mem_lines)
+    tick_source = _tick_source("def tick(v, m, time):", False, False)
     tick_journal_source = _tick_source(
-        "def tick_journal(v, m, time, _jw):", mem_journal_lines
+        "def tick_journal(v, m, time, _jw):", True, False
+    )
+    tick_act_source = _tick_source(
+        "def tick_act(v, m, time, _ch):", False, True
+    )
+    tick_act_journal_source = _tick_source(
+        "def tick_act_journal(v, m, time, _jw, _ch):", True, True
     )
 
     namespace = {
@@ -580,6 +746,11 @@ def compile_design(circuit: Circuit, top_path: str | None = None) -> CompiledDes
     exec(compile(tick_source, "<repro-sim-tick>", "exec"), namespace)
     exec(
         compile(tick_journal_source, "<repro-sim-tick-journal>", "exec"),
+        namespace,
+    )
+    exec(compile(tick_act_source, "<repro-sim-tick-act>", "exec"), namespace)
+    exec(
+        compile(tick_act_journal_source, "<repro-sim-tick-act-journal>", "exec"),
         namespace,
     )
 
@@ -612,6 +783,10 @@ def compile_design(circuit: Circuit, top_path: str | None = None) -> CompiledDes
         mem_index=mem_index,
         tick_journal=namespace["tick_journal"],
         tick_journal_source=tick_journal_source,
+        tick_act=namespace["tick_act"],
+        tick_act_source=tick_act_source,
+        tick_act_journal=namespace["tick_act_journal"],
+        tick_act_journal_source=tick_act_journal_source,
         order_targets=order_targets,
         order_code=order_code,
         order_deps=order_deps,

@@ -11,9 +11,14 @@ Two execution paths share the compiled design:
   every clock edge re-runs the full monolithic ``comb`` function;
 * the **fast path** (``fast=True``, default): the engine tracks *which*
   signals changed and re-evaluates only their compiled fanout cones
-  (``docs/performance.md``).  A clock edge re-settles the pre-computed
-  register/memory cone; a poke re-settles just the poked signal's cone.
-  Property tests pin the two paths to bit-identical results.
+  (``docs/performance.md``).  Pokes are **lazy** — they accumulate into a
+  pending dirty set and the next settle point (a step, a read, an explicit
+  ``flush()``/``batch()`` exit) evaluates one merged cone for the whole
+  set.  Clock edges are **activity-tracked**: the generated tick reports
+  which registers actually changed, and only their fanout (plus the
+  memory-reading cone when a write landed) is re-settled — quiet cycles
+  skip most of the datapath.  Property tests pin the two paths to
+  bit-identical results.
 
 Optional state snapshots give the live simulator ``set_time`` support —
 the hook reverse debugging needs when no trace replay is available.
@@ -27,6 +32,7 @@ memories) and eviction folds the keyframe forward in O(delta).
 from __future__ import annotations
 
 from collections import deque
+from contextlib import contextmanager
 from dataclasses import dataclass
 
 from ..ir.stmt import Circuit
@@ -92,9 +98,16 @@ class Simulator(SimulatorInterface):
         self._callbacks: dict[int, object] = {}
         self._cb_list: tuple = ()
         self._next_cb_id = 1
-        # Settle bookkeeping: at most one of these is pending outside step().
+        # Settle bookkeeping (fast path): pokes accumulate indices into
+        # `_dirty`, the activity-tracked tick accumulates changed registers
+        # into `_tick_changed` (plus `_tick_mem` when a memory write
+        # landed); `_settle` evaluates one merged cone for the union.  The
+        # sets are mutated in place, never rebound — the step() loop holds
+        # bound methods into them across callback-driven rewinds.
         self._pending_full = False   # full comb required (reference / rewind)
-        self._pending_tick = False   # register/memory cone required (fast)
+        self._dirty: set[int] = set()
+        self._tick_changed: set[int] = set()
+        self._tick_mem = False
         self._snap_limit = snapshots
         self._snaps: deque[_Snapshot] = deque()
         self._snap_by_time: dict[int, _Snapshot] = {}
@@ -143,21 +156,69 @@ class Simulator(SimulatorInterface):
         """Bring every combinational signal up to date with current state."""
         if self._pending_full:
             self._pending_full = False
-            self._pending_tick = False
+            self._dirty.clear()
+            self._tick_changed.clear()
+            self._tick_mem = False
             self.design.comb(self.values, self.mems)
-        elif self._pending_tick:
-            self._pending_tick = False
-            self.design.tick_settle(self.values, self.mems)
+            return
+        dirty = self._dirty
+        ticked = self._tick_changed
+        if dirty:
+            seeds = dirty | ticked if ticked else dirty
+            self.design.settle_seeds(
+                self.values, self.mems, seeds, self._tick_mem
+            )
+        elif ticked or self._tick_mem:
+            # Pure clock-edge activity: the design may collapse a busy
+            # edge onto the precomputed full tick cone.
+            self.design.settle_tick(
+                self.values, self.mems, ticked, self._tick_mem
+            )
+        else:
+            return
+        dirty.clear()
+        ticked.clear()
+        self._tick_mem = False
+
+    def flush(self) -> None:
+        """Settle any pending pokes / deferred tick activity now.
+
+        Pokes on the fast path are lazy: they accumulate into a dirty set
+        and the whole set is settled as one merged fanout cone at the next
+        observation point (``step``, ``peek``/``get_value``, a clock
+        callback, or this call).  ``flush`` forces that settle explicitly —
+        useful before reading ``values`` directly."""
+        self._settle()
+
+    @contextmanager
+    def batch(self):
+        """Group several pokes into one deferred cone settle.
+
+        ::
+
+            with sim.batch():
+                sim.poke("a", 1)
+                sim.poke("b", 2)   # no settling yet
+            # exiting settles one merged cone for both fanouts
+
+        Pokes are lazy regardless, so the context manager is primarily an
+        explicit marker (and a guaranteed flush on exit) for testbench code
+        that drives many inputs per cycle."""
+        try:
+            yield self
+        finally:
+            self._settle()
 
     def _drive(self, idx: int, value: int) -> None:
-        """Write a signal and re-settle its combinational fanout."""
+        """Write a signal; the fast path defers the cone settle to the
+        next observation point, the reference path re-runs full comb."""
         width = self.design.signals[idx].width
         value &= (1 << width) - 1
         if self._fast:
             if value == self.values[idx]:
                 return
             self.values[idx] = value
-            self.design.comb_update(self.values, self.mems, (idx,))
+            self._dirty.add(idx)
         else:
             self.values[idx] = value
             self.design.comb(self.values, self.mems)
@@ -183,6 +244,7 @@ class Simulator(SimulatorInterface):
 
     def peek(self, name: str) -> int:
         """Read any signal by local top-level or full hierarchical name."""
+        self._settle()
         root = self.design.hierarchy.path
         idx = self.design.signal_index.get(name)
         if idx is None:
@@ -213,8 +275,13 @@ class Simulator(SimulatorInterface):
         design = self.design
         cb_list = self._cb_list
         journal = self._snap_limit > 0 and self._snap_mems
-        tick = design.tick_journal if journal else design.tick
+        fast = self._fast
+        if fast:
+            tick = design.tick_act_journal if journal else design.tick_act
+        else:
+            tick = design.tick_journal if journal else design.tick
         jw = self._mem_written.add
+        ch = self._tick_changed.add
         for _ in range(cycles):
             if self._finished is not None:
                 return
@@ -225,30 +292,40 @@ class Simulator(SimulatorInterface):
                 for fn in cb_list:
                     fn(self)
                 cb_list = self._cb_list  # callbacks may attach/detach
-                # Callback pokes re-settle eagerly; set_time re-settles too.
+                # Callback pokes settle lazily; consume them (and any
+                # set_time rewind) before snapshotting and ticking.
                 self._settle()
             if self._snap_limit:
                 self._take_snapshot()
             try:
-                if journal:
+                if fast:
+                    # The activity-tracked tick reports each changed
+                    # register via `ch` and returns truthy when a memory
+                    # word was written; the next settle re-evaluates just
+                    # that activity's merged cone.
+                    if journal:
+                        if tick(v, m, self._time, jw, ch):
+                            self._tick_mem = True
+                    elif tick(v, m, self._time, ch):
+                        self._tick_mem = True
+                elif journal:
                     tick(v, m, self._time, jw)
+                    self._pending_full = True
                 else:
                     tick(v, m, self._time)
+                    self._pending_full = True
             except SimulationFinished as fin:
+                # Stops fire before any register/memory update, so the
+                # fast path has no activity to settle; the reference path
+                # keeps its full-comb-per-edge semantics.
                 self._finished = fin.exit_code
                 self._time += 1
-                self._mark_edge()
+                if not fast:
+                    self._pending_full = True
                 self._settle()
                 return
             self._time += 1
-            self._mark_edge()
         self._settle()
-
-    def _mark_edge(self) -> None:
-        if self._fast:
-            self._pending_tick = True
-        else:
-            self._pending_full = True
 
     def run(self, max_cycles: int = 1_000_000) -> int | None:
         """Run until a ``Stop`` fires or ``max_cycles`` elapse.  Returns the
@@ -390,13 +467,17 @@ class Simulator(SimulatorInterface):
             # Rewound to the keyframe: re-stepping restarts the ring with
             # a fresh keyframe, no delta baseline needed.
             self._prev_state = []
-        self._pending_tick = False
         self._pending_full = False
+        self._dirty.clear()
+        self._tick_changed.clear()
+        self._tick_mem = False
         self.design.comb(self.values, self.mems)
+        self._notify_set_time(time)
 
     # -- SimulatorInterface ------------------------------------------------------
 
     def get_value(self, path: str) -> int:
+        self._settle()
         idx = self.design.signal_index.get(path)
         if idx is None:
             raise SimulatorError(f"no such signal {path!r}")

@@ -124,6 +124,28 @@ class SimulatorInterface(ABC):
     def can_set_time(self) -> bool:
         return False
 
+    # Time-jump notification: backends that implement set_time call
+    # _notify_set_time after restoring state, so per-cycle observers
+    # (watchpoints tracking last-seen values, most notably) can re-prime
+    # against the restored state instead of comparing across the jump.
+
+    def add_set_time_callback(self, fn) -> int:
+        """Register ``fn(sim, time)`` to run after every successful
+        ``set_time``.  Returns an id for :meth:`remove_set_time_callback`."""
+        cbs = self.__dict__.setdefault("_set_time_callbacks", {})
+        cb_id = self.__dict__.get("_next_set_time_cb_id", 1)
+        self.__dict__["_next_set_time_cb_id"] = cb_id + 1
+        cbs[cb_id] = fn
+        return cb_id
+
+    def remove_set_time_callback(self, cb_id: int) -> None:
+        """Unregister a time-jump callback by id."""
+        self.__dict__.get("_set_time_callbacks", {}).pop(cb_id, None)
+
+    def _notify_set_time(self, time: int) -> None:
+        for fn in tuple(self.__dict__.get("_set_time_callbacks", {}).values()):
+            fn(self, time)
+
     @property
     def is_replay(self) -> bool:
         """True when this backend replays a trace (no live stimulus)."""

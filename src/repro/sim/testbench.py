@@ -32,11 +32,17 @@ class Driver:
         self.queue.append(Transaction(dict(pokes)))
 
     def drive_one(self) -> bool:
-        """Apply the next transaction (if any) and step one cycle."""
+        """Apply the next transaction (if any) and step one cycle.
+
+        All of a transaction's pokes are applied inside one
+        :meth:`~repro.sim.engine.Simulator.batch` block, so a multi-input
+        transaction costs a single merged fanout-cone settle instead of one
+        cone per poke."""
         if self.queue:
             txn = self.queue.pop(0)
-            for name, value in txn.pokes.items():
-                self.sim.poke(name, value)
+            with self.sim.batch():
+                for name, value in txn.pokes.items():
+                    self.sim.poke(name, value)
         self.sim.step()
         return bool(self.queue)
 

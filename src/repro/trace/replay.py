@@ -108,6 +108,7 @@ class ReplayEngine(SimulatorInterface):
                 f"cycle {time} outside trace (0..{len(self._posedges) - 1})"
             )
         self._cycle = time
+        self._notify_set_time(time)
 
     @property
     def can_set_time(self) -> bool:

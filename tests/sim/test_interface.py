@@ -84,6 +84,21 @@ class TestInterfaceDefaults:
     def test_not_replay_by_default(self):
         assert not self._Minimal().is_replay
 
+    def test_set_time_callbacks_default_plumbing(self):
+        """Any backend can register set-time observers; _notify_set_time
+        fans out to them and removal by id works."""
+        m = self._Minimal()
+        seen = []
+        cb1 = m.add_set_time_callback(lambda sim, t: seen.append(("a", t)))
+        cb2 = m.add_set_time_callback(lambda sim, t: seen.append(("b", t)))
+        assert cb1 != cb2
+        m._notify_set_time(7)
+        assert seen == [("a", 7), ("b", 7)]
+        m.remove_set_time_callback(cb1)
+        m.remove_set_time_callback(999)  # unknown ids are ignored
+        m._notify_set_time(9)
+        assert seen == [("a", 7), ("b", 7), ("b", 9)]
+
     def test_finished_exception_carries_code(self):
         exc = SimulationFinished(3, 42)
         assert exc.exit_code == 3 and exc.time == 42
