@@ -1,0 +1,108 @@
+"""Shard-farm scaling: aggregate simulation throughput vs. worker count.
+
+The ``repro.shard`` subsystem exists to buy wall-clock with processes: a
+4-shard sweep on 4 workers should finish close to 4x faster than on one.
+This benchmark runs the *same* 4-shard sweep (same seeds, same armed
+breakpoint) at 1, 2, and 4 workers and reports the scaling curve as
+aggregate cycles/second.
+
+Acceptance bar: >= 2x aggregate throughput at 4 workers vs. 1 on the
+4-shard sweep.  The bar needs real parallel hardware, so it is asserted
+only when the machine exposes >= 4 usable CPUs (and never in smoke mode);
+the parity check — every worker count must produce identical per-shard
+results — always runs, on any machine.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import repro
+import repro.hgf as hgf
+from repro.shard import BreakpointSpec, ShardSession, make_sweep
+
+_SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+_SHARDS = 4
+_CYCLES = 60 if _SMOKE else 3000
+_WORKER_COUNTS = (1, 2, 4)
+
+
+def _cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:
+        return os.cpu_count() or 1
+
+
+class _ShardPipe(hgf.Module):
+    """A register pipeline with per-stage arithmetic: enough tick work per
+    cycle that a shard is compute-bound in the simulator, not in pipes."""
+
+    def __init__(self, stages: int = 24, width: int = 32):
+        super().__init__()
+        self.x = self.input("x", width)
+        self.o = self.output("o", width)
+        mask = (1 << width) - 1
+        acc = self.x
+        for k in range(stages):
+            r = self.reg(f"p{k}", width, init=(k * 2654435761) & mask)
+            r <<= ((acc ^ r) + self.lit((2 * k + 1) & mask, width))[width - 1:0]
+            acc = r
+        self.o <<= acc
+
+
+def _sweep_specs(design):
+    # One armed breakpoint with a rarely-true condition: the sweep pays
+    # the per-cycle debugger cost a real hit-hunting run would pay.
+    filename = line = None
+    for entry in design.debug_info.all_entries():
+        if entry.sink == "p0":
+            filename, line = entry.info.filename, entry.info.line
+            break
+    assert filename is not None
+    bp = BreakpointSpec(filename, line, condition="p0 == 12345")
+    return make_sweep(_SHARDS, _CYCLES, breakpoints=[bp])
+
+
+def test_shard_scaling_curve(capsys):
+    design = repro.compile(_ShardPipe())
+    specs = _sweep_specs(design)
+
+    rows = []
+    outcomes = {}
+    for workers in _WORKER_COUNTS:
+        with ShardSession(design, workers=workers) as session:
+            t0 = time.perf_counter()
+            report = session.run(specs)
+            wall = time.perf_counter() - t0
+        assert report.ok, [r.error for r in report.errors]
+        rows.append((workers, wall, report.total_cycles / wall))
+        outcomes[workers] = [
+            (r.shard_id, r.seed, r.cycles, r.hits) for r in report.results
+        ]
+
+    # Parity: the worker count is a throughput knob, never a semantics
+    # knob — every pool size must produce identical per-shard results.
+    for workers in _WORKER_COUNTS[1:]:
+        assert outcomes[workers] == outcomes[_WORKER_COUNTS[0]]
+
+    base_rate = rows[0][2]
+    with capsys.disabled():
+        print(
+            f"\n=== shard farm scaling ({_SHARDS} shards x {_CYCLES} "
+            f"cycles, {_cpus()} CPU(s) available) ==="
+        )
+        print(f"{'workers':>8} {'wall':>10} {'cycles/s':>12} {'speedup':>8}")
+        for workers, wall, rate in rows:
+            print(
+                f"{workers:>8} {wall * 1e3:>8.1f}ms {rate:>12,.0f} "
+                f"{rate / base_rate:>7.2f}x"
+            )
+        print("bar: >= 2x at 4 workers (asserted with >= 4 CPUs, non-smoke)")
+
+    speedup4 = dict((w, r) for w, _t, r in rows)[4] / base_rate
+    if not _SMOKE and _cpus() >= 4:
+        assert speedup4 >= 2.0, (
+            f"4-worker sweep only {speedup4:.2f}x over 1 worker"
+        )

@@ -6,6 +6,7 @@ engineer would actually use with trace files and symbol tables on disk::
     hgdb-py replay run.vcd symbols.db          # offline debugging session
     hgdb-py info symbols.db                    # inspect a symbol table
     hgdb-py vcd-info run.vcd                   # inspect a trace
+    hgdb-py shard pkg.mod:factory -b f.py:42   # parallel seed sweep
 
 Also usable as ``python -m repro.cli ...``.
 """
@@ -78,6 +79,89 @@ def _cmd_replay(args) -> int:
     return 0
 
 
+def _parse_location(text: str):
+    """Split ``FILE:LINE[ if COND]`` into (filename, line, condition)."""
+    location, _, condition = text.partition(" if ")
+    filename, _, line_s = location.strip().rpartition(":")
+    if not filename:
+        raise ValueError(f"expected FILE:LINE[ if COND], got {text!r}")
+    return filename, int(line_s), (condition.strip() or None)
+
+
+def _cmd_shard(args) -> int:
+    import importlib
+    import json
+
+    import repro
+    from .shard import BreakpointSpec, ShardSession, WatchSpec
+
+    mod_name, _, attr = args.factory.partition(":")
+    if not attr:
+        print(
+            f"error: factory must be MODULE:CALLABLE, got {args.factory!r}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        module = importlib.import_module(mod_name)
+        factory = getattr(module, attr)
+    except (ImportError, AttributeError) as exc:
+        print(f"error: cannot load factory {args.factory!r}: {exc}",
+              file=sys.stderr)
+        return 2
+    design = repro.compile(factory(), debug=args.debug)
+
+    try:
+        breakpoints = []
+        for spec in args.breakpoint or []:
+            filename, line, condition = _parse_location(spec)
+            breakpoints.append(
+                BreakpointSpec(filename, line, condition=condition)
+            )
+        watchpoints = []
+        for spec in args.watch or []:
+            name, _, condition = spec.partition(" if ")
+            watchpoints.append(
+                WatchSpec(name.strip(), condition=condition.strip() or None)
+            )
+        overrides = {}
+        for spec in args.override or []:
+            name, eq, value = spec.partition("=")
+            if not eq or not name:
+                raise ValueError(f"expected NAME=VALUE, got {spec!r}")
+            overrides[name] = int(value, 0)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    def on_event(ev):
+        if args.verbose and ev["event"] == "progress":
+            print(
+                f"  shard {ev['shard']}: {ev['done']}/{ev['total']} cycles, "
+                f"{ev['hits']} hit(s)"
+            )
+
+    with ShardSession(design, workers=args.workers) as session:
+        report = session.sweep(
+            shards=args.shards,
+            cycles=args.cycles,
+            seed_base=args.seed_base,
+            breakpoints=breakpoints,
+            watchpoints=watchpoints,
+            overrides=overrides,
+            hit_limit=args.hit_limit,
+            on_event=on_event if args.verbose else None,
+            timeout=args.timeout,
+        )
+    print(report.summary())
+    if args.json:
+        with open(args.json, "w") as f:
+            json.dump(report.to_json(), f, indent=2)
+            f.write("\n")
+        print(f"wrote {args.json}")
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="hgdb-py",
@@ -107,6 +191,60 @@ def build_parser() -> argparse.ArgumentParser:
         help="semicolon-separated debugger commands (otherwise interactive)",
     )
     p_rep.set_defaults(fn=_cmd_replay)
+
+    p_shard = sub.add_parser(
+        "shard",
+        help="run N design shards in parallel and aggregate debugger hits",
+    )
+    p_shard.add_argument(
+        "factory",
+        help="design factory as MODULE:CALLABLE returning an hgf.Module",
+    )
+    p_shard.add_argument("--shards", type=int, default=4, help="shard count")
+    p_shard.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes (default: one per CPU; 0 = inline)",
+    )
+    p_shard.add_argument(
+        "--cycles", type=int, default=1000, help="cycles per shard"
+    )
+    p_shard.add_argument(
+        "--seed-base", type=int, default=0,
+        help="shard i runs seed SEED_BASE+i",
+    )
+    p_shard.add_argument(
+        "-b", "--breakpoint", action="append",
+        help="breakpoint 'FILE:LINE[ if COND]' armed in every shard "
+             "(repeatable)",
+    )
+    p_shard.add_argument(
+        "-w", "--watch", action="append",
+        help="watchpoint 'NAME[ if COND]' armed in every shard (repeatable)",
+    )
+    p_shard.add_argument(
+        "-o", "--override", action="append",
+        help="hold input NAME=VALUE constant in every shard (repeatable)",
+    )
+    p_shard.add_argument(
+        "--hit-limit", type=int, default=None,
+        help="detach a shard's debugger after this many hits",
+    )
+    p_shard.add_argument(
+        "--timeout", type=float, default=None,
+        help="abort the sweep when no worker event arrives for this long (s)",
+    )
+    p_shard.add_argument(
+        "--json", help="also write the aggregated report as JSON"
+    )
+    p_shard.add_argument(
+        "--debug", action="store_true",
+        help="compile in debug mode (-O0 analog; keeps every variable)",
+    )
+    p_shard.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="print per-shard progress events as they stream in",
+    )
+    p_shard.set_defaults(fn=_cmd_shard)
     return parser
 
 

@@ -22,6 +22,8 @@ Commands::
     locals                   print the current frame's local variables
     gen                      print the current frame's generator variables
     set PATH VALUE           force a signal value (live simulation only)
+    shard N CYCLES [SEED]    parallel sweep: run N seeds of this design
+                             with the current breakpoints, aggregate hits
     q / quit                 detach from the simulation
 """
 
@@ -172,6 +174,8 @@ class ConsoleDebugger:
         elif cmd == "set":
             self.runtime.sim.set_value(args[0], int(args[1], 0))
             self._out(f"{args[0]} = {args[1]}")
+        elif cmd == "shard":
+            self._cmd_shard(args)
         else:
             self._out(f"unknown command {cmd!r}; try c/s/rs/rc/b/p/info/q")
         return None
@@ -254,6 +258,61 @@ class ConsoleDebugger:
             self.current_frame = idx
         f = hit.frames[self.current_frame]
         self._out(f"thread {self.current_frame}: {f.instance_path}")
+
+    def _cmd_shard(self, args: list[str]) -> None:
+        """``shard N CYCLES [SEED_BASE]``: fan the current design out to a
+        parallel seed sweep, re-arming this session's breakpoints and
+        watchpoints in every shard, and print the aggregated report."""
+        from ..shard import BreakpointSpec, ShardSession, WatchSpec, make_sweep
+
+        if len(args) < 2:
+            self._out("usage: shard N CYCLES [SEED_BASE]")
+            return
+        shards, cycles = int(args[0]), int(args[1])
+        seed_base = int(args[2]) if len(args) > 2 else 0
+        design = getattr(self.runtime.sim, "design", None)
+        circuit = getattr(design, "circuit", None)
+        if circuit is None:
+            self._out("shard requires a live Simulator backend")
+            return
+        seen: set[tuple] = set()
+        breakpoints = []
+        for bp in self.runtime.list_breakpoints():
+            key = (bp.rec.filename, bp.rec.line, bp.condition_src)
+            if key not in seen:
+                seen.add(key)
+                breakpoints.append(
+                    BreakpointSpec(
+                        bp.rec.filename, bp.rec.line, condition=bp.condition_src
+                    )
+                )
+        watchpoints = [
+            WatchSpec(wp.label, condition=wp.condition_src)
+            for wp in self.runtime.watchpoints
+        ]
+        if not breakpoints and not watchpoints:
+            self._out("no breakpoints to sweep; insert some first (b/watch)")
+            return
+        # Reuse the session's already-compiled design: forked workers
+        # inherit it copy-on-write (same top_path, no recompilation).
+        # Without fork, shards run inline in this process and must not
+        # share the live simulator's design (printf plumbing and cone
+        # caches live on it) — recompile instead.
+        import multiprocessing
+
+        can_fork = "fork" in multiprocessing.get_all_start_methods()
+        with ShardSession(
+            circuit, self.runtime.symtable,
+            compiled=design if can_fork else None,
+        ) as session:
+            report = session.run(
+                make_sweep(
+                    shards, cycles, seed_base=seed_base,
+                    breakpoints=breakpoints, watchpoints=watchpoints,
+                )
+            )
+        for line in report.summary().splitlines():
+            self._out(line)
 
     def _frame(self):
         if self.current_hit is None:

@@ -20,6 +20,7 @@ from .runtime import (
     CommandKind,
     DebuggerError,
     HitGroup,
+    HitRecorder,
     Runtime,
 )
 from .scheduler import Group, InsertedBreakpoint, Scheduler
@@ -37,6 +38,7 @@ __all__ = [
     "FrameBuilder",
     "Group",
     "HitGroup",
+    "HitRecorder",
     "InsertedBreakpoint",
     "MatchError",
     "REVERSE_CONTINUE",

@@ -76,6 +76,54 @@ class HitGroup:
     def location(self) -> str:
         return f"{self.filename}:{self.line}"
 
+    def to_record(self) -> dict:
+        """A JSON-serializable rendering of this hit.
+
+        This is the shape shipped over the shard wire protocol and fed to
+        the cross-shard aggregator: plain dicts/lists/ints/strs only, with
+        frames flattened via :meth:`Frame.to_dict`.
+        """
+        rec: dict = {
+            "time": self.time,
+            "filename": self.filename,
+            "line": self.line,
+            "column": self.column,
+        }
+        if self.frames:
+            rec["frames"] = [f.to_dict() for f in self.frames]
+        if self.watch is not None:
+            rec["watch"] = dict(self.watch)
+        return rec
+
+
+class HitRecorder:
+    """A non-interactive hit sink: collect serializable hit records.
+
+    Usable anywhere a ``Runtime`` ``on_hit`` handler is expected — batch
+    jobs, shard workers, CI scripts — where nobody sits at a console.
+    Every hit is converted with :meth:`HitGroup.to_record` and appended to
+    :attr:`records`; ``on_record`` (when given) streams each record as it
+    lands, and ``limit`` detaches the runtime after that many hits so a
+    hot breakpoint cannot stall a long batch run.
+    """
+
+    def __init__(self, on_record=None, limit: int | None = None):
+        self.records: list[dict] = []
+        self.on_record = on_record
+        self.limit = limit
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __call__(self, hit: "HitGroup") -> Command:
+        rec = hit.to_record()
+        self.records.append(rec)
+        if self.on_record is not None:
+            self.on_record(rec)
+        if self.limit is not None and len(self.records) >= self.limit:
+            return DETACH
+        return CONTINUE
+
 
 class DebuggerError(Exception):
     """Raised on invalid debugger operations."""
@@ -102,7 +150,9 @@ class Runtime:
     ):
         self.sim = sim
         self.symtable = symtable
-        self.on_hit = on_hit or (lambda hit: CONTINUE)
+        # `is None`, not truthiness: a stateful handler object (e.g. an
+        # empty HitRecorder, whose __len__ is 0) must not be dropped.
+        self.on_hit = on_hit if on_hit is not None else (lambda hit: CONTINUE)
         self.instance_map = locate_instance(symtable, sim.hierarchy())
         self.frames = FrameBuilder(symtable, sim, self.instance_map)
         self.scheduler = Scheduler(symtable)

@@ -1,0 +1,75 @@
+"""repro.shard — a multi-process simulation farm with one debugging view.
+
+The first service-shaped layer on top of the hgdb runtime: a coordinator
+elaborates a design once and serves its symbol table over the paper's RPC
+seam (Sec. 3.4); forked worker processes each run an independent
+seed/config shard with their own ``Simulator`` + ``Runtime``; hits stream
+back as JSON-lines events and aggregate into cross-shard reports
+(first-hit-per-breakpoint, per-shard histograms, divergence detection).
+
+Quickstart::
+
+    import repro
+    from repro.shard import ShardSession, BreakpointSpec
+
+    design = repro.compile(MyModule())
+    with ShardSession(design, workers=4) as session:
+        report = session.sweep(
+            shards=4, cycles=10_000,
+            breakpoints=[BreakpointSpec("my_module.py", 42)],
+        )
+    print(report.summary())
+
+See ``docs/sharding.md`` for the architecture and wire protocol.
+"""
+
+from .aggregate import Divergence, FirstHit, ShardReport, frame_digest, location_of
+from .coordinator import ShardSession, default_workers
+from .spec import (
+    BreakpointSpec,
+    ShardError,
+    ShardResult,
+    ShardSpec,
+    WatchSpec,
+    make_sweep,
+)
+from .wire import (
+    PROTOCOL_VERSION,
+    WireError,
+    decode_line,
+    done_event,
+    encode_line,
+    error_event,
+    hit_event,
+    progress_event,
+    warning_event,
+)
+from .worker import make_stimulus, run_shard, stimulus_inputs
+
+__all__ = [
+    "BreakpointSpec",
+    "Divergence",
+    "FirstHit",
+    "PROTOCOL_VERSION",
+    "ShardError",
+    "ShardReport",
+    "ShardResult",
+    "ShardSession",
+    "ShardSpec",
+    "WatchSpec",
+    "WireError",
+    "decode_line",
+    "default_workers",
+    "done_event",
+    "encode_line",
+    "error_event",
+    "frame_digest",
+    "hit_event",
+    "location_of",
+    "make_stimulus",
+    "make_sweep",
+    "progress_event",
+    "run_shard",
+    "stimulus_inputs",
+    "warning_event",
+]

@@ -1,0 +1,250 @@
+"""Cross-shard aggregation: merge per-shard hit records into one view.
+
+The coordinator hands every :class:`~repro.shard.spec.ShardResult` to a
+:class:`ShardReport`, which answers the questions a sweep is run for:
+
+* **first hits** — the earliest (cycle, shard) at which each breakpoint
+  location fired anywhere in the sweep (bug triage: "which seed reaches
+  the assertion fastest?");
+* **histograms** — per-location hit counts broken down by shard
+  (coverage: "which configs exercise this branch at all?");
+* **divergence** — shards that hit the same source location at the same
+  cycle with *different* frame values.  For replicated shards (same seed,
+  same config) any divergence is a determinism bug; for seed sweeps it
+  marks where behaviors split.
+
+Hit records are the plain dicts of ``HitGroup.to_record``; frame values
+are digested into a stable fingerprint so comparison never depends on
+dict ordering.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+from .spec import ShardResult
+
+
+def location_of(record: dict) -> str:
+    """Stable location key for one hit record."""
+    if "watch" in record:
+        return f"<watch:{record['watch'].get('path')}>"
+    return f"{record['filename']}:{record['line']}"
+
+
+def frame_digest(record: dict) -> str:
+    """A stable fingerprint of the values observed at one hit.
+
+    Breakpoint hits digest every frame's flattened local/generator
+    variables; watch hits digest the old/new pair.  Equal digests mean
+    two shards observed identical state at that stop.
+    """
+    if "watch" in record:
+        w = record["watch"]
+        basis = ["watch", w.get("path"), w.get("old"), w.get("new")]
+    else:
+        basis = [
+            [
+                f.get("instance"),
+                _flatten_vars(f.get("local", [])),
+                _flatten_vars(f.get("generator", [])),
+            ]
+            for f in record.get("frames", [])
+        ]
+    blob = json.dumps(basis, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha1(blob.encode()).hexdigest()[:12]
+
+
+def _flatten_vars(views: list, prefix: str = "") -> list:
+    out = []
+    for v in views:
+        label = f"{prefix}.{v['name']}" if prefix else v["name"]
+        if v.get("children"):
+            out.extend(_flatten_vars(v["children"], label))
+        else:
+            out.append([label, v.get("value")])
+    return sorted(out)
+
+
+@dataclass(slots=True)
+class FirstHit:
+    """The earliest sighting of one breakpoint location in the sweep."""
+
+    location: str
+    time: int
+    shard_id: int
+    record: dict
+
+
+@dataclass(slots=True)
+class Divergence:
+    """Shards disagreeing at one (location, cycle) stop."""
+
+    location: str
+    time: int
+    groups: dict = field(default_factory=dict)   # digest -> sorted shard ids
+
+
+class ShardReport:
+    """The aggregated outcome of one sweep."""
+
+    def __init__(self, results: list[ShardResult]):
+        self.results = sorted(results, key=lambda r: r.shard_id)
+
+    # -- basic rollups -----------------------------------------------------
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.results)
+
+    @property
+    def errors(self) -> list[ShardResult]:
+        return [r for r in self.results if not r.ok]
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(r.cycles for r in self.results)
+
+    @property
+    def total_hits(self) -> int:
+        return sum(len(r.hits) for r in self.results)
+
+    @property
+    def wall_time_s(self) -> float:
+        """Coordinator wall time when set by the session; else the max
+        per-shard wall time (the critical path)."""
+        if getattr(self, "_wall_time_s", None) is not None:
+            return self._wall_time_s
+        return max((r.wall_time_s for r in self.results), default=0.0)
+
+    @wall_time_s.setter
+    def wall_time_s(self, value: float) -> None:
+        self._wall_time_s = value
+
+    def iter_hits(self):
+        """Yield ``(shard_id, record)`` across every shard, shard order."""
+        for r in self.results:
+            for rec in r.hits:
+                yield r.shard_id, rec
+
+    # -- cross-shard views -------------------------------------------------
+
+    def first_hits(self) -> dict[str, FirstHit]:
+        """Per location: the minimal (time, shard_id) hit in the sweep."""
+        best: dict[str, FirstHit] = {}
+        for shard_id, rec in self.iter_hits():
+            loc = location_of(rec)
+            cur = best.get(loc)
+            if cur is None or (rec["time"], shard_id) < (cur.time, cur.shard_id):
+                best[loc] = FirstHit(loc, rec["time"], shard_id, rec)
+        return best
+
+    def histogram(self) -> dict[str, dict[int, int]]:
+        """Per location: hit count per shard."""
+        out: dict[str, dict[int, int]] = {}
+        for shard_id, rec in self.iter_hits():
+            per_shard = out.setdefault(location_of(rec), {})
+            per_shard[shard_id] = per_shard.get(shard_id, 0) + 1
+        return out
+
+    def divergences(self) -> list[Divergence]:
+        """Stops where shards saw different state at the same cycle.
+
+        Only (location, time) pairs reached by at least two shards are
+        comparable; a pair whose frame digests differ across shards is a
+        divergence.  Expected in a seed sweep (different stimulus);
+        incriminating when shards replicate one seed.
+        """
+        seen: dict[tuple[str, int], dict[str, set[int]]] = {}
+        for shard_id, rec in self.iter_hits():
+            key = (location_of(rec), rec["time"])
+            seen.setdefault(key, {}).setdefault(
+                frame_digest(rec), set()
+            ).add(shard_id)
+        out = []
+        for (loc, t), groups in sorted(seen.items()):
+            shards = set().union(*groups.values())
+            if len(groups) > 1 and len(shards) > 1:
+                out.append(
+                    Divergence(
+                        loc, t,
+                        {d: sorted(s) for d, s in sorted(groups.items())},
+                    )
+                )
+        return out
+
+    # -- rendering ---------------------------------------------------------
+
+    def to_json(self) -> dict:
+        return {
+            "shards": [r.to_wire() for r in self.results],
+            "total_cycles": self.total_cycles,
+            "total_hits": self.total_hits,
+            "wall_time_s": round(self.wall_time_s, 6),
+            "first_hits": {
+                loc: {"time": fh.time, "shard": fh.shard_id}
+                for loc, fh in sorted(self.first_hits().items())
+            },
+            "histogram": {
+                loc: {str(s): n for s, n in sorted(counts.items())}
+                for loc, counts in sorted(self.histogram().items())
+            },
+            "divergences": [
+                {"location": d.location, "time": d.time, "groups": d.groups}
+                for d in self.divergences()
+            ],
+            "ok": self.ok,
+        }
+
+    def summary(self) -> str:
+        """Human-readable sweep report (the CLI/console output)."""
+        lines = []
+        wall = self.wall_time_s
+        rate = self.total_cycles / wall if wall > 0 else 0.0
+        lines.append(
+            f"sweep: {len(self.results)} shard(s), "
+            f"{self.total_cycles} cycles, {self.total_hits} hit(s), "
+            f"{wall:.2f}s ({rate:,.0f} cycles/s aggregate)"
+        )
+        for r in self.results:
+            status = f"error: {r.error}" if not r.ok else (
+                f"{len(r.hits)} hit(s)"
+                + (f", exit {r.exit_code}" if r.exit_code is not None else "")
+            )
+            lines.append(
+                f"  shard {r.shard_id} (seed {r.seed}): "
+                f"{r.cycles} cycles, {status}"
+            )
+        first = self.first_hits()
+        if first:
+            lines.append("first hits:")
+            for loc, fh in sorted(first.items(), key=lambda kv: (kv[1].time, kv[0])):
+                short = loc.rsplit("/", 1)[-1]
+                lines.append(
+                    f"  {short} @ cycle {fh.time} (shard {fh.shard_id})"
+                )
+        hist = self.histogram()
+        if hist:
+            lines.append("hit histogram (per shard):")
+            for loc, counts in sorted(hist.items()):
+                short = loc.rsplit("/", 1)[-1]
+                cells = " ".join(
+                    f"s{s}:{n}" for s, n in sorted(counts.items())
+                )
+                lines.append(f"  {short}: {cells}")
+        div = self.divergences()
+        if div:
+            lines.append(f"divergence at {len(div)} stop(s):")
+            for d in div[:10]:
+                short = d.location.rsplit("/", 1)[-1]
+                groups = "; ".join(
+                    f"shards {','.join(map(str, s))}" for s in d.groups.values()
+                )
+                lines.append(f"  {short} @ cycle {d.time}: {groups}")
+            if len(div) > 10:
+                lines.append(f"  ... {len(div) - 10} more")
+        else:
+            lines.append("no divergence between shards")
+        return "\n".join(lines)

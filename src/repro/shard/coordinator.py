@@ -1,0 +1,282 @@
+"""The shard coordinator: elaborate once, fan out, aggregate.
+
+:class:`ShardSession` is the service shape of the ROADMAP's "millions of
+users" north star in miniature: the design is elaborated and compiled
+**once**, its symbol table is served over the existing RPC protocol
+(``symtable/rpc.py``), and N worker processes — forked so they inherit
+the compiled design for free — each run one :class:`ShardSpec` with their
+own ``Simulator`` + ``Runtime``, streaming hit/progress events back over
+per-worker pipes as JSON lines.  The coordinator multiplexes those pipes
+onto one event queue, refills the worker pool as shards finish, and hands
+the merged results to :class:`~repro.shard.aggregate.ShardReport`.
+
+``workers=0`` runs every shard inline in this process (no fork, native
+symbol table) — the reference semantics the multi-process path is tested
+against, and the fallback on platforms without ``fork``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+
+from ..sim.compiler import compile_design
+from ..symtable.rpc import SymbolTableServer
+from ..symtable.writer import write_symbol_table
+from ..symtable.query import SQLiteSymbolTable
+from .aggregate import ShardReport
+from .spec import ShardError, ShardResult, ShardSpec, make_sweep
+from .wire import WireError, decode_line
+from .worker import run_shard, worker_entry
+
+
+def default_workers(n_shards: int) -> int:
+    """Worker-pool size when the caller does not pin one: one process per
+    available CPU, never more than there are shards."""
+    try:
+        cpus = len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        cpus = os.cpu_count() or 1
+    return max(1, min(n_shards, cpus))
+
+
+@dataclass(slots=True)
+class _Worker:
+    """One in-flight shard: its process and the pipe pump draining it."""
+
+    spec: ShardSpec
+    proc: object
+    conn: object
+    pump: threading.Thread
+
+
+class ShardSession:
+    """Run shard sweeps of one design and aggregate the hits.
+
+    Args:
+        design: a compiled :class:`repro.Design` (symbol table generated
+            automatically) or a bare Low-form ``Circuit`` (then
+            ``symtable`` is required).
+        symtable: the symbol table to serve to workers; defaults to
+            ``write_symbol_table(design)`` for a ``Design``.
+        workers: pool size for :meth:`run`.  ``None`` sizes to the machine
+            (:func:`default_workers`); ``0`` forces inline execution.
+        fast: forwarded to each worker's ``Simulator``.
+        compiled: reuse an existing ``CompiledDesign`` (e.g. the one a
+            live console session is already running) instead of compiling
+            the circuit again; this also preserves its ``top_path``.
+    """
+
+    def __init__(self, design, symtable=None, workers: int | None = None,
+                 fast: bool = True, compiled=None):
+        low = getattr(design, "low", None)
+        self.circuit = low if low is not None else design
+        if symtable is None:
+            if low is None:
+                raise ShardError(
+                    "a bare circuit needs an explicit symbol table"
+                )
+            symtable = SQLiteSymbolTable(write_symbol_table(design))
+        self.symtable = symtable
+        self.workers = workers
+        self.fast = fast
+        # Elaborate/compile once; forked workers inherit this copy.
+        self.compiled = (
+            compiled if compiled is not None
+            else compile_design(self.circuit, None)
+        )
+        self._server: SymbolTableServer | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _serve(self) -> tuple[str, int]:
+        if self._server is None:
+            self._server = SymbolTableServer(self.symtable)
+            self._server.start()
+        return self._server.address
+
+    def close(self) -> None:
+        if self._server is not None:
+            self._server.stop()
+            self._server = None
+
+    def __enter__(self) -> "ShardSession":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+    # -- running -----------------------------------------------------------
+
+    def sweep(
+        self,
+        shards: int,
+        cycles: int,
+        seed_base: int = 0,
+        breakpoints=(),
+        watchpoints=(),
+        overrides: dict | None = None,
+        reset_cycles: int = 1,
+        hit_limit: int | None = None,
+        on_event=None,
+        timeout: float | None = None,
+    ) -> ShardReport:
+        """Run the canonical seed sweep (see :func:`make_sweep`)."""
+        specs = make_sweep(
+            shards, cycles, seed_base=seed_base, overrides=overrides,
+            breakpoints=breakpoints, watchpoints=watchpoints,
+            reset_cycles=reset_cycles, hit_limit=hit_limit,
+        )
+        return self.run(specs, on_event=on_event, timeout=timeout)
+
+    def run(
+        self,
+        specs: list[ShardSpec],
+        on_event=None,
+        timeout: float | None = None,
+    ) -> ShardReport:
+        """Run every spec and return the aggregated report.
+
+        ``on_event`` receives every decoded worker event (hits, progress,
+        warnings, completion) as it arrives.  ``timeout`` bounds the wait
+        for *any* event; on expiry live workers are terminated and the
+        sweep raises :class:`ShardError`.
+        """
+        if not specs:
+            raise ShardError("nothing to run: empty spec list")
+        ids = [s.shard_id for s in specs]
+        if len(set(ids)) != len(ids):
+            raise ShardError(f"duplicate shard ids in sweep: {sorted(ids)}")
+        t0 = time.perf_counter()
+        workers = self.workers
+        if workers is None:
+            workers = default_workers(len(specs))
+        if workers <= 0 or not _fork_available():
+            report = self._run_inline(specs, on_event)
+        else:
+            report = self._run_pool(specs, workers, on_event, timeout)
+        report.wall_time_s = time.perf_counter() - t0
+        return report
+
+    def _run_inline(self, specs: list[ShardSpec], on_event) -> ShardReport:
+        results = [
+            run_shard(
+                self.circuit, self.symtable, spec,
+                emit=on_event, compiled=self.compiled, fast=self.fast,
+            )
+            for spec in specs
+        ]
+        return ShardReport(results)
+
+    def _run_pool(
+        self,
+        specs: list[ShardSpec],
+        workers: int,
+        on_event,
+        timeout: float | None,
+    ) -> ShardReport:
+        host, port = self._serve()
+        ctx = multiprocessing.get_context("fork")
+        events: queue.Queue = queue.Queue()
+        pending = deque(specs)
+        active: dict[int, _Worker] = {}
+        results: dict[int, ShardResult] = {}
+
+        def launch(spec: ShardSpec) -> None:
+            r_conn, w_conn = ctx.Pipe(duplex=False)
+            proc = ctx.Process(
+                target=worker_entry,
+                args=(
+                    self.circuit, self.compiled, spec.to_wire(),
+                    host, port, w_conn,
+                ),
+                daemon=True,
+            )
+            proc.start()
+            # Close the parent's copy of the write end *before* the next
+            # launch: later children must not inherit it, or this pipe
+            # would never report EOF if its worker crashes.
+            w_conn.close()
+            pump = threading.Thread(
+                target=_pump_pipe, args=(r_conn, spec.shard_id, events),
+                daemon=True,
+            )
+            pump.start()
+            active[spec.shard_id] = _Worker(spec, proc, r_conn, pump)
+
+        while pending and len(active) < workers:
+            launch(pending.popleft())
+
+        try:
+            while active:
+                try:
+                    kind, shard_id, payload = events.get(timeout=timeout)
+                except queue.Empty:
+                    raise ShardError(
+                        f"sweep timed out after {timeout}s with "
+                        f"{len(active)} worker(s) outstanding"
+                    ) from None
+                if kind == "event":
+                    if on_event is not None:
+                        on_event(payload)
+                    name = payload["event"]
+                    if name == "done":
+                        results[shard_id] = ShardResult.from_wire(
+                            payload["result"]
+                        )
+                    elif name == "error":
+                        w = active.get(shard_id)
+                        seed = w.spec.seed if w is not None else -1
+                        results[shard_id] = ShardResult(
+                            shard_id, seed, 0, error=payload["message"]
+                        )
+                else:  # pipe EOF: the worker is gone
+                    w = active.pop(shard_id)
+                    w.proc.join(timeout=30)
+                    if shard_id not in results:
+                        results[shard_id] = ShardResult(
+                            shard_id, w.spec.seed, 0,
+                            error=(
+                                "worker exited without reporting "
+                                f"(exit code {w.proc.exitcode})"
+                            ),
+                        )
+                    if pending:
+                        launch(pending.popleft())
+        finally:
+            for w in active.values():
+                if w.proc.is_alive():
+                    w.proc.terminate()
+                w.proc.join(timeout=5)
+
+        return ShardReport([results[s.shard_id] for s in specs])
+
+
+def _pump_pipe(conn, shard_id: int, events: queue.Queue) -> None:
+    """Reader thread: drain one worker's pipe into the shared queue."""
+    while True:
+        try:
+            data = conn.recv_bytes()
+        except (EOFError, OSError):
+            break
+        try:
+            events.put(("event", shard_id, decode_line(data)))
+        except WireError:
+            # A corrupt line is dropped, not fatal: the worker's `done`
+            # event (or pipe EOF) still decides the shard's outcome.
+            continue
+    try:
+        conn.close()
+    except OSError:
+        pass
+    events.put(("eof", shard_id, None))
+
+
+def _fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()

@@ -1,0 +1,199 @@
+"""Shard specifications and per-shard results.
+
+A :class:`ShardSpec` is everything one worker needs to run an independent
+simulation of the coordinator's design: a stimulus seed, constant input
+overrides (the "configuration" axis of a sweep), a run length, and the
+breakpoint/watchpoint set to arm.  Specs and results both round-trip
+through plain JSON dicts (``to_wire``/``from_wire``) so they travel the
+same JSON-lines framing the symbol table RPC uses.
+
+Stimulus is deterministic per seed: every cycle, each top-level input that
+is not the clock, the reset, or an override is poked with
+``Random(seed).getrandbits(width)``, inputs visited in sorted-name order.
+That contract is what makes a shard run reproducible standalone — the
+property tests pin shard output against a hand-written loop using nothing
+but this paragraph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class ShardError(Exception):
+    """Raised on invalid shard specs or a failed shard session."""
+
+
+@dataclass(frozen=True, slots=True)
+class BreakpointSpec:
+    """One breakpoint to arm in a worker: a source location + condition."""
+
+    filename: str
+    line: int
+    column: int | None = None
+    condition: str | None = None
+
+    def to_wire(self) -> dict:
+        return {
+            "filename": self.filename,
+            "line": self.line,
+            "column": self.column,
+            "condition": self.condition,
+        }
+
+    @classmethod
+    def from_wire(cls, d: dict) -> "BreakpointSpec":
+        return cls(
+            filename=d["filename"],
+            line=d["line"],
+            column=d.get("column"),
+            condition=d.get("condition"),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class WatchSpec:
+    """One watchpoint to arm in a worker."""
+
+    name: str
+    instance: str | None = None
+    condition: str | None = None
+
+    def to_wire(self) -> dict:
+        return {
+            "name": self.name,
+            "instance": self.instance,
+            "condition": self.condition,
+        }
+
+    @classmethod
+    def from_wire(cls, d: dict) -> "WatchSpec":
+        return cls(
+            name=d["name"],
+            instance=d.get("instance"),
+            condition=d.get("condition"),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class ShardSpec:
+    """One shard of a sweep: what a single worker process runs."""
+
+    shard_id: int
+    seed: int
+    cycles: int
+    overrides: dict = field(default_factory=dict)   # input name -> held value
+    breakpoints: tuple = ()                          # BreakpointSpec...
+    watchpoints: tuple = ()                          # WatchSpec...
+    reset_cycles: int = 1
+    progress_every: int = 0                          # 0: coordinator default
+    hit_limit: int | None = None                     # detach after N hits
+
+    def __post_init__(self):
+        if self.cycles < 0:
+            raise ShardError(f"shard {self.shard_id}: negative cycle count")
+        if self.reset_cycles < 0:
+            raise ShardError(f"shard {self.shard_id}: negative reset length")
+
+    def to_wire(self) -> dict:
+        return {
+            "shard_id": self.shard_id,
+            "seed": self.seed,
+            "cycles": self.cycles,
+            "overrides": dict(self.overrides),
+            "breakpoints": [b.to_wire() for b in self.breakpoints],
+            "watchpoints": [w.to_wire() for w in self.watchpoints],
+            "reset_cycles": self.reset_cycles,
+            "progress_every": self.progress_every,
+            "hit_limit": self.hit_limit,
+        }
+
+    @classmethod
+    def from_wire(cls, d: dict) -> "ShardSpec":
+        return cls(
+            shard_id=d["shard_id"],
+            seed=d["seed"],
+            cycles=d["cycles"],
+            overrides=dict(d.get("overrides", {})),
+            breakpoints=tuple(
+                BreakpointSpec.from_wire(b) for b in d.get("breakpoints", [])
+            ),
+            watchpoints=tuple(
+                WatchSpec.from_wire(w) for w in d.get("watchpoints", [])
+            ),
+            reset_cycles=d.get("reset_cycles", 1),
+            progress_every=d.get("progress_every", 0),
+            hit_limit=d.get("hit_limit"),
+        )
+
+
+@dataclass(slots=True)
+class ShardResult:
+    """What one worker reports back when its shard completes."""
+
+    shard_id: int
+    seed: int
+    cycles: int                         # cycles actually run
+    hits: list = field(default_factory=list)       # HitGroup.to_record dicts
+    warnings: list = field(default_factory=list)
+    exit_code: int | None = None        # design Stop code, when one fired
+    wall_time_s: float = 0.0
+    error: str | None = None            # set when the worker failed
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def to_wire(self) -> dict:
+        return {
+            "shard_id": self.shard_id,
+            "seed": self.seed,
+            "cycles": self.cycles,
+            "hits": self.hits,
+            "warnings": self.warnings,
+            "exit_code": self.exit_code,
+            "wall_time_s": self.wall_time_s,
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_wire(cls, d: dict) -> "ShardResult":
+        return cls(
+            shard_id=d["shard_id"],
+            seed=d["seed"],
+            cycles=d["cycles"],
+            hits=list(d.get("hits", [])),
+            warnings=list(d.get("warnings", [])),
+            exit_code=d.get("exit_code"),
+            wall_time_s=d.get("wall_time_s", 0.0),
+            error=d.get("error"),
+        )
+
+
+def make_sweep(
+    shards: int,
+    cycles: int,
+    seed_base: int = 0,
+    overrides: dict | None = None,
+    breakpoints=(),
+    watchpoints=(),
+    reset_cycles: int = 1,
+    hit_limit: int | None = None,
+) -> list[ShardSpec]:
+    """Build the canonical seed sweep: ``shards`` specs with seeds
+    ``seed_base .. seed_base+shards-1`` and otherwise identical config."""
+    if shards < 1:
+        raise ShardError("a sweep needs at least one shard")
+    return [
+        ShardSpec(
+            shard_id=i,
+            seed=seed_base + i,
+            cycles=cycles,
+            overrides=dict(overrides or {}),
+            breakpoints=tuple(breakpoints),
+            watchpoints=tuple(watchpoints),
+            reset_cycles=reset_cycles,
+            hit_limit=hit_limit,
+        )
+        for i in range(shards)
+    ]

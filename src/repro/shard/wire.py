@@ -1,0 +1,90 @@
+"""The shard event wire protocol: JSON lines, one event per line.
+
+Workers stream events to the coordinator over a pipe using the same
+framing the symbol table RPC uses over TCP (``symtable/rpc.py``): every
+message is one JSON object terminated by ``\\n``, and symbol-table record
+types tunnel through the same ``__type__`` tagging, so a tool that can
+read one wire can read the other.
+
+Event shapes (all carry ``v`` — the protocol version — and ``shard``)::
+
+    {"event": "hit",      "shard": N, "record": {...}}       one hit record
+    {"event": "progress", "shard": N, "done": C, "total": T, "hits": H}
+    {"event": "warning",  "shard": N, "message": "..."}
+    {"event": "done",     "shard": N, "result": {...}}       ShardResult
+    {"event": "error",    "shard": N, "message": "..."}      worker failed
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..symtable.rpc import _decode, _encode
+from .spec import ShardResult
+
+PROTOCOL_VERSION = 1
+
+_EVENTS = frozenset({"hit", "progress", "warning", "done", "error"})
+
+
+class WireError(Exception):
+    """Raised on an undecodable or malformed shard event."""
+
+
+def encode_line(obj: dict) -> bytes:
+    """One event -> one JSON line (record types tagged for decode)."""
+    return json.dumps(_encode_deep(obj)).encode() + b"\n"
+
+
+def decode_line(data: bytes | str) -> dict:
+    """One JSON line -> one validated event dict."""
+    try:
+        obj = json.loads(data)
+    except ValueError as exc:
+        raise WireError(f"undecodable shard event: {exc}") from exc
+    if not isinstance(obj, dict) or obj.get("event") not in _EVENTS:
+        raise WireError(f"malformed shard event: {obj!r}")
+    return _decode_deep(obj)
+
+
+def _encode_deep(obj):
+    """Recursive variant of the symtable encoder: events nest dicts."""
+    if isinstance(obj, dict):
+        return {k: _encode_deep(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_encode_deep(x) for x in obj]
+    return _encode(obj)
+
+
+def _decode_deep(obj):
+    if isinstance(obj, dict) and "__type__" not in obj:
+        return {k: _decode_deep(v) for k, v in obj.items()}
+    if isinstance(obj, list):
+        return [_decode_deep(x) for x in obj]
+    return _decode(obj)
+
+
+def _event(kind: str, shard_id: int, **fields) -> dict:
+    ev = {"event": kind, "v": PROTOCOL_VERSION, "shard": shard_id}
+    ev.update(fields)
+    return ev
+
+
+def hit_event(shard_id: int, record: dict) -> dict:
+    return _event("hit", shard_id, record=record)
+
+
+def progress_event(shard_id: int, done: int, total: int, hits: int) -> dict:
+    return _event("progress", shard_id, done=done, total=total, hits=hits)
+
+
+def warning_event(shard_id: int, message: str) -> dict:
+    return _event("warning", shard_id, message=message)
+
+
+def done_event(result: ShardResult) -> dict:
+    return _event("done", result.shard_id, result=result.to_wire())
+
+
+def error_event(shard_id: int, message: str) -> dict:
+    return _event("error", shard_id, message=message)

@@ -1,0 +1,150 @@
+"""Shard workers: one ``Simulator`` + ``Runtime`` per shard.
+
+:func:`run_shard` is the whole life of a shard and runs anywhere — inline
+in the coordinator process (``workers=0``, and how the determinism
+property tests pin shard ≡ standalone), or inside a forked worker process
+(:func:`worker_entry`), where the symbol table arrives over RPC and every
+hit/progress event streams back to the coordinator as a JSON line.
+
+Stimulus is owned by the spec contract (see ``spec.py``): sorted-name
+random pokes from ``random.Random(seed)``, overrides held constant,
+reset asserted for ``reset_cycles`` first.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from ..core.runtime import HitRecorder, Runtime
+from ..sim.engine import Simulator
+from ..symtable.rpc import RPCSymbolTable
+from .spec import ShardResult, ShardSpec
+from .wire import (
+    done_event,
+    encode_line,
+    error_event,
+    hit_event,
+    progress_event,
+    warning_event,
+)
+
+
+def stimulus_inputs(design, spec: ShardSpec) -> list[tuple[str, int]]:
+    """The ``(name, width)`` pairs randomized each cycle: every top-level
+    input except the clock, the reset, and the spec's overrides, in
+    sorted-name order (the determinism contract)."""
+    skip = {
+        design.signals[design.clock_index].name,
+        design.signals[design.reset_index].name,
+    }
+    skip.update(spec.overrides)
+    return [
+        (name, design.signals[idx].width)
+        for name, idx in sorted(design.top_inputs.items())
+        if name not in skip
+    ]
+
+
+def make_stimulus(sim: Simulator, spec: ShardSpec):
+    """Build the per-cycle stimulus callback for ``run_cycles``."""
+    rng = random.Random(spec.seed)
+    inputs = stimulus_inputs(sim.design, spec)
+
+    def stimulus(s, _cycle: int) -> None:
+        for name, width in inputs:
+            s.poke(name, rng.getrandbits(width))
+
+    return stimulus
+
+
+def run_shard(
+    circuit,
+    symtable,
+    spec: ShardSpec,
+    emit=None,
+    compiled=None,
+    fast: bool = True,
+) -> ShardResult:
+    """Run one shard to completion and return its result.
+
+    Args:
+        circuit: the coordinator's elaborated Low-form circuit.
+        symtable: any ``SymbolTableInterface`` (native inline, RPC in a
+            forked worker).
+        spec: what to run (seed, overrides, length, break/watchpoints).
+        emit: optional ``emit(event_dict)`` sink for streaming hit and
+            progress events while the shard runs.
+        compiled: optional pre-compiled design shared from the coordinator
+            (forked workers inherit it and skip recompilation).
+    """
+    t0 = time.perf_counter()
+    sim = Simulator(circuit, fast=fast, compiled=compiled)
+    on_record = None
+    if emit is not None:
+        on_record = lambda rec: emit(hit_event(spec.shard_id, rec))  # noqa: E731
+    recorder = HitRecorder(on_record=on_record, limit=spec.hit_limit)
+    runtime = Runtime(sim, symtable, on_hit=recorder)
+    runtime.attach()
+    for bp in spec.breakpoints:
+        runtime.add_breakpoint(bp.filename, bp.line, bp.column, bp.condition)
+    for wp in spec.watchpoints:
+        runtime.add_watchpoint(wp.name, wp.instance, wp.condition)
+
+    for name in spec.overrides:
+        sim.poke(name, spec.overrides[name])
+    if spec.reset_cycles:
+        sim.reset(spec.reset_cycles)
+
+    on_progress = None
+    every = spec.progress_every or max(1, spec.cycles // 4)
+    if emit is not None:
+        def on_progress(_s, done: int) -> None:
+            emit(progress_event(spec.shard_id, done, spec.cycles, len(recorder)))
+
+    ran = sim.run_cycles(
+        spec.cycles,
+        stimulus=make_stimulus(sim, spec),
+        on_progress=on_progress,
+        progress_every=every,
+    )
+    if emit is not None:
+        for message in runtime.warnings:
+            emit(warning_event(spec.shard_id, message))
+    return ShardResult(
+        shard_id=spec.shard_id,
+        seed=spec.seed,
+        cycles=ran,
+        hits=recorder.records,
+        warnings=list(runtime.warnings),
+        exit_code=sim.exit_code,
+        wall_time_s=time.perf_counter() - t0,
+    )
+
+
+def worker_entry(circuit, compiled, spec_wire: dict, host: str, port: int, conn) -> None:
+    """Forked worker process main: run one shard, stream JSON-line events
+    through ``conn`` (a write-only ``multiprocessing`` connection), finish
+    with a ``done`` (or ``error``) event, and close the pipe."""
+
+    def emit(event: dict) -> None:
+        conn.send_bytes(encode_line(event))
+
+    try:
+        spec = ShardSpec.from_wire(spec_wire)
+        with RPCSymbolTable(host, port) as table:
+            result = run_shard(
+                circuit, table, spec, emit=emit, compiled=compiled
+            )
+        emit(done_event(result))
+    except Exception as exc:  # noqa: BLE001 - process boundary
+        try:
+            # The spec itself may be what failed to decode: fall back to
+            # the raw wire dict for the shard id so the coordinator still
+            # gets the real error instead of a bare pipe EOF.
+            shard_id = spec_wire.get("shard_id", -1)
+            emit(error_event(shard_id, f"{type(exc).__name__}: {exc}"))
+        except OSError:
+            pass
+    finally:
+        conn.close()

@@ -79,6 +79,13 @@ class Simulator(SimulatorInterface):
             ``fast=False`` every stimulus change re-runs the full ``comb``
             function — the reference semantics the fast path is tested
             against.
+        compiled: reuse an already-compiled design instead of compiling
+            ``circuit`` again.  This is how the shard coordinator
+            elaborates and compiles once and has every forked worker build
+            its own simulator instance for free.  Simulators sharing one
+            ``CompiledDesign`` must not interleave stepping within a single
+            process (printf plumbing and cone caches live on the design);
+            across forked processes each child owns a copy-on-write copy.
     """
 
     def __init__(
@@ -88,8 +95,11 @@ class Simulator(SimulatorInterface):
         snapshots: int = 0,
         trace=None,
         fast: bool = True,
+        compiled: CompiledDesign | None = None,
     ):
-        self.design: CompiledDesign = compile_design(circuit, top_path)
+        self.design: CompiledDesign = (
+            compiled if compiled is not None else compile_design(circuit, top_path)
+        )
         self.values: list[int] = self.design.initial_values()
         self.mems: list[list[int]] = self.design.initial_mems()
         self._fast = fast

@@ -150,3 +150,45 @@ class SimulatorInterface(ABC):
     def is_replay(self) -> bool:
         """True when this backend replays a trace (no live stimulus)."""
         return False
+
+    # -- batch driving -----------------------------------------------------
+
+    def run_cycles(
+        self,
+        cycles: int,
+        stimulus=None,
+        on_progress=None,
+        progress_every: int = 0,
+    ) -> int:
+        """Drive the backend for up to ``cycles`` clock cycles.
+
+        The non-interactive run loop shard workers and batch jobs share:
+        per cycle, ``stimulus(sim, cycle)`` (when given) applies input
+        pokes *before* the clock edge, then time advances one cycle; every
+        ``progress_every`` completed cycles ``on_progress(sim, done)``
+        reports liveness.  Stops early when the backend reports completion
+        (a fired ``Stop``, or the end of a replayed trace).  Returns the
+        number of cycles actually run.
+
+        The default implementation drives any backend exposing a
+        ``step(cycles)`` method (both the live simulator and the replay
+        engine do); backends without one must override.
+        """
+        step = getattr(self, "step", None)
+        if step is None:
+            raise SimulatorError(f"{type(self).__name__} cannot advance time")
+        done = 0
+        for cycle in range(cycles):
+            if getattr(self, "finished", False) or getattr(self, "at_end", False):
+                break
+            if stimulus is not None:
+                stimulus(self, cycle)
+            step(1)
+            done += 1
+            if (
+                on_progress is not None
+                and progress_every
+                and done % progress_every == 0
+            ):
+                on_progress(self, done)
+        return done

@@ -72,16 +72,27 @@ class SymbolTableServer:
         class Handler(socketserver.StreamRequestHandler):
             def handle(self) -> None:
                 for line in self.rfile:
+                    # A non-JSON line must not kill the handler: parse
+                    # failures leave no `req` in scope, so the request id
+                    # defaults to null and the client gets a proper error
+                    # response instead of a dropped connection.
+                    req_id = None
                     try:
                         req = json.loads(line)
+                        if not isinstance(req, dict):
+                            raise ValueError("request must be a JSON object")
+                        req_id = req.get("id")
                         method = req.get("method")
                         params = req.get("params", [])
                         if method not in _METHODS:
                             raise ValueError(f"unknown method {method!r}")
                         result = getattr(outer.table, method)(*params)
-                        resp = {"id": req.get("id"), "result": _encode(result)}
+                        resp = {"id": req_id, "result": _encode(result)}
                     except Exception as exc:  # noqa: BLE001 - protocol boundary
-                        resp = {"id": req.get("id"), "error": str(exc)}
+                        resp = {
+                            "id": req_id,
+                            "error": str(exc) or type(exc).__name__,
+                        }
                     self.wfile.write(json.dumps(resp).encode() + b"\n")
                     self.wfile.flush()
 
@@ -126,6 +137,13 @@ class RPCSymbolTable(SymbolTableInterface):
         except OSError:
             pass
 
+    def __enter__(self) -> "RPCSymbolTable":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
     def _call(self, method: str, *params):
         with self._lock:
             req_id = self._next_id
@@ -137,8 +155,17 @@ class RPCSymbolTable(SymbolTableInterface):
         if not line:
             raise ConnectionError("symbol table server closed the connection")
         resp = json.loads(line)
-        if resp.get("error"):
+        # "error" is checked by presence, not truthiness: an empty error
+        # string is still an error, not a success with a None result.
+        if "error" in resp:
             raise RuntimeError(f"symbol table RPC error: {resp['error']}")
+        if resp.get("id") != req_id:
+            # A stale or misrouted response must not be silently paired
+            # with this request — that would corrupt every later call.
+            raise RuntimeError(
+                f"symbol table RPC response id mismatch: "
+                f"sent {req_id}, got {resp.get('id')!r}"
+            )
         return _decode(resp.get("result"))
 
     # -- interface methods, all delegated ---------------------------------

@@ -113,3 +113,56 @@ class TestCommands:
     def test_set_value(self):
         dbg, sim = _session(["set Accumulator.d 9", "c", "q"], cycles=3)
         assert any("Accumulator.d = 9" in l for l in dbg.transcript)
+
+
+class TestShardCommand:
+    def test_shard_sweep_from_console(self):
+        """`shard N CYCLES` fans the live design out with the session's
+        breakpoints and prints the aggregated report."""
+        d = repro.compile(Accumulator())
+        sim = Simulator(d.low)
+        rt = make_runtime(d, sim)
+        dbg = ConsoleDebugger(rt)
+        _f, line = line_of(d, "acc")
+        dbg.execute(f"b helpers.py:{line}")
+        dbg.execute("shard 3 20 100")
+        joined = "\n".join(dbg.transcript)
+        assert "3 shard(s)" in joined
+        assert "hit histogram" in joined
+
+    def test_shard_requires_breakpoints(self):
+        d = repro.compile(Accumulator())
+        sim = Simulator(d.low)
+        rt = make_runtime(d, sim)
+        dbg = ConsoleDebugger(rt)
+        dbg.execute("shard 2 10")
+        assert any("no breakpoints to sweep" in l for l in dbg.transcript)
+
+    def test_shard_usage_message(self):
+        d = repro.compile(Accumulator())
+        sim = Simulator(d.low)
+        rt = make_runtime(d, sim)
+        dbg = ConsoleDebugger(rt)
+        dbg.execute("shard 2")
+        assert any("usage: shard" in l for l in dbg.transcript)
+
+    def test_shard_rejected_on_replay_backend(self, tmp_path):
+        from repro.symtable import SQLiteSymbolTable, write_symbol_table
+        from repro.trace import ReplayEngine, VcdWriter
+
+        d = repro.compile(Accumulator())
+        vcd = str(tmp_path / "run.vcd")
+        w = VcdWriter(vcd)
+        sim = Simulator(d.low, trace=w)
+        sim.reset()
+        sim.step(3)
+        w.close()
+        replay = ReplayEngine.from_file(vcd)
+        from repro.core import Runtime
+
+        rt = Runtime(replay, SQLiteSymbolTable(write_symbol_table(d)))
+        dbg = ConsoleDebugger(rt)
+        _f, line = line_of(d, "acc")
+        dbg.execute(f"b helpers.py:{line}")
+        dbg.execute("shard 2 10")
+        assert any("live Simulator" in l for l in dbg.transcript)

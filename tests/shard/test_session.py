@@ -1,0 +1,210 @@
+"""ShardSession end-to-end: coordinator + forked workers + RPC symbol
+table + aggregation.  The multi-process path must agree exactly with the
+inline reference path, shard by shard, record by record."""
+
+import pytest
+
+import repro
+from repro.shard import (
+    BreakpointSpec,
+    ShardError,
+    ShardReport,
+    ShardResult,
+    ShardSession,
+    ShardSpec,
+    make_sweep,
+)
+from tests.helpers import Accumulator, TwoLeaves, line_of
+
+
+@pytest.fixture(scope="module")
+def acc():
+    d = repro.compile(Accumulator())
+    f, line = line_of(d, "acc")
+    return d, BreakpointSpec(f, line)
+
+
+class TestEndToEnd:
+    def test_four_shard_sweep_multiprocess(self, acc):
+        d, bp = acc
+        with ShardSession(d, workers=2) as session:
+            report = session.sweep(
+                shards=4, cycles=40, breakpoints=[bp], overrides={"en": 1},
+            )
+        assert report.ok
+        assert len(report.results) == 4
+        assert [r.shard_id for r in report.results] == [0, 1, 2, 3]
+        assert report.total_cycles == 160
+        assert report.total_hits > 0
+
+    def test_multiprocess_equals_inline(self, acc):
+        """The acceptance pin: forked shard ≡ inline shard ≡ (by
+        test_worker.py) standalone Simulator, per seed."""
+        d, bp = acc
+        kwargs = dict(
+            shards=4, cycles=40, breakpoints=[bp], overrides={"en": 1},
+        )
+        with ShardSession(d, workers=2) as mp_session:
+            mp_report = mp_session.sweep(**kwargs)
+        with ShardSession(d, workers=0) as inline_session:
+            inline_report = inline_session.sweep(**kwargs)
+        for a, b in zip(mp_report.results, inline_report.results):
+            assert a.shard_id == b.shard_id and a.seed == b.seed
+            assert a.cycles == b.cycles
+            assert a.hits == b.hits
+
+    def test_events_stream_to_coordinator(self, acc):
+        d, bp = acc
+        events = []
+        with ShardSession(d, workers=2) as session:
+            report = session.sweep(
+                shards=2, cycles=30, breakpoints=[bp], overrides={"en": 1},
+                on_event=events.append,
+            )
+        kinds = {e["event"] for e in events}
+        assert "done" in kinds and "hit" in kinds and "progress" in kinds
+        dones = [e for e in events if e["event"] == "done"]
+        assert {e["shard"] for e in dones} == {0, 1}
+        streamed = sorted(
+            (e["shard"], e["record"]["time"])
+            for e in events if e["event"] == "hit"
+        )
+        collected = sorted(
+            (s, rec["time"]) for s, rec in report.iter_hits()
+        )
+        assert streamed == collected
+
+    def test_more_shards_than_workers_refills_pool(self, acc):
+        d, bp = acc
+        with ShardSession(d, workers=2) as session:
+            report = session.sweep(shards=5, cycles=15, breakpoints=[bp])
+        assert report.ok and len(report.results) == 5
+
+    def test_custom_specs_and_duplicate_ids_rejected(self, acc):
+        d, _bp = acc
+        session = ShardSession(d, workers=0)
+        with pytest.raises(ShardError, match="duplicate"):
+            session.run([
+                ShardSpec(shard_id=1, seed=0, cycles=1),
+                ShardSpec(shard_id=1, seed=1, cycles=1),
+            ])
+        with pytest.raises(ShardError, match="empty"):
+            session.run([])
+        session.close()
+
+    def test_bare_circuit_requires_symtable(self, acc):
+        d, _bp = acc
+        with pytest.raises(ShardError, match="symbol table"):
+            ShardSession(d.low)
+
+    def test_worker_failure_is_isolated(self, acc):
+        """A shard whose spec cannot run (bad breakpoint file) reports an
+        error; the other shards still complete."""
+        d, bp = acc
+        bad = BreakpointSpec("no_such_file.py", 1)
+        specs = [
+            ShardSpec(shard_id=0, seed=0, cycles=20, breakpoints=(bp,),
+                      overrides={"en": 1}),
+            ShardSpec(shard_id=1, seed=1, cycles=20, breakpoints=(bad,)),
+            ShardSpec(shard_id=2, seed=2, cycles=20, breakpoints=(bp,),
+                      overrides={"en": 1}),
+        ]
+        with ShardSession(d, workers=2) as session:
+            report = session.run(specs)
+        assert not report.ok
+        assert [r.ok for r in report.results] == [True, False, True]
+        assert "unknown source file" in report.results[1].error
+        assert report.results[0].hits and report.results[2].hits
+
+    def test_report_json_is_serializable(self, acc):
+        import json
+
+        d, bp = acc
+        with ShardSession(d, workers=2) as session:
+            report = session.sweep(
+                shards=2, cycles=25, breakpoints=[bp], overrides={"en": 1},
+            )
+        blob = json.dumps(report.to_json())
+        back = json.loads(blob)
+        assert back["ok"] and len(back["shards"]) == 2
+        assert back["total_cycles"] == 50
+
+
+class TestAggregation:
+    def _report(self, hits_by_shard):
+        results = [
+            ShardResult(shard_id=i, seed=i, cycles=10, hits=hits)
+            for i, hits in enumerate(hits_by_shard)
+        ]
+        return ShardReport(results)
+
+    def _hit(self, time, value, line=5):
+        return {
+            "time": time, "filename": "m.py", "line": line, "column": 0,
+            "frames": [{
+                "breakpoint_id": 1, "instance": "Top", "filename": "m.py",
+                "line": line, "time": time,
+                "local": [{"name": "x", "value": value, "rtl": "x"}],
+                "generator": [],
+            }],
+        }
+
+    def test_first_hits_prefers_earliest_time_then_shard(self):
+        report = self._report([
+            [self._hit(7, 1)], [self._hit(3, 2)], [self._hit(3, 3)],
+        ])
+        fh = report.first_hits()["m.py:5"]
+        assert (fh.time, fh.shard_id) == (3, 1)
+
+    def test_histogram_counts_per_shard(self):
+        report = self._report([
+            [self._hit(1, 0), self._hit(2, 0)],
+            [],
+            [self._hit(4, 0)],
+        ])
+        assert report.histogram() == {"m.py:5": {0: 2, 2: 1}}
+
+    def test_divergence_same_cycle_different_values(self):
+        report = self._report([
+            [self._hit(4, 10)], [self._hit(4, 11)], [self._hit(4, 10)],
+        ])
+        divs = report.divergences()
+        assert len(divs) == 1
+        d = divs[0]
+        assert d.location == "m.py:5" and d.time == 4
+        assert sorted(map(tuple, d.groups.values())) == [(0, 2), (1,)]
+
+    def test_no_divergence_when_shards_agree(self):
+        report = self._report([[self._hit(4, 10)], [self._hit(4, 10)]])
+        assert report.divergences() == []
+
+    def test_no_divergence_for_single_shard_stops(self):
+        """A (location, time) only one shard reached is not comparable."""
+        report = self._report([[self._hit(4, 10)], [self._hit(9, 11)]])
+        assert report.divergences() == []
+
+    def test_replicated_shards_detect_nondeterminism_shape(self, acc):
+        """Replicating one seed across shards: identical configs must not
+        diverge — the determinism check the divergence view exists for."""
+        d, bp = acc
+        specs = [
+            ShardSpec(shard_id=i, seed=77, cycles=30, breakpoints=(bp,),
+                      overrides={"en": 1})
+            for i in range(3)
+        ]
+        with ShardSession(d, workers=2) as session:
+            report = session.run(specs)
+        assert report.ok
+        assert report.total_hits > 0
+        assert report.divergences() == []
+
+    def test_summary_mentions_the_essentials(self, acc):
+        d, bp = acc
+        with ShardSession(d, workers=0) as session:
+            report = session.sweep(
+                shards=2, cycles=20, breakpoints=[bp], overrides={"en": 1},
+            )
+        text = report.summary()
+        assert "2 shard(s)" in text
+        assert "first hits:" in text
+        assert "hit histogram" in text

@@ -1,0 +1,120 @@
+"""Wire-format tests: shard specs, results, and events must round-trip
+through the JSON-lines protocol byte-exactly."""
+
+import pytest
+
+from repro.shard import (
+    BreakpointSpec,
+    ShardError,
+    ShardResult,
+    ShardSpec,
+    WatchSpec,
+    WireError,
+    decode_line,
+    done_event,
+    encode_line,
+    error_event,
+    hit_event,
+    make_sweep,
+    progress_event,
+    warning_event,
+)
+from repro.symtable import BreakpointRec
+
+
+def _full_spec() -> ShardSpec:
+    return ShardSpec(
+        shard_id=3,
+        seed=1234,
+        cycles=500,
+        overrides={"en": 1, "mode": 2},
+        breakpoints=(
+            BreakpointSpec("a.py", 10),
+            BreakpointSpec("b.py", 20, column=4, condition="acc > 3"),
+        ),
+        watchpoints=(WatchSpec("total", condition="new > old"),),
+        reset_cycles=2,
+        progress_every=100,
+        hit_limit=50,
+    )
+
+
+class TestSpecRoundTrip:
+    def test_spec_roundtrip(self):
+        spec = _full_spec()
+        assert ShardSpec.from_wire(spec.to_wire()) == spec
+
+    def test_spec_roundtrip_through_line_encoding(self):
+        """Spec dicts survive the actual byte-level framing."""
+        import json
+
+        spec = _full_spec()
+        line = json.dumps(spec.to_wire()).encode() + b"\n"
+        assert ShardSpec.from_wire(json.loads(line)) == spec
+
+    def test_defaults_roundtrip(self):
+        spec = ShardSpec(shard_id=0, seed=0, cycles=1)
+        assert ShardSpec.from_wire(spec.to_wire()) == spec
+
+    def test_result_roundtrip(self):
+        res = ShardResult(
+            shard_id=1, seed=7, cycles=100,
+            hits=[{"time": 3, "filename": "a.py", "line": 10, "column": 0}],
+            warnings=["w"], exit_code=2, wall_time_s=0.5,
+        )
+        back = ShardResult.from_wire(res.to_wire())
+        assert back == res
+        assert back.ok
+
+    def test_failed_result_roundtrip(self):
+        res = ShardResult(shard_id=1, seed=7, cycles=0, error="boom")
+        back = ShardResult.from_wire(res.to_wire())
+        assert not back.ok and back.error == "boom"
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ShardError):
+            ShardSpec(shard_id=0, seed=0, cycles=-1)
+        with pytest.raises(ShardError):
+            ShardSpec(shard_id=0, seed=0, cycles=1, reset_cycles=-1)
+        with pytest.raises(ShardError):
+            make_sweep(0, 10)
+
+    def test_make_sweep_seeds(self):
+        specs = make_sweep(3, 10, seed_base=100)
+        assert [s.seed for s in specs] == [100, 101, 102]
+        assert [s.shard_id for s in specs] == [0, 1, 2]
+
+
+class TestEventFraming:
+    def test_every_event_kind_roundtrips(self):
+        result = ShardResult(shard_id=2, seed=9, cycles=10)
+        events = [
+            hit_event(2, {"time": 1, "filename": "a.py", "line": 3, "column": 0}),
+            progress_event(2, 50, 100, 4),
+            warning_event(2, "condition unevaluable"),
+            done_event(result),
+            error_event(2, "worker blew up"),
+        ]
+        for ev in events:
+            line = encode_line(ev)
+            assert line.endswith(b"\n") and line.count(b"\n") == 1
+            assert decode_line(line) == ev
+
+    def test_record_types_tunnel_like_the_symtable_wire(self):
+        """Symbol-table record dataclasses embedded in an event survive,
+        mirroring symtable/rpc.py's __type__ tagging."""
+        rec = BreakpointRec(
+            id=1, instance_id=2, instance_name="Top.a", filename="a.py",
+            line=3, column=0, node="n", sink="s", enable="en", enable_src="en",
+        )
+        ev = hit_event(0, {"time": 0, "bp": rec})
+        back = decode_line(encode_line(ev))
+        assert back["record"]["bp"] == rec
+
+    def test_garbage_rejected(self):
+        with pytest.raises(WireError):
+            decode_line(b"not json at all\n")
+        with pytest.raises(WireError):
+            decode_line(b"[1,2,3]\n")
+        with pytest.raises(WireError):
+            decode_line(b'{"event": "nonsense"}\n')

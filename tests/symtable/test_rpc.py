@@ -1,5 +1,11 @@
 """RPC symbol table tests: native vs RPC answers must be identical
-(paper Fig. 1: the symbol table is queried 'Native' or via 'RPC')."""
+(paper Fig. 1: the symbol table is queried 'Native' or via 'RPC'),
+and the wire protocol must survive malformed peers on both sides."""
+
+import json
+import socket
+import socketserver
+import threading
 
 import pytest
 
@@ -85,3 +91,110 @@ class TestProtocol:
         filename, line = line_of(d, "o")
         bps = rt.add_breakpoint(filename, line)
         assert len(bps) == 2
+
+    def test_client_context_manager(self, served):
+        _d, st, _cli = served
+        with SymbolTableServer(st) as server:
+            with RPCSymbolTable(*server.address) as cli:
+                assert cli.top_name() == st.top_name()
+            # closed: further calls fail cleanly
+            with pytest.raises((ConnectionError, OSError, ValueError)):
+                cli.top_name()
+
+
+def _fake_server(responder):
+    """A one-connection TCP server answering each request line with
+    ``responder(request_dict) -> response_dict`` — for injecting protocol
+    violations a well-behaved SymbolTableServer never produces."""
+
+    class Handler(socketserver.StreamRequestHandler):
+        def handle(self):
+            for line in self.rfile:
+                resp = responder(json.loads(line))
+                self.wfile.write(json.dumps(resp).encode() + b"\n")
+                self.wfile.flush()
+
+    srv = socketserver.TCPServer(("127.0.0.1", 0), Handler)
+    threading.Thread(target=srv.serve_forever, daemon=True).start()
+    return srv
+
+
+class TestProtocolEdgeCases:
+    def test_response_id_mismatch_raises(self):
+        srv = _fake_server(lambda req: {"id": req["id"] + 99, "result": "Top"})
+        try:
+            cli = RPCSymbolTable(*srv.server_address)
+            with pytest.raises(RuntimeError, match="id mismatch"):
+                cli._call("attribute", "top")
+            cli.close()
+        finally:
+            srv.shutdown()
+            srv.server_close()
+
+    def test_empty_error_string_is_still_an_error(self):
+        srv = _fake_server(lambda req: {"id": req["id"], "error": ""})
+        try:
+            cli = RPCSymbolTable(*srv.server_address)
+            with pytest.raises(RuntimeError, match="RPC error"):
+                cli._call("attribute", "top")
+            cli.close()
+        finally:
+            srv.shutdown()
+            srv.server_close()
+
+    def test_malformed_line_gets_error_response_and_connection_survives(
+        self, served
+    ):
+        """A non-JSON request line must produce {"id": null, "error": ...}
+        — not kill the handler — and the connection keeps serving."""
+        _d, st, _cli = served
+        with SymbolTableServer(st) as server:
+            sock = socket.create_connection(server.address, timeout=5)
+            f = sock.makefile("rwb")
+            f.write(b"this is not json\n")
+            f.flush()
+            resp = json.loads(f.readline())
+            assert resp["id"] is None
+            assert resp["error"]
+            # same connection still answers a valid request
+            f.write(
+                json.dumps(
+                    {"id": 7, "method": "attribute", "params": ["top"]}
+                ).encode() + b"\n"
+            )
+            f.flush()
+            resp = json.loads(f.readline())
+            assert resp == {"id": 7, "result": st.attribute("top")}
+            sock.close()
+
+    def test_non_object_request_gets_error_response(self, served):
+        _d, st, _cli = served
+        with SymbolTableServer(st) as server:
+            sock = socket.create_connection(server.address, timeout=5)
+            f = sock.makefile("rwb")
+            f.write(b"[1, 2, 3]\n")
+            f.flush()
+            resp = json.loads(f.readline())
+            assert resp["id"] is None
+            assert "JSON object" in resp["error"]
+            sock.close()
+
+    def test_server_shutdown_mid_call(self):
+        """The server side drops the connection before answering: the
+        client must raise a ConnectionError, not hand back a bogus
+        result."""
+
+        class Handler(socketserver.StreamRequestHandler):
+            def handle(self):
+                self.rfile.readline()   # swallow the request, answer nothing
+
+        srv = socketserver.TCPServer(("127.0.0.1", 0), Handler)
+        threading.Thread(target=srv.serve_forever, daemon=True).start()
+        try:
+            cli = RPCSymbolTable(*srv.server_address)
+            with pytest.raises((ConnectionError, OSError)):
+                cli._call("attribute", "top")
+            cli.close()
+        finally:
+            srv.shutdown()
+            srv.server_close()

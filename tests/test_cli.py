@@ -74,3 +74,55 @@ class TestReplay:
     def test_explicit_clock(self, artifacts):
         _d, sym, vcd = artifacts
         assert main(["replay", vcd, sym, "--clock", "Accumulator.clock", "-c", "q"]) == 0
+
+
+class TestShard:
+    def test_shard_sweep(self, tmp_path, capsys):
+        import json
+
+        d = repro.compile(Accumulator())
+        _f, line = line_of(d, "acc")
+        out = str(tmp_path / "report.json")
+        rc = main(
+            [
+                "shard", "tests.helpers:Accumulator",
+                "--shards", "3", "--workers", "2", "--cycles", "25",
+                "-b", f"helpers.py:{line}",
+                "-o", "en=1",
+                "--json", out,
+            ]
+        )
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "3 shard(s)" in text
+        assert "hit histogram" in text
+        with open(out) as f:
+            report = json.load(f)
+        assert report["ok"] and len(report["shards"]) == 3
+        assert report["total_cycles"] == 75
+
+    def test_shard_with_condition_and_inline_workers(self, capsys):
+        d = repro.compile(Accumulator())
+        _f, line = line_of(d, "acc")
+        rc = main(
+            [
+                "shard", "tests.helpers:Accumulator",
+                "--shards", "2", "--workers", "0", "--cycles", "30",
+                "-b", f"helpers.py:{line} if acc >= 100",
+                "-o", "en=1",
+            ]
+        )
+        assert rc == 0
+        assert "first hits" in capsys.readouterr().out
+
+    def test_shard_bad_factory(self, capsys):
+        assert main(["shard", "tests.helpers"]) == 2
+        assert main(["shard", "tests.helpers:NoSuchThing"]) == 2
+        err = capsys.readouterr().err
+        assert "factory" in err
+
+    def test_shard_malformed_args_exit_cleanly(self, capsys):
+        assert main(["shard", "tests.helpers:Accumulator", "-b", "helpers.py"]) == 2
+        assert main(["shard", "tests.helpers:Accumulator", "-o", "en"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "Traceback" not in err
