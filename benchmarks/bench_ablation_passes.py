@@ -12,12 +12,8 @@ cost on the CPU design:
 
 from __future__ import annotations
 
-import pytest
-
-import repro
 import repro.hgf as hgf
 from repro.cpu import RV32Core, assemble, benchmark_by_name
-from repro.ir.compiler import compile_circuit
 from repro.ir.debug import DebugInfo
 from repro.ir.passes import const_prop, cse, dce, expand_whens, lower_types
 from repro.ir.passes.inline_nodes import inline_nodes

@@ -97,7 +97,7 @@ def test_fig2_reverse_order_costs_like_forward(benchmark, capsys):
     sim.poke("x", 1)
     sim.reset()
 
-    from repro.core import REVERSE_STEP, STEP, Command
+    from repro.core import REVERSE_STEP, STEP
 
     timings = {}
 

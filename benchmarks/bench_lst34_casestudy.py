@@ -9,9 +9,6 @@ readability contrast between generator source and emitted RTL.
 from __future__ import annotations
 
 import itertools
-
-import pytest
-
 import repro
 from repro.core import DETACH, Runtime
 from repro.fpu import (

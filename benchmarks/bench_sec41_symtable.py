@@ -17,7 +17,7 @@ import pytest
 import repro
 from repro.cpu import RV32Core, assemble, benchmark_by_name
 from repro.fpu import FpuCmp
-from repro.symtable import SQLiteSymbolTable, write_symbol_table
+from repro.symtable import write_symbol_table
 
 
 def _designs():
@@ -31,7 +31,6 @@ def _designs():
 
 def _table_stats(design) -> dict[str, int]:
     conn = write_symbol_table(design)
-    st = SQLiteSymbolTable(conn)
     counts = {}
     for table in ("breakpoint", "variable", "scope_variable", "instance"):
         counts[table] = conn.execute(f"SELECT COUNT(*) FROM {table}").fetchone()[0]

@@ -12,7 +12,19 @@ single calls.
 and wall time) that CI uploads as a build artifact, so benchmark-harness
 breakage is diagnosable from the artifact alone.
 
-Usage: ``python benchmarks/check_bench.py [--json PATH] [bench-name-substring ...]``
+``--compare BASELINE.json`` turns the smoke run into a **regression
+gate**: the current run is checked against a committed baseline (itself a
+previous ``--json`` output).  A module that disappears, fails, or runs
+slower than ``baseline * (1 + tolerance)`` — with an absolute
+``--min-delta`` slack so sub-second modules cannot flake the gate on
+scheduler noise — fails the check.  New modules not in the baseline are
+reported (refresh the baseline) but do not fail.
+
+Usage::
+
+    python benchmarks/check_bench.py [--json PATH]
+        [--compare BASELINE.json] [--tolerance 0.15] [--min-delta 2.0]
+        [bench-name-substring ...]
 """
 
 from __future__ import annotations
@@ -24,18 +36,81 @@ import subprocess
 import sys
 import time
 
+#: Default relative slowdown allowed per tracked metric.
+DEFAULT_TOLERANCE = 0.15
+#: Default absolute slack (seconds): a regression must exceed *both* the
+#: relative tolerance and this floor to fail the gate.
+DEFAULT_MIN_DELTA = 2.0
+
+
+def compare_results(
+    current: dict,
+    baseline: dict,
+    tolerance: float = DEFAULT_TOLERANCE,
+    min_delta: float = DEFAULT_MIN_DELTA,
+) -> tuple[bool, list[str]]:
+    """Check a ``--json`` summary against a committed baseline.
+
+    Returns ``(ok, report lines)``.  Tracked per module: presence, the
+    ``ok`` flag, and ``duration_s`` (regression = exceeds the relative
+    tolerance *and* the absolute ``min_delta`` floor).
+    """
+    cur = {m["module"]: m for m in current.get("modules", [])}
+    base = {m["module"]: m for m in baseline.get("modules", [])}
+    ok = True
+    lines: list[str] = []
+    for name, b in sorted(base.items()):
+        c = cur.get(name)
+        if c is None:
+            ok = False
+            lines.append(f"MISSING  {name}: in baseline but not in this run")
+            continue
+        if not c.get("ok", False):
+            ok = False
+            lines.append(f"FAILED   {name}: returncode {c.get('returncode')}")
+            continue
+        b_t = float(b.get("duration_s", 0.0))
+        c_t = float(c.get("duration_s", 0.0))
+        limit = b_t * (1.0 + tolerance)
+        if c_t > limit and c_t - b_t > min_delta:
+            ok = False
+            lines.append(
+                f"SLOWER   {name}: {c_t:.2f}s vs baseline {b_t:.2f}s "
+                f"(limit {limit:.2f}s + {min_delta:.1f}s slack)"
+            )
+        else:
+            lines.append(f"ok       {name}: {c_t:.2f}s (baseline {b_t:.2f}s)")
+    for name in sorted(set(cur) - set(base)):
+        lines.append(f"NEW      {name}: not in baseline (refresh it)")
+    return ok, lines
+
+
+def _take_flag(args: list[str], flag: str) -> str | None:
+    """Pop ``flag VALUE`` from args; returns the value or None."""
+    if flag not in args:
+        return None
+    i = args.index(flag)
+    try:
+        value = args[i + 1]
+    except IndexError:
+        raise SystemExit(f"{flag} requires an argument")
+    del args[i : i + 2]
+    return value
+
 
 def main(argv: list[str] | None = None) -> int:
     args = sys.argv[1:] if argv is None else list(argv)
-    json_path: str | None = None
-    if "--json" in args:
-        i = args.index("--json")
-        try:
-            json_path = args[i + 1]
-        except IndexError:
-            print("--json requires a path argument", file=sys.stderr)
-            return 2
-        del args[i : i + 2]
+    try:
+        json_path = _take_flag(args, "--json")
+        compare_path = _take_flag(args, "--compare")
+        tolerance = float(_take_flag(args, "--tolerance") or DEFAULT_TOLERANCE)
+        min_delta = float(_take_flag(args, "--min-delta") or DEFAULT_MIN_DELTA)
+    except SystemExit as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"--tolerance/--min-delta need a number: {exc}", file=sys.stderr)
+        return 2
 
     here = os.path.dirname(os.path.abspath(__file__))
     root = os.path.dirname(here)
@@ -92,13 +167,38 @@ def main(argv: list[str] | None = None) -> int:
         if not ok:
             failed.append(name)
 
-    if json_path:
-        summary = {
-            "smoke": True,
-            "python": sys.version.split()[0],
-            "modules": results,
-            "ok": not failed,
+    summary = {
+        "smoke": True,
+        "python": sys.version.split()[0],
+        "modules": results,
+        "ok": not failed,
+    }
+
+    compare_ok = True
+    if compare_path:
+        try:
+            with open(compare_path) as f:
+                baseline = json.load(f)
+        except (OSError, ValueError) as exc:
+            print(f"cannot read baseline {compare_path}: {exc}", file=sys.stderr)
+            return 2
+        compare_ok, lines = compare_results(
+            summary, baseline, tolerance=tolerance, min_delta=min_delta
+        )
+        print(f"== bench regression gate vs {compare_path} "
+              f"(tolerance {tolerance:.0%}, min-delta {min_delta:.1f}s)")
+        for line in lines:
+            print("  " + line)
+        summary["compare"] = {
+            "baseline": compare_path,
+            "tolerance": tolerance,
+            "min_delta": min_delta,
+            "ok": compare_ok,
+            "report": lines,
         }
+        summary["ok"] = summary["ok"] and compare_ok
+
+    if json_path:
         with open(json_path, "w") as f:
             json.dump(summary, f, indent=2)
             f.write("\n")
@@ -106,6 +206,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if failed:
         print("FAILED: " + ", ".join(failed), file=sys.stderr)
+        return 1
+    if not compare_ok:
+        print("FAILED: benchmark regression gate", file=sys.stderr)
         return 1
     print(f"ok: {len(benches)} benchmark modules smoke-tested")
     return 0

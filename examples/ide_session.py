@@ -93,7 +93,7 @@ def main() -> None:
         print(f"   thread {t['id']}: {t['name']}")
 
     scopes = session.stops[0][2]["body"]["scopes"]
-    local_ref = scopes[0]["variablesReference"]
+    _local_ref = scopes[0]["variablesReference"]
     # NOTE: variable references are per-stop; resolve panel A content from
     # the recorded responses of the first stop.
     print("\nFig 4A — scopes:", [s["name"] for s in scopes])

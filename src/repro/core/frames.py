@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..sim.interface import SimulatorError, SimulatorInterface
-from ..symtable.query import BreakpointRec, SymbolTableInterface, VarRec
+from ..symtable.query import BreakpointRec, SymbolTableInterface
 
 
 @dataclass(slots=True)

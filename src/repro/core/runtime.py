@@ -32,7 +32,7 @@ from ..symtable.query import BreakpointRec, SymbolTableInterface
 from . import expr_eval
 from .frames import Frame, FrameBuilder
 from .matching import locate_instance
-from .scheduler import Group, InsertedBreakpoint, Scheduler, group_key
+from .scheduler import Group, InsertedBreakpoint, Scheduler
 from .watch import WatchStore, Watchpoint
 
 
@@ -175,7 +175,14 @@ class Runtime:
         # bind directly to value-table indices (no per-eval dict lookups);
         # other backends bind to pre-resolved get_value paths.
         self._compile_conditions = compile_conditions
-        self._sim_values = getattr(sim, "values", None)
+        # On a live Simulator, bind the value store's raw buffers: the
+        # narrow lane buffer is what compiled closures index (`_v[i]`),
+        # and >64-bit signals resolve through the wide overflow dict
+        # (`_w[i]`) — never through a per-eval path lookup.
+        store = getattr(sim, "store", None)
+        self._sim_store = store
+        self._sim_values = store.narrow if store is not None else getattr(sim, "values", None)
+        self._sim_wide = store.wide if store is not None else None
         design = getattr(sim, "design", None)
         self._signal_index = getattr(design, "signal_index", None)
         self.stats_callbacks = 0
@@ -365,8 +372,9 @@ class Runtime:
 
     def _bind_path(self, path: str, env: dict) -> str:
         """Bind a full simulator path to a Python fragment: a direct value-
-        table index on a live simulator, a pre-resolved getter call
-        elsewhere.  Raises ExprError when the signal does not exist."""
+        table index on a live simulator (the wide overflow dict for >64-bit
+        signals), a pre-resolved getter call elsewhere.  Raises ExprError
+        when the signal does not exist."""
         try:
             self.sim.get_value(path)
         except SimulatorError as exc:
@@ -374,6 +382,9 @@ class Runtime:
         if self._sim_values is not None and self._signal_index is not None:
             idx = self._signal_index.get(path)
             if idx is not None:
+                if self._sim_wide is not None and idx in self._sim_wide:
+                    env["_w"] = self._sim_wide
+                    return f"_w[{idx}]"
                 return f"_v[{idx}]"
         key = f"_p{len(env)}"
         env[key] = path

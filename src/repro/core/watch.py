@@ -73,15 +73,19 @@ class WatchStore:
     """Owns watchpoints and detects value changes each cycle.
 
     ``sim`` (optional) enables the compiled fast path: on a live simulator
-    watch paths resolve to value-table indices once, at :meth:`add` time.
-    Backends without a value table (trace replay) fall back to per-cycle
+    watch paths resolve to value-table indices once, at :meth:`add` time,
+    and per-cycle reads bind the value store's raw buffers (the narrow
+    64-bit lanes, or the wide overflow dict for >64-bit signals).
+    Backends without a value store (trace replay) fall back to per-cycle
     ``get_value`` lookups.
     """
 
     def __init__(self, sim=None):
         self._watch: dict[int, Watchpoint] = {}
         self._next_id = 1
-        self._values = getattr(sim, "values", None)
+        store = getattr(sim, "store", None)
+        self._values = store.narrow if store is not None else None
+        self._wide = store.wide if store is not None else None
         design = getattr(sim, "design", None)
         self._signal_index = getattr(design, "signal_index", None)
 
@@ -116,6 +120,8 @@ class WatchStore:
 
     def _read(self, sim, wp: Watchpoint) -> int:
         if wp.index is not None and self._values is not None:
+            if self._wide and wp.index in self._wide:
+                return self._wide[wp.index]
             return self._values[wp.index]
         return sim.get_value(wp.path)
 

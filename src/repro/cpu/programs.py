@@ -116,7 +116,7 @@ def _vvadd(n: int = 64, interleaved: bool = False) -> Benchmark:
         expected = (expected + x + y) & _MASK32
 
     if not interleaved:
-        body = f"""
+        body = """
     li s4, 0
 loop:
     slli t0, s4, 2

@@ -113,7 +113,7 @@ class FpuCmp(hgf.Module):
         self.toint <<= 0
         self.exc <<= 0
         with self.when(self.wflags == 1):  # feq/flt/fle, fcvt
-            lt_eq = self.node("lt_eq", hgf.cat(dcmp.io.lt, dcmp.io.eq))
+            self.node("lt_eq", hgf.cat(dcmp.io.lt, dcmp.io.eq))
             sel = self.node(
                 "sel",
                 hgf.mux(

@@ -20,8 +20,8 @@ from ..ir.stmt import (
     NameHint,
     Stmt,
 )
-from .module import HgfError, InstanceHandle, MemHandle, Module, Var, _When
-from .value import Signal, Value
+from .module import HgfError, Module, Var, _When
+from .value import Value
 
 
 def _convert_body(stmts: list) -> Block:

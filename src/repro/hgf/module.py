@@ -20,8 +20,6 @@ from ..ir import expr as E
 from ..ir.expr import Expr, Literal, MemRead, Ref
 from ..ir.source import UNKNOWN, SourceInfo
 from ..ir.stmt import (
-    Block,
-    Conditionally,
     Connect,
     DefInstance,
     DefMemory,
@@ -42,7 +40,7 @@ from ..ir.types import (
     UIntType,
 )
 from . import srcloc
-from .value import Signal, Value, mux
+from .value import Signal, Value
 
 
 class HgfError(Exception):

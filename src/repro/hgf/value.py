@@ -10,8 +10,8 @@ of the assignment — the information breakpoints are built from.
 from __future__ import annotations
 
 from ..ir import expr as E
-from ..ir.expr import Expr, Literal
-from ..ir.types import BundleType, SIntType, Type, UIntType, VecType
+from ..ir.expr import Expr
+from ..ir.types import BundleType, SIntType, Type, VecType
 from . import srcloc
 
 

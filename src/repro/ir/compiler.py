@@ -28,7 +28,6 @@ from .passes import (
     expand_whens,
     lower_types,
 )
-from .passes.inline_nodes import inline_nodes
 from .stmt import (
     Circuit,
     DefMemory,

@@ -8,7 +8,7 @@ one driving connect per sink.
 
 from __future__ import annotations
 
-from ..expr import Expr, Literal, MemRead, PrimOp, Ref, SubField, SubIndex, walk_expr
+from ..expr import Expr, MemRead, PrimOp, Ref, SubField, walk_expr
 from ..stmt import (
     Circuit,
     Conditionally,

@@ -11,7 +11,7 @@ returned alive-set feeds :meth:`DebugInfo.prune_dead`.
 
 from __future__ import annotations
 
-from ..expr import Expr, Ref, SubField, expr_refs
+from ..expr import Ref, SubField, expr_refs
 from ..stmt import (
     Block,
     Circuit,
@@ -26,7 +26,6 @@ from ..stmt import (
     Printf,
     Stmt,
     Stop,
-    root_ref,
 )
 
 

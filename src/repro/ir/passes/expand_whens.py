@@ -20,7 +20,7 @@ outputs default to zero (collected as lint warnings).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..debug import DebugEntry, DebugInfo
 from ..expr import (

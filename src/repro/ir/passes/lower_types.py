@@ -12,8 +12,6 @@ signals").
 
 from __future__ import annotations
 
-from dataclasses import replace
-
 from ..debug import DebugInfo
 from ..expr import (
     Expr,
@@ -34,7 +32,6 @@ from ..stmt import (
     DefNode,
     DefRegister,
     DefWire,
-    DontTouch,
     MemWrite,
     ModuleIR,
     Port,

@@ -149,6 +149,33 @@ class ShardReport:
             per_shard[shard_id] = per_shard.get(shard_id, 0) + 1
         return out
 
+    def state_groups(self) -> dict[int, dict[str, list[int]]]:
+        """Per seed: final value-table digest -> shard ids.
+
+        Shard workers fingerprint their final state by hashing the raw
+        value-store buffer (``memoryview``/``tobytes``, no per-signal
+        boxing) plus memories.  Shards replicating one seed must land in
+        one digest group; more than one group for a seed is a determinism
+        bug caught without shipping any state across the wire.
+        """
+        out: dict[int, dict[str, list[int]]] = {}
+        for r in self.results:
+            if not r.ok or r.state_digest is None:
+                continue
+            out.setdefault(r.seed, {}).setdefault(r.state_digest, []).append(
+                r.shard_id
+            )
+        return out
+
+    def state_divergences(self) -> list[Divergence]:
+        """Replicated seeds whose shards finished in different states."""
+        return [
+            Divergence(f"<state:seed {seed}>", -1,
+                       {d: sorted(s) for d, s in sorted(groups.items())})
+            for seed, groups in sorted(self.state_groups().items())
+            if len(groups) > 1
+        ]
+
     def divergences(self) -> list[Divergence]:
         """Stops where shards saw different state at the same cycle.
 
@@ -194,6 +221,15 @@ class ShardReport:
             "divergences": [
                 {"location": d.location, "time": d.time, "groups": d.groups}
                 for d in self.divergences()
+            ],
+            "state_digests": {
+                str(r.shard_id): r.state_digest
+                for r in self.results
+                if r.state_digest is not None
+            },
+            "state_divergences": [
+                {"location": d.location, "groups": d.groups}
+                for d in self.state_divergences()
             ],
             "ok": self.ok,
         }
@@ -245,6 +281,16 @@ class ShardReport:
                 lines.append(f"  {short} @ cycle {d.time}: {groups}")
             if len(div) > 10:
                 lines.append(f"  ... {len(div) - 10} more")
-        else:
+        state_div = self.state_divergences()
+        if state_div:
+            lines.append(
+                f"REPLICA STATE MISMATCH at {len(state_div)} seed(s):"
+            )
+            for d in state_div:
+                groups = "; ".join(
+                    f"shards {','.join(map(str, s))}" for s in d.groups.values()
+                )
+                lines.append(f"  {d.location}: {groups}")
+        if not div and not state_div:
             lines.append("no divergence between shards")
         return "\n".join(lines)

@@ -139,6 +139,7 @@ class ShardResult:
     exit_code: int | None = None        # design Stop code, when one fired
     wall_time_s: float = 0.0
     error: str | None = None            # set when the worker failed
+    state_digest: str | None = None     # final value-table fingerprint
 
     @property
     def ok(self) -> bool:
@@ -154,6 +155,7 @@ class ShardResult:
             "exit_code": self.exit_code,
             "wall_time_s": self.wall_time_s,
             "error": self.error,
+            "state_digest": self.state_digest,
         }
 
     @classmethod
@@ -167,6 +169,7 @@ class ShardResult:
             exit_code=d.get("exit_code"),
             wall_time_s=d.get("wall_time_s", 0.0),
             error=d.get("error"),
+            state_digest=d.get("state_digest"),
         )
 
 

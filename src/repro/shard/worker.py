@@ -119,6 +119,11 @@ def run_shard(
         warnings=list(runtime.warnings),
         exit_code=sim.exit_code,
         wall_time_s=time.perf_counter() - t0,
+        # Raw value-table fingerprint (store buffer + memories): equal
+        # digests mean bit-identical final state — the aggregator's
+        # replicated-shard determinism check, and what pins the forked
+        # path against an inline or standalone run of the same seed.
+        state_digest=sim.state_digest(),
     )
 
 

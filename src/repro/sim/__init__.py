@@ -14,14 +14,26 @@ from .interface import (
     SimulatorError,
     SimulatorInterface,
 )
+from .store import (
+    ArrayStore,
+    ListStore,
+    NumpyStore,
+    ValueStore,
+    make_store,
+    numpy_available,
+    resolve_store_kind,
+)
 from .testbench import Driver, Monitor, Testbench, Transaction
 
 __all__ = [
+    "ArrayStore",
     "CombLoopError",
     "CompiledDesign",
     "Driver",
     "HierNode",
+    "ListStore",
     "Monitor",
+    "NumpyStore",
     "SignalInfo",
     "SimulationFinished",
     "Simulator",
@@ -29,5 +41,9 @@ __all__ = [
     "SimulatorInterface",
     "Testbench",
     "Transaction",
+    "ValueStore",
     "compile_design",
+    "make_store",
+    "numpy_available",
+    "resolve_store_kind",
 ]

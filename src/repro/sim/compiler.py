@@ -4,9 +4,14 @@ The design hierarchy is flattened into one global signal table (hierarchical
 paths like ``Top.fpu.dcmp.io_a``), combinational assignments are
 topologically sorted, and two Python functions are generated with ``exec``:
 
-* ``comb(v, m)``  — settle all combinational logic (one pass, zero-delay);
-* ``tick(v, m)``  — fire stops/printfs, apply memory writes, then update all
-  registers two-phase.
+* ``comb(v, w, m)``  — settle all combinational logic (one pass, zero-delay);
+* ``tick(v, w, m)``  — fire stops/printfs, apply memory writes, then update
+  all registers two-phase.
+
+``v`` is the *narrow* value buffer — one 64-bit lane per signal, pluggable
+storage (``repro.sim.store``); ``w`` is the overflow dict for signals wider
+than one lane, selected statically per signal at codegen time so the common
+all-narrow design never touches it; ``m`` is the list of memory arrays.
 
 Two further ``tick`` variants serve the engine's fast path: a *journaling*
 variant reports every memory word it writes (delta snapshots), and an
@@ -42,10 +47,19 @@ from ..ir.stmt import (
 )
 from ..ir.types import SIntType
 from .interface import HierNode, SignalInfo, SimulationFinished, SimulatorError
+from .store import LANE_BITS
 
 
 class CombLoopError(SimulatorError):
     """Raised when the design contains a combinational cycle."""
+
+
+def _lane_expr(index: int, wide_indices) -> str:
+    """The buffer expression a signal is stored in: one 64-bit lane of the
+    narrow buffer (``v``), or the wide overflow dict (``w``) for signals
+    wider than one lane.  The single source of truth for the lane layout —
+    every code generator goes through it."""
+    return f"w[{index}]" if index in wide_indices else f"v[{index}]"
 
 
 @dataclass(slots=True)
@@ -83,8 +97,8 @@ class CompiledDesign:
     signals: list[SignalInfo]
     mems: list[MemSpec]
     registers: list[RegisterSpec]
-    comb: object                 # comb(v, m) -> None
-    tick: object                 # tick(v, m, time) -> None
+    comb: object                 # comb(v, w, m) -> None
+    tick: object                 # tick(v, w, m, time) -> None
     comb_source: str
     tick_source: str
     hierarchy: HierNode
@@ -93,7 +107,10 @@ class CompiledDesign:
     top_inputs: dict[str, int]   # local input name -> signal index
     printf_specs: list[tuple[str, int]] = field(default_factory=list)
     mem_index: dict[str, int] = field(default_factory=dict)
-    # journaling tick variant: tick_journal(v, m, time, _jw) additionally
+    # Signals wider than one 64-bit storage lane: generated code reads and
+    # writes them through the wide overflow dict (``w``), never ``v``.
+    wide_indices: frozenset = frozenset()
+    # journaling tick variant: tick_journal(v, w, m, time, _jw) additionally
     # calls _jw((mem_index, addr)) for every memory word it writes.
     tick_journal: object = None
     tick_journal_source: str = ""
@@ -131,8 +148,9 @@ class CompiledDesign:
     def n_signals(self) -> int:
         return len(self.signals)
 
-    def initial_values(self) -> list[int]:
-        return [0] * len(self.signals)
+    def lane_target(self, index: int) -> str:
+        """Storage expression for a signal (see :func:`_lane_expr`)."""
+        return _lane_expr(index, self.wide_indices)
 
     def initial_mems(self) -> list[list[int]]:
         out = []
@@ -173,7 +191,7 @@ class CompiledDesign:
         return tuple(out)
 
     def compile_cone(self, positions) -> object:
-        """Compile a cone (topo-ordered positions) into ``fn(v, m)``.
+        """Compile a cone (topo-ordered positions) into ``fn(v, w, m)``.
 
         Positions index into the levelized schedule, so emitting them in
         order yields a faithful subset of ``comb``.  Returns None for an
@@ -181,16 +199,16 @@ class CompiledDesign:
         """
         if not positions:
             return None
-        lines = ["def cone(v, m):"]
+        lines = ["def cone(v, w, m):"]
         lines.extend(
-            f"    v[{self.order_targets[p]}] = {self.order_code[p]}"
+            f"    {self.lane_target(self.order_targets[p])} = {self.order_code[p]}"
             for p in positions
         )
         ns = dict(self.namespace)
         exec(compile("\n".join(lines), "<repro-sim-cone>", "exec"), ns)
         return ns["cone"]
 
-    def tick_settle(self, v, m) -> None:
+    def tick_settle(self, v, w, m) -> None:
         """Re-settle after a clock edge: the cone of every register output
         plus every memory-reading assignment."""
         fn = self._tick_cone
@@ -201,7 +219,7 @@ class CompiledDesign:
             )
             self._tick_cone = fn
         if fn is not None:
-            fn(v, m)
+            fn(v, w, m)
 
     # -- merged cones (the lazy dirty-set / activity-tracked fast path) ----
 
@@ -229,7 +247,7 @@ class CompiledDesign:
             self._mem_read_mask = mask
         return self._mem_read_mask
 
-    def settle_seeds(self, v, m, seeds, include_mem_reads: bool = False) -> None:
+    def settle_seeds(self, v, w, m, seeds, include_mem_reads: bool = False) -> None:
         """Re-settle the *union* cone of every changed seed in one pass.
 
         N driven inputs (or N changed registers) cost one levelized cone
@@ -241,9 +259,9 @@ class CompiledDesign:
         mask = self.mem_read_mask() if include_mem_reads else 0
         for s in seeds:
             mask |= self.seed_mask(s)
-        self._run_mask(v, m, mask)
+        self._run_mask(v, w, m, mask)
 
-    def settle_tick(self, v, m, changed_regs, mem_written: bool) -> None:
+    def settle_tick(self, v, w, m, changed_regs, mem_written: bool) -> None:
         """Activity-driven settle after a clock edge.
 
         Quiet edges (few registers changed) evaluate exactly the changed
@@ -266,21 +284,21 @@ class CompiledDesign:
                 tm |= self.seed_mask(spec.index)
             tick_mask = self._tick_mask = tm
         if 2 * mask.bit_count() >= tick_mask.bit_count():
-            self.tick_settle(v, m)
+            self.tick_settle(v, w, m)
             return
-        self._run_mask(v, m, mask)
+        self._run_mask(v, w, m, mask)
 
-    def _run_mask(self, v, m, mask: int) -> None:
+    def _run_mask(self, v, w, m, mask: int) -> None:
         if not mask:
             return
         fn = self._mask_cones.get(mask)
         if fn is not None:
-            fn(v, m)
+            fn(v, w, m)
             return
         if len(self._mask_cones) < self.MASK_CONE_CAP:
             fn = self.compile_cone(self._mask_positions(mask))
             self._mask_cones[mask] = fn
-            fn(v, m)
+            fn(v, w, m)
             return
         # Cache saturated (pathological activity variety that never
         # repeats): execute the merged cone through per-statement thunks —
@@ -292,14 +310,14 @@ class CompiledDesign:
         p = 0
         while mask:
             if mask & 1:
-                fns[p](v, m)
+                fns[p](v, w, m)
             mask >>= 1
             p += 1
 
     def _build_pos_fns(self) -> list:
         src = []
         for i, (t, code) in enumerate(zip(self.order_targets, self.order_code)):
-            src.append(f"def _p{i}(v, m):\n    v[{t}] = {code}")
+            src.append(f"def _p{i}(v, w, m):\n    {self.lane_target(t)} = {code}")
         ns = dict(self.namespace)
         exec(compile("\n".join(src), "<repro-sim-pos>", "exec"), ns)
         fns = [ns[f"_p{i}"] for i in range(len(self.order_targets))]
@@ -344,11 +362,19 @@ class _Codegen:
     """Generates the raw/interpreted value code for IR expressions within
     one flattened instance context."""
 
-    def __init__(self, path: str, signal_index: dict[str, int], mem_index: dict[str, int], mems: list[MemSpec]):
+    def __init__(
+        self,
+        path: str,
+        signal_index: dict[str, int],
+        mem_index: dict[str, int],
+        mems: list[MemSpec],
+        wide: frozenset,
+    ):
         self.path = path
         self.signal_index = signal_index
         self.mem_index = mem_index
         self.mems = mems
+        self.wide = wide
 
     def sig(self, local: str) -> int:
         key = f"{self.path}.{local}"
@@ -357,14 +383,18 @@ class _Codegen:
             raise SimulatorError(f"unknown signal {key}")
         return idx
 
+    def lane(self, idx: int) -> str:
+        """Storage expression for a signal (see :func:`_lane_expr`)."""
+        return _lane_expr(idx, self.wide)
+
     def raw(self, e: Expr) -> str:
         if isinstance(e, Ref):
-            return f"v[{self.sig(e.name)}]"
+            return self.lane(self.sig(e.name))
         if isinstance(e, Literal):
             return str(literal_raw(e))
         if isinstance(e, SubField):
             inst = e.expr.name  # type: ignore[union-attr]
-            return f"v[{self.sig(f'{inst}.{e.name}')}]"
+            return self.lane(self.sig(f"{inst}.{e.name}"))
         if isinstance(e, MemRead):
             mi = self.mem_index[f"{self.path}.{e.mem}"]
             depth = self.mems[mi].depth
@@ -541,13 +571,22 @@ def compile_design(circuit: Circuit, top_path: str | None = None) -> CompiledDes
 
     hierarchy = declare(root, circuit.main)
 
+    # Signals wider than one storage lane live in the wide overflow dict;
+    # the split is static, decided here once for all generated code.
+    wide_indices = frozenset(
+        i for i, s in enumerate(signals) if s.width > LANE_BITS
+    )
+
+    def lane(idx: int) -> str:
+        return _lane_expr(idx, wide_indices)
+
     # Pass 2: generate assignments / register specs / tick effects.
     dep_map: dict[int, set[int]] = {}
     assigned: set[int] = set()
 
     for path, mod_name in instances:
         m = circuit.modules[mod_name]
-        cg = _Codegen(path, signal_index, mem_index, mems)
+        cg = _Codegen(path, signal_index, mem_index, mems, wide_indices)
         reg_names = {s.name for s in m.body if isinstance(s, DefRegister)}
         reg_decl = {s.name: s for s in m.body if isinstance(s, DefRegister)}
         reg_next: dict[str, str] = {}
@@ -638,11 +677,11 @@ def compile_design(circuit: Circuit, top_path: str | None = None) -> CompiledDes
             level_blocks.append((start, i))
             start = i
 
-    comb_lines = ["def comb(v, m):"]
+    comb_lines = ["def comb(v, w, m):"]
     if not order:
         comb_lines.append("    pass")
     for target, code, _path in order:
-        comb_lines.append(f"    v[{target}] = {code}")
+        comb_lines.append(f"    {lane(target)} = {code}")
     comb_source = "\n".join(comb_lines)
 
     def _mem_block(journal: bool, activity: bool) -> list[str]:
@@ -682,6 +721,7 @@ def compile_design(circuit: Circuit, top_path: str | None = None) -> CompiledDes
                 body.append(f"    _t{i} = {spec.next_code}")
         body.extend(_mem_block(journal, activity))
         for i, spec in enumerate(registers):
+            slot = lane(spec.index)
             if activity:
                 # Store-and-report only on an actual change: the engine
                 # re-settles just the reported registers' fanout.
@@ -689,33 +729,33 @@ def compile_design(circuit: Circuit, top_path: str | None = None) -> CompiledDes
                     if spec.reset_index is not None:
                         body.append(
                             f"    _n{i} = {spec.init_code} "
-                            f"if v[{spec.reset_index}] else _t{i}"
+                            f"if {lane(spec.reset_index)} else _t{i}"
                         )
                     else:
                         body.append(f"    _n{i} = _t{i}")
                     body.append(
-                        f"    if v[{spec.index}] != _n{i}:\n"
-                        f"        v[{spec.index}] = _n{i}\n"
+                        f"    if {slot} != _n{i}:\n"
+                        f"        {slot} = _n{i}\n"
                         f"        _ch({spec.index})"
                     )
                 elif spec.reset_index is not None:
                     body.append(
-                        f"    if v[{spec.reset_index}] "
-                        f"and v[{spec.index}] != ({spec.init_code}):\n"
-                        f"        v[{spec.index}] = {spec.init_code}\n"
+                        f"    if {lane(spec.reset_index)} "
+                        f"and {slot} != ({spec.init_code}):\n"
+                        f"        {slot} = {spec.init_code}\n"
                         f"        _ch({spec.index})"
                     )
             elif spec.next_code is not None:
                 if spec.reset_index is not None:
                     body.append(
-                        f"    v[{spec.index}] = {spec.init_code} "
-                        f"if v[{spec.reset_index}] else _t{i}"
+                        f"    {slot} = {spec.init_code} "
+                        f"if {lane(spec.reset_index)} else _t{i}"
                     )
                 else:
-                    body.append(f"    v[{spec.index}] = _t{i}")
+                    body.append(f"    {slot} = _t{i}")
             elif spec.reset_index is not None:
                 body.append(
-                    f"    if v[{spec.reset_index}]: v[{spec.index}] = {spec.init_code}"
+                    f"    if {lane(spec.reset_index)}: {slot} = {spec.init_code}"
                 )
         if activity:
             body.append("    return _mw")
@@ -723,15 +763,15 @@ def compile_design(circuit: Circuit, top_path: str | None = None) -> CompiledDes
             body.append("    pass")
         return "\n".join(body)
 
-    tick_source = _tick_source("def tick(v, m, time):", False, False)
+    tick_source = _tick_source("def tick(v, w, m, time):", False, False)
     tick_journal_source = _tick_source(
-        "def tick_journal(v, m, time, _jw):", True, False
+        "def tick_journal(v, w, m, time, _jw):", True, False
     )
     tick_act_source = _tick_source(
-        "def tick_act(v, m, time, _ch):", False, True
+        "def tick_act(v, w, m, time, _ch):", False, True
     )
     tick_act_journal_source = _tick_source(
-        "def tick_act_journal(v, m, time, _jw, _ch):", True, True
+        "def tick_act_journal(v, w, m, time, _jw, _ch):", True, True
     )
 
     namespace = {
@@ -781,6 +821,7 @@ def compile_design(circuit: Circuit, top_path: str | None = None) -> CompiledDes
         top_inputs=top_inputs,
         printf_specs=printf_specs,
         mem_index=mem_index,
+        wide_indices=wide_indices,
         tick_journal=namespace["tick_journal"],
         tick_journal_source=tick_journal_source,
         tick_act=namespace["tick_act"],

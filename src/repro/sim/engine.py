@@ -27,10 +27,18 @@ since the previous snapshot) in a ring buffer whose oldest entry is kept
 as a full keyframe: recording scans only the state signals (registers and
 inputs — O(state) + O(mem writes), never the full value table or whole
 memories) and eviction folds the keyframe forward in O(delta).
+
+Signal values live in a pluggable :class:`~repro.sim.store.ValueStore`
+(``Simulator(store=...)`` / ``$REPRO_VALUE_STORE``): typed 64-bit lanes by
+default, a zero-copy numpy view for vectorized snapshot scans when numpy
+is importable, and the plain-list reference backend the property tests pin
+every other backend against.
 """
 
 from __future__ import annotations
 
+import hashlib
+from array import array
 from collections import deque
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -43,6 +51,7 @@ from .interface import (
     SimulatorError,
     SimulatorInterface,
 )
+from .store import LANE_BITS, ValueStore, make_store
 
 
 @dataclass(slots=True)
@@ -54,10 +63,16 @@ class _Snapshot:
     memory words that changed since the previous entry.  Eviction folds the
     keyframe into its successor, so the ring never rescans or recopies the
     whole design state.
+
+    ``values`` is a store-native narrow-buffer copy (list, ``array('Q')``,
+    or numpy array).  ``wide`` is a full copy of the >64-bit overflow
+    values; it is None on designs without wide signals — the common case —
+    and full per entry otherwise (wide signals are too rare to delta).
     """
 
     time: int
-    values: list[int] | None = None
+    values: object | None = None
+    wide: dict | None = None
     mem_copy: list[list[int]] | None = None
     delta_values: dict[int, int] | None = None
     delta_mem: dict[tuple[int, int], int] | None = None
@@ -86,6 +101,10 @@ class Simulator(SimulatorInterface):
             ``CompiledDesign`` must not interleave stepping within a single
             process (printf plumbing and cone caches live on the design);
             across forked processes each child owns a copy-on-write copy.
+        store: value-table backend name — ``"list"``, ``"array"``,
+            ``"numpy"``, or ``"auto"`` (numpy when importable, else typed
+            64-bit lanes).  ``None`` defers to ``$REPRO_VALUE_STORE``,
+            then ``"auto"``.  See ``repro.sim.store``.
     """
 
     def __init__(
@@ -96,11 +115,17 @@ class Simulator(SimulatorInterface):
         trace=None,
         fast: bool = True,
         compiled: CompiledDesign | None = None,
+        store: str | None = None,
     ):
         self.design: CompiledDesign = (
             compiled if compiled is not None else compile_design(circuit, top_path)
         )
-        self.values: list[int] = self.design.initial_values()
+        self.store: ValueStore = make_store(store, self.design)
+        # The hot paths index the store's raw buffers directly; these
+        # references are stable for the simulator's lifetime (the store
+        # never rebinds them — generated code holds them across rewinds).
+        self._v = self.store.narrow
+        self._w = self.store.wide
         self.mems: list[list[int]] = self.design.initial_mems()
         self._fast = fast
         self._time = 0
@@ -122,17 +147,31 @@ class Simulator(SimulatorInterface):
         self._snaps: deque[_Snapshot] = deque()
         self._snap_by_time: dict[int, _Snapshot] = {}
         # Hoisted out of the per-cycle snapshot path: the memory footprint
-        # decides once whether memories are snapshotted at all.
+        # decides once whether memories are snapshotted at all.  A design
+        # with no memories at all skips the whole journaling machinery —
+        # no mem copies in keyframes, no journaling tick variant.
         self._total_mem_words = sum(spec.depth for spec in self.design.mems)
-        self._snap_mems = self._total_mem_words <= 1 << 16
+        self._snap_mems = bool(self.design.mems) and self._total_mem_words <= 1 << 16
         self._mem_written: set[tuple[int, int]] = set()
-        self._prev_state: list[int] = []
+        # Delta baseline: the state-signal values at the previous snapshot
+        # (store-native; None = next snapshot is a keyframe).
+        self._state_base = None
         self._trace = trace
         self._printf_out: list[str] = []
         self._install_printf()
-        self.design.comb(self.values, self.mems)
+        self.design.comb(self._v, self._w, self.mems)
         if trace is not None:
             trace.begin(self)
+
+    @property
+    def values(self):
+        """The signal value table (a :class:`~repro.sim.store.ValueStore`).
+
+        Indexable by signal index like the ``list[int]`` it replaced, wide
+        (>64-bit) signals transparently included; hot paths bind the
+        store's raw buffers instead of going through this property.
+        """
+        return self.store
 
     # -- printf plumbing ----------------------------------------------------
 
@@ -169,20 +208,20 @@ class Simulator(SimulatorInterface):
             self._dirty.clear()
             self._tick_changed.clear()
             self._tick_mem = False
-            self.design.comb(self.values, self.mems)
+            self.design.comb(self._v, self._w, self.mems)
             return
         dirty = self._dirty
         ticked = self._tick_changed
         if dirty:
             seeds = dirty | ticked if ticked else dirty
             self.design.settle_seeds(
-                self.values, self.mems, seeds, self._tick_mem
+                self._v, self._w, self.mems, seeds, self._tick_mem
             )
         elif ticked or self._tick_mem:
             # Pure clock-edge activity: the design may collapse a busy
             # edge onto the precomputed full tick cone.
             self.design.settle_tick(
-                self.values, self.mems, ticked, self._tick_mem
+                self._v, self._w, self.mems, ticked, self._tick_mem
             )
         else:
             return
@@ -224,14 +263,15 @@ class Simulator(SimulatorInterface):
         next observation point, the reference path re-runs full comb."""
         width = self.design.signals[idx].width
         value &= (1 << width) - 1
+        buf = self._w if idx in self._w else self._v
         if self._fast:
-            if value == self.values[idx]:
+            if value == buf[idx]:
                 return
-            self.values[idx] = value
+            buf[idx] = value
             self._dirty.add(idx)
         else:
-            self.values[idx] = value
-            self.design.comb(self.values, self.mems)
+            buf[idx] = value
+            self.design.comb(self._v, self._w, self.mems)
 
     # -- basic control -----------------------------------------------------
 
@@ -261,7 +301,7 @@ class Simulator(SimulatorInterface):
             idx = self.design.signal_index.get(f"{root}.{name}")
         if idx is None:
             raise SimulatorError(f"no such signal {name!r}")
-        return self.values[idx]
+        return self._w[idx] if idx in self._w else self._v[idx]
 
     def peek_mem(self, path: str, addr: int) -> int:
         """Read a memory word (full hierarchical memory path)."""
@@ -281,7 +321,7 @@ class Simulator(SimulatorInterface):
 
     def step(self, cycles: int = 1) -> None:
         """Advance the clock by ``cycles`` posedges."""
-        v, m = self.values, self.mems
+        v, w, m = self._v, self._w, self.mems
         design = self.design
         cb_list = self._cb_list
         journal = self._snap_limit > 0 and self._snap_mems
@@ -314,15 +354,15 @@ class Simulator(SimulatorInterface):
                     # word was written; the next settle re-evaluates just
                     # that activity's merged cone.
                     if journal:
-                        if tick(v, m, self._time, jw, ch):
+                        if tick(v, w, m, self._time, jw, ch):
                             self._tick_mem = True
-                    elif tick(v, m, self._time, ch):
+                    elif tick(v, w, m, self._time, ch):
                         self._tick_mem = True
                 elif journal:
-                    tick(v, m, self._time, jw)
+                    tick(v, w, m, self._time, jw)
                     self._pending_full = True
                 else:
-                    tick(v, m, self._time)
+                    tick(v, w, m, self._time)
                     self._pending_full = True
             except SimulationFinished as fin:
                 # Stops fire before any register/memory update, so the
@@ -351,8 +391,7 @@ class Simulator(SimulatorInterface):
 
     def _take_snapshot(self) -> None:
         t = self._time
-        v = self.values
-        state_idx = self.design.state_indices
+        store = self.store
         # Re-executing after a rewind: the entries from `t` onwards describe
         # the previous run — drop them so this run records fresh history
         # (the full-copy implementation overwrote its per-time entries).
@@ -364,21 +403,19 @@ class Simulator(SimulatorInterface):
         if not self._snaps:
             snap = _Snapshot(
                 t,
-                values=v.copy(),
+                values=store.copy_narrow(),
+                wide=store.copy_wide(),
                 mem_copy=(
                     [mem.copy() for mem in self.mems] if self._snap_mems else None
                 ),
             )
-            self._prev_state = [v[i] for i in state_idx]
+            self._state_base = store.capture_state()
             self._mem_written.clear()
         else:
-            prev = self._prev_state
-            delta: dict[int, int] = {}
-            for k, i in enumerate(state_idx):
-                val = v[i]
-                if val != prev[k]:
-                    delta[i] = val
-                    prev[k] = val
+            # The store scans its narrow state signals against the delta
+            # baseline (vectorized on the numpy backend); wide signals are
+            # rare and snapshotted whole.
+            delta = store.state_delta(self._state_base)
             delta_mem: dict[tuple[int, int], int] | None = None
             if self._snap_mems:
                 mems = self.mems
@@ -386,7 +423,9 @@ class Simulator(SimulatorInterface):
                     key: mems[key[0]][key[1]] for key in self._mem_written
                 }
                 self._mem_written.clear()
-            snap = _Snapshot(t, delta_values=delta, delta_mem=delta_mem)
+            snap = _Snapshot(
+                t, wide=store.copy_wide(), delta_values=delta, delta_mem=delta_mem
+            )
         self._snaps.append(snap)
         self._snap_by_time[t] = snap
         if len(self._snaps) > self._snap_limit:
@@ -403,9 +442,9 @@ class Simulator(SimulatorInterface):
         if nxt.values is not None:
             return  # already a keyframe
         vals = old.values
-        for i, val in nxt.delta_values.items():
-            vals[i] = val
+        self.store.apply_delta(vals, nxt.delta_values)
         nxt.values = vals
+        # nxt.wide is already a full copy — the keyframe's simply drops.
         if old.mem_copy is not None:
             mems = old.mem_copy
             for (mi, a), val in (nxt.delta_mem or {}).items():
@@ -432,19 +471,19 @@ class Simulator(SimulatorInterface):
         # Reconstruct by replaying deltas from the keyframe forward.  The
         # state at the target's *predecessor* is captured on the way: it
         # becomes the delta baseline for the snapshot re-taken at `time`.
-        vals: list[int] | None = None
+        store = self.store
+        vals = None
         mems_rec: list[list[int]] | None = None
-        tail_state: list[int] | None = None
+        tail_base = None
         for s in self._snaps:
             if s is snap and s.values is None:
-                tail_state = [vals[i] for i in self.design.state_indices]
+                tail_base = store.capture_state_from(vals)
             if s.values is not None:
-                vals = s.values.copy()
+                vals = store.clone_narrow(s.values)
                 if s.mem_copy is not None:
                     mems_rec = [mem.copy() for mem in s.mem_copy]
             else:
-                for i, val in s.delta_values.items():
-                    vals[i] = val
+                store.apply_delta(vals, s.delta_values)
                 if mems_rec is not None and s.delta_mem:
                     for (mi, a), val in s.delta_mem.items():
                         mems_rec[mi][a] = val
@@ -455,11 +494,12 @@ class Simulator(SimulatorInterface):
         # entries are invalidated lazily by the next _take_snapshot once
         # re-execution actually overwrites them.
         #
-        # Mutate values/mems/journal in place: step() holds direct
-        # references to these objects (including the journal's bound
-        # ``add``) while callbacks — which may call set_time for reverse
-        # debugging — are running.
-        self.values[:] = vals
+        # Restore buffers/mems/journal in place: generated code and the
+        # step() loop hold direct references to these objects (including
+        # the journal's bound ``add``) while callbacks — which may call
+        # set_time for reverse debugging — are running.
+        store.restore_narrow(vals)
+        store.restore_wide(snap.wide)
         if mems_rec is not None:
             for mem, saved in zip(self.mems, mems_rec):
                 mem[:] = saved
@@ -471,18 +511,39 @@ class Simulator(SimulatorInterface):
             # computed against the predecessor's state, and the memory
             # words the current delta covers changed since then — mark
             # them written so they are recaptured from the restored arrays.
-            self._prev_state = tail_state
+            self._state_base = tail_base
             self._mem_written.update(snap.delta_mem or ())
         else:
             # Rewound to the keyframe: re-stepping restarts the ring with
             # a fresh keyframe, no delta baseline needed.
-            self._prev_state = []
+            self._state_base = None
         self._pending_full = False
         self._dirty.clear()
         self._tick_changed.clear()
         self._tick_mem = False
-        self.design.comb(self.values, self.mems)
+        self.design.comb(self._v, self._w, self.mems)
         self._notify_set_time(time)
+
+    # -- state fingerprinting ----------------------------------------------
+
+    def state_digest(self) -> str:
+        """A stable fingerprint of the complete settled simulator state.
+
+        Hashes the raw value-table buffer (``memoryview``/``tobytes`` on
+        the typed backends — no per-signal boxing) plus every memory, so
+        two simulators agree iff they are bit-identical.  Backend
+        independent: every store serializes to the same 64-bit lane bytes.
+        Shard workers report this with their results; the aggregator uses
+        it to prove replicated shards stayed deterministic.
+        """
+        self._settle()
+        h = hashlib.sha1(self.store.digest_bytes())
+        for spec, mem in zip(self.design.mems, self.mems):
+            if spec.width <= LANE_BITS:
+                h.update(array("Q", mem).tobytes())
+            else:
+                h.update(repr(mem).encode())
+        return h.hexdigest()
 
     # -- SimulatorInterface ------------------------------------------------------
 
@@ -491,7 +552,7 @@ class Simulator(SimulatorInterface):
         idx = self.design.signal_index.get(path)
         if idx is None:
             raise SimulatorError(f"no such signal {path!r}")
-        return self.values[idx]
+        return self._w[idx] if idx in self._w else self._v[idx]
 
     def set_value(self, path: str, value: int) -> None:
         idx = self.design.signal_index.get(path)

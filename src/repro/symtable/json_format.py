@@ -26,7 +26,6 @@ enforced by tests.
 from __future__ import annotations
 
 import json
-import sqlite3
 
 from .query import SQLiteSymbolTable
 from .schema import open_symbol_db

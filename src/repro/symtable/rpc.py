@@ -17,13 +17,7 @@ import socket
 import socketserver
 import threading
 
-from .query import (
-    BreakpointRec,
-    InstanceRec,
-    SQLiteSymbolTable,
-    SymbolTableInterface,
-    VarRec,
-)
+from .query import BreakpointRec, InstanceRec, SymbolTableInterface, VarRec
 
 _METHODS = frozenset(
     {

@@ -15,7 +15,7 @@ from ..sim.interface import (
     SimulatorError,
     SimulatorInterface,
 )
-from .parser import VcdFile, VcdScope, VcdSignal, parse_vcd_file
+from .parser import VcdFile, VcdScope, parse_vcd_file
 
 
 class ReplayEngine(SimulatorInterface):

@@ -12,7 +12,6 @@ clock rising there and falling at ``2k + 1``.
 from __future__ import annotations
 
 import io
-from dataclasses import dataclass
 
 _ID_FIRST = 33  # '!'
 _ID_LAST = 126  # '~'
@@ -52,11 +51,19 @@ class VcdWriter:
         self._clock_index: int | None = None
         self._header_done = False
         self._closed = False
+        self._narrow = None                  # value-store raw buffers,
+        self._wide: dict | None = None       # bound once in begin()
 
     # -- trace-sink protocol (engine calls these) ---------------------------
 
     def begin(self, sim) -> None:
         design = sim.design
+        # Sampling reads every traced signal each cycle: bind the value
+        # store's raw buffers once (narrow 64-bit lanes + the wide
+        # overflow dict) instead of dispatching per read.
+        store = sim.store
+        self._narrow = store.narrow
+        self._wide = store.wide
         f = self._f
         f.write("$date\n    repro.trace\n$end\n")
         f.write("$version\n    hgdb-py VCD writer\n$end\n")
@@ -64,8 +71,9 @@ class VcdWriter:
         self._write_scope(sim, design.hierarchy)
         f.write("$enddefinitions $end\n")
         f.write("#0\n$dumpvars\n")
+        wide = self._wide
         for idx, vid in self._ids.items():
-            value = sim.values[idx]
+            value = wide[idx] if idx in wide else self._narrow[idx]
             width = design.signals[idx].width
             self._last[idx] = value
             f.write(self._format(value, width, vid))
@@ -93,8 +101,9 @@ class VcdWriter:
         f = self._f
         t = sim.get_time()
         lines: list[str] = []
+        narrow, wide = self._narrow, self._wide
         for idx, vid in self._ids.items():
-            value = sim.values[idx]
+            value = wide[idx] if idx in wide else narrow[idx]
             if self._last.get(idx) != value:
                 self._last[idx] = value
                 lines.append(self._format(value, sim.design.signals[idx].width, vid))

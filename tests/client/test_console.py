@@ -1,6 +1,5 @@
 """Scripted gdb-like console debugger tests."""
 
-import pytest
 
 import repro
 from repro.client import ConsoleDebugger

@@ -1,6 +1,5 @@
 """DAP adapter tests: the four Fig. 4 panels as protocol data."""
 
-import pytest
 
 import repro
 from repro.client import DapAdapter, ScriptedDapSession
@@ -163,7 +162,7 @@ class TestStoppedSession:
         sim = Simulator(d.low)
         rt = make_runtime(d, sim)
         ad = DapAdapter(rt)
-        session = ScriptedDapSession(ad, [], ["disconnect"])
+        ScriptedDapSession(ad, [], ["disconnect"])  # installs its on_hit hook
         rt.attach()
         _f, line = line_of(d, "acc")
         ad.handle(

@@ -4,14 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.expr_eval import (
-    ExprError,
-    evaluate,
-    evaluate_str,
-    names_in,
-    parse,
-    tokenize,
-)
+from repro.core.expr_eval import ExprError, evaluate_str, names_in, parse, tokenize
 
 
 def ev(text, **env):

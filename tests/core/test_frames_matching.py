@@ -4,7 +4,7 @@ import pytest
 
 import repro
 import repro.hgf as hgf
-from repro.core.frames import FrameBuilder, VariableView, build_variable_tree
+from repro.core.frames import FrameBuilder, build_variable_tree
 from repro.core.matching import MatchError, locate_instance
 from repro.sim import Simulator
 from repro.symtable import SQLiteSymbolTable, write_symbol_table

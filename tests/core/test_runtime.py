@@ -11,11 +11,9 @@ from repro.core import (
     REVERSE_STEP,
     STEP,
     DebuggerError,
-    Runtime,
 )
 from repro.sim import Simulator
-from repro.symtable import SQLiteSymbolTable, write_symbol_table
-from tests.helpers import Accumulator, SumLoop, TwoLeaves, line_of, make_runtime
+from tests.helpers import Accumulator, TwoLeaves, line_of, make_runtime
 
 
 def _setup(mod_cls=Accumulator, snapshots=64, debug=False, **kw):

@@ -3,11 +3,11 @@
 import pytest
 
 import repro
-from repro.core.scheduler import Scheduler, group_key
+from repro.core.scheduler import Scheduler
 from repro.ir.debug import DebugEntry, DebugInfo, _rename_tokens
 from repro.ir.source import UNKNOWN, SourceInfo
 from repro.symtable import SQLiteSymbolTable, write_symbol_table
-from tests.helpers import Accumulator, TwoLeaves, line_of
+from tests.helpers import TwoLeaves, line_of
 
 
 @pytest.fixture()

@@ -292,7 +292,7 @@ class TestRewindRepriming:
         writer.close()
 
         rp = ReplayEngine.from_file(str(vcd_path))
-        store = WatchStore(rp)
+        WatchStore(rp)  # binds without a value store (replay backend)
         primed = []
         rp.add_set_time_callback(lambda s, t: primed.append(t))
         rp.set_time(3)

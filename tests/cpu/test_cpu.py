@@ -9,12 +9,11 @@ from repro.cpu import (
     RV32Core,
     assemble,
     build_suite,
-    run_on_iss,
     run_on_rtl,
     run_program,
     verify_benchmark,
 )
-from repro.cpu.golden import TOHOST_ADDR, Iss, IssError
+from repro.cpu.golden import IssError
 from repro.sim import Simulator
 
 

@@ -8,7 +8,6 @@ shows up as a checksum mismatch.
 
 import random
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

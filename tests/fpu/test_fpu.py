@@ -1,8 +1,6 @@
 """FPU case-study substrate tests: golden model semantics and RTL parity."""
 
 import itertools
-import math
-import struct
 
 import pytest
 from hypothesis import given, settings

@@ -3,7 +3,6 @@
 import pytest
 
 import repro.hgf as hgf
-from repro.hgf.module import HgfError
 from repro.ir.types import SIntType, UIntType
 
 

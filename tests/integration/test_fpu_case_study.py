@@ -11,7 +11,7 @@ import pytest
 
 import repro
 from repro.client import ConsoleDebugger
-from repro.core import CONTINUE, DETACH, Runtime
+from repro.core import DETACH, Runtime
 from repro.fpu import FpuCmp, QNAN, RM_FEQ, compare_op, float_to_bits
 from repro.sim import Simulator
 from repro.symtable import SQLiteSymbolTable, write_symbol_table

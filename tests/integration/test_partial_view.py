@@ -2,7 +2,6 @@
 testbench hierarchy the symbol table knows nothing about; hgdb locates it
 and debugging works unchanged."""
 
-import pytest
 
 import repro
 from repro.core import CONTINUE, Runtime

@@ -1,7 +1,6 @@
 """Cross-cutting integration: Verilog export consistency and the complete
 artifact set a release would ship (RTL + symbol table + trace)."""
 
-import pytest
 
 import repro
 from repro.sim import Simulator

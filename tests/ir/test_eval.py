@@ -2,7 +2,7 @@
 evaluator to Python integer arithmetic."""
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.ir import expr as E
@@ -117,7 +117,6 @@ class TestSignedSemantics:
         if b == 0:
             assert raw == 0
         else:
-            expected = a - b * int(a / b) if b else 0
             # Python's math.fmod semantics: sign follows the dividend.
             import math
 

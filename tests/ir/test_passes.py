@@ -1,11 +1,10 @@
 """Tests for LowerTypes, ExpandWhens, and the optimization passes."""
 
-import pytest
 
 import repro
 import repro.hgf as hgf
 from repro.ir.debug import DebugInfo
-from repro.ir.expr import Literal, PrimOp, Ref
+from repro.ir.expr import Literal
 from repro.ir.passes import (
     check_high_form,
     check_low_form,
@@ -283,7 +282,7 @@ class TestOptimizations:
                 super().__init__()
                 self.a = self.input("a", 8)
                 self.o = self.output("o", 8)
-                dead = self.node("dead", self.a + 1)
+                self.node("dead", self.a + 1)
                 self.o <<= self.a
 
         low, _ = self._lowered(M())
@@ -298,7 +297,7 @@ class TestOptimizations:
                 super().__init__()
                 self.a = self.input("a", 8)
                 self.o = self.output("o", 8)
-                dead = self.node("dead", self.a + 1)
+                self.node("dead", self.a + 1)
                 self.o <<= self.a
 
         low, _ = self._lowered(M())

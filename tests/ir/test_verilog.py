@@ -3,12 +3,8 @@ executes the IR directly; the emitter exists for interop and for the
 Listing 4 readability contrast)."""
 
 import re
-
-import pytest
-
 import repro
 import repro.hgf as hgf
-from repro.ir.verilog import emit_verilog
 from tests.helpers import AluLike, Counter, TwoLeaves
 
 

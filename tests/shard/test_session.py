@@ -12,9 +12,8 @@ from repro.shard import (
     ShardResult,
     ShardSession,
     ShardSpec,
-    make_sweep,
 )
-from tests.helpers import Accumulator, TwoLeaves, line_of
+from tests.helpers import Accumulator, line_of
 
 
 @pytest.fixture(scope="module")
@@ -52,6 +51,11 @@ class TestEndToEnd:
             assert a.shard_id == b.shard_id and a.seed == b.seed
             assert a.cycles == b.cycles
             assert a.hits == b.hits
+            # Raw value-table fingerprints: forked and inline workers end
+            # bit-identical, whatever store backend either side used.
+            assert a.state_digest is not None
+            assert a.state_digest == b.state_digest
+        assert not mp_report.state_divergences()
 
     def test_events_stream_to_coordinator(self, acc):
         d, bp = acc
@@ -208,3 +212,25 @@ class TestAggregation:
         assert "2 shard(s)" in text
         assert "first hits:" in text
         assert "hit histogram" in text
+
+    def test_replicated_seed_state_divergence_detected(self):
+        """state_groups/state_divergences: replicated shards ending in
+        different states (by raw value-table digest) are incriminated;
+        distinct seeds with distinct digests are not."""
+        results = [
+            ShardResult(shard_id=0, seed=5, cycles=10, state_digest="aaaa"),
+            ShardResult(shard_id=1, seed=5, cycles=10, state_digest="aaaa"),
+            ShardResult(shard_id=2, seed=5, cycles=10, state_digest="bbbb"),
+            ShardResult(shard_id=3, seed=6, cycles=10, state_digest="cccc"),
+        ]
+        report = ShardReport(results)
+        groups = report.state_groups()
+        assert groups[5] == {"aaaa": [0, 1], "bbbb": [2]}
+        div = report.state_divergences()
+        assert len(div) == 1
+        assert div[0].location == "<state:seed 5>"
+        assert div[0].groups == {"aaaa": [0, 1], "bbbb": [2]}
+        assert "REPLICA STATE MISMATCH" in report.summary()
+        payload = report.to_json()
+        assert payload["state_digests"]["2"] == "bbbb"
+        assert payload["state_divergences"]

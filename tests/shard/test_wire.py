@@ -61,10 +61,12 @@ class TestSpecRoundTrip:
             shard_id=1, seed=7, cycles=100,
             hits=[{"time": 3, "filename": "a.py", "line": 10, "column": 0}],
             warnings=["w"], exit_code=2, wall_time_s=0.5,
+            state_digest="ab12cd34ef56",
         )
         back = ShardResult.from_wire(res.to_wire())
         assert back == res
         assert back.ok
+        assert back.state_digest == "ab12cd34ef56"
 
     def test_failed_result_roundtrip(self):
         res = ShardResult(shard_id=1, seed=7, cycles=0, error="boom")

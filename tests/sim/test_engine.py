@@ -4,7 +4,7 @@ import pytest
 
 import repro
 import repro.hgf as hgf
-from repro.sim import SimulationFinished, Simulator, SimulatorError
+from repro.sim import Simulator, SimulatorError
 from tests.helpers import Accumulator, Counter
 
 

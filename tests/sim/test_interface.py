@@ -6,7 +6,6 @@ import repro
 from repro.sim import Simulator
 from repro.sim.interface import (
     HierNode,
-    SignalInfo,
     SimulationFinished,
     SimulatorError,
     SimulatorInterface,

@@ -4,7 +4,7 @@ debugger stays orthogonal to)."""
 import pytest
 
 import repro
-from repro.sim import Driver, Monitor, Simulator, Testbench, Transaction
+from repro.sim import Driver, Monitor, Simulator, Testbench
 from tests.helpers import Accumulator, Counter
 
 

@@ -1,17 +1,11 @@
 """Symbol table tests: schema (Fig. 3), writer, and the four query
 primitives of Sec. 3.4."""
 
-import sqlite3
 
 import pytest
 
 import repro
-from repro.symtable import (
-    SQLiteSymbolTable,
-    create_schema,
-    open_symbol_db,
-    write_symbol_table,
-)
+from repro.symtable import SQLiteSymbolTable, open_symbol_db, write_symbol_table
 from tests.helpers import Accumulator, Counter, SumLoop, TwoLeaves, line_of
 
 

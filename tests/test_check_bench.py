@@ -1,0 +1,103 @@
+"""The benchmark regression gate (``benchmarks/check_bench.py --compare``)."""
+
+from __future__ import annotations
+
+import copy
+import importlib.util
+import json
+import os
+
+import pytest
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_CHECK_BENCH = os.path.join(_HERE, "..", "benchmarks", "check_bench.py")
+
+
+@pytest.fixture(scope="module")
+def check_bench():
+    spec = importlib.util.spec_from_file_location("check_bench", _CHECK_BENCH)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+def _summary(**durations) -> dict:
+    return {
+        "smoke": True,
+        "modules": [
+            {"module": name, "returncode": 0, "ok": True, "duration_s": d}
+            for name, d in durations.items()
+        ],
+        "ok": True,
+    }
+
+
+def test_identical_run_passes(check_bench):
+    base = _summary(a=1.0, b=30.0)
+    ok, lines = check_bench.compare_results(copy.deepcopy(base), base)
+    assert ok
+    assert all(line.startswith("ok") for line in lines)
+
+
+def test_large_regression_fails(check_bench):
+    base = _summary(a=1.0, b=30.0)
+    cur = _summary(a=1.0, b=60.0)
+    ok, lines = check_bench.compare_results(cur, base)
+    assert not ok
+    assert any("SLOWER" in line and "b:" in line for line in lines)
+
+
+def test_small_absolute_regression_is_noise(check_bench):
+    """Sub-second modules cannot flake the gate: the relative tolerance is
+    backed by an absolute min-delta floor."""
+    base = _summary(a=0.5)
+    cur = _summary(a=1.2)  # 2.4x relative, but only +0.7s
+    ok, _lines = check_bench.compare_results(cur, base)
+    assert ok
+
+
+def test_missing_and_failed_modules_fail(check_bench):
+    base = _summary(a=1.0, b=2.0)
+    cur = _summary(a=1.0)
+    ok, lines = check_bench.compare_results(cur, base)
+    assert not ok and any("MISSING" in line for line in lines)
+
+    cur = _summary(a=1.0, b=2.0)
+    cur["modules"][1]["ok"] = False
+    cur["modules"][1]["returncode"] = 2
+    ok, lines = check_bench.compare_results(cur, base)
+    assert not ok and any("FAILED" in line for line in lines)
+
+
+def test_new_module_reported_not_failed(check_bench):
+    base = _summary(a=1.0)
+    cur = _summary(a=1.0, brand_new=5.0)
+    ok, lines = check_bench.compare_results(cur, base)
+    assert ok
+    assert any("NEW" in line for line in lines)
+
+
+def test_tolerance_is_configurable(check_bench):
+    base = _summary(a=10.0)
+    cur = _summary(a=13.0)  # +30%, +3s
+    ok, _ = check_bench.compare_results(cur, base, tolerance=0.15)
+    assert not ok
+    ok, _ = check_bench.compare_results(cur, base, tolerance=0.5)
+    assert ok
+
+
+def test_bad_flag_values_are_usage_errors(check_bench, capsys):
+    assert check_bench.main(["--tolerance", "abc"]) == 2
+    assert "need a number" in capsys.readouterr().err
+    assert check_bench.main(["--json"]) == 2
+
+
+def test_committed_baseline_matches_schema(check_bench):
+    with open(os.path.join(_HERE, "..", "benchmarks", "baseline.json")) as f:
+        baseline = json.load(f)
+    assert baseline["modules"], "baseline must track at least one module"
+    for m in baseline["modules"]:
+        assert {"module", "ok", "duration_s"} <= set(m)
+    # The baseline must compare clean against itself.
+    ok, _ = check_bench.compare_results(baseline, baseline)
+    assert ok

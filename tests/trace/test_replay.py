@@ -4,7 +4,7 @@ import pytest
 
 import repro
 from repro.sim import Simulator, SimulatorError
-from repro.trace import ReplayEngine, VcdWriter, parse_vcd
+from repro.trace import ReplayEngine, VcdWriter
 from tests.helpers import Counter, TwoLeaves
 
 
