@@ -314,7 +314,7 @@ def test_fastpath_vectorized_store_speedup(capsys):
     # Identical workload must leave both stores bit-identical, and the
     # rewind window must reconstruct identically too.
     assert sims[vec_kind].values.as_list() == sims["list"].values.as_list()
-    t = sorted(sims[vec_kind]._snap_by_time)[0]
+    t = sims[vec_kind].timeline.times()[0]
     for sim in sims.values():
         sim.set_time(t)
     assert sims[vec_kind].values.as_list() == sims["list"].values.as_list()

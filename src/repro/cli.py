@@ -72,6 +72,7 @@ def _cmd_replay(args) -> int:
 
     print(f"replaying {args.vcd}: {replay.n_cycles} cycles")
     print(f"symbol table top: {symtable.top_name()}")
+    print(replay.timeline.describe())
     for pre in args.breakpoint or []:
         debugger.execute(f"b {pre}")
     replay.run()
@@ -152,6 +153,7 @@ def _cmd_shard(args) -> int:
             hit_limit=args.hit_limit,
             on_event=on_event if args.verbose else None,
             timeout=args.timeout,
+            timeline_cycles=args.timeline,
         )
     print(report.summary())
     if args.json:
@@ -232,6 +234,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_shard.add_argument(
         "--timeout", type=float, default=None,
         help="abort the sweep when no worker event arrives for this long (s)",
+    )
+    p_shard.add_argument(
+        "--timeline", type=int, default=0, metavar="N",
+        help="stream each shard's last N cycles of compressed state "
+             "history so replica divergence is localized to the first "
+             "divergent cycle and signal (0 = off)",
     )
     p_shard.add_argument(
         "--json", help="also write the aggregated report as JSON"

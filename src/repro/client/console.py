@@ -22,6 +22,9 @@ Commands::
     locals                   print the current frame's local variables
     gen                      print the current frame's generator variables
     set PATH VALUE           force a signal value (live simulation only)
+    timeline                 show the retained time-travel window
+    timeline goto T          jump to retained cycle T (set_time)
+    timeline history NAME [N]  last N retained values of a signal
     shard N CYCLES [SEED]    parallel sweep: run N seeds of this design
                              with the current breakpoints, aggregate hits
     q / quit                 detach from the simulation
@@ -174,6 +177,8 @@ class ConsoleDebugger:
         elif cmd == "set":
             self.runtime.sim.set_value(args[0], int(args[1], 0))
             self._out(f"{args[0]} = {args[1]}")
+        elif cmd == "timeline":
+            self._cmd_timeline(args)
         elif cmd == "shard":
             self._cmd_shard(args)
         else:
@@ -258,6 +263,57 @@ class ConsoleDebugger:
             self.current_frame = idx
         f = hit.frames[self.current_frame]
         self._out(f"thread {self.current_frame}: {f.instance_path}")
+
+    def _cmd_timeline(self, args: list[str]) -> None:
+        """``timeline [info|goto T|history NAME [N]]``: inspect and use
+        the backend's retained time-travel window.  One command serves
+        both backends — the live simulator's compressed keyframe+delta
+        timeline and the replay engine's full-trace window — because both
+        expose the same ``TimelineView``/``history`` API."""
+        sim = self.runtime.sim
+        timeline = sim.timeline
+        if timeline is None:
+            self._out(
+                "no timeline: this backend keeps no history (construct the "
+                "simulator with snapshots=N or snapshot_bytes=N)"
+            )
+            return
+        sub = args[0] if args else "info"
+        if sub == "info":
+            self._out(timeline.describe())
+            self._out(f"current cycle: {sim.get_time()}")
+        elif sub == "goto":
+            if len(args) < 2:
+                self._out("usage: timeline goto T")
+                return
+            sim.set_time(int(args[1], 0))
+            self._out(f"now at cycle {sim.get_time()}")
+        elif sub == "history":
+            if len(args) < 2:
+                self._out("usage: timeline history NAME [N]")
+                return
+            limit = int(args[2]) if len(args) > 2 else 16
+            path = self.runtime._resolve_watch_path(args[1], None)
+            # Bound the walk to the last N retained cycles up front: each
+            # history sample is one set_time hop, and a replayed trace
+            # can retain tens of thousands of cycles.
+            times = timeline.times()
+            start = times[-limit] if 0 < limit < len(times) else None
+            series = sim.history(path, start=start)
+            if not series:
+                self._out(f"no retained history for {path}")
+                return
+            shown = series[-limit:]
+            total = len(timeline)  # the walk may have retained "now" too
+            if total > len(shown):
+                self._out(f"{path}: last {len(shown)} of {total} retained")
+            else:
+                self._out(f"{path}: {len(shown)} retained cycle(s)")
+            for t, v in shown:
+                self._out(f"  cycle {t}: {v} (0x{v:x})")
+        else:
+            self._out(f"unknown timeline subcommand {sub!r}; "
+                      f"try info/goto/history")
 
     def _cmd_shard(self, args: list[str]) -> None:
         """``shard N CYCLES [SEED_BASE]``: fan the current design out to a

@@ -657,13 +657,23 @@ class Runtime:
         return None, []
 
     def _reverse_time(self) -> bool:
-        if not self.sim.can_set_time:
+        sim = self.sim
+        if not sim.can_set_time:
             return False
-        t = self.sim.get_time()
+        t = sim.get_time()
         if t <= 0:
             return False
+        # Ask the backend's timeline for the previous *retained* cycle:
+        # on a byte-bounded or evicted window the newest reachable cycle
+        # may not be t-1, and jumping straight to it beats failing.
+        target = t - 1
+        timeline = sim.timeline
+        if timeline is not None:
+            target = timeline.prev_time(t)
+            if target is None:
+                return False
         try:
-            self.sim.set_time(t - 1)
+            sim.set_time(target)
         except SimulatorError:
             return False
         return True

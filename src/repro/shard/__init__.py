@@ -23,7 +23,14 @@ Quickstart::
 See ``docs/sharding.md`` for the architecture and wire protocol.
 """
 
-from .aggregate import Divergence, FirstHit, ShardReport, frame_digest, location_of
+from .aggregate import (
+    Divergence,
+    FirstHit,
+    ShardReport,
+    TimelineDivergence,
+    frame_digest,
+    location_of,
+)
 from .coordinator import ShardSession, default_workers
 from .spec import (
     BreakpointSpec,
@@ -56,6 +63,7 @@ __all__ = [
     "ShardResult",
     "ShardSession",
     "ShardSpec",
+    "TimelineDivergence",
     "WatchSpec",
     "WireError",
     "decode_line",

@@ -12,6 +12,11 @@ The coordinator hands every :class:`~repro.shard.spec.ShardResult` to a
   cycle with *different* frame values.  For replicated shards (same seed,
   same config) any divergence is a determinism bug; for seed sweeps it
   marks where behaviors split.
+* **timeline divergence** — when shards streamed their compressed state
+  history (``ShardSpec.timeline_cycles``), replicated seeds whose final
+  digests disagree are *localized*: the report names the first retained
+  cycle and the first signal (or memory word) where the replicas split,
+  via :func:`repro.sim.timeline.first_timeline_divergence`.
 
 Hit records are the plain dicts of ``HitGroup.to_record``; frame values
 are digested into a stable fingerprint so comparison never depends on
@@ -24,6 +29,7 @@ import hashlib
 import json
 from dataclasses import dataclass, field
 
+from ..sim.timeline import decode_timeline_states, first_state_divergence
 from .spec import ShardResult
 
 
@@ -87,11 +93,46 @@ class Divergence:
     groups: dict = field(default_factory=dict)   # digest -> sorted shard ids
 
 
-class ShardReport:
-    """The aggregated outcome of one sweep."""
+@dataclass(slots=True)
+class TimelineDivergence:
+    """The first localized split between two replicated shards' streamed
+    state histories: which cycle, and which signal or memory word."""
 
-    def __init__(self, results: list[ShardResult]):
+    seed: int
+    shard_a: int
+    shard_b: int
+    time: int
+    what: str            # signal path / "mem[path][addr]" / raw index
+    value_a: object
+    value_b: object
+
+    def describe(self) -> str:
+        return (
+            f"seed {self.seed}: shards {self.shard_a} vs {self.shard_b} "
+            f"first diverge @ cycle {self.time}: {self.what} = "
+            f"{self.value_a} vs {self.value_b}"
+        )
+
+
+class ShardReport:
+    """The aggregated outcome of one sweep.
+
+    ``signal_names`` / ``mem_names`` (index -> hierarchical path, as laid
+    out by the coordinator's compiled design) let timeline divergences
+    print signal paths instead of raw value-table indices; the session
+    passes them automatically.
+    """
+
+    def __init__(
+        self,
+        results: list[ShardResult],
+        signal_names: list[str] | None = None,
+        mem_names: list[str] | None = None,
+    ):
         self.results = sorted(results, key=lambda r: r.shard_id)
+        self.signal_names = signal_names
+        self.mem_names = mem_names
+        self._timeline_divs: list[TimelineDivergence] | None = None
 
     # -- basic rollups -----------------------------------------------------
 
@@ -176,6 +217,75 @@ class ShardReport:
             if len(groups) > 1
         ]
 
+    def _describe_divergence_site(self, div: dict) -> str:
+        """Map a raw :func:`first_timeline_divergence` site to a name."""
+        if div["kind"] == "mem":
+            mi, addr = div["index"]
+            name = (
+                self.mem_names[mi]
+                if self.mem_names is not None and mi < len(self.mem_names)
+                else f"mem[{mi}]"
+            )
+            return f"{name}[{addr}]"
+        idx = div["index"]
+        if self.signal_names is not None and idx < len(self.signal_names):
+            return self.signal_names[idx]
+        return f"signal[{idx}]"
+
+    def timeline_divergences(self) -> list[TimelineDivergence]:
+        """Localize replica divergence from streamed state history.
+
+        For every seed run by at least two shards that shipped a
+        timeline (``ShardSpec.timeline_cycles > 0``), compare each
+        replica's retained window against the seed's first shard, cycle
+        by cycle, and report the first cycle + signal/memory word where
+        they split.  Empty when replicas agree (the healthy case) — and
+        the *stateful* upgrade of :meth:`state_divergences`, which can
+        only say that final digests differ.
+
+        Decoding streamed windows is the expensive aggregation step, so
+        the outcome is computed once and cached (``summary`` and
+        ``to_json`` both need it); results are treated as immutable once
+        this has been called.
+        """
+        if self._timeline_divs is not None:
+            return self._timeline_divs
+        by_seed: dict[int, list[ShardResult]] = {}
+        for r in self.results:
+            if r.ok and r.timeline is not None:
+                by_seed.setdefault(r.seed, []).append(r)
+        # Decoding a wire replays every retained delta; do it once per
+        # shard, not once per comparison pair.
+        decoded: dict[int, dict] = {}
+
+        def states(r: ShardResult) -> dict:
+            if r.shard_id not in decoded:
+                decoded[r.shard_id] = decode_timeline_states(r.timeline)
+            return decoded[r.shard_id]
+
+        out: list[TimelineDivergence] = []
+        for seed, rs in sorted(by_seed.items()):
+            if len(rs) < 2:
+                continue
+            base = rs[0]
+            for other in rs[1:]:
+                div = first_state_divergence(states(base), states(other))
+                if div is None:
+                    continue
+                out.append(
+                    TimelineDivergence(
+                        seed=seed,
+                        shard_a=base.shard_id,
+                        shard_b=other.shard_id,
+                        time=div["time"],
+                        what=self._describe_divergence_site(div),
+                        value_a=div["a"],
+                        value_b=div["b"],
+                    )
+                )
+        self._timeline_divs = out
+        return out
+
     def divergences(self) -> list[Divergence]:
         """Stops where shards saw different state at the same cycle.
 
@@ -230,6 +340,16 @@ class ShardReport:
             "state_divergences": [
                 {"location": d.location, "groups": d.groups}
                 for d in self.state_divergences()
+            ],
+            "timeline_divergences": [
+                {
+                    "seed": d.seed,
+                    "shards": [d.shard_a, d.shard_b],
+                    "time": d.time,
+                    "what": d.what,
+                    "values": [d.value_a, d.value_b],
+                }
+                for d in self.timeline_divergences()
             ],
             "ok": self.ok,
         }
@@ -291,6 +411,13 @@ class ShardReport:
                     f"shards {','.join(map(str, s))}" for s in d.groups.values()
                 )
                 lines.append(f"  {d.location}: {groups}")
-        if not div and not state_div:
+        tl_div = self.timeline_divergences()
+        if tl_div:
+            lines.append(
+                f"timeline divergence localized at {len(tl_div)} pair(s):"
+            )
+            for d in tl_div:
+                lines.append(f"  {d.describe()}")
+        if not div and not state_div and not tl_div:
             lines.append("no divergence between shards")
         return "\n".join(lines)

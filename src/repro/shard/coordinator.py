@@ -126,12 +126,19 @@ class ShardSession:
         hit_limit: int | None = None,
         on_event=None,
         timeout: float | None = None,
+        timeline_cycles: int = 0,
     ) -> ShardReport:
-        """Run the canonical seed sweep (see :func:`make_sweep`)."""
+        """Run the canonical seed sweep (see :func:`make_sweep`).
+
+        ``timeline_cycles > 0`` makes every shard retain (and ship) its
+        last N cycles of rle-compressed state history, enabling the
+        report's localized :meth:`~ShardReport.timeline_divergences`.
+        """
         specs = make_sweep(
             shards, cycles, seed_base=seed_base, overrides=overrides,
             breakpoints=breakpoints, watchpoints=watchpoints,
             reset_cycles=reset_cycles, hit_limit=hit_limit,
+            timeline_cycles=timeline_cycles,
         )
         return self.run(specs, on_event=on_event, timeout=timeout)
 
@@ -164,6 +171,15 @@ class ShardSession:
         report.wall_time_s = time.perf_counter() - t0
         return report
 
+    def _report(self, results: list[ShardResult]) -> ShardReport:
+        """Aggregate with the compiled design's signal/memory names, so
+        timeline divergences localize to hierarchical paths."""
+        return ShardReport(
+            results,
+            signal_names=[s.path for s in self.compiled.signals],
+            mem_names=[m.path for m in self.compiled.mems],
+        )
+
     def _run_inline(self, specs: list[ShardSpec], on_event) -> ShardReport:
         results = [
             run_shard(
@@ -172,7 +188,7 @@ class ShardSession:
             )
             for spec in specs
         ]
-        return ShardReport(results)
+        return self._report(results)
 
     def _run_pool(
         self,
@@ -255,7 +271,7 @@ class ShardSession:
                     w.proc.terminate()
                 w.proc.join(timeout=5)
 
-        return ShardReport([results[s.shard_id] for s in specs])
+        return self._report([results[s.shard_id] for s in specs])
 
 
 def _pump_pipe(conn, shard_id: int, events: queue.Queue) -> None:

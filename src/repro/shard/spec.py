@@ -88,12 +88,20 @@ class ShardSpec:
     reset_cycles: int = 1
     progress_every: int = 0                          # 0: coordinator default
     hit_limit: int | None = None                     # detach after N hits
+    # Retain the last N cycles of compressed state history in the worker
+    # and ship the serialized timeline home with the result: the
+    # aggregator can then localize replica divergence to the first
+    # divergent cycle and signal instead of a bare digest mismatch.
+    # 0 disables (the default: history costs memory and wire bytes).
+    timeline_cycles: int = 0
 
     def __post_init__(self):
         if self.cycles < 0:
             raise ShardError(f"shard {self.shard_id}: negative cycle count")
         if self.reset_cycles < 0:
             raise ShardError(f"shard {self.shard_id}: negative reset length")
+        if self.timeline_cycles < 0:
+            raise ShardError(f"shard {self.shard_id}: negative timeline length")
 
     def to_wire(self) -> dict:
         return {
@@ -106,6 +114,7 @@ class ShardSpec:
             "reset_cycles": self.reset_cycles,
             "progress_every": self.progress_every,
             "hit_limit": self.hit_limit,
+            "timeline_cycles": self.timeline_cycles,
         }
 
     @classmethod
@@ -124,6 +133,7 @@ class ShardSpec:
             reset_cycles=d.get("reset_cycles", 1),
             progress_every=d.get("progress_every", 0),
             hit_limit=d.get("hit_limit"),
+            timeline_cycles=d.get("timeline_cycles", 0),
         )
 
 
@@ -140,6 +150,7 @@ class ShardResult:
     wall_time_s: float = 0.0
     error: str | None = None            # set when the worker failed
     state_digest: str | None = None     # final value-table fingerprint
+    timeline: dict | None = None        # serialized Timeline.to_wire()
 
     @property
     def ok(self) -> bool:
@@ -156,6 +167,7 @@ class ShardResult:
             "wall_time_s": self.wall_time_s,
             "error": self.error,
             "state_digest": self.state_digest,
+            "timeline": self.timeline,
         }
 
     @classmethod
@@ -170,6 +182,7 @@ class ShardResult:
             wall_time_s=d.get("wall_time_s", 0.0),
             error=d.get("error"),
             state_digest=d.get("state_digest"),
+            timeline=d.get("timeline"),
         )
 
 
@@ -182,6 +195,7 @@ def make_sweep(
     watchpoints=(),
     reset_cycles: int = 1,
     hit_limit: int | None = None,
+    timeline_cycles: int = 0,
 ) -> list[ShardSpec]:
     """Build the canonical seed sweep: ``shards`` specs with seeds
     ``seed_base .. seed_base+shards-1`` and otherwise identical config."""
@@ -197,6 +211,7 @@ def make_sweep(
             watchpoints=tuple(watchpoints),
             reset_cycles=reset_cycles,
             hit_limit=hit_limit,
+            timeline_cycles=timeline_cycles,
         )
         for i in range(shards)
     ]

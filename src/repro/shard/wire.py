@@ -13,6 +13,14 @@ Event shapes (all carry ``v`` — the protocol version — and ``shard``)::
     {"event": "warning",  "shard": N, "message": "..."}
     {"event": "done",     "shard": N, "result": {...}}       ShardResult
     {"event": "error",    "shard": N, "message": "..."}      worker failed
+
+When the spec asked for timeline streaming (``timeline_cycles > 0``) the
+``done`` result additionally carries ``result["timeline"]`` — the
+worker's compressed state history (``Timeline.to_wire``: keyframes +
+run-length-encoded delta runs, plain JSON ints) — which the aggregator
+feeds to :func:`repro.sim.timeline.first_timeline_divergence` for
+stateful divergence localization.  Absent/None for older producers, so
+the protocol version is unchanged.
 """
 
 from __future__ import annotations

@@ -79,7 +79,18 @@ def run_shard(
             (forked workers inherit it and skip recompilation).
     """
     t0 = time.perf_counter()
-    sim = Simulator(circuit, fast=fast, compiled=compiled)
+    # With timeline streaming the shard retains its last N cycles of
+    # state history (rle-compressed — store-native deltas collapse into
+    # index runs) and ships the serialized window home with the result,
+    # so the aggregator can localize replica divergence to the first
+    # divergent cycle and signal, not just report a digest mismatch.
+    sim = Simulator(
+        circuit,
+        fast=fast,
+        compiled=compiled,
+        snapshots=spec.timeline_cycles,
+        snapshot_codec="rle" if spec.timeline_cycles else None,
+    )
     on_record = None
     if emit is not None:
         on_record = lambda rec: emit(hit_event(spec.shard_id, rec))  # noqa: E731
@@ -124,6 +135,9 @@ def run_shard(
         # replicated-shard determinism check, and what pins the forked
         # path against an inline or standalone run of the same seed.
         state_digest=sim.state_digest(),
+        timeline=(
+            sim.timeline.to_wire() if sim.timeline is not None else None
+        ),
     )
 
 

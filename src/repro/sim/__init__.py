@@ -24,12 +24,20 @@ from .store import (
     resolve_store_kind,
 )
 from .testbench import Driver, Monitor, Testbench, Transaction
+from .timeline import (
+    FullTraceTimeline,
+    Timeline,
+    TimelineError,
+    TimelineView,
+    first_timeline_divergence,
+)
 
 __all__ = [
     "ArrayStore",
     "CombLoopError",
     "CompiledDesign",
     "Driver",
+    "FullTraceTimeline",
     "HierNode",
     "ListStore",
     "Monitor",
@@ -40,9 +48,13 @@ __all__ = [
     "SimulatorError",
     "SimulatorInterface",
     "Testbench",
+    "Timeline",
+    "TimelineError",
+    "TimelineView",
     "Transaction",
     "ValueStore",
     "compile_design",
+    "first_timeline_divergence",
     "make_store",
     "numpy_available",
     "resolve_store_kind",

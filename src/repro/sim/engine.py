@@ -20,13 +20,15 @@ Two execution paths share the compiled design:
   skip most of the datapath.  Property tests pin the two paths to
   bit-identical results.
 
-Optional state snapshots give the live simulator ``set_time`` support —
-the hook reverse debugging needs when no trace replay is available.
-Snapshots are stored as deltas (state signals and memory words written
-since the previous snapshot) in a ring buffer whose oldest entry is kept
-as a full keyframe: recording scans only the state signals (registers and
-inputs — O(state) + O(mem writes), never the full value table or whole
-memories) and eviction folds the keyframe forward in O(delta).
+Time travel (``set_time``, reverse debugging, windowed history) is owned
+by the :mod:`repro.sim.timeline` subsystem: when snapshots are enabled
+the simulator binds a :class:`~repro.sim.timeline.Timeline` to its value
+store — compressed keyframe+delta history with a pluggable codec
+(``raw``/``rle``), optional periodic keyframes, and entry- or
+byte-bounded retention.  Recording scans only the state signals
+(registers and inputs — O(state) + O(mem writes), never the full value
+table or whole memories) and eviction folds the head keyframe forward in
+O(delta).  See ``docs/time_travel.md``.
 
 Signal values live in a pluggable :class:`~repro.sim.store.ValueStore`
 (``Simulator(store=...)`` / ``$REPRO_VALUE_STORE``): typed 64-bit lanes by
@@ -39,9 +41,7 @@ from __future__ import annotations
 
 import hashlib
 from array import array
-from collections import deque
 from contextlib import contextmanager
-from dataclasses import dataclass
 
 from ..ir.stmt import Circuit
 from .compiler import CompiledDesign, compile_design
@@ -52,30 +52,7 @@ from .interface import (
     SimulatorInterface,
 )
 from .store import LANE_BITS, ValueStore, make_store
-
-
-@dataclass(slots=True)
-class _Snapshot:
-    """One ring-buffer entry.
-
-    The oldest retained snapshot is a *keyframe* (``values``/``mem_copy``
-    are full copies); every later entry stores only the state signals and
-    memory words that changed since the previous entry.  Eviction folds the
-    keyframe into its successor, so the ring never rescans or recopies the
-    whole design state.
-
-    ``values`` is a store-native narrow-buffer copy (list, ``array('Q')``,
-    or numpy array).  ``wide`` is a full copy of the >64-bit overflow
-    values; it is None on designs without wide signals — the common case —
-    and full per entry otherwise (wide signals are too rare to delta).
-    """
-
-    time: int
-    values: object | None = None
-    wide: dict | None = None
-    mem_copy: list[list[int]] | None = None
-    delta_values: dict[int, int] | None = None
-    delta_mem: dict[tuple[int, int], int] | None = None
+from .timeline import Timeline, TimelineError
 
 
 class Simulator(SimulatorInterface):
@@ -86,8 +63,18 @@ class Simulator(SimulatorInterface):
         top_path: hierarchical prefix for the root instance (defaults to the
             main module name).  Use e.g. ``"TestHarness.dut"`` to emulate a
             testbench wrapper around the generated IP (paper Sec. 3.4).
-        snapshots: how many per-cycle state snapshots to retain (ring
-            buffer); 0 disables ``set_time``.
+        snapshots: how many per-cycle state snapshots to retain; 0 (with
+            no ``snapshot_bytes``) disables ``set_time``.
+        snapshot_bytes: retain history up to ~this many bytes instead of
+            (or in addition to) an entry count — with the ``rle`` codec
+            this is how long rewind windows stay cheap.
+        snapshot_codec: timeline delta codec — ``"raw"`` (store-native,
+            the default), ``"rle"`` (run-length-encoded, ~an order of
+            magnitude smaller on register-sparse designs), or None to
+            defer to ``$REPRO_TIMELINE_CODEC``.
+        keyframe_every: insert a full timeline keyframe every K retained
+            cycles (bounds rewind latency to K delta replays); 0 keeps
+            only the folded head keyframe.
         trace: an optional trace sink with ``begin(sim)`` / ``sample(sim)``
             methods (see ``repro.trace.VcdWriter.attach``).
         fast: select the dirty-set incremental comb path (default).  With
@@ -116,6 +103,9 @@ class Simulator(SimulatorInterface):
         fast: bool = True,
         compiled: CompiledDesign | None = None,
         store: str | None = None,
+        snapshot_bytes: int | None = None,
+        snapshot_codec: str | None = None,
+        keyframe_every: int = 0,
     ):
         self.design: CompiledDesign = (
             compiled if compiled is not None else compile_design(circuit, top_path)
@@ -143,19 +133,23 @@ class Simulator(SimulatorInterface):
         self._dirty: set[int] = set()
         self._tick_changed: set[int] = set()
         self._tick_mem = False
-        self._snap_limit = snapshots
-        self._snaps: deque[_Snapshot] = deque()
-        self._snap_by_time: dict[int, _Snapshot] = {}
-        # Hoisted out of the per-cycle snapshot path: the memory footprint
-        # decides once whether memories are snapshotted at all.  A design
-        # with no memories at all skips the whole journaling machinery —
-        # no mem copies in keyframes, no journaling tick variant.
-        self._total_mem_words = sum(spec.depth for spec in self.design.mems)
-        self._snap_mems = bool(self.design.mems) and self._total_mem_words <= 1 << 16
-        self._mem_written: set[tuple[int, int]] = set()
-        # Delta baseline: the state-signal values at the previous snapshot
-        # (store-native; None = next snapshot is a keyframe).
-        self._state_base = None
+        # Time travel: all history state (entry ring, delta baselines, the
+        # memory-write journal the generated journaling tick feeds) lives
+        # on the Timeline, bound to this simulator's store and memories.
+        # A design whose memories exceed the timeline's word cap degrades
+        # to register/input history with a one-time warning; a design with
+        # no memories skips the journaling machinery entirely.
+        self.timeline: Timeline | None = None
+        if snapshots or snapshot_bytes:
+            self.timeline = Timeline(
+                self.store,
+                self.mems,
+                self.design.mems,
+                limit=snapshots or None,
+                byte_budget=snapshot_bytes or None,
+                codec=snapshot_codec,
+                keyframe_every=keyframe_every,
+            )
         self._trace = trace
         self._printf_out: list[str] = []
         self._install_printf()
@@ -324,13 +318,14 @@ class Simulator(SimulatorInterface):
         v, w, m = self._v, self._w, self.mems
         design = self.design
         cb_list = self._cb_list
-        journal = self._snap_limit > 0 and self._snap_mems
+        timeline = self.timeline
+        journal = timeline is not None and timeline.snap_mems
         fast = self._fast
         if fast:
             tick = design.tick_act_journal if journal else design.tick_act
         else:
             tick = design.tick_journal if journal else design.tick
-        jw = self._mem_written.add
+        jw = timeline.mem_written.add if journal else None
         ch = self._tick_changed.add
         for _ in range(cycles):
             if self._finished is not None:
@@ -345,8 +340,8 @@ class Simulator(SimulatorInterface):
                 # Callback pokes settle lazily; consume them (and any
                 # set_time rewind) before snapshotting and ticking.
                 self._settle()
-            if self._snap_limit:
-                self._take_snapshot()
+            if timeline is not None:
+                timeline.record(self._time)
             try:
                 if fast:
                     # The activity-tracked tick reports each changed
@@ -387,142 +382,60 @@ class Simulator(SimulatorInterface):
             budget -= chunk
         return self._finished
 
-    # -- snapshots / reverse execution ------------------------------------------
-
-    def _take_snapshot(self) -> None:
-        t = self._time
-        store = self.store
-        # Re-executing after a rewind: the entries from `t` onwards describe
-        # the previous run — drop them so this run records fresh history
-        # (the full-copy implementation overwrote its per-time entries).
-        # During plain forward stepping the tail is at t-1 and this is a
-        # single comparison.
-        while self._snaps and self._snaps[-1].time >= t:
-            dead = self._snaps.pop()
-            del self._snap_by_time[dead.time]
-        if not self._snaps:
-            snap = _Snapshot(
-                t,
-                values=store.copy_narrow(),
-                wide=store.copy_wide(),
-                mem_copy=(
-                    [mem.copy() for mem in self.mems] if self._snap_mems else None
-                ),
-            )
-            self._state_base = store.capture_state()
-            self._mem_written.clear()
-        else:
-            # The store scans its narrow state signals against the delta
-            # baseline (vectorized on the numpy backend); wide signals are
-            # rare and snapshotted whole.
-            delta = store.state_delta(self._state_base)
-            delta_mem: dict[tuple[int, int], int] | None = None
-            if self._snap_mems:
-                mems = self.mems
-                delta_mem = {
-                    key: mems[key[0]][key[1]] for key in self._mem_written
-                }
-                self._mem_written.clear()
-            snap = _Snapshot(
-                t, wide=store.copy_wide(), delta_values=delta, delta_mem=delta_mem
-            )
-        self._snaps.append(snap)
-        self._snap_by_time[t] = snap
-        if len(self._snaps) > self._snap_limit:
-            self._evict_oldest()
-
-    def _evict_oldest(self) -> None:
-        """Drop the oldest snapshot by folding the keyframe into its
-        successor — O(successor delta), no scan over snapshot times."""
-        old = self._snaps.popleft()
-        del self._snap_by_time[old.time]
-        if not self._snaps:
-            return
-        nxt = self._snaps[0]
-        if nxt.values is not None:
-            return  # already a keyframe
-        vals = old.values
-        self.store.apply_delta(vals, nxt.delta_values)
-        nxt.values = vals
-        # nxt.wide is already a full copy — the keyframe's simply drops.
-        if old.mem_copy is not None:
-            mems = old.mem_copy
-            for (mi, a), val in (nxt.delta_mem or {}).items():
-                mems[mi][a] = val
-            nxt.mem_copy = mems
-        nxt.delta_values = None
-        nxt.delta_mem = None
+    # -- time travel (delegated to repro.sim.timeline) ----------------------
 
     @property
     def can_set_time(self) -> bool:
-        return self._snap_limit > 0
+        return self.timeline is not None
 
-    def set_time(self, time: int) -> None:
-        """Restore simulator state to a previously snapshot cycle."""
-        if not self._snap_limit:
-            raise SimulatorError("snapshots disabled; cannot set_time")
-        snap = self._snap_by_time.get(time)
-        if snap is None:
-            available = sorted(self._snap_by_time)
-            raise SimulatorError(
-                f"no snapshot for time {time}; available: "
-                f"{available[:3]}..{available[-3:] if available else []}"
+    def _apply_set_time(self, time: int) -> None:
+        """Restore simulator state to a previously recorded cycle.
+
+        The bound :class:`~repro.sim.timeline.Timeline` reconstructs the
+        target (nearest keyframe + codec delta replays) and restores the
+        value store, memories, and journal in place; the engine then
+        resets its settle bookkeeping and re-derives every combinational
+        signal.  Retained entries survive the jump, so repeating
+        ``set_time`` or jumping forward within the window keeps working.
+        """
+        if self.timeline is None:
+            raise TimelineError(
+                "time travel disabled: no retained history — construct "
+                "Simulator(snapshots=N) or Simulator(snapshot_bytes=N)"
             )
-        # Reconstruct by replaying deltas from the keyframe forward.  The
-        # state at the target's *predecessor* is captured on the way: it
-        # becomes the delta baseline for the snapshot re-taken at `time`.
-        store = self.store
-        vals = None
-        mems_rec: list[list[int]] | None = None
-        tail_base = None
-        for s in self._snaps:
-            if s is snap and s.values is None:
-                tail_base = store.capture_state_from(vals)
-            if s.values is not None:
-                vals = store.clone_narrow(s.values)
-                if s.mem_copy is not None:
-                    mems_rec = [mem.copy() for mem in s.mem_copy]
-            else:
-                store.apply_delta(vals, s.delta_values)
-                if mems_rec is not None and s.delta_mem:
-                    for (mi, a), val in s.delta_mem.items():
-                        mems_rec[mi][a] = val
-            if s is snap:
-                break
-        # Retained entries are left untouched, so repeating set_time or
-        # jumping forward to another retained time keeps working; stale
-        # entries are invalidated lazily by the next _take_snapshot once
-        # re-execution actually overwrites them.
-        #
-        # Restore buffers/mems/journal in place: generated code and the
-        # step() loop hold direct references to these objects (including
-        # the journal's bound ``add``) while callbacks — which may call
-        # set_time for reverse debugging — are running.
-        store.restore_narrow(vals)
-        store.restore_wide(snap.wide)
-        if mems_rec is not None:
-            for mem, saved in zip(self.mems, mems_rec):
-                mem[:] = saved
+        self.timeline.restore(time)
         self._time = time
         self._finished = None
-        self._mem_written.clear()
-        if snap.values is None:
-            # Baselines for the snapshot re-taken at `time`: the delta is
-            # computed against the predecessor's state, and the memory
-            # words the current delta covers changed since then — mark
-            # them written so they are recaptured from the restored arrays.
-            self._state_base = tail_base
-            self._mem_written.update(snap.delta_mem or ())
-        else:
-            # Rewound to the keyframe: re-stepping restarts the ring with
-            # a fresh keyframe, no delta baseline needed.
-            self._state_base = None
         self._pending_full = False
         self._dirty.clear()
         self._tick_changed.clear()
         self._tick_mem = False
         self.design.comb(self._v, self._w, self.mems)
-        self._notify_set_time(time)
+
+    def _retain_current_time(self):
+        """History-walk hook: make the current cycle a valid ``set_time``
+        target and remember the finished flag (restored after the walk —
+        intermediate jumps clear it).
+
+        Record only when the current cycle is not already retained:
+        ``record`` drops entries at-or-after its time (rewind +
+        re-execution semantics), so recording right after a ``set_time``
+        — when nothing was re-executed — would truncate the still-valid
+        forward window.  The trade-off: state changed since the retained
+        entry (pokes after a rewind, before any step) is reverted to the
+        recorded state by the walk's final restore.
+        """
+        self._settle()
+        if self._time not in self.timeline:
+            # evict=False: a read-only query must not push the oldest
+            # retained cycle out of a full ring/budget.
+            self.timeline.record(self._time, evict=False)
+        return self._finished
+
+    def _restore_current_time(self, t0: int, token) -> None:
+        if self.get_time() != t0:
+            self.set_time(t0)
+        self._finished = token
 
     # -- state fingerprinting ----------------------------------------------
 

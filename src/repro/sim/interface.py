@@ -117,12 +117,84 @@ class SimulatorInterface(ABC):
         """Current simulation time (cycles)."""
 
     def set_time(self, time: int) -> None:
-        """Optionally move simulation time (enables reverse debugging)."""
+        """Move simulation time (enables reverse debugging).
+
+        This is the one shared time-travel code path: backends implement
+        :meth:`_apply_set_time` (restore state, move the cursor) and
+        every successful jump then notifies the set-time callbacks
+        exactly once — so per-cycle observers (watchpoint re-priming via
+        ``WatchStore.rewound``, most notably) behave identically on the
+        live simulator and on trace replay.
+        """
+        self._apply_set_time(time)
+        self._notify_set_time(time)
+
+    def _apply_set_time(self, time: int) -> None:
+        """Backend hook: restore state at ``time``.  Raise
+        ``TimelineError`` (out of the retained window) or
+        ``SimulatorError`` (time travel unsupported) on failure."""
         raise SimulatorError(f"{type(self).__name__} cannot move time")
 
     @property
     def can_set_time(self) -> bool:
         return False
+
+    #: The backend's retained-history view (a
+    #: :class:`repro.sim.timeline.TimelineView`), or None when the
+    #: backend keeps no history.  The live simulator binds a compressed
+    #: keyframe+delta :class:`~repro.sim.timeline.Timeline`; trace replay
+    #: binds a zero-cost full-window view.
+    timeline = None
+
+    def history(
+        self,
+        path: str,
+        start: int | None = None,
+        end: int | None = None,
+    ) -> list[tuple[int, int]]:
+        """Windowed history query: ``[(cycle, value), ...]`` for a signal
+        across the retained time-travel window.
+
+        One implementation serves every backend: the retained cycles come
+        from :attr:`timeline` and each sample is read through the same
+        ``set_time``/``get_value`` path reverse debugging uses, so live
+        and replayed runs answer identically.  The current time (and, on
+        the live simulator, the finished flag) is restored afterwards;
+        set-time callbacks fire for every hop, exactly as they would for
+        manual jumps.
+        """
+        tl = self.timeline
+        if tl is None or not self.can_set_time:
+            raise SimulatorError(
+                f"{type(self).__name__} keeps no history; enable snapshots "
+                f"(live) or replay a trace"
+            )
+        t0 = self.get_time()
+        token = self._retain_current_time()
+        out: list[tuple[int, int]] = []
+        try:
+            for t in tl.times():
+                if start is not None and t < start:
+                    continue
+                if end is not None and t > end:
+                    break
+                self.set_time(t)
+                out.append((t, self.get_value(path)))
+        finally:
+            self._restore_current_time(t0, token)
+        return out
+
+    def _retain_current_time(self):
+        """Backend hook before a history walk: make the *current* time a
+        valid ``set_time`` target (the live simulator records a snapshot;
+        a trace already retains everything).  Returns an opaque token for
+        :meth:`_restore_current_time`."""
+        return None
+
+    def _restore_current_time(self, t0: int, token) -> None:
+        """Backend hook after a history walk: return to ``t0``."""
+        if self.get_time() != t0:
+            self.set_time(t0)
 
     # Time-jump notification: backends that implement set_time call
     # _notify_set_time after restoring state, so per-cycle observers

@@ -38,6 +38,7 @@ Property tests pin all backends bit-identical to the list reference.
 from __future__ import annotations
 
 import os
+import sys
 from array import array
 
 try:
@@ -210,6 +211,88 @@ class ValueStore:
         for i, val in delta.items():
             saved[i] = val
 
+    # -- delta codec hooks (repro.sim.timeline) -----------------------------
+    #
+    # The timeline's codecs delegate the representation-specific work
+    # here so each backend keeps its native vectorized path: raw deltas
+    # stay whatever ``state_delta`` produced, RLE packs consecutive
+    # indices into ``(runs, values)`` typed buffers (``runs`` interleaves
+    # ``start, count`` pairs), and the byte estimates feed the timeline's
+    # byte-budget retention.
+
+    def delta_nbytes(self, delta) -> int:
+        """Approximate retained bytes of one raw (dict) delta: the dict
+        table plus two boxed ints per changed signal."""
+        return sys.getsizeof(delta) + 56 * len(delta)
+
+    def delta_pairs(self, delta) -> list[tuple[int, int]]:
+        """Sorted plain-int ``(index, value)`` pairs of a raw delta."""
+        return sorted((int(i), int(v)) for i, v in delta.items())
+
+    def encode_rle(self, delta):
+        """Raw delta -> ``(runs, values)``: consecutive signal indices
+        collapse into interleaved ``start, count`` runs over one flat
+        unsigned-64 value buffer."""
+        runs = array("q")
+        values = array("Q")
+        end = None
+        for i, v in sorted(delta.items()):
+            if end is not None and i == end:
+                runs[-1] += 1
+            else:
+                runs.append(i)
+                runs.append(1)
+            values.append(v)
+            end = i + 1
+        return (runs, values)
+
+    @staticmethod
+    def apply_rle(saved, encoded) -> None:
+        """Replay an RLE delta onto a captured buffer, one slice
+        assignment per run (C-level on the typed backends)."""
+        runs, values = encoded
+        j = 0
+        for k in range(0, len(runs), 2):
+            start, count = runs[k], runs[k + 1]
+            saved[start:start + count] = values[j:j + count]
+            j += count
+
+    @staticmethod
+    def rle_nbytes(encoded) -> int:
+        runs, values = encoded
+        return sys.getsizeof(runs) + sys.getsizeof(values)
+
+    @staticmethod
+    def rle_pairs(encoded) -> list[tuple[int, int]]:
+        runs, values = encoded
+        out: list[tuple[int, int]] = []
+        j = 0
+        for k in range(0, len(runs), 2):
+            start, count = runs[k], runs[k + 1]
+            out.extend(
+                (int(start) + o, int(values[j + o])) for o in range(count)
+            )
+            j += count
+        return out
+
+    # -- timeline byte accounting -------------------------------------------
+
+    @property
+    def state_indices(self) -> tuple:
+        """The narrow state-signal indices the per-cycle delta scan
+        covers (wide state signals ride the full per-entry wide copy)."""
+        return self._narrow_state
+
+    def keyframe_nbytes(self, saved) -> int:
+        """Approximate retained bytes of one keyframe buffer."""
+        return sys.getsizeof(saved) + 32 * len(saved)
+
+    def wide_nbytes(self) -> int:
+        """Approximate retained bytes of one full wide-overflow copy."""
+        if not self.wide:
+            return 0
+        return sys.getsizeof(self.wide) + 88 * len(self.wide)
+
     # -- per-cycle state deltas ---------------------------------------------
 
     def capture_state(self):
@@ -276,6 +359,9 @@ class ArrayStore(ValueStore):
     def capture_state_from(self, saved):
         return array("Q", [saved[i] for i in self._narrow_state])
 
+    def keyframe_nbytes(self, saved) -> int:
+        return sys.getsizeof(saved)  # the array object includes its buffer
+
     def _narrow_bytes(self) -> bytes:
         return self.narrow.tobytes()
 
@@ -334,6 +420,38 @@ class NumpyStore(ArrayStore):
         delta = (self._state_idx[ks], cur[ks])
         base[:] = cur
         return delta
+
+    # -- delta codec hooks: vectorized over the array-pair deltas -----------
+
+    def delta_nbytes(self, delta) -> int:
+        ks, vals = delta
+        return ks.nbytes + vals.nbytes + 192  # + the two array objects
+
+    def delta_pairs(self, delta) -> list[tuple[int, int]]:
+        ks, vals = delta
+        return [(int(i), int(v)) for i, v in zip(ks, vals)]  # ks ascending
+
+    def encode_rle(self, delta):
+        """Vectorized run detection: one ``diff`` over the (ascending)
+        changed-index array finds every run break."""
+        ks, vals = delta
+        if len(ks) == 0:
+            return (_np.empty(0, dtype=_np.int64), vals)
+        breaks = _np.flatnonzero(_np.diff(ks) != 1) + 1
+        starts = _np.concatenate((_np.zeros(1, dtype=_np.intp), breaks))
+        lengths = _np.diff(_np.append(starts, len(ks)))
+        runs = _np.empty(2 * len(starts), dtype=_np.int64)
+        runs[0::2] = ks[starts]
+        runs[1::2] = lengths
+        return (runs, vals)
+
+    @staticmethod
+    def rle_nbytes(encoded) -> int:
+        runs, values = encoded
+        return runs.nbytes + values.nbytes + 224
+
+    def keyframe_nbytes(self, saved) -> int:
+        return saved.nbytes + 112
 
     def _narrow_bytes(self) -> bytes:
         return self.narrow.tobytes()

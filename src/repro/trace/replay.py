@@ -15,6 +15,7 @@ from ..sim.interface import (
     SimulatorError,
     SimulatorInterface,
 )
+from ..sim.timeline import FullTraceTimeline, TimelineError
 from .parser import VcdFile, VcdScope, parse_vcd_file
 
 
@@ -23,6 +24,13 @@ class ReplayEngine(SimulatorInterface):
 
     Cycles are derived from the clock's rising edges.  ``get_time`` /
     ``set_time`` are in cycles, matching the live simulator's convention.
+
+    Time travel rides the same :mod:`repro.sim.timeline` API as the live
+    simulator: ``timeline`` is a :class:`FullTraceTimeline` (a trace
+    retains every cycle at zero extra cost), ``set_time`` goes through
+    the shared interface template (so set-time callbacks — watchpoint
+    re-priming — fire identically), and out-of-window jumps raise the
+    same :class:`TimelineError` naming the retained window.
     """
 
     def __init__(self, vcd: VcdFile, clock_path: str | None = None):
@@ -45,6 +53,7 @@ class ReplayEngine(SimulatorInterface):
         self._callbacks: dict[int, object] = {}
         self._next_cb_id = 1
         self._hierarchy = _scopes_to_hierarchy(vcd)
+        self.timeline = FullTraceTimeline(len(self._posedges), label="VCD replay")
 
     @classmethod
     def from_file(cls, path: str, clock_path: str | None = None) -> "ReplayEngine":
@@ -102,13 +111,13 @@ class ReplayEngine(SimulatorInterface):
     def get_time(self) -> int:
         return self._cycle
 
-    def set_time(self, time: int) -> None:
-        if not 0 <= time < len(self._posedges):
-            raise SimulatorError(
-                f"cycle {time} outside trace (0..{len(self._posedges) - 1})"
+    def _apply_set_time(self, time: int) -> None:
+        if time not in self.timeline:
+            raise TimelineError(
+                f"cannot rewind to cycle {time}: trace retains cycles "
+                f"0..{len(self._posedges) - 1}"
             )
         self._cycle = time
-        self._notify_set_time(time)
 
     @property
     def can_set_time(self) -> bool:

@@ -165,3 +165,67 @@ class TestShardCommand:
         dbg.execute(f"b helpers.py:{line}")
         dbg.execute("shard 2 10")
         assert any("live Simulator" in l for l in dbg.transcript)
+
+
+class TestTimelineCommand:
+    def _debugger(self, snapshots=16):
+        d = repro.compile(Accumulator())
+        sim = Simulator(d.low, snapshots=snapshots)
+        rt = make_runtime(d, sim)
+        dbg = ConsoleDebugger(rt)
+        rt.attach()
+        sim.reset()
+        sim.poke("en", 1)
+        sim.poke("d", 2)
+        sim.step(6)
+        return dbg, sim
+
+    def test_info_shows_window_and_cycle(self):
+        dbg, sim = self._debugger()
+        dbg.execute("timeline")
+        joined = "\n".join(dbg.transcript)
+        assert "timeline: cycles 0..6" in joined
+        assert f"current cycle: {sim.get_time()}" in joined
+
+    def test_goto_jumps_and_errors_stay_in_repl(self):
+        dbg, sim = self._debugger()
+        dbg.execute("timeline goto 3")
+        assert sim.get_time() == 3
+        assert any("now at cycle 3" in l for l in dbg.transcript)
+        dbg.execute("timeline goto 9999")  # out of window: error, not crash
+        assert any("retained window" in l for l in dbg.transcript)
+
+    def test_history_resolves_local_names(self):
+        dbg, sim = self._debugger()
+        dbg.execute("timeline history acc 4")
+        cycle_lines = [l for l in dbg.transcript if l.startswith("  cycle")]
+        assert len(cycle_lines) == 4
+        assert sim.get_time() == 7  # cursor restored after the walk
+
+    def test_disabled_timeline_reports_hint(self):
+        d = repro.compile(Accumulator())
+        sim = Simulator(d.low)
+        rt = make_runtime(d, sim)
+        dbg = ConsoleDebugger(rt)
+        dbg.execute("timeline")
+        assert any("no timeline" in l for l in dbg.transcript)
+
+    def test_timeline_on_replay_backend(self, tmp_path):
+        from repro.core import Runtime
+        from repro.symtable import SQLiteSymbolTable, write_symbol_table
+        from repro.trace import ReplayEngine, VcdWriter
+
+        d = repro.compile(Accumulator())
+        vcd = str(tmp_path / "run.vcd")
+        w = VcdWriter(vcd)
+        sim = Simulator(d.low, trace=w)
+        sim.reset()
+        sim.step(5)
+        w.close()
+        replay = ReplayEngine.from_file(vcd)
+        rt = Runtime(replay, SQLiteSymbolTable(write_symbol_table(d)))
+        dbg = ConsoleDebugger(rt)
+        dbg.execute("timeline")
+        assert any("full VCD replay" in l for l in dbg.transcript)
+        dbg.execute("timeline history total 3")
+        assert any(l.startswith("  cycle") for l in dbg.transcript)

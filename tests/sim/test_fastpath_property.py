@@ -82,7 +82,7 @@ def test_fast_path_matches_reference(mod_cls, seed):
             fast.step(cycles)
             ref.step(cycles)
         else:
-            times = sorted(fast._snap_by_time)
+            times = fast.timeline.times()
             if times:
                 t = rng.choice(times)
                 fast.set_time(t)
@@ -111,7 +111,7 @@ def test_delta_snapshots_restore_recorded_state(mod_cls):
         gold[sim.get_time()] = (list(sim.values), [list(m) for m in sim.mems])
         sim.step(1)
 
-    for t in sorted(sim._snap_by_time, reverse=True):
+    for t in reversed(sim.timeline.times()):
         sim.set_time(t)
         vals, mems = gold[t]
         assert sim.get_time() == t

@@ -69,7 +69,7 @@ def _rand_drive(sims, rng, cycles=60, rewind=True):
             for sim in sims:
                 sim.step(cyc)
         else:
-            times = sorted(sims[0]._snap_by_time)
+            times = sims[0].timeline.times()
             if times:
                 t = rng.choice(times)
                 for sim in sims:
@@ -256,9 +256,9 @@ def test_rewind_across_keyframe_boundary(kind, mod_cls):
         ref.step(1)
 
     # Ring holds only the last 4 times; the oldest is a folded keyframe.
-    times = sorted(sim._snap_by_time)
+    times = sim.timeline.times()
     assert len(times) == 4
-    assert sim._snaps[0].values is not None      # keyframe at ring head
+    assert sim.timeline.entries[0].values is not None  # keyframe at head
     for t in (times[0], times[-1], times[0]):
         sim.set_time(t)
         assert sim.values.as_list() == gold[t]
@@ -282,15 +282,15 @@ def test_snapshot_skips_mem_copy_when_no_memories(kind):
     keyframes or the journaling tick variant."""
     d = repro.compile(Counter())
     sim = Simulator(d.low, snapshots=8, store=kind)
-    assert sim._snap_mems is False
+    assert sim.timeline.snap_mems is False
     sim.reset()
     sim.poke("en", 1)
     gold = {}
     for _ in range(6):
         gold[sim.get_time()] = sim.peek("out")
         sim.step(1)
-    assert all(s.mem_copy is None for s in sim._snaps)
-    assert all(s.delta_mem is None for s in sim._snaps)
+    assert all(s.mem_copy is None for s in sim.timeline.entries)
+    assert all(s.delta_mem is None for s in sim.timeline.entries)
     sim.set_time(3)
     assert sim.get_time() == 3
     assert sim.peek("out") == gold[3]

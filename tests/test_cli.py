@@ -126,3 +126,33 @@ class TestShard:
         assert main(["shard", "tests.helpers:Accumulator", "-o", "en"]) == 2
         err = capsys.readouterr().err
         assert "error:" in err and "Traceback" not in err
+
+
+class TestTimelineFlags:
+    def test_replay_prints_timeline_window(self, artifacts, capsys):
+        _d, sym, vcd = artifacts
+        assert main(["replay", vcd, sym, "-c", "q"]) == 0
+        out = capsys.readouterr().out
+        assert "timeline: cycles 0.." in out
+        assert "full VCD replay" in out
+
+    def test_shard_timeline_streaming(self, tmp_path, capsys):
+        import json
+
+        out = str(tmp_path / "report.json")
+        rc = main(
+            [
+                "shard", "tests.helpers:Accumulator",
+                "--shards", "2", "--workers", "0", "--cycles", "20",
+                "--timeline", "8",
+                "-o", "en=1",
+                "--json", out,
+            ]
+        )
+        assert rc == 0
+        with open(out) as f:
+            report = json.load(f)
+        assert report["timeline_divergences"] == []
+        for shard in report["shards"]:
+            assert shard["timeline"]["codec"] == "rle"
+            assert len(shard["timeline"]["entries"]) <= 8
