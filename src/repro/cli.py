@@ -94,7 +94,12 @@ def _cmd_shard(args) -> int:
     import json
 
     import repro
-    from .shard import BreakpointSpec, ShardSession, WatchSpec
+    from .shard import (
+        BreakpointSpec,
+        RetryPolicy,
+        ShardSession,
+        WatchSpec,
+    )
 
     mod_name, _, attr = args.factory.partition(":")
     if not attr:
@@ -142,6 +147,7 @@ def _cmd_shard(args) -> int:
                 f"{ev['hits']} hit(s)"
             )
 
+    retry = RetryPolicy(max_attempts=max(1, args.retries))
     with ShardSession(design, workers=args.workers) as session:
         report = session.sweep(
             shards=args.shards,
@@ -154,6 +160,8 @@ def _cmd_shard(args) -> int:
             on_event=on_event if args.verbose else None,
             timeout=args.timeout,
             timeline_cycles=args.timeline,
+            retry=retry,
+            deadline=args.deadline,
         )
     print(report.summary())
     if args.json:
@@ -233,7 +241,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_shard.add_argument(
         "--timeout", type=float, default=None,
-        help="abort the sweep when no worker event arrives for this long (s)",
+        help="wall-clock budget for the whole sweep (s); on expiry "
+             "workers are terminated and the sweep aborts",
+    )
+    p_shard.add_argument(
+        "--retries", type=int, default=3, metavar="N",
+        help="attempts per shard before degrading to inline execution: "
+             "crashed, hung, or wire-corrupted workers are relaunched "
+             "with backoff (default: 3)",
+    )
+    p_shard.add_argument(
+        "--deadline", type=float, default=None, metavar="S",
+        help="per-shard attempt deadline (s): a worker exceeding it is "
+             "terminated (then killed) and the attempt retried",
     )
     p_shard.add_argument(
         "--timeline", type=int, default=0, metavar="N",

@@ -25,8 +25,11 @@ Commands::
     timeline                 show the retained time-travel window
     timeline goto T          jump to retained cycle T (set_time)
     timeline history NAME [N]  last N retained values of a signal
-    shard N CYCLES [SEED]    parallel sweep: run N seeds of this design
-                             with the current breakpoints, aggregate hits
+    shard N CYCLES [SEED] [retries=K] [deadline=S]
+                             parallel sweep: run N seeds of this design
+                             with the current breakpoints, aggregate hits;
+                             failed workers retry K times (deadline S
+                             seconds per attempt) before running inline
     q / quit                 detach from the simulation
 """
 
@@ -316,13 +319,39 @@ class ConsoleDebugger:
                       f"try info/goto/history")
 
     def _cmd_shard(self, args: list[str]) -> None:
-        """``shard N CYCLES [SEED_BASE]``: fan the current design out to a
-        parallel seed sweep, re-arming this session's breakpoints and
-        watchpoints in every shard, and print the aggregated report."""
-        from ..shard import BreakpointSpec, ShardSession, WatchSpec, make_sweep
+        """``shard N CYCLES [SEED_BASE] [retries=K] [deadline=S]``: fan
+        the current design out to a parallel seed sweep, re-arming this
+        session's breakpoints and watchpoints in every shard, and print
+        the aggregated report.  ``retries``/``deadline`` tune the
+        supervision layer (attempts per shard, per-attempt wall-clock
+        budget)."""
+        from ..shard import (
+            BreakpointSpec,
+            RetryPolicy,
+            ShardSession,
+            WatchSpec,
+            make_sweep,
+        )
 
+        retries = None
+        deadline = None
+        positional = []
+        for arg in args:
+            key, eq, value = arg.partition("=")
+            if eq and key in ("retries", "deadline"):
+                try:
+                    if key == "retries":
+                        retries = max(1, int(value))
+                    else:
+                        deadline = float(value)
+                except ValueError:
+                    self._out(f"bad {key} value {value!r}")
+                    return
+            else:
+                positional.append(arg)
+        args = positional
         if len(args) < 2:
-            self._out("usage: shard N CYCLES [SEED_BASE]")
+            self._out("usage: shard N CYCLES [SEED] [retries=K] [deadline=S]")
             return
         shards, cycles = int(args[0]), int(args[1])
         seed_base = int(args[2]) if len(args) > 2 else 0
@@ -365,7 +394,12 @@ class ConsoleDebugger:
                 make_sweep(
                     shards, cycles, seed_base=seed_base,
                     breakpoints=breakpoints, watchpoints=watchpoints,
-                )
+                ),
+                retry=(
+                    RetryPolicy(max_attempts=retries)
+                    if retries is not None else None
+                ),
+                deadline=deadline,
             )
         for line in report.summary().splitlines():
             self._out(line)

@@ -40,6 +40,12 @@ from .spec import (
     WatchSpec,
     make_sweep,
 )
+from .supervise import (
+    DeadlinePolicy,
+    RetryPolicy,
+    as_deadline_policy,
+    failure_record,
+)
 from .wire import (
     PROTOCOL_VERSION,
     WireError,
@@ -47,6 +53,7 @@ from .wire import (
     done_event,
     encode_line,
     error_event,
+    heartbeat_event,
     hit_event,
     progress_event,
     warning_event,
@@ -55,9 +62,11 @@ from .worker import make_stimulus, run_shard, stimulus_inputs
 
 __all__ = [
     "BreakpointSpec",
+    "DeadlinePolicy",
     "Divergence",
     "FirstHit",
     "PROTOCOL_VERSION",
+    "RetryPolicy",
     "ShardError",
     "ShardReport",
     "ShardResult",
@@ -66,12 +75,15 @@ __all__ = [
     "TimelineDivergence",
     "WatchSpec",
     "WireError",
+    "as_deadline_policy",
     "decode_line",
     "default_workers",
     "done_event",
     "encode_line",
     "error_event",
+    "failure_record",
     "frame_digest",
+    "heartbeat_event",
     "hit_event",
     "location_of",
     "make_stimulus",

@@ -145,6 +145,22 @@ class ShardReport:
         return [r for r in self.results if not r.ok]
 
     @property
+    def retried(self) -> list[ShardResult]:
+        """Shards that needed more than one attempt (supervision layer)."""
+        return [r for r in self.results if r.attempts > 1]
+
+    @property
+    def total_attempts(self) -> int:
+        """Attempts consumed across the sweep (== shards when healthy)."""
+        return sum(r.attempts for r in self.results)
+
+    def failed_shards(self) -> list[tuple[int, int, str]]:
+        """``(shard_id, attempts, error)`` for every terminally failed
+        shard — the partial-sweep accounting a degraded report carries
+        instead of raising."""
+        return [(r.shard_id, r.attempts, r.error) for r in self.errors]
+
+    @property
     def total_cycles(self) -> int:
         return sum(r.cycles for r in self.results)
 
@@ -351,6 +367,17 @@ class ShardReport:
                 }
                 for d in self.timeline_divergences()
             ],
+            "total_attempts": self.total_attempts,
+            "retried": [r.shard_id for r in self.retried],
+            "failures": {
+                str(r.shard_id): r.failures
+                for r in self.results
+                if r.failures
+            },
+            "failed": [
+                {"shard": sid, "attempts": n, "error": err}
+                for sid, n, err in self.failed_shards()
+            ],
             "ok": self.ok,
         }
 
@@ -369,10 +396,31 @@ class ShardReport:
                 f"{len(r.hits)} hit(s)"
                 + (f", exit {r.exit_code}" if r.exit_code is not None else "")
             )
+            if r.attempts > 1:
+                status += f" [{r.attempts} attempts]"
             lines.append(
                 f"  shard {r.shard_id} (seed {r.seed}): "
                 f"{r.cycles} cycles, {status}"
             )
+        recoveries = [r for r in self.results if r.failures]
+        if recoveries:
+            lines.append("fault recovery:")
+            for r in recoveries:
+                for f in r.failures:
+                    lines.append(
+                        f"  shard {r.shard_id} attempt {f['attempt']} "
+                        f"{f['class']}: {f['message']}"
+                    )
+                if r.ok:
+                    lines.append(
+                        f"  shard {r.shard_id} recovered on attempt "
+                        f"{r.attempts}"
+                    )
+                else:
+                    lines.append(
+                        f"  shard {r.shard_id} FAILED after "
+                        f"{r.attempts} attempt(s)"
+                    )
         first = self.first_hits()
         if first:
             lines.append("first hits:")

@@ -17,13 +17,14 @@ against, and the fallback on platforms without ``fork``.
 
 from __future__ import annotations
 
+import itertools
 import multiprocessing
 import os
 import queue
 import threading
 import time
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..sim.compiler import compile_design
 from ..symtable.rpc import SymbolTableServer
@@ -31,6 +32,17 @@ from ..symtable.writer import write_symbol_table
 from ..symtable.query import SQLiteSymbolTable
 from .aggregate import ShardReport
 from .spec import ShardError, ShardResult, ShardSpec, make_sweep
+from .supervise import (
+    CORRUPT,
+    CRASH,
+    ERROR,
+    HANG,
+    RPC,
+    DeadlinePolicy,
+    RetryPolicy,
+    as_deadline_policy,
+    failure_record,
+)
 from .wire import WireError, decode_line
 from .worker import run_shard, worker_entry
 
@@ -46,13 +58,42 @@ def default_workers(n_shards: int) -> int:
 
 
 @dataclass(slots=True)
-class _Worker:
-    """One in-flight shard: its process and the pipe pump draining it."""
+class _Job:
+    """One shard's journey through the supervisor: its spec, which
+    attempt is next (1-based), the failure records accumulated so far,
+    and — while waiting out a retry backoff — when it may relaunch."""
 
     spec: ShardSpec
+    attempt: int = 1
+    failures: list = field(default_factory=list)
+    ready_at: float = 0.0
+
+
+@dataclass(slots=True)
+class _WorkerState:
+    """One in-flight worker attempt: process, pipe pump, and the
+    liveness bookkeeping the supervisor tracks against it."""
+
+    job: _Job
+    token: int                 # unique per attempt: event attribution key
     proc: object
     conn: object
     pump: threading.Thread
+    started: float
+    deadline: float | None     # absolute monotonic attempt deadline
+    last_beat: float           # monotonic time of the last event seen
+    corrupt_seen: int = 0      # undecodable wire lines this attempt
+    settled: bool = False      # outcome decided (done/error/hang)
+
+
+@dataclass(slots=True)
+class _Zombie:
+    """A terminated worker awaiting death: past ``kill_at`` the
+    supervisor escalates from SIGTERM to SIGKILL."""
+
+    proc: object
+    kill_at: float
+    killed: bool = False
 
 
 class ShardSession:
@@ -127,12 +168,16 @@ class ShardSession:
         on_event=None,
         timeout: float | None = None,
         timeline_cycles: int = 0,
+        retry: RetryPolicy | None = None,
+        deadline: DeadlinePolicy | float | None = None,
+        faults=None,
     ) -> ShardReport:
         """Run the canonical seed sweep (see :func:`make_sweep`).
 
         ``timeline_cycles > 0`` makes every shard retain (and ship) its
         last N cycles of rle-compressed state history, enabling the
         report's localized :meth:`~ShardReport.timeline_divergences`.
+        ``retry``/``deadline``/``faults`` are forwarded to :meth:`run`.
         """
         specs = make_sweep(
             shards, cycles, seed_base=seed_base, overrides=overrides,
@@ -140,20 +185,38 @@ class ShardSession:
             reset_cycles=reset_cycles, hit_limit=hit_limit,
             timeline_cycles=timeline_cycles,
         )
-        return self.run(specs, on_event=on_event, timeout=timeout)
+        return self.run(
+            specs, on_event=on_event, timeout=timeout,
+            retry=retry, deadline=deadline, faults=faults,
+        )
 
     def run(
         self,
         specs: list[ShardSpec],
         on_event=None,
         timeout: float | None = None,
+        retry: RetryPolicy | None = None,
+        deadline: DeadlinePolicy | float | None = None,
+        faults=None,
     ) -> ShardReport:
         """Run every spec and return the aggregated report.
 
         ``on_event`` receives every decoded worker event (hits, progress,
-        warnings, completion) as it arrives.  ``timeout`` bounds the wait
-        for *any* event; on expiry live workers are terminated and the
-        sweep raises :class:`ShardError`.
+        heartbeats, warnings, completion) as it arrives, augmented with
+        the attempt number (``event["attempt"]``) so listeners can tell
+        a retried shard's replayed hits from its first try.
+
+        ``timeout`` is a **wall-clock deadline for the whole sweep**: on
+        expiry live workers are terminated (then killed) and the sweep
+        raises :class:`ShardError`, no matter how chatty the event stream
+        is.  ``retry`` (default: :class:`RetryPolicy` ()) governs how
+        failed worker attempts — crashes, hangs, corrupt wire — are
+        retried and degraded to inline execution; ``deadline`` (a
+        :class:`DeadlinePolicy`, or a flat per-attempt seconds value)
+        arms per-shard wall-clock deadlines and heartbeat monitoring;
+        ``faults`` (a :class:`repro.faults.FaultPlan`) deterministically
+        injects failures into forked attempts — chaos testing only, the
+        inline path never runs faults.
         """
         if not specs:
             raise ShardError("nothing to run: empty spec list")
@@ -167,7 +230,11 @@ class ShardSession:
         if workers <= 0 or not _fork_available():
             report = self._run_inline(specs, on_event)
         else:
-            report = self._run_pool(specs, workers, on_event, timeout)
+            report = self._run_pool(
+                specs, workers, on_event, timeout,
+                retry if retry is not None else RetryPolicy(),
+                as_deadline_policy(deadline), faults,
+            )
         report.wall_time_s = time.perf_counter() - t0
         return report
 
@@ -190,28 +257,86 @@ class ShardSession:
         ]
         return self._report(results)
 
+    def _run_fallback(self, job: _Job, on_event) -> ShardResult:
+        """Graceful degradation: run one retry-exhausted shard inline.
+
+        The inline path shares nothing with the failed attempts' fork +
+        pipe + RPC machinery, so infrastructure faults cannot reach it;
+        results carry the full attempt/failure history."""
+        job.attempt += 1
+        spec = job.spec
+        emit = None
+        if on_event is not None:
+            def emit(event: dict) -> None:
+                event = dict(event)
+                event["attempt"] = job.attempt
+                on_event(event)
+        try:
+            res = run_shard(
+                self.circuit, self.symtable, spec,
+                emit=emit, compiled=self.compiled, fast=self.fast,
+            )
+        except Exception as exc:  # noqa: BLE001 - degradation boundary
+            res = ShardResult(
+                spec.shard_id, spec.seed, 0,
+                error=f"inline fallback failed: {type(exc).__name__}: {exc}",
+            )
+        res.attempts = job.attempt
+        res.failures = list(job.failures)
+        return res
+
     def _run_pool(
         self,
         specs: list[ShardSpec],
         workers: int,
         on_event,
         timeout: float | None,
+        retry: RetryPolicy,
+        deadline: DeadlinePolicy | None,
+        faults,
     ) -> ShardReport:
         host, port = self._serve()
+        if self._server is not None:
+            # RPC response faults (delay/drop) are injected server-side;
+            # reset on every run so a later fault-free sweep is clean.
+            self._server.faults = (
+                faults.rpc_injector() if faults is not None else None
+            )
         ctx = multiprocessing.get_context("fork")
         events: queue.Queue = queue.Queue()
-        pending = deque(specs)
-        active: dict[int, _Worker] = {}
-        results: dict[int, ShardResult] = {}
+        now = time.monotonic
+        # `timeout` is a wall-clock budget for the WHOLE sweep: a fixed
+        # deadline computed once, not a per-event wait that a chatty
+        # worker could reset indefinitely.
+        sweep_deadline = now() + timeout if timeout is not None else None
+        hb = deadline.heartbeat_timeout_s if deadline is not None else None
 
-        def launch(spec: ShardSpec) -> None:
+        pending: deque[_Job] = deque(_Job(spec) for spec in specs)
+        waiting: list[_Job] = []            # retries sitting out a backoff
+        active: dict[int, _WorkerState] = {}
+        zombies: list[_Zombie] = []
+        results: dict[int, ShardResult] = {}
+        fallback: list[_Job] = []
+        tokens = itertools.count(1)
+
+        def launch(job: _Job) -> None:
+            # Events are attributed by a per-attempt token, not by shard
+            # id: a terminated attempt's pump may still drain buffered
+            # lines after its shard has been relaunched, and those must
+            # never be credited to the new attempt.
+            token = next(tokens)
             r_conn, w_conn = ctx.Pipe(duplex=False)
+            fault = (
+                faults.fault_for(job.spec.shard_id, job.attempt, job.spec.cycles)
+                if faults is not None else None
+            )
             proc = ctx.Process(
                 target=worker_entry,
                 args=(
-                    self.circuit, self.compiled, spec.to_wire(),
+                    self.circuit, self.compiled, job.spec.to_wire(),
                     host, port, w_conn,
                 ),
+                kwargs={"fault": fault},
                 daemon=True,
             )
             proc.start()
@@ -220,78 +345,238 @@ class ShardSession:
             # would never report EOF if its worker crashes.
             w_conn.close()
             pump = threading.Thread(
-                target=_pump_pipe, args=(r_conn, spec.shard_id, events),
+                target=_pump_pipe, args=(r_conn, token, events),
                 daemon=True,
             )
             pump.start()
-            active[spec.shard_id] = _Worker(spec, proc, r_conn, pump)
+            t = now()
+            active[token] = _WorkerState(
+                job=job, token=token, proc=proc, conn=r_conn, pump=pump,
+                started=t, last_beat=t,
+                deadline=(
+                    t + deadline.deadline_for(job.spec.cycles)
+                    if deadline is not None else None
+                ),
+            )
 
-        while pending and len(active) < workers:
-            launch(pending.popleft())
+        def retire(proc) -> None:
+            """Terminate a worker and queue the SIGKILL escalation."""
+            if proc.is_alive():
+                proc.terminate()
+            grace = deadline.kill_grace_s if deadline is not None else 2.0
+            zombies.append(_Zombie(proc, now() + grace))
+
+        def settle_failure(st: _WorkerState, fclass: str, message: str) -> None:
+            """One attempt failed: retry, degrade inline, or go terminal."""
+            st.settled = True
+            job = st.job
+            job.failures.append(
+                failure_record(job.attempt, fclass, message, now() - st.started)
+            )
+            if retry.should_retry(fclass, job.attempt):
+                job.attempt += 1
+                job.ready_at = now() + retry.backoff_for(job.attempt - 1)
+                waiting.append(job)
+            elif retry.wants_fallback(fclass):
+                fallback.append(job)
+            else:
+                results[job.spec.shard_id] = ShardResult(
+                    job.spec.shard_id, job.spec.seed, 0,
+                    error=message, attempts=job.attempt,
+                    failures=list(job.failures),
+                )
+
+        def sweep_expired() -> ShardError:
+            outstanding = sorted(
+                {st.job.spec.shard_id for st in active.values()}
+                | {j.spec.shard_id for j in pending}
+                | {j.spec.shard_id for j in waiting}
+                | {j.spec.shard_id for j in fallback}
+            )
+            return ShardError(
+                f"sweep timed out after {timeout}s with shard(s) "
+                f"{outstanding} unresolved"
+            )
 
         try:
-            while active:
+            while active or pending or waiting:
+                t = now()
+                if sweep_deadline is not None and t >= sweep_deadline:
+                    raise sweep_expired()
+                # Promote retries whose backoff elapsed, refill the pool.
+                for job in [j for j in waiting if j.ready_at <= t]:
+                    waiting.remove(job)
+                    pending.append(job)
+                while pending and len(active) < workers:
+                    launch(pending.popleft())
+                # Reap terminated workers; past the grace period, escalate
+                # terminate() to kill().
+                for z in zombies[:]:
+                    if not z.proc.is_alive():
+                        z.proc.join(timeout=0)
+                        zombies.remove(z)
+                    elif not z.killed and t >= z.kill_at:
+                        z.proc.kill()
+                        z.killed = True
+                # Hung-worker detection: per-attempt deadline, or event
+                # silence past the heartbeat timeout.
+                for token, st in list(active.items()):
+                    if st.settled:
+                        continue
+                    over_deadline = st.deadline is not None and t >= st.deadline
+                    silent = hb is not None and t - st.last_beat >= hb
+                    if over_deadline or silent:
+                        active.pop(token)
+                        retire(st.proc)
+                        why = (
+                            "attempt deadline exceeded" if over_deadline
+                            else f"no event for {hb}s"
+                        )
+                        settle_failure(
+                            st, HANG,
+                            f"worker hung ({why}, {t - st.started:.2f}s "
+                            f"into the attempt)",
+                        )
+                wait = _next_wait(
+                    t, sweep_deadline, active, waiting, zombies, hb
+                )
                 try:
-                    kind, shard_id, payload = events.get(timeout=timeout)
+                    kind, token, payload = events.get(timeout=wait)
                 except queue.Empty:
-                    raise ShardError(
-                        f"sweep timed out after {timeout}s with "
-                        f"{len(active)} worker(s) outstanding"
-                    ) from None
-                if kind == "event":
-                    if on_event is not None:
-                        on_event(payload)
+                    continue
+                st = active.get(token)
+                if kind == "corrupt":
+                    # Undecodable line: dropped, never fatal mid-run — but
+                    # counted, so an attempt that ends without a decodable
+                    # `done` is classified as wire corruption.  Garbage is
+                    # still proof of life.
+                    if st is not None:
+                        st.corrupt_seen += 1
+                        st.last_beat = now()
+                elif kind == "event":
+                    if st is None:
+                        continue  # stale: a settled/terminated attempt
+                    st.last_beat = now()
                     name = payload["event"]
+                    if on_event is not None:
+                        shown = dict(payload)
+                        shown["attempt"] = st.job.attempt
+                        on_event(shown)
                     if name == "done":
-                        results[shard_id] = ShardResult.from_wire(
-                            payload["result"]
-                        )
+                        st.settled = True
+                        res = ShardResult.from_wire(payload["result"])
+                        res.attempts = st.job.attempt
+                        res.failures = list(st.job.failures)
+                        results[st.job.spec.shard_id] = res
                     elif name == "error":
-                        w = active.get(shard_id)
-                        seed = w.spec.seed if w is not None else -1
-                        results[shard_id] = ShardResult(
-                            shard_id, seed, 0, error=payload["message"]
-                        )
-                else:  # pipe EOF: the worker is gone
-                    w = active.pop(shard_id)
-                    w.proc.join(timeout=30)
-                    if shard_id not in results:
-                        results[shard_id] = ShardResult(
-                            shard_id, w.spec.seed, 0,
-                            error=(
+                        # The worker reported its own exception.  A
+                        # transient one (its RPC transport gave out) is
+                        # infrastructure and retries; anything else is a
+                        # clean, deterministic failure (class "error").
+                        fclass = RPC if payload.get("transient") else ERROR
+                        settle_failure(st, fclass, payload["message"])
+                else:  # pipe EOF: the worker attempt is over
+                    if st is None:
+                        continue  # already settled (e.g. hung + retired)
+                    active.pop(token)
+                    # Never stall the event loop waiting on a dead-ish
+                    # process (the old code blocked up to 30s here): give
+                    # it a moment, then terminate and let the zombie
+                    # escalation finish the job.
+                    st.proc.join(timeout=0.2)
+                    if st.proc.is_alive():
+                        retire(st.proc)
+                    if not st.settled:
+                        if st.corrupt_seen:
+                            settle_failure(
+                                st, CORRUPT,
+                                f"worker wire corrupted ({st.corrupt_seen} "
+                                f"undecodable line(s), no result)",
+                            )
+                        else:
+                            settle_failure(
+                                st, CRASH,
                                 "worker exited without reporting "
-                                f"(exit code {w.proc.exitcode})"
-                            ),
-                        )
-                    if pending:
-                        launch(pending.popleft())
+                                f"(exit code {st.proc.exitcode})",
+                            )
+            # Graceful degradation: retry-exhausted shards run inline.
+            for job in fallback:
+                if sweep_deadline is not None and now() >= sweep_deadline:
+                    raise sweep_expired()
+                results[job.spec.shard_id] = self._run_fallback(job, on_event)
         finally:
-            for w in active.values():
-                if w.proc.is_alive():
-                    w.proc.terminate()
-                w.proc.join(timeout=5)
+            procs = [st.proc for st in active.values()]
+            procs += [z.proc for z in zombies]
+            for p in procs:
+                if p.is_alive():
+                    p.terminate()
+            stop_at = time.monotonic() + 5.0
+            for p in procs:
+                p.join(timeout=max(0.0, stop_at - time.monotonic()))
+                if p.is_alive():
+                    # terminate() was not enough (SIGTERM masked or the
+                    # worker is wedged in uninterruptible state): escalate.
+                    p.kill()
+            for p in procs:
+                if p.is_alive():
+                    p.join(timeout=5)
+            if self._server is not None:
+                self._server.faults = None
 
         return self._report([results[s.shard_id] for s in specs])
 
 
-def _pump_pipe(conn, shard_id: int, events: queue.Queue) -> None:
-    """Reader thread: drain one worker's pipe into the shared queue."""
+def _next_wait(
+    t: float,
+    sweep_deadline: float | None,
+    active: dict,
+    waiting: list,
+    zombies: list,
+    hb: float | None,
+) -> float | None:
+    """How long the event loop may block: until the nearest deadline —
+    sweep budget, per-attempt deadline, heartbeat silence bound, retry
+    backoff expiry, or zombie kill escalation.  None blocks until the
+    next event (nothing is time-driven)."""
+    cands = []
+    if sweep_deadline is not None:
+        cands.append(sweep_deadline - t)
+    for st in active.values():
+        if st.settled:
+            continue
+        if st.deadline is not None:
+            cands.append(st.deadline - t)
+        if hb is not None:
+            cands.append(st.last_beat + hb - t)
+    for job in waiting:
+        cands.append(job.ready_at - t)
+    for z in zombies:
+        # Killed zombies die imminently; poll briefly to reap them.
+        cands.append(z.kill_at - t if not z.killed else 0.05)
+    if not cands:
+        return None
+    return max(0.01, min(cands) + 0.001)
+
+
+def _pump_pipe(conn, token: int, events: queue.Queue) -> None:
+    """Reader thread: drain one worker's pipe into the shared queue.
+
+    Keyed by the attempt token (not the shard id) so stale lines from a
+    terminated attempt can never be credited to its replacement."""
     while True:
         try:
             data = conn.recv_bytes()
         except (EOFError, OSError):
             break
         try:
-            events.put(("event", shard_id, decode_line(data)))
+            events.put(("event", token, decode_line(data)))
         except WireError:
-            # A corrupt line is dropped, not fatal: the worker's `done`
-            # event (or pipe EOF) still decides the shard's outcome.
-            continue
+            events.put(("corrupt", token, None))
     try:
         conn.close()
     except OSError:
         pass
-    events.put(("eof", shard_id, None))
+    events.put(("eof", token, None))
 
 
 def _fork_available() -> bool:

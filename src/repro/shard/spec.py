@@ -139,7 +139,16 @@ class ShardSpec:
 
 @dataclass(slots=True)
 class ShardResult:
-    """What one worker reports back when its shard completes."""
+    """What one worker reports back when its shard completes.
+
+    ``attempts``/``failures`` are the supervision layer's provenance:
+    how many attempts this shard consumed, and one record per failed
+    attempt (``{"attempt", "class", "message", "elapsed_s"}``, see
+    ``supervise.failure_record``).  A successful first try is the common
+    case: ``attempts == 1``, ``failures == []``.  ``error`` is set only
+    when the shard failed *terminally* — a retried-then-successful shard
+    is ``ok`` with a non-empty failure history.
+    """
 
     shard_id: int
     seed: int
@@ -148,13 +157,20 @@ class ShardResult:
     warnings: list = field(default_factory=list)
     exit_code: int | None = None        # design Stop code, when one fired
     wall_time_s: float = 0.0
-    error: str | None = None            # set when the worker failed
+    error: str | None = None            # set when the shard terminally failed
     state_digest: str | None = None     # final value-table fingerprint
     timeline: dict | None = None        # serialized Timeline.to_wire()
+    attempts: int = 1                   # attempts consumed (incl. fallback)
+    failures: list = field(default_factory=list)   # per-failed-attempt records
 
     @property
     def ok(self) -> bool:
         return self.error is None
+
+    @property
+    def retried(self) -> bool:
+        """True when this shard needed more than one attempt."""
+        return self.attempts > 1
 
     def to_wire(self) -> dict:
         return {
@@ -168,6 +184,8 @@ class ShardResult:
             "error": self.error,
             "state_digest": self.state_digest,
             "timeline": self.timeline,
+            "attempts": self.attempts,
+            "failures": self.failures,
         }
 
     @classmethod
@@ -183,6 +201,8 @@ class ShardResult:
             error=d.get("error"),
             state_digest=d.get("state_digest"),
             timeline=d.get("timeline"),
+            attempts=d.get("attempts", 1),
+            failures=list(d.get("failures", [])),
         )
 
 

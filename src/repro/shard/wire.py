@@ -8,11 +8,26 @@ read one wire can read the other.
 
 Event shapes (all carry ``v`` — the protocol version — and ``shard``)::
 
-    {"event": "hit",      "shard": N, "record": {...}}       one hit record
-    {"event": "progress", "shard": N, "done": C, "total": T, "hits": H}
-    {"event": "warning",  "shard": N, "message": "..."}
-    {"event": "done",     "shard": N, "result": {...}}       ShardResult
-    {"event": "error",    "shard": N, "message": "..."}      worker failed
+    {"event": "hit",       "shard": N, "record": {...}}       one hit record
+    {"event": "progress",  "shard": N, "done": C, "total": T, "hits": H}
+    {"event": "heartbeat", "shard": N, "done": C}             liveness tick
+    {"event": "warning",   "shard": N, "message": "..."}
+    {"event": "done",      "shard": N, "result": {...}}       ShardResult
+    {"event": "error",     "shard": N, "message": "...",
+                           "transient": bool}                 worker failed
+
+``error.transient`` distinguishes infrastructure trouble the worker
+observed itself (its symbol-table RPC client gave up: retry-worthy,
+failure class ``rpc``) from a deterministic spec failure (class
+``error``, never retried).  Absent means false, so the protocol version
+is unchanged.
+
+``heartbeat`` is the supervision layer's liveness signal: workers emit
+it from the run-loop progress hook at a finer cadence than ``progress``
+(see ``worker.py``), and the coordinator treats *any* event as proof of
+life — a worker silent past the deadline policy's heartbeat timeout is
+declared hung and terminated.  Older consumers can ignore the event;
+the protocol version is unchanged.
 
 When the spec asked for timeline streaming (``timeline_cycles > 0``) the
 ``done`` result additionally carries ``result["timeline"]`` — the
@@ -32,7 +47,9 @@ from .spec import ShardResult
 
 PROTOCOL_VERSION = 1
 
-_EVENTS = frozenset({"hit", "progress", "warning", "done", "error"})
+_EVENTS = frozenset(
+    {"hit", "progress", "heartbeat", "warning", "done", "error"}
+)
 
 
 class WireError(Exception):
@@ -86,6 +103,10 @@ def progress_event(shard_id: int, done: int, total: int, hits: int) -> dict:
     return _event("progress", shard_id, done=done, total=total, hits=hits)
 
 
+def heartbeat_event(shard_id: int, done: int) -> dict:
+    return _event("heartbeat", shard_id, done=done)
+
+
 def warning_event(shard_id: int, message: str) -> dict:
     return _event("warning", shard_id, message=message)
 
@@ -94,5 +115,5 @@ def done_event(result: ShardResult) -> dict:
     return _event("done", result.shard_id, result=result.to_wire())
 
 
-def error_event(shard_id: int, message: str) -> dict:
-    return _event("error", shard_id, message=message)
+def error_event(shard_id: int, message: str, transient: bool = False) -> dict:
+    return _event("error", shard_id, message=message, transient=transient)

@@ -24,6 +24,7 @@ from .wire import (
     done_event,
     encode_line,
     error_event,
+    heartbeat_event,
     hit_event,
     progress_event,
     warning_event,
@@ -65,6 +66,7 @@ def run_shard(
     emit=None,
     compiled=None,
     fast: bool = True,
+    on_cycle=None,
 ) -> ShardResult:
     """Run one shard to completion and return its result.
 
@@ -73,10 +75,13 @@ def run_shard(
         symtable: any ``SymbolTableInterface`` (native inline, RPC in a
             forked worker).
         spec: what to run (seed, overrides, length, break/watchpoints).
-        emit: optional ``emit(event_dict)`` sink for streaming hit and
-            progress events while the shard runs.
+        emit: optional ``emit(event_dict)`` sink for streaming hit,
+            progress, and heartbeat events while the shard runs.
         compiled: optional pre-compiled design shared from the coordinator
             (forked workers inherit it and skip recompilation).
+        on_cycle: optional ``on_cycle(cycle)`` hook invoked before each
+            stimulus cycle — the fault-injection seam (``repro.faults``).
+            None (the default) adds no per-cycle overhead.
     """
     t0 = time.perf_counter()
     # With timeline streaming the shard retains its last N cycles of
@@ -107,17 +112,44 @@ def run_shard(
     if spec.reset_cycles:
         sim.reset(spec.reset_cycles)
 
+    # Heartbeats ride the run-loop progress hook at a finer cadence than
+    # progress events: the hook fires every `beat_every` cycles and always
+    # emits a heartbeat (the supervision layer's liveness signal); the
+    # coarser progress event fires on its own multiple.  `progress_each`
+    # is snapped to a multiple of `beat_every` so no progress tick lands
+    # between hook invocations.  An explicit spec.progress_every pins both
+    # cadences, preserving the historical event stream exactly.
     on_progress = None
-    every = spec.progress_every or max(1, spec.cycles // 4)
+    beat_every = spec.progress_every or max(1, min(spec.cycles // 16, 2048))
+    if spec.progress_every:
+        progress_each = spec.progress_every
+    else:
+        progress_each = beat_every * max(1, (spec.cycles // 4) // beat_every)
     if emit is not None:
+        emit(heartbeat_event(spec.shard_id, 0))  # armed: setup finished
+
         def on_progress(_s, done: int) -> None:
-            emit(progress_event(spec.shard_id, done, spec.cycles, len(recorder)))
+            emit(heartbeat_event(spec.shard_id, done))
+            if done % progress_each == 0:
+                emit(
+                    progress_event(
+                        spec.shard_id, done, spec.cycles, len(recorder)
+                    )
+                )
+
+    stimulus = make_stimulus(sim, spec)
+    if on_cycle is not None:
+        base_stimulus = stimulus
+
+        def stimulus(s, cycle: int) -> None:
+            on_cycle(cycle)
+            base_stimulus(s, cycle)
 
     ran = sim.run_cycles(
         spec.cycles,
-        stimulus=make_stimulus(sim, spec),
+        stimulus=stimulus,
         on_progress=on_progress,
-        progress_every=every,
+        progress_every=beat_every,
     )
     if emit is not None:
         for message in runtime.warnings:
@@ -141,28 +173,51 @@ def run_shard(
     )
 
 
-def worker_entry(circuit, compiled, spec_wire: dict, host: str, port: int, conn) -> None:
+def worker_entry(
+    circuit, compiled, spec_wire: dict, host: str, port: int, conn,
+    fault=None,
+) -> None:
     """Forked worker process main: run one shard, stream JSON-line events
     through ``conn`` (a write-only ``multiprocessing`` connection), finish
-    with a ``done`` (or ``error``) event, and close the pipe."""
+    with a ``done`` (or ``error``) event, and close the pipe.
+
+    ``fault`` (a :class:`repro.faults.ShardFault`, or None) arms this
+    attempt's injected fault: kill/hang fire from the per-cycle hook,
+    wire corruption garbles every line emitted from the fault cycle on —
+    including the final ``done`` line, so the coordinator classifies the
+    attempt as corrupt instead of silently accepting a damaged result.
+    """
+    from ..faults import FaultInjector, corrupt_line
+
+    injector = FaultInjector(fault) if fault is not None else None
 
     def emit(event: dict) -> None:
-        conn.send_bytes(encode_line(event))
+        data = encode_line(event)
+        if injector is not None and injector.corrupting:
+            data = corrupt_line(data)
+        conn.send_bytes(data)
 
     try:
         spec = ShardSpec.from_wire(spec_wire)
         with RPCSymbolTable(host, port) as table:
             result = run_shard(
-                circuit, table, spec, emit=emit, compiled=compiled
+                circuit, table, spec, emit=emit, compiled=compiled,
+                on_cycle=injector.on_cycle if injector is not None else None,
             )
         emit(done_event(result))
     except Exception as exc:  # noqa: BLE001 - process boundary
         try:
             # The spec itself may be what failed to decode: fall back to
             # the raw wire dict for the shard id so the coordinator still
-            # gets the real error instead of a bare pipe EOF.
+            # gets the real error instead of a bare pipe EOF.  A
+            # ConnectionError means the RPC transport gave out, not that
+            # the spec is bad: flag it transient so the supervisor
+            # retries (failure class "rpc") instead of settling terminal.
             shard_id = spec_wire.get("shard_id", -1)
-            emit(error_event(shard_id, f"{type(exc).__name__}: {exc}"))
+            emit(error_event(
+                shard_id, f"{type(exc).__name__}: {exc}",
+                transient=isinstance(exc, ConnectionError),
+            ))
         except OSError:
             pass
     finally:

@@ -16,6 +16,7 @@ import json
 import socket
 import socketserver
 import threading
+import time
 
 from .query import BreakpointRec, InstanceRec, SymbolTableInterface, VarRec
 
@@ -57,10 +58,21 @@ def _decode(obj):
 
 
 class SymbolTableServer:
-    """Serve a symbol table over TCP JSON-lines."""
+    """Serve a symbol table over TCP JSON-lines.
 
-    def __init__(self, table: SymbolTableInterface, host: str = "127.0.0.1", port: int = 0):
+    ``faults`` (settable any time, e.g. by a chaos-testing shard
+    coordinator) is an optional :class:`repro.faults.RPCFaultInjector`:
+    when armed, a response may be *delayed* (past a client's per-request
+    timeout) or *dropped* (connection closed unanswered).  Every query
+    is read-only, so a client that times out, reconnects, and re-sends
+    the same request gets the same answer — which is exactly what the
+    hardened :class:`RPCSymbolTable` does.
+    """
+
+    def __init__(self, table: SymbolTableInterface, host: str = "127.0.0.1",
+                 port: int = 0, faults=None):
         self.table = table
+        self.faults = faults
         outer = self
 
         class Handler(socketserver.StreamRequestHandler):
@@ -87,6 +99,17 @@ class SymbolTableServer:
                             "id": req_id,
                             "error": str(exc) or type(exc).__name__,
                         }
+                    injector = outer.faults
+                    if injector is not None:
+                        fault = injector.decide()
+                        if fault is not None:
+                            kind, delay_s = fault
+                            if kind == "drop":
+                                # Close the connection unanswered; the
+                                # request already executed (read-only, so
+                                # a client-side replay is safe).
+                                return
+                            time.sleep(delay_s)
                     self.wfile.write(json.dumps(resp).encode() + b"\n")
                     self.wfile.flush()
 
@@ -116,20 +139,47 @@ class SymbolTableServer:
 
 
 class RPCSymbolTable(SymbolTableInterface):
-    """Client-side symbol table speaking the JSON-lines protocol."""
+    """Client-side symbol table speaking the JSON-lines protocol.
 
-    def __init__(self, host: str, port: int, timeout: float = 10.0):
-        self._sock = socket.create_connection((host, port), timeout=timeout)
-        self._file = self._sock.makefile("rwb")
+    Hardened for flaky transports: every request is bounded by a
+    per-request socket ``timeout``, and a transport failure — timed-out
+    or dropped response, closed connection, undecodable line — triggers
+    a bounded reconnect-with-backoff and a replay of the request (every
+    method is a read-only query, so replays are safe).  Protocol-level
+    failures (server-reported errors, response id mismatches) are never
+    retried: they are deterministic, not transient.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 10.0,
+                 max_reconnects: int = 3, reconnect_backoff_s: float = 0.05):
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+        self._max_reconnects = max_reconnects
+        self._reconnect_backoff_s = reconnect_backoff_s
         self._lock = threading.Lock()
         self._next_id = 1
+        self._closed = False
+        self._connect()
 
-    def close(self) -> None:
+    def _connect(self) -> None:
+        # create_connection leaves `timeout` armed on the socket, so it
+        # bounds every send/recv — the per-request timeout.
+        self._sock = socket.create_connection(
+            (self._host, self._port), timeout=self._timeout
+        )
+        self._file = self._sock.makefile("rwb")
+
+    def _drop_connection(self) -> None:
         try:
             self._file.close()
             self._sock.close()
         except OSError:
             pass
+
+    def close(self) -> None:
+        self._closed = True
+        self._drop_connection()
 
     def __enter__(self) -> "RPCSymbolTable":
         return self
@@ -140,27 +190,58 @@ class RPCSymbolTable(SymbolTableInterface):
 
     def _call(self, method: str, *params):
         with self._lock:
-            req_id = self._next_id
-            self._next_id += 1
-            msg = {"id": req_id, "method": method, "params": list(params)}
-            self._file.write(json.dumps(msg).encode() + b"\n")
-            self._file.flush()
-            line = self._file.readline()
-        if not line:
-            raise ConnectionError("symbol table server closed the connection")
-        resp = json.loads(line)
-        # "error" is checked by presence, not truthiness: an empty error
-        # string is still an error, not a success with a None result.
-        if "error" in resp:
-            raise RuntimeError(f"symbol table RPC error: {resp['error']}")
-        if resp.get("id") != req_id:
-            # A stale or misrouted response must not be silently paired
-            # with this request — that would corrupt every later call.
-            raise RuntimeError(
-                f"symbol table RPC response id mismatch: "
-                f"sent {req_id}, got {resp.get('id')!r}"
+            if self._closed:
+                raise ConnectionError("symbol table RPC client is closed")
+            last_exc: Exception | None = None
+            for attempt in range(self._max_reconnects + 1):
+                if attempt:
+                    self._drop_connection()
+                    time.sleep(
+                        self._reconnect_backoff_s * 2 ** (attempt - 1)
+                    )
+                    try:
+                        self._connect()
+                    except OSError as exc:
+                        last_exc = exc
+                        continue
+                req_id = self._next_id
+                self._next_id += 1
+                msg = {"id": req_id, "method": method, "params": list(params)}
+                try:
+                    self._file.write(json.dumps(msg).encode() + b"\n")
+                    self._file.flush()
+                    line = self._file.readline()
+                    if not line:
+                        raise ConnectionError(
+                            "symbol table server closed the connection"
+                        )
+                    resp = json.loads(line)
+                except (ConnectionError, ValueError, OSError) as exc:
+                    # Transport trouble (socket.timeout is an OSError):
+                    # reconnect and replay.  The dead connection cannot
+                    # deliver a stale response later, so replays never
+                    # mispair.
+                    last_exc = exc
+                    continue
+                # "error" is checked by presence, not truthiness: an empty
+                # error string is still an error, not a None result.
+                if "error" in resp:
+                    raise RuntimeError(
+                        f"symbol table RPC error: {resp['error']}"
+                    )
+                if resp.get("id") != req_id:
+                    # A stale or misrouted response must not be silently
+                    # paired with this request — that would corrupt every
+                    # later call.  Deterministic server bug: no retry.
+                    raise RuntimeError(
+                        f"symbol table RPC response id mismatch: "
+                        f"sent {req_id}, got {resp.get('id')!r}"
+                    )
+                return _decode(resp.get("result"))
+            raise ConnectionError(
+                f"symbol table RPC {method!r} failed after "
+                f"{self._max_reconnects} reconnect(s): {last_exc}"
             )
-        return _decode(resp.get("result"))
 
     # -- interface methods, all delegated ---------------------------------
 

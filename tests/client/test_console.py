@@ -129,6 +129,27 @@ class TestShardCommand:
         assert "3 shard(s)" in joined
         assert "hit histogram" in joined
 
+    def test_shard_supervision_tokens(self):
+        """`retries=`/`deadline=` trailing tokens tune the supervision
+        layer without disturbing the positional args."""
+        d = repro.compile(Accumulator())
+        sim = Simulator(d.low)
+        rt = make_runtime(d, sim)
+        dbg = ConsoleDebugger(rt)
+        _f, line = line_of(d, "acc")
+        dbg.execute(f"b helpers.py:{line}")
+        dbg.execute("shard 2 15 7 retries=2 deadline=30")
+        joined = "\n".join(dbg.transcript)
+        assert "2 shard(s)" in joined
+
+    def test_shard_bad_supervision_value(self):
+        d = repro.compile(Accumulator())
+        sim = Simulator(d.low)
+        rt = make_runtime(d, sim)
+        dbg = ConsoleDebugger(rt)
+        dbg.execute("shard 2 10 retries=lots")
+        assert any("bad retries value" in l for l in dbg.transcript)
+
     def test_shard_requires_breakpoints(self):
         d = repro.compile(Accumulator())
         sim = Simulator(d.low)

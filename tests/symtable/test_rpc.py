@@ -179,6 +179,64 @@ class TestProtocolEdgeCases:
             assert "JSON object" in resp["error"]
             sock.close()
 
+    def test_flaky_server_recovered_by_reconnect(self, served):
+        """With the chaos injector delaying and dropping half of all
+        responses, the hardened client must still answer every query —
+        and identically to the native table."""
+        from repro.faults import RPCFaultInjector
+
+        d, st, _cli = served
+        with SymbolTableServer(st) as server:
+            server.faults = RPCFaultInjector(seed=1, rate=0.5, delay_s=0.02)
+            cli = RPCSymbolTable(
+                *server.address, timeout=5.0, max_reconnects=8,
+                reconnect_backoff_s=0.01,
+            )
+            filename, line = line_of(d, "o")
+            for _ in range(10):
+                assert cli.top_name() == st.top_name()
+                assert cli.instances() == st.instances()
+                assert cli.breakpoints_at(filename, line) == st.breakpoints_at(
+                    filename, line
+                )
+            cli.close()
+
+    def test_delay_past_timeout_is_bounded(self, served):
+        """Every response delayed past the per-request timeout: the
+        client must give up after its reconnect budget, promptly."""
+        import time as _time
+
+        from repro.faults import RPCFaultInjector
+
+        _d, st, _cli = served
+        with SymbolTableServer(st) as server:
+            server.faults = RPCFaultInjector(
+                seed=0, rate=1.0, kinds=("delay",), delay_s=5.0,
+            )
+            cli = RPCSymbolTable(
+                *server.address, timeout=0.2, max_reconnects=2,
+                reconnect_backoff_s=0.01,
+            )
+            t0 = _time.monotonic()
+            with pytest.raises(ConnectionError, match="after 2 reconnect"):
+                cli.top_name()
+            assert _time.monotonic() - t0 < 3
+            cli.close()
+
+    def test_total_drop_outage_exhausts_reconnects(self, served):
+        from repro.faults import RPCFaultInjector
+
+        _d, st, _cli = served
+        with SymbolTableServer(st) as server:
+            server.faults = RPCFaultInjector(seed=0, rate=1.0, kinds=("drop",))
+            cli = RPCSymbolTable(
+                *server.address, timeout=1.0, max_reconnects=2,
+                reconnect_backoff_s=0.01,
+            )
+            with pytest.raises(ConnectionError, match="failed after"):
+                cli.top_name()
+            cli.close()
+
     def test_server_shutdown_mid_call(self):
         """The server side drops the connection before answering: the
         client must raise a ConnectionError, not hand back a bogus

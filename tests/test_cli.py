@@ -115,6 +115,31 @@ class TestShard:
         assert rc == 0
         assert "first hits" in capsys.readouterr().out
 
+    def test_shard_supervision_flags(self, tmp_path, capsys):
+        """--retries/--deadline arm the supervision layer; a healthy
+        sweep still completes on first attempts."""
+        import json
+
+        d = repro.compile(Accumulator())
+        _f, line = line_of(d, "acc")
+        out = str(tmp_path / "report.json")
+        rc = main(
+            [
+                "shard", "tests.helpers:Accumulator",
+                "--shards", "2", "--workers", "2", "--cycles", "20",
+                "--retries", "2", "--deadline", "60", "--timeout", "120",
+                "-b", f"helpers.py:{line}",
+                "-o", "en=1",
+                "--json", out,
+            ]
+        )
+        assert rc == 0
+        with open(out) as f:
+            report = json.load(f)
+        assert report["ok"]
+        assert report["total_attempts"] == 2
+        assert report["retried"] == [] and report["failed"] == []
+
     def test_shard_bad_factory(self, capsys):
         assert main(["shard", "tests.helpers"]) == 2
         assert main(["shard", "tests.helpers:NoSuchThing"]) == 2
