@@ -93,7 +93,7 @@ def _take_flag(args: list[str], flag: str) -> str | None:
     try:
         value = args[i + 1]
     except IndexError:
-        raise SystemExit(f"{flag} requires an argument")
+        raise SystemExit(f"{flag} requires an argument") from None
     del args[i : i + 2]
     return value
 

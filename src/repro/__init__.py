@@ -59,8 +59,16 @@ class Design:
 
         return emit_verilog(self.result.low)
 
+    def lint(self, *, rules=None):
+        """Run the static-analysis engine (``repro.lint``) over the
+        elaborated High form and return all diagnostics, sorted by source
+        location.  See ``docs/lint.md`` for the rule catalog."""
+        from .lint import lint_circuit
 
-def compile(top: "hgf.Module", debug: bool = False, name: str | None = None) -> Design:
+        return lint_circuit(self.high, rules=rules, form="high")
+
+
+def compile(top: hgf.Module, debug: bool = False, name: str | None = None) -> Design:
     """Elaborate and compile a generator module down to executable RTL.
 
     ``debug=True`` is debug mode (paper Sec. 4.1): all signals are protected

@@ -7,6 +7,7 @@ engineer would actually use with trace files and symbol tables on disk::
     hgdb-py info symbols.db                    # inspect a symbol table
     hgdb-py vcd-info run.vcd                   # inspect a trace
     hgdb-py shard pkg.mod:factory -b f.py:42   # parallel seed sweep
+    hgdb-py lint pkg.mod:factory --json        # static analysis gate
 
 Also usable as ``python -m repro.cli ...``.
 """
@@ -89,8 +90,80 @@ def _parse_location(text: str):
     return filename, int(line_s), (condition.strip() or None)
 
 
-def _cmd_shard(args) -> int:
+def _load_factory(spec: str):
+    """Resolve a ``MODULE:CALLABLE`` design factory.  Returns the callable
+    or prints an error and returns None."""
     import importlib
+
+    mod_name, _, attr = spec.partition(":")
+    if not attr:
+        print(
+            f"error: factory must be MODULE:CALLABLE, got {spec!r}",
+            file=sys.stderr,
+        )
+        return None
+    try:
+        module = importlib.import_module(mod_name)
+        return getattr(module, attr)
+    except (ImportError, AttributeError) as exc:
+        print(f"error: cannot load factory {spec!r}: {exc}", file=sys.stderr)
+        return None
+
+
+def _cmd_lint(args) -> int:
+    import json
+
+    from . import hgf
+    from .lint import (
+        Severity,
+        diagnostics_to_json,
+        format_diagnostics,
+        has_errors,
+        lint_circuit,
+    )
+
+    try:
+        threshold = Severity.parse(args.min_severity)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    exit_code = 0
+    documents = []
+    for spec in args.factory:
+        factory = _load_factory(spec)
+        if factory is None:
+            return 2
+        try:
+            circuit = hgf.elaborate(factory())
+        except Exception as exc:
+            print(f"error: elaborating {spec!r} failed: {exc}",
+                  file=sys.stderr)
+            return 2
+        diags = lint_circuit(circuit, form="high")
+        if has_errors(diags):
+            exit_code = 1
+        shown = [d for d in diags if d.severity >= threshold]
+        if args.json:
+            documents.append(
+                diagnostics_to_json(shown, design=circuit.name)
+            )
+        elif shown:
+            print(f"{circuit.name}: {len(shown)} diagnostic(s)")
+            print(format_diagnostics(shown))
+        else:
+            print(f"{circuit.name}: clean")
+    if args.json:
+        doc = (
+            documents[0]
+            if len(documents) == 1
+            else {"version": 1, "designs": documents}
+        )
+        print(json.dumps(doc, indent=2))
+    return exit_code
+
+
+def _cmd_shard(args) -> int:
     import json
 
     import repro
@@ -101,19 +174,8 @@ def _cmd_shard(args) -> int:
         WatchSpec,
     )
 
-    mod_name, _, attr = args.factory.partition(":")
-    if not attr:
-        print(
-            f"error: factory must be MODULE:CALLABLE, got {args.factory!r}",
-            file=sys.stderr,
-        )
-        return 2
-    try:
-        module = importlib.import_module(mod_name)
-        factory = getattr(module, attr)
-    except (ImportError, AttributeError) as exc:
-        print(f"error: cannot load factory {args.factory!r}: {exc}",
-              file=sys.stderr)
+    factory = _load_factory(args.factory)
+    if factory is None:
         return 2
     design = repro.compile(factory(), debug=args.debug)
 
@@ -201,6 +263,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="semicolon-separated debugger commands (otherwise interactive)",
     )
     p_rep.set_defaults(fn=_cmd_replay)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="statically analyze designs and report all diagnostics",
+    )
+    p_lint.add_argument(
+        "factory",
+        nargs="+",
+        help="design factories as MODULE:CALLABLE returning an hgf.Module "
+             "(repeatable)",
+    )
+    p_lint.add_argument(
+        "--json", action="store_true",
+        help="emit the machine-readable diagnostic document instead of "
+             "file:line text (schema in docs/lint.md)",
+    )
+    p_lint.add_argument(
+        "--min-severity", default="info", metavar="LEVEL",
+        help="hide findings below this severity (info|warning|error); "
+             "the exit code still reflects all error findings",
+    )
+    p_lint.set_defaults(fn=_cmd_lint)
 
     p_shard = sub.add_parser(
         "shard",

@@ -25,6 +25,8 @@ Commands::
     timeline                 show the retained time-travel window
     timeline goto T          jump to retained cycle T (set_time)
     timeline history NAME [N]  last N retained values of a signal
+    lint [SEVERITY]          static analysis of the attached circuit
+                             (findings at/above SEVERITY; docs/lint.md)
     shard N CYCLES [SEED] [retries=K] [deadline=S]
                              parallel sweep: run N seeds of this design
                              with the current breakpoints, aggregate hits;
@@ -120,7 +122,7 @@ class ConsoleDebugger:
             return None
         try:
             return self._dispatch(line)
-        except (DebuggerError, Exception) as exc:  # noqa: BLE001 - REPL surface
+        except Exception as exc:  # noqa: BLE001 - REPL surface
             self._out(f"error: {exc}")
             return None
 
@@ -182,6 +184,8 @@ class ConsoleDebugger:
             self._out(f"{args[0]} = {args[1]}")
         elif cmd == "timeline":
             self._cmd_timeline(args)
+        elif cmd == "lint":
+            self._cmd_lint(args)
         elif cmd == "shard":
             self._cmd_shard(args)
         else:
@@ -317,6 +321,29 @@ class ConsoleDebugger:
         else:
             self._out(f"unknown timeline subcommand {sub!r}; "
                       f"try info/goto/history")
+
+    def _cmd_lint(self, args: list[str]) -> None:
+        """``lint [error|warning|info]``: statically analyze the attached
+        circuit (the lowered form the simulator executes) and print every
+        diagnostic at or above the given severity (default: all).  See
+        ``docs/lint.md`` for the rule catalog."""
+        from ..lint import Severity, format_diagnostics, lint_circuit
+
+        design = getattr(self.runtime.sim, "design", None)
+        circuit = getattr(design, "circuit", None)
+        if circuit is None:
+            self._out("lint: no circuit attached (trace replay session)")
+            return
+        diags = lint_circuit(circuit, form="low")
+        if args:
+            threshold = Severity.parse(args[0])
+            diags = [d for d in diags if d.severity >= threshold]
+        if not diags:
+            self._out("lint: clean")
+            return
+        self._out(f"lint: {len(diags)} diagnostic(s)")
+        for line in format_diagnostics(diags).splitlines():
+            self._out(f"  {line}")
 
     def _cmd_shard(self, args: list[str]) -> None:
         """``shard N CYCLES [SEED_BASE] [retries=K] [deadline=S]``: fan

@@ -24,7 +24,7 @@ class VariableView:
     name: str
     value: int | str | None = None
     rtl: str | None = None
-    children: list["VariableView"] = field(default_factory=list)
+    children: list[VariableView] = field(default_factory=list)
 
     @property
     def is_aggregate(self) -> bool:
@@ -40,7 +40,7 @@ class VariableView:
             out.extend(c.flatten(label))
         return out
 
-    def child(self, name: str) -> "VariableView | None":
+    def child(self, name: str) -> VariableView | None:
         for c in self.children:
             if c.name == name:
                 return c

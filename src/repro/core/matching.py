@@ -104,8 +104,11 @@ def locate_instance(
     for inst in symtable.instances():
         if inst.name == top:
             mapping[inst.name] = node.path
-        elif inst.name.startswith(top + "."):
-            mapping[inst.name] = f"{node.path}.{inst.name[len(top) + 1:]}"
         else:
-            mapping[inst.name] = f"{node.path}.{inst.name}"
+            tail = (
+                inst.name[len(top) + 1 :]
+                if inst.name.startswith(top + ".")
+                else inst.name
+            )
+            mapping[inst.name] = f"{node.path}.{tail}"
     return mapping

@@ -22,6 +22,7 @@ are legal at any time.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import queue
 import socket
@@ -67,7 +68,7 @@ class DebugServer:
     def __init__(self, runtime: Runtime, host: str = "127.0.0.1", port: int = 0):
         self.runtime = runtime
         runtime.on_hit = self._on_hit
-        self._cmd_queue: "queue.Queue[Command]" = queue.Queue()
+        self._cmd_queue: queue.Queue[Command] = queue.Queue()
         self._paused = threading.Event()
         self._shutdown = False
         self._client_files: list = []
@@ -157,10 +158,8 @@ class DebugServer:
         with self._lock:
             files = list(self._client_files)
         for f in files:
-            try:
+            with contextlib.suppress(OSError):
                 self._send(f, msg)
-            except OSError:
-                pass
 
     @staticmethod
     def _send(f, msg: dict) -> None:
@@ -264,7 +263,7 @@ class DebugClient:
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._timeout = timeout
         self._file = self._sock.makefile("rwb")
-        self._events: "queue.Queue[dict]" = queue.Queue()
+        self._events: queue.Queue[dict] = queue.Queue()
         self._responses: dict[int, dict] = {}
         self._resp_cond = threading.Condition()
         self._next_id = 1
@@ -277,7 +276,7 @@ class DebugClient:
         self.welcome = evt["payload"]
 
     def _read_loop(self) -> None:
-        try:
+        with contextlib.suppress(OSError, ValueError):
             for line in self._file:
                 msg = json.loads(line)
                 if msg.get("type") == "response":
@@ -286,8 +285,6 @@ class DebugClient:
                         self._resp_cond.notify_all()
                 else:
                     self._events.put(msg)
-        except (OSError, ValueError):
-            pass
         self._closed = True
         with self._resp_cond:
             self._resp_cond.notify_all()
@@ -351,8 +348,6 @@ class DebugClient:
         return self.request("evaluate", expr=expr, breakpoint_id=breakpoint_id)["value"]
 
     def close(self) -> None:
-        try:
+        with contextlib.suppress(OSError):
             self._file.close()
             self._sock.close()
-        except OSError:
-            pass

@@ -115,7 +115,7 @@ class HitRecorder:
     def __len__(self) -> int:
         return len(self.records)
 
-    def __call__(self, hit: "HitGroup") -> Command:
+    def __call__(self, hit: HitGroup) -> Command:
         rec = hit.to_record()
         self.records.append(rec)
         if self.on_record is not None:

@@ -63,7 +63,7 @@ def _multiply(n: int = 24) -> Benchmark:
     a = [next(gen) % 1000 for _ in range(n)]
     b = [next(gen) % 1000 for _ in range(n)]
     expected = 0
-    for x, y in zip(a, b):
+    for x, y in zip(a, b, strict=False):
         expected = (expected + x * y) & _MASK32
     source = f"""
 start:
@@ -112,7 +112,7 @@ def _vvadd(n: int = 64, interleaved: bool = False) -> Benchmark:
     a = [next(gen) % 100000 for _ in range(n)]
     b = [next(gen) % 100000 for _ in range(n)]
     expected = 0
-    for x, y in zip(a, b):
+    for x, y in zip(a, b, strict=False):
         expected = (expected + x + y) & _MASK32
 
     if not interleaved:
@@ -195,7 +195,8 @@ def _matmul(n: int = 6, interleaved: bool = False) -> Benchmark:
     # Row order: sequential, or interleaved halves ("two threads").
     if interleaved:
         half = n // 2
-        rows = [r for pair in zip(range(half), range(half, n)) for r in pair]
+        pairs = zip(range(half), range(half, n), strict=False)
+        rows = [r for pair in pairs for r in pair]
         rows += list(range(2 * half, n))
     else:
         rows = list(range(n))
@@ -554,10 +555,7 @@ def _dhrystone(iterations: int = 20) -> Benchmark:
         acc = 0
         for i in range(8):
             acc = (acc + buf[i] * 2) & _MASK32
-        if acc & 1:
-            chk = (chk + acc) & _MASK32
-        else:
-            chk = (chk ^ acc) & _MASK32
+        chk = (chk + acc) & _MASK32 if acc & 1 else (chk ^ acc) & _MASK32
         chk = (chk + ((v << 3) & _MASK32) + (v >> 2)) & _MASK32
 
     source = f"""

@@ -88,7 +88,7 @@ class ShardFault:
         }
 
     @classmethod
-    def from_wire(cls, d: dict) -> "ShardFault":
+    def from_wire(cls, d: dict) -> ShardFault:
         return cls(
             kind=d["kind"],
             at_cycle=d["at_cycle"],
@@ -171,10 +171,11 @@ class FaultPlan:
         if rng.random() >= self.rate:
             return None
         kind = self.kinds[rng.randrange(len(self.kinds))]
-        if self.at_cycle is not None:
-            at = self.at_cycle
-        else:
-            at = rng.randrange(max(1, cycles))
+        at = (
+            self.at_cycle
+            if self.at_cycle is not None
+            else rng.randrange(max(1, cycles))
+        )
         return ShardFault(
             kind=kind,
             at_cycle=at,
@@ -183,7 +184,7 @@ class FaultPlan:
             stubborn=self.stubborn,
         )
 
-    def rpc_injector(self) -> "RPCFaultInjector | None":
+    def rpc_injector(self) -> RPCFaultInjector | None:
         """The server-side RPC response injector this plan asks for, or
         None when ``rpc_rate`` is 0."""
         if self.rpc_rate <= 0.0:
@@ -214,7 +215,7 @@ class FaultPlan:
         }
 
     @classmethod
-    def from_wire(cls, d: dict) -> "FaultPlan":
+    def from_wire(cls, d: dict) -> FaultPlan:
         return cls(
             seed=d["seed"],
             rate=d["rate"],

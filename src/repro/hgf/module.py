@@ -64,7 +64,7 @@ class _When:
 
 
 class _WhenContext:
-    def __init__(self, mb: "ModuleBuilder", when: _When, body: list, term: Expr):
+    def __init__(self, mb: ModuleBuilder, when: _When, body: list, term: Expr):
         self._mb = mb
         self._when = when
         self._body = body
@@ -86,7 +86,7 @@ class _WhenContext:
 class ModuleBuilder:
     """Records declarations and statements for one module."""
 
-    def __init__(self, owner: "Module"):
+    def __init__(self, owner: Module):
         self.owner = owner
         self.ports: list[Port] = [
             Port("clock", "input", ClockType()),
@@ -240,7 +240,7 @@ class Module:
             mb._name_hints.append((uname, name))
         return Value(Ref(uname, value.typ), mb)
 
-    def var(self, name: str, init) -> "Var":
+    def var(self, name: str, init) -> Var:
         """A mutable generator-level binding with SSA version tracking —
         the idiom of paper Listing 1 (``sum`` accumulated in a loop).
 
@@ -252,7 +252,7 @@ class Module:
 
     def mem(
         self, name: str, width: int, depth: int, init: list[int] | None = None
-    ) -> "MemHandle":
+    ) -> MemHandle:
         """Declare a memory with combinational read / synchronous write."""
         mb = self._mb
         uname = mb._unique(name)
@@ -264,7 +264,7 @@ class Module:
         mb._emit(DefMemory(uname, t, depth, init_t, srcloc.capture()))
         return MemHandle(self, uname, t, depth)
 
-    def instance(self, name: str, child: "Module") -> "InstanceHandle":
+    def instance(self, name: str, child: Module) -> InstanceHandle:
         """Instantiate ``child`` under ``name``; clock and reset are
         connected automatically (reconnect to override)."""
         mb = self._mb
@@ -364,10 +364,11 @@ class Var:
         self._mb = module._mb
         self.name = name
         self._version = 0
-        if isinstance(init, Value):
-            value = init
-        else:
-            value = module.lit(int(init), max(int(init).bit_length(), 1))
+        value = (
+            init
+            if isinstance(init, Value)
+            else module.lit(int(init), max(int(init).bit_length(), 1))
+        )
         uname = self._mb._unique(f"{name}_0")
         self._mb._emit(DefNode(uname, value.expr, srcloc.capture()))
         self._mb._name_hints.append((uname, name))

@@ -129,7 +129,7 @@ class Value:
             return E.uint(other, width)
         raise TypeError(f"cannot lift {other!r} to a hardware value")
 
-    def _binop(self, fn, other, swap: bool = False) -> "Value":
+    def _binop(self, fn, other, swap: bool = False) -> Value:
         rhs = self._lift(other)
         a, b = (rhs, self._expr) if swap else (self._expr, rhs)
         return Value(fn(a, b), self._mb)
@@ -218,31 +218,31 @@ class Value:
 
     # -- methods ----------------------------------------------------------------
 
-    def cat(self, other: "Value") -> "Value":
+    def cat(self, other: Value) -> Value:
         """Concatenate; ``self`` supplies the high bits."""
         return self._binop(E.cat, other)
 
-    def pad(self, width: int) -> "Value":
+    def pad(self, width: int) -> Value:
         """Zero-/sign-extend (by signedness) to at least ``width`` bits."""
         return Value(E.pad(self._expr, width), self._mb)
 
-    def as_sint(self) -> "Value":
+    def as_sint(self) -> Value:
         """Reinterpret the bits as signed."""
         return Value(E.as_sint(self._expr), self._mb)
 
-    def as_uint(self) -> "Value":
+    def as_uint(self) -> Value:
         """Reinterpret the bits as unsigned."""
         return Value(E.as_uint(self._expr), self._mb)
 
-    def andr(self) -> "Value":
+    def andr(self) -> Value:
         """AND-reduction to 1 bit."""
         return Value(E.andr(self._expr), self._mb)
 
-    def orr(self) -> "Value":
+    def orr(self) -> Value:
         """OR-reduction to 1 bit (non-zero test)."""
         return Value(E.orr(self._expr), self._mb)
 
-    def xorr(self) -> "Value":
+    def xorr(self) -> Value:
         """XOR-reduction (parity) to 1 bit."""
         return Value(E.xorr(self._expr), self._mb)
 

@@ -51,7 +51,7 @@ def eval_prim(
     Returns the raw masked result.
     """
     rw = result_type.bit_width()
-    vals = tuple(interp(r, t) for r, t in zip(raw_args, arg_types))
+    vals = tuple(interp(r, t) for r, t in zip(raw_args, arg_types, strict=False))
 
     if op == "add":
         return mask(vals[0] + vals[1], rw)

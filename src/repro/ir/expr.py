@@ -85,9 +85,10 @@ class Literal(Expr):
         if isinstance(self.typ, UIntType):
             if not 0 <= self.value < (1 << w):
                 raise ValueError(f"literal {self.value} does not fit UInt<{w}>")
-        elif isinstance(self.typ, SIntType):
-            if not -(1 << (w - 1)) <= self.value < (1 << (w - 1)):
-                raise ValueError(f"literal {self.value} does not fit SInt<{w}>")
+        elif isinstance(self.typ, SIntType) and not (
+            -(1 << (w - 1)) <= self.value < (1 << (w - 1))
+        ):
+            raise ValueError(f"literal {self.value} does not fit SInt<{w}>")
 
     def __str__(self) -> str:
         return f"{self.typ}({self.value})"

@@ -4,11 +4,21 @@
 lowering); ``check_low_form`` validates the invariants the simulator and
 Verilog emitter rely on: ground types only, no ``when`` blocks, and at most
 one driving connect per sink.
+
+Both checkers emit through the structured diagnostic engine
+(:mod:`repro.lint.diagnostic`): ``high_form_diagnostics`` /
+``low_form_diagnostics`` return *every* violation as an error-severity
+:class:`~repro.lint.diagnostic.Diagnostic`, and the raising entry points
+escalate the whole batch into one :class:`CheckError` naming each finding —
+instead of dying on the first.  ``repro.lint.Linter`` runs the same
+functions, so form violations and lint findings share one reporting path.
 """
 
 from __future__ import annotations
 
+from ...lint.diagnostic import Diagnostic, DiagnosticCollector, format_diagnostics
 from ..expr import Expr, MemRead, PrimOp, Ref, SubField, walk_expr
+from ..source import UNKNOWN, SourceInfo
 from ..stmt import (
     Circuit,
     Conditionally,
@@ -21,16 +31,34 @@ from ..stmt import (
     MemWrite,
     ModuleIR,
     Printf,
+    Stmt,
     Stop,
     walk_stmts,
 )
 
 
 class CheckError(Exception):
-    """Raised when a circuit violates form invariants."""
+    """Raised when a circuit violates form invariants.
+
+    Carries the full batch of violations: ``diagnostics`` holds every
+    structured finding, and the message lists all of them.
+    """
+
+    def __init__(self, message: str, diagnostics: tuple[Diagnostic, ...] = ()):
+        super().__init__(message)
+        self.diagnostics = diagnostics
+
+    @classmethod
+    def from_diagnostics(cls, diagnostics) -> CheckError:
+        batch = tuple(diagnostics)
+        if len(batch) == 1:
+            return cls(batch[0].message, batch)
+        lines = [f"{len(batch)} form violations:"]
+        lines.extend(f"  {d.message}" for d in batch)
+        return cls("\n".join(lines), batch)
 
 
-def _stmt_exprs(s) -> list[Expr]:
+def _stmt_exprs(s: Stmt) -> list[Expr]:
     if isinstance(s, DefNode):
         return [s.value]
     if isinstance(s, Connect):
@@ -53,81 +81,139 @@ def _stmt_exprs(s) -> list[Expr]:
     return []
 
 
-def _declared_names(m: ModuleIR) -> dict[str, str]:
+def _stmt_info(s: Stmt) -> SourceInfo:
+    return getattr(s, "info", UNKNOWN)
+
+
+def _declared_names(
+    m: ModuleIR, out: DiagnosticCollector
+) -> dict[str, str]:
     names: dict[str, str] = {}
 
-    def declare(name: str, kind: str) -> None:
+    def declare(name: str, kind: str, info: SourceInfo) -> None:
         if name in names:
-            raise CheckError(f"{m.name}: duplicate definition of {name!r}")
+            out.error(
+                "duplicate-def",
+                f"{m.name}: duplicate definition of {name!r}",
+                module=m.name,
+                location=info,
+            )
+            return
         names[name] = kind
 
     for p in m.ports:
-        declare(p.name, "port")
+        declare(p.name, "port", p.info)
     for s in walk_stmts(m.body):
         if isinstance(s, DefWire):
-            declare(s.name, "wire")
+            declare(s.name, "wire", s.info)
         elif isinstance(s, DefRegister):
-            declare(s.name, "reg")
+            declare(s.name, "reg", s.info)
         elif isinstance(s, DefNode):
-            declare(s.name, "node")
+            declare(s.name, "node", s.info)
         elif isinstance(s, DefMemory):
-            declare(s.name, "mem")
+            declare(s.name, "mem", s.info)
         elif isinstance(s, DefInstance):
-            declare(s.name, "inst")
+            declare(s.name, "inst", s.info)
     return names
 
 
-def _check_refs(m: ModuleIR, names: dict[str, str], circuit: Circuit) -> None:
+def _check_refs(
+    m: ModuleIR,
+    names: dict[str, str],
+    circuit: Circuit,
+    out: DiagnosticCollector,
+) -> None:
     instances = {
-        s.name: s.module for s in walk_stmts(m.body) if isinstance(s, DefInstance)
+        s.name: (s.module, s.info)
+        for s in walk_stmts(m.body)
+        if isinstance(s, DefInstance)
     }
-    for inst, mod in instances.items():
+    for inst, (mod, info) in instances.items():
         if mod not in circuit.modules:
-            raise CheckError(f"{m.name}: instance {inst!r} of unknown module {mod!r}")
+            out.error(
+                "unknown-module",
+                f"{m.name}: instance {inst!r} of unknown module {mod!r}",
+                module=m.name,
+                location=info,
+            )
     for s in walk_stmts(m.body):
+        info = _stmt_info(s)
         for e in _stmt_exprs(s):
             for node in walk_expr(e):
                 if isinstance(node, Ref) and node.name not in names:
-                    raise CheckError(
-                        f"{m.name}: reference to undeclared name {node.name!r}"
+                    out.error(
+                        "undeclared-ref",
+                        f"{m.name}: reference to undeclared name "
+                        f"{node.name!r}",
+                        module=m.name,
+                        location=info,
                     )
                 if isinstance(node, MemRead) and names.get(node.mem) != "mem":
-                    raise CheckError(
-                        f"{m.name}: memory read of non-memory {node.mem!r}"
+                    out.error(
+                        "non-memory-read",
+                        f"{m.name}: memory read of non-memory {node.mem!r}",
+                        module=m.name,
+                        location=info,
                     )
-                if isinstance(node, PrimOp) and node.op == "mux":
-                    if node.args[0].width() != 1:
-                        raise CheckError(f"{m.name}: mux condition must be 1 bit")
+                if (
+                    isinstance(node, PrimOp)
+                    and node.op == "mux"
+                    and node.args[0].width() != 1
+                ):
+                    out.error(
+                        "mux-width",
+                        f"{m.name}: mux condition must be 1 bit",
+                        module=m.name,
+                        location=info,
+                    )
 
 
-def check_high_form(circuit: Circuit) -> None:
-    """Validate an elaborated (pre-lowering) circuit."""
+def high_form_diagnostics(circuit: Circuit) -> list[Diagnostic]:
+    """Every High-form violation in ``circuit``, as structured diagnostics."""
+    out = DiagnosticCollector()
     if circuit.main not in circuit.modules:
-        raise CheckError(f"main module {circuit.main!r} missing")
+        out.error("missing-main", f"main module {circuit.main!r} missing")
+        return out.diagnostics
     for m in circuit.modules.values():
-        names = _declared_names(m)
-        _check_refs(m, names, circuit)
+        names = _declared_names(m, out)
+        _check_refs(m, names, circuit, out)
         for s in walk_stmts(m.body):
             if isinstance(s, Conditionally) and s.pred.typ.bit_width() != 1:
-                raise CheckError(
-                    f"{m.name}: when predicate must be 1 bit, got {s.pred.typ}"
+                out.error(
+                    "when-pred-width",
+                    f"{m.name}: when predicate must be 1 bit, "
+                    f"got {s.pred.typ}",
+                    module=m.name,
+                    location=s.info,
                 )
+    return out.diagnostics
 
 
-def check_low_form(circuit: Circuit) -> None:
-    """Validate the Low form invariants assumed by the simulator."""
+def low_form_diagnostics(circuit: Circuit) -> list[Diagnostic]:
+    """Every Low-form violation in ``circuit``, as structured diagnostics."""
+    out = DiagnosticCollector()
     for m in circuit.modules.values():
-        names = _declared_names(m)
-        _check_refs(m, names, circuit)
+        names = _declared_names(m, out)
+        _check_refs(m, names, circuit, out)
         driven: set[str] = set()
         for s in m.body:
             if isinstance(s, Conditionally):
-                raise CheckError(f"{m.name}: when block in Low form")
+                out.error(
+                    "when-in-low",
+                    f"{m.name}: when block in Low form",
+                    module=m.name,
+                    location=s.info,
+                )
+                continue
             if isinstance(s, (DefWire, DefRegister, DefNode)):
                 typ = s.typ if not isinstance(s, DefNode) else s.value.typ
                 if not typ.is_ground():
-                    raise CheckError(
-                        f"{m.name}: aggregate type {typ} on {s.name!r} in Low form"
+                    out.error(
+                        "aggregate-in-low",
+                        f"{m.name}: aggregate type {typ} on {s.name!r} "
+                        f"in Low form",
+                        module=m.name,
+                        location=s.info,
                     )
             if isinstance(s, Connect):
                 if isinstance(s.loc, Ref):
@@ -135,13 +221,61 @@ def check_low_form(circuit: Circuit) -> None:
                 elif isinstance(s.loc, SubField) and isinstance(s.loc.expr, Ref):
                     key = f"{s.loc.expr.name}.{s.loc.name}"
                 else:
-                    raise CheckError(f"{m.name}: bad Low-form connect target {s.loc}")
+                    out.error(
+                        "bad-connect-target",
+                        f"{m.name}: bad Low-form connect target {s.loc}",
+                        module=m.name,
+                        location=s.info,
+                    )
+                    continue
                 if key in driven:
-                    raise CheckError(f"{m.name}: multiple drivers for {key!r}")
+                    out.error(
+                        "multi-driver-low",
+                        f"{m.name}: multiple drivers for {key!r}",
+                        module=m.name,
+                        location=s.info,
+                    )
                 driven.add(key)
                 lw = s.loc.typ.bit_width()
                 ew = s.expr.typ.bit_width()
                 if lw != ew:
-                    raise CheckError(
-                        f"{m.name}: width mismatch connecting {key!r}: {lw} vs {ew}"
+                    out.error(
+                        "connect-width-low",
+                        f"{m.name}: width mismatch connecting {key!r}: "
+                        f"{lw} vs {ew}",
+                        module=m.name,
+                        location=s.info,
                     )
+    return out.diagnostics
+
+
+def _raise_if_any(diagnostics: list[Diagnostic]) -> None:
+    if diagnostics:
+        raise CheckError.from_diagnostics(diagnostics)
+
+
+def check_high_form(circuit: Circuit) -> None:
+    """Validate an elaborated (pre-lowering) circuit.
+
+    Raises one :class:`CheckError` listing *all* violations (the historical
+    fail-fast behavior reported only the first).
+    """
+    _raise_if_any(high_form_diagnostics(circuit))
+
+
+def check_low_form(circuit: Circuit) -> None:
+    """Validate the Low form invariants assumed by the simulator.
+
+    Raises one :class:`CheckError` listing *all* violations.
+    """
+    _raise_if_any(low_form_diagnostics(circuit))
+
+
+__all__ = [
+    "CheckError",
+    "check_high_form",
+    "check_low_form",
+    "format_diagnostics",
+    "high_form_diagnostics",
+    "low_form_diagnostics",
+]

@@ -218,19 +218,23 @@ class _ModuleLowerer:
             clock = self.lower_expr(s.clock)
             reset = self.lower_expr(s.reset) if s.reset is not None else None
             leaves = list(type_leaves(s.typ))
-            if len(leaves) > 1 and s.init is not None:
-                if not (isinstance(s.init, Literal) and s.init.value == 0):
-                    raise LowerTypesError(
-                        f"aggregate register {s.name!r} init must be literal 0"
-                    )
+            if (
+                len(leaves) > 1
+                and s.init is not None
+                and not (isinstance(s.init, Literal) and s.init.value == 0)
+            ):
+                raise LowerTypesError(
+                    f"aggregate register {s.name!r} init must be literal 0"
+                )
             out = []
             for parts, gt, _fl in leaves:
                 init = None
                 if s.init is not None:
-                    if len(leaves) > 1:
-                        init = Literal(0, gt)
-                    else:
-                        init = self.lower_expr(s.init)
+                    init = (
+                        Literal(0, gt)
+                        if len(leaves) > 1
+                        else self.lower_expr(s.init)
+                    )
                 out.append(
                     self._record_and(
                         DefRegister(flat_name(s.name, parts), gt, clock, reset, init, s.info),
@@ -308,10 +312,11 @@ class _ModuleLowerer:
         for i, p in enumerate(parts):
             last = i == len(parts) - 1
             typ = gt if last else _peel_type(cur.typ, p)
-            if p.isdigit() and isinstance(cur.typ, VecType):
-                cur = SubIndex(cur, int(p), typ)
-            else:
-                cur = SubField(cur, p, typ)
+            cur = (
+                SubIndex(cur, int(p), typ)
+                if p.isdigit() and isinstance(cur.typ, VecType)
+                else SubField(cur, p, typ)
+            )
         return cur
 
 

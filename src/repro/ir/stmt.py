@@ -127,8 +127,8 @@ class Conditionally(Stmt):
     """A ``when (pred) { conseq } otherwise { alt }`` block (High form only)."""
 
     pred: Expr
-    conseq: "Block"
-    alt: "Block"
+    conseq: Block
+    alt: Block
     info: SourceInfo = UNKNOWN
 
 

@@ -1,0 +1,73 @@
+"""Static analysis over the IR: structured diagnostics and a rule engine.
+
+``repro.lint.diagnostic`` is the dependency-light reporting core shared
+with the form checkers; the engine and rules load lazily (PEP 562) so that
+``repro.ir.passes.check`` can import the diagnostic types without pulling
+the whole pass pipeline into a cycle.
+
+Typical use::
+
+    from repro.lint import lint_circuit, format_diagnostics
+    for d in lint_circuit(design.high):
+        print(d.format())
+
+See ``docs/lint.md`` for the rule catalog and severity policy.
+"""
+
+from .diagnostic import (
+    Diagnostic,
+    DiagnosticCollector,
+    Related,
+    Severity,
+    diagnostics_to_json,
+    format_diagnostics,
+    has_errors,
+    worst_severity,
+)
+
+_ENGINE = (
+    "FORM_HIGH",
+    "FORM_LOW",
+    "GATE_ERROR",
+    "GATE_OFF",
+    "GATE_WARN",
+    "LintContext",
+    "LintError",
+    "LintWarning",
+    "Linter",
+    "Rule",
+    "detect_form",
+    "gate_circuit",
+    "lint_circuit",
+    "resolve_gate",
+)
+_RULES = ("ALL_RULES", "default_rules")
+
+__all__ = [
+    "Diagnostic",
+    "DiagnosticCollector",
+    "Related",
+    "Severity",
+    "diagnostics_to_json",
+    "format_diagnostics",
+    "has_errors",
+    "worst_severity",
+    *_ENGINE,
+    *_RULES,
+]
+
+
+def __getattr__(name: str):
+    if name in _ENGINE:
+        from . import engine
+
+        return getattr(engine, name)
+    if name in _RULES:
+        from . import rules
+
+        return getattr(rules, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(__all__)

@@ -1,0 +1,201 @@
+"""Structured diagnostics: the one reporting path for static analysis.
+
+Everything that inspects a circuit *before* simulation — the form checkers
+in ``repro.ir.passes.check`` and the lint rules in ``repro.lint.rules`` —
+emits :class:`Diagnostic` records instead of raising on the first problem.
+A diagnostic carries the rule id, a severity, the offending module, and the
+``SourceInfo`` of the originating generator (HGF DSL) statement, so every
+finding points the user at their own source line — the same source mapping
+the symbol table uses for runtime breakpoints.
+
+This module is intentionally dependency-light (only ``repro.ir.source``) so
+the IR layer can import it without cycles; the heavier analysis engine
+lives in :mod:`repro.lint.engine`.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..ir.source import UNKNOWN, SourceInfo
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severity, ordered so ``max()`` picks the worst."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+    @classmethod
+    def parse(cls, text: str) -> Severity:
+        try:
+            return cls[text.strip().upper()]
+        except KeyError:
+            raise ValueError(
+                f"unknown severity {text!r}; expected one of "
+                f"{[str(s) for s in cls]}"
+            ) from None
+
+
+@dataclass(frozen=True, slots=True)
+class Related:
+    """A secondary location attached to a diagnostic (e.g. the other
+    driver of a multiply-driven sink)."""
+
+    location: SourceInfo
+    note: str = ""
+
+    def to_json(self) -> dict:
+        return {
+            "file": self.location.filename,
+            "line": self.location.line,
+            "column": self.location.column,
+            "note": self.note,
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class Diagnostic:
+    """One static-analysis finding.
+
+    Attributes:
+        rule: stable rule identifier (``"comb-cycle"``, ``"undriven"``...).
+        severity: :class:`Severity` of the finding.
+        message: human-readable description.
+        module: IR module the finding is in ("" for circuit-level findings).
+        location: generator source locator of the offending statement.
+        related: secondary locations that complete the picture.
+    """
+
+    rule: str
+    severity: Severity
+    message: str
+    module: str = ""
+    location: SourceInfo = UNKNOWN
+    related: tuple[Related, ...] = ()
+
+    def format(self) -> str:
+        """Render as ``file:line: severity: [rule] message`` — the console
+        and CLI output format (one finding per line, click-to-source)."""
+        where = str(self.location) if self.location.is_known() else "<unknown>"
+        scope = f" (module {self.module})" if self.module else ""
+        out = f"{where}: {self.severity}: [{self.rule}] {self.message}{scope}"
+        for rel in self.related:
+            out += f"\n    related: {rel.location}: {rel.note}"
+        return out
+
+    def to_json(self) -> dict:
+        """Machine-readable form (the ``--json`` schema; see docs/lint.md)."""
+        return {
+            "rule": self.rule,
+            "severity": str(self.severity),
+            "message": self.message,
+            "module": self.module,
+            "file": self.location.filename,
+            "line": self.location.line,
+            "column": self.location.column,
+            "related": [r.to_json() for r in self.related],
+        }
+
+    def sort_key(self) -> tuple[Any, ...]:
+        # Known locations first, then lexical order, then rule id for
+        # stability between runs.
+        return (
+            not self.location.is_known(),
+            self.location.order_key(),
+            -int(self.severity),
+            self.rule,
+            self.module,
+            self.message,
+        )
+
+
+@dataclass(slots=True)
+class DiagnosticCollector:
+    """Accumulates diagnostics instead of dying on the first one.
+
+    The form checkers and every lint rule write through a collector; the
+    caller decides whether the batch warrants an exception
+    (:meth:`worst` / ``repro.ir.passes.check.CheckError``).
+    """
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    def emit(
+        self,
+        rule: str,
+        severity: Severity,
+        message: str,
+        module: str = "",
+        location: SourceInfo = UNKNOWN,
+        related: tuple[Related, ...] = (),
+    ) -> Diagnostic:
+        d = Diagnostic(rule, severity, message, module, location, related)
+        self.diagnostics.append(d)
+        return d
+
+    def error(self, rule: str, message: str, **kw: Any) -> Diagnostic:
+        return self.emit(rule, Severity.ERROR, message, **kw)
+
+    def warning(self, rule: str, message: str, **kw: Any) -> Diagnostic:
+        return self.emit(rule, Severity.WARNING, message, **kw)
+
+    def info(self, rule: str, message: str, **kw: Any) -> Diagnostic:
+        return self.emit(rule, Severity.INFO, message, **kw)
+
+    def extend(self, diagnostics: Iterable[Diagnostic]) -> None:
+        self.diagnostics.extend(diagnostics)
+
+    def worst(self) -> Severity | None:
+        if not self.diagnostics:
+            return None
+        return max(d.severity for d in self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+
+def worst_severity(diagnostics: Iterable[Diagnostic]) -> Severity | None:
+    """The highest severity present, or None for an empty batch."""
+    worst: Severity | None = None
+    for d in diagnostics:
+        if worst is None or d.severity > worst:
+            worst = d.severity
+    return worst
+
+
+def has_errors(diagnostics: Iterable[Diagnostic]) -> bool:
+    return any(d.severity >= Severity.ERROR for d in diagnostics)
+
+
+def format_diagnostics(diagnostics: Iterable[Diagnostic]) -> str:
+    """Multi-line human-readable rendering, sorted by source location."""
+    return "\n".join(
+        d.format() for d in sorted(diagnostics, key=Diagnostic.sort_key)
+    )
+
+
+def diagnostics_to_json(
+    diagnostics: Iterable[Diagnostic], *, design: str = ""
+) -> dict:
+    """The ``--json`` document: a stable machine format for CI gating."""
+    ordered = sorted(diagnostics, key=Diagnostic.sort_key)
+    counts: dict[str, int] = {}
+    for d in ordered:
+        counts[str(d.severity)] = counts.get(str(d.severity), 0) + 1
+    return {
+        "version": 1,
+        "design": design,
+        "counts": counts,
+        "diagnostics": [d.to_json() for d in ordered],
+    }

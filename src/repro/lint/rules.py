@@ -1,0 +1,759 @@
+"""The built-in lint rule set.
+
+Each rule is a small :class:`~repro.lint.engine.Rule` subclass that walks
+one lowering stage of the circuit and emits structured diagnostics.  Every
+diagnostic points at the ``SourceInfo`` of the originating generator (HGF
+DSL) statement — the same source mapping the symbol table uses for runtime
+breakpoints, applied *before* simulation.
+
+The catalog (see ``docs/lint.md``):
+
+==================  ========  =====================================
+rule id             severity  finding
+==================  ========  =====================================
+comb-cycle          error     combinational feedback loop (cross-
+                              module aware via port comb-through)
+undriven            warning   wire/output/instance input never
+                              connected (defaults to 0)
+unused-signal       warning   declared signal never read — liveness
+                              closure WITHOUT the register/memory
+                              auto-roots DCE keeps
+width-trunc         warning   connect silently truncates its source
+const-when          warning   when condition folds to a constant;
+                              one branch is unreachable
+multi-driven        warning   unconditional same-scope reconnect —
+                              the earlier driver is dead
+uninit-reg          warning   register with neither reset nor init
+                              whose value is read
+const-stop          warning   stop condition folds to a constant
+const-printf        info      printf condition folds to a constant
+const-mux           warning   mux select folds to a constant; one
+                              input is unreachable
+==================  ========  =====================================
+
+Form errors (duplicate-def, undeclared-ref, mux-width, multi-driver-low,
+...) come from ``repro.ir.passes.check`` through the same diagnostic
+engine.
+"""
+
+from __future__ import annotations
+
+from ..ir.expr import (
+    Expr,
+    Literal,
+    MemRead,
+    PrimOp,
+    Ref,
+    SubField,
+    SubIndex,
+    walk_expr,
+)
+from ..ir.source import UNKNOWN, SourceInfo
+from ..ir.stmt import (
+    Block,
+    Circuit,
+    Conditionally,
+    Connect,
+    DefInstance,
+    DefMemory,
+    DefNode,
+    DefRegister,
+    DefWire,
+    MemWrite,
+    ModuleIR,
+    Printf,
+    Stmt,
+    Stop,
+    root_ref,
+    walk_stmts,
+)
+from .diagnostic import DiagnosticCollector, Related
+from .engine import FORM_HIGH, LintContext, Rule
+
+# ---------------------------------------------------------------------------
+# shared walkers
+
+
+def _stmt_reads(s: Stmt) -> list[Expr]:
+    """Expressions a statement *reads* (connect targets excluded)."""
+    if isinstance(s, DefNode):
+        return [s.value]
+    if isinstance(s, Connect):
+        return [s.expr]
+    if isinstance(s, Conditionally):
+        return [s.pred]
+    if isinstance(s, MemWrite):
+        return [s.addr, s.data, s.en]
+    if isinstance(s, Stop):
+        return [s.cond]
+    if isinstance(s, Printf):
+        return [s.cond, *s.args]
+    if isinstance(s, DefRegister):
+        out = [s.clock]
+        if s.reset is not None:
+            out.append(s.reset)
+        if s.init is not None:
+            out.append(s.init)
+        return out
+    return []
+
+
+def _read_names(m: ModuleIR) -> set[str]:
+    """Every Ref / memory name read anywhere in the module body."""
+    reads: set[str] = set()
+    for s in walk_stmts(m.body):
+        for e in _stmt_reads(s):
+            for node in walk_expr(e):
+                if isinstance(node, Ref):
+                    reads.add(node.name)
+                elif isinstance(node, MemRead):
+                    reads.add(node.mem)
+    return reads
+
+
+def _dep_keys(e: Expr, keys: set[str]) -> None:
+    """Combinational dependency keys of an expression.
+
+    Like ``expr_refs`` but instance-port precise (``inst.port`` instead of
+    collapsing to ``inst``) and memory-state aware: a combinational memory
+    read depends on its *address* only — the contents are cross-cycle state,
+    like a register.
+    """
+    if isinstance(e, Ref):
+        keys.add(e.name)
+    elif isinstance(e, SubField):
+        if isinstance(e.expr, Ref):
+            keys.add(f"{e.expr.name}.{e.name}")
+        else:
+            _dep_keys(e.expr, keys)
+    elif isinstance(e, SubIndex):
+        _dep_keys(e.expr, keys)
+    elif isinstance(e, MemRead):
+        _dep_keys(e.addr, keys)
+    elif isinstance(e, PrimOp):
+        for a in e.args:
+            _dep_keys(a, keys)
+
+
+def _target_key(loc: Expr) -> str | None:
+    """The dependency key a Low-form connect drives, or None if unusual."""
+    if isinstance(loc, Ref):
+        return loc.name
+    if isinstance(loc, SubField) and isinstance(loc.expr, Ref):
+        return f"{loc.expr.name}.{loc.name}"
+    return None
+
+
+def _literal_env(m: ModuleIR) -> dict[str, Literal]:
+    """Literal-valued nodes, accumulated in statement order so later node
+    values fold through earlier ones."""
+    from ..ir.passes.const_prop import fold_expr
+
+    env: dict[str, Literal] = {}
+    for s in walk_stmts(m.body):
+        if isinstance(s, DefNode):
+            value = fold_expr(s.value, env)
+            if isinstance(value, Literal):
+                env[s.name] = value
+    return env
+
+
+def _fold(e: Expr, env: dict[str, Literal]) -> Expr:
+    from ..ir.passes.const_prop import fold_expr
+
+    return fold_expr(e, env)
+
+
+# ---------------------------------------------------------------------------
+# rules
+
+
+class CombCycleRule(Rule):
+    """Combinational feedback loops, including loops that thread through
+    child instances (computed from per-module output->input comb-through
+    sets, substituted at each instantiation)."""
+
+    rule_id = "comb-cycle"
+    description = "combinational logic feeds back into itself"
+
+    def run(self, ctx: LintContext, out: DiagnosticCollector) -> None:
+        low = ctx.low()
+        if low is None:
+            return
+        comb_through: dict[str, dict[str, set[str]]] = {}
+        for name in _modules_bottom_up(low):
+            m = low.modules[name]
+            edges, infos = self._local_graph(m, low, comb_through)
+            in_ports = {p.name for p in m.ports if p.direction == "input"}
+            out_ports = [p.name for p in m.ports if p.direction == "output"]
+            comb_through[name] = {
+                o: _reachable(edges, o) & in_ports for o in out_ports
+            }
+            cycle = _find_cycle(edges)
+            if cycle:
+                path = " -> ".join([*cycle, cycle[0]])
+                where, related = _cycle_locations(cycle, infos)
+                out.error(
+                    self.rule_id,
+                    f"combinational cycle: {path}",
+                    module=m.name,
+                    location=where,
+                    related=related,
+                )
+
+    @staticmethod
+    def _local_graph(
+        m: ModuleIR,
+        circuit: Circuit,
+        comb_through: dict[str, dict[str, set[str]]],
+    ) -> tuple[dict[str, set[str]], dict[str, SourceInfo]]:
+        regs = {
+            s.name for s in m.body if isinstance(s, DefRegister)
+        }
+        edges: dict[str, set[str]] = {}
+        infos: dict[str, SourceInfo] = {}
+        for s in m.body:
+            if isinstance(s, DefNode):
+                deps: set[str] = set()
+                _dep_keys(s.value, deps)
+                edges.setdefault(s.name, set()).update(deps)
+                infos.setdefault(s.name, s.info)
+            elif isinstance(s, Connect):
+                key = _target_key(s.loc)
+                if key is None or key.split(".", 1)[0] in regs:
+                    continue  # register writes break combinational paths
+                deps = set()
+                _dep_keys(s.expr, deps)
+                edges.setdefault(key, set()).update(deps)
+                infos.setdefault(key, s.info)
+            elif isinstance(s, DefInstance):
+                through = comb_through.get(s.module)
+                if through is None:
+                    continue  # recursive/unknown child: no through info
+                for o, ins in through.items():
+                    edges.setdefault(f"{s.name}.{o}", set()).update(
+                        f"{s.name}.{i}" for i in ins
+                    )
+                    infos.setdefault(f"{s.name}.{o}", s.info)
+        return edges, infos
+
+
+def _modules_bottom_up(circuit: Circuit) -> list[str]:
+    """Module names with children before parents (cycles broken arbitrarily
+    — instantiation recursion is already a form problem)."""
+    children: dict[str, set[str]] = {
+        name: {
+            s.module
+            for s in m.body
+            if isinstance(s, DefInstance) and s.module in circuit.modules
+        }
+        for name, m in circuit.modules.items()
+    }
+    order: list[str] = []
+    seen: set[str] = set()
+
+    def visit(name: str, stack: set[str]) -> None:
+        if name in seen or name in stack:
+            return
+        stack.add(name)
+        for child in sorted(children.get(name, ())):
+            visit(child, stack)
+        stack.discard(name)
+        seen.add(name)
+        order.append(name)
+
+    for name in circuit.modules:
+        visit(name, set())
+    return order
+
+
+def _reachable(edges: dict[str, set[str]], start: str) -> set[str]:
+    seen: set[str] = set()
+    work = [start]
+    while work:
+        key = work.pop()
+        if key in seen:
+            continue
+        seen.add(key)
+        work.extend(edges.get(key, ()))
+    return seen
+
+
+def _find_cycle(edges: dict[str, set[str]]) -> list[str] | None:
+    """First combinational cycle in the graph, as the list of keys on it."""
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = dict.fromkeys(edges, WHITE)
+    for root in sorted(edges):
+        if color.get(root, WHITE) != WHITE:
+            continue
+        path: list[str] = []
+        # iterative DFS: (node, iterator over children)
+        stack = [(root, iter(sorted(edges.get(root, ()))))]
+        color[root] = GRAY
+        path.append(root)
+        while stack:
+            node, children = stack[-1]
+            advanced = False
+            for child in children:
+                c = color.get(child, WHITE)
+                if c == GRAY:
+                    return path[path.index(child):]
+                if c == WHITE:
+                    color[child] = GRAY
+                    path.append(child)
+                    stack.append(
+                        (child, iter(sorted(edges.get(child, ()))))
+                    )
+                    advanced = True
+                    break
+            if not advanced:
+                color[node] = BLACK
+                path.pop()
+                stack.pop()
+    return None
+
+
+def _cycle_locations(
+    cycle: list[str], infos: dict[str, SourceInfo]
+) -> tuple[SourceInfo, tuple[Related, ...]]:
+    known = [
+        (k, infos[k]) for k in cycle if k in infos and infos[k].is_known()
+    ]
+    if not known:
+        return UNKNOWN, ()
+    where = known[0][1]
+    related = tuple(
+        Related(info, f"through {key}") for key, info in known[1:4]
+    )
+    return where, related
+
+
+class UndrivenRule(Rule):
+    """Wires, output ports, and instance inputs that are never connected.
+    ExpandWhens silently defaults these to 0 — flag them first."""
+
+    rule_id = "undriven"
+    description = "signal is never driven and defaults to 0"
+
+    def run(self, ctx: LintContext, out: DiagnosticCollector) -> None:
+        typed = ctx.typed()
+        if typed is None:
+            return
+        for m in typed.modules.values():
+            driven: set[str] = set()
+            for s in walk_stmts(m.body):
+                if isinstance(s, Connect):
+                    try:
+                        root = root_ref(s.loc)
+                    except TypeError:
+                        continue
+                    key = _target_key(s.loc) or root.name
+                    driven.add(key)
+                    driven.add(root.name)
+            instances = {
+                s.name: (s.module, s.info)
+                for s in m.body
+                if isinstance(s, DefInstance)
+            }
+            for s in m.body:
+                if isinstance(s, DefWire) and s.name not in driven:
+                    out.warning(
+                        self.rule_id,
+                        f"wire {s.name!r} is never driven "
+                        f"(defaults to 0)",
+                        module=m.name,
+                        location=s.info,
+                    )
+            for p in m.ports:
+                if p.direction == "output" and p.name not in driven:
+                    out.warning(
+                        self.rule_id,
+                        f"output port {p.name!r} is never driven "
+                        f"(defaults to 0)",
+                        module=m.name,
+                        location=p.info,
+                    )
+            for inst, (mod, info) in instances.items():
+                child = typed.modules.get(mod)
+                if child is None:
+                    continue
+                for p in child.ports:
+                    key = f"{inst}.{p.name}"
+                    if p.direction == "input" and key not in driven:
+                        out.warning(
+                            self.rule_id,
+                            f"instance input {key!r} is never driven "
+                            f"(defaults to 0)",
+                            module=m.name,
+                            location=info,
+                        )
+
+
+class UnusedSignalRule(Rule):
+    """Signals whose value is never read.
+
+    DCE keeps registers, memories, and instances alive unconditionally
+    (their behavior is observable across cycles), so dead state survives to
+    the netlist silently — this rule runs the same liveness closure
+    *without* those auto-roots and flags what only survives because of
+    them."""
+
+    rule_id = "unused-signal"
+    description = "declared signal is never read"
+
+    def run(self, ctx: LintContext, out: DiagnosticCollector) -> None:
+        typed = ctx.typed()
+        if typed is None:
+            return
+        for m in typed.modules.values():
+            out_ports = {
+                p.name for p in m.ports if p.direction == "output"
+            }
+            defs: dict[str, Stmt] = {}
+            drivers: dict[str, set[str]] = {}
+            roots: set[str] = set()
+
+            def read_refs(e: Expr) -> set[str]:
+                names: set[str] = set()
+                for node in walk_expr(e):
+                    if isinstance(node, Ref):
+                        names.add(node.name)
+                    elif isinstance(node, MemRead):
+                        names.add(node.mem)
+                return names
+
+            for s in walk_stmts(m.body):
+                if isinstance(
+                    s,
+                    (DefWire, DefRegister, DefMemory, DefNode, DefInstance),
+                ):
+                    defs[s.name] = s
+
+            for s in walk_stmts(m.body):
+                if isinstance(s, DefRegister):
+                    extra = read_refs(s.clock)
+                    if s.reset is not None:
+                        extra |= read_refs(s.reset)
+                    if s.init is not None:
+                        extra |= read_refs(s.init)
+                    drivers.setdefault(s.name, set()).update(extra)
+                elif isinstance(s, DefNode):
+                    drivers.setdefault(s.name, set()).update(
+                        read_refs(s.value)
+                    )
+                elif isinstance(s, Connect):
+                    try:
+                        root = root_ref(s.loc)
+                    except TypeError:
+                        continue
+                    reads = read_refs(s.expr)
+                    target = root.name
+                    is_inst = isinstance(defs.get(target), DefInstance)
+                    if is_inst or target in out_ports:
+                        roots |= reads
+                        if is_inst:
+                            roots.add(target)
+                    else:
+                        drivers.setdefault(target, set()).update(reads)
+                elif isinstance(s, MemWrite):
+                    # a write keeps its *operands* interesting only if the
+                    # memory is ever read; route them through the memory.
+                    drivers.setdefault(s.mem, set()).update(
+                        read_refs(s.addr)
+                        | read_refs(s.data)
+                        | read_refs(s.en)
+                    )
+                elif isinstance(s, (Stop, Printf)):
+                    roots |= read_refs(s.cond)
+                    if isinstance(s, Printf):
+                        for a in s.args:
+                            roots |= read_refs(a)
+                elif isinstance(s, Conditionally):
+                    roots |= read_refs(s.pred)
+
+            alive: set[str] = set()
+            work = list(roots | out_ports)
+            while work:
+                name = work.pop()
+                if name in alive:
+                    continue
+                alive.add(name)
+                work.extend(drivers.get(name, ()))
+
+            kinds = {
+                DefWire: "wire",
+                DefRegister: "register",
+                DefNode: "node",
+                DefMemory: "memory",
+            }
+            for name, d in defs.items():
+                kind = kinds.get(type(d))
+                if kind is None or name in alive:
+                    continue
+                if name.startswith("_"):
+                    continue  # compiler temp, not user-declared
+                out.warning(
+                    self.rule_id,
+                    f"{kind} {name!r} is never read",
+                    module=m.name,
+                    location=d.info,
+                )
+
+
+class WidthTruncRule(Rule):
+    """Connects whose source expression is wider than the target: the high
+    bits are silently dropped by ``fit_to`` during lowering."""
+
+    rule_id = "width-trunc"
+    description = "connect silently truncates its source expression"
+
+    def run(self, ctx: LintContext, out: DiagnosticCollector) -> None:
+        for m in ctx.circuit.modules.values():
+            for s in walk_stmts(m.body):
+                if not isinstance(s, Connect):
+                    continue
+                if not (s.loc.typ.is_ground() and s.expr.typ.is_ground()):
+                    continue
+                lw = s.loc.typ.bit_width()
+                ew = s.expr.typ.bit_width()
+                if ew <= lw or self._modular_growth(s.expr, lw):
+                    continue
+                out.warning(
+                    self.rule_id,
+                    f"connecting {ew}-bit expression to {lw}-bit "
+                    f"{s.loc} truncates the top {ew - lw} bit(s)",
+                    module=m.name,
+                    location=s.info,
+                )
+
+    @staticmethod
+    def _modular_growth(e: Expr, loc_width: int) -> bool:
+        """True for the modular-arithmetic idiom ``count <<= count + 1``:
+        add/sub grow the result by one carry bit, and dropping only that
+        carry when the target holds the widest operand is intentional
+        wraparound, not data loss."""
+        return (
+            isinstance(e, PrimOp)
+            and e.op in ("add", "sub")
+            and loc_width >= max(a.typ.bit_width() for a in e.args)
+        )
+
+
+class ConstWhenRule(Rule):
+    """``when`` conditions that fold to a constant: one branch can never
+    execute."""
+
+    rule_id = "const-when"
+    description = "when condition is constant; a branch is unreachable"
+
+    def run(self, ctx: LintContext, out: DiagnosticCollector) -> None:
+        if ctx.form != FORM_HIGH:
+            return
+        for m in ctx.circuit.modules.values():
+            env = _literal_env(m)
+            for s in walk_stmts(m.body):
+                if not isinstance(s, Conditionally):
+                    continue
+                pred = _fold(s.pred, env)
+                if not isinstance(pred, Literal):
+                    continue
+                if pred.value:
+                    msg = "when condition is always true"
+                    if len(s.alt):
+                        msg += "; the otherwise branch is unreachable"
+                else:
+                    msg = (
+                        "when condition is always false; the when branch "
+                        "is unreachable"
+                    )
+                out.warning(
+                    self.rule_id, msg, module=m.name, location=s.info
+                )
+
+
+class MultiDrivenRule(Rule):
+    """Two unconditional connects to the same sink in the same scope:
+    last-connect-wins makes the earlier one dead code."""
+
+    rule_id = "multi-driven"
+    description = "same-scope reconnect shadows an earlier driver"
+
+    def run(self, ctx: LintContext, out: DiagnosticCollector) -> None:
+        if ctx.form != FORM_HIGH:
+            return  # in Low form this is the multi-driver-low form error
+        for m in ctx.circuit.modules.values():
+            self._scan_block(m.body, m.name, out)
+
+    def _scan_block(
+        self, block: Block, module: str, out: DiagnosticCollector
+    ) -> None:
+        last: dict[str, Connect] = {}
+        for s in block:
+            if isinstance(s, Conditionally):
+                self._scan_block(s.conseq, module, out)
+                self._scan_block(s.alt, module, out)
+                # a conditional write in between makes the override
+                # meaningful (partial update), so forget prior drivers
+                # of anything connected inside.
+                for inner in walk_stmts(Block((s,))):
+                    if isinstance(inner, Connect):
+                        last.pop(str(inner.loc), None)
+                continue
+            if not isinstance(s, Connect):
+                continue
+            key = str(s.loc)
+            prev = last.get(key)
+            if prev is not None and prev.info.is_known():
+                out.warning(
+                    self.rule_id,
+                    f"{key} reconnected in the same scope; the earlier "
+                    f"driver is dead (last connect wins)",
+                    module=module,
+                    location=s.info,
+                    related=(
+                        Related(prev.info, f"earlier driver of {key}"),
+                    ),
+                )
+            last[key] = s
+
+
+class UninitRegRule(Rule):
+    """Registers with neither reset nor init whose value is read: the first
+    cycles observe the simulator's implicit 0, which real hardware does not
+    guarantee."""
+
+    rule_id = "uninit-reg"
+    description = "register has no reset or init but its value is read"
+
+    def run(self, ctx: LintContext, out: DiagnosticCollector) -> None:
+        for m in ctx.circuit.modules.values():
+            reads = _read_names(m)
+            for s in walk_stmts(m.body):
+                if (
+                    isinstance(s, DefRegister)
+                    and s.reset is None
+                    and s.init is None
+                    and s.name in reads
+                ):
+                    out.warning(
+                        self.rule_id,
+                        f"register {s.name!r} has neither reset nor "
+                        f"init; reads before the first write see an "
+                        f"arbitrary power-on value",
+                        module=m.name,
+                        location=s.info,
+                    )
+
+
+class _ConstCondRule(Rule):
+    """Shared machinery for constant Stop/Printf conditions."""
+
+    stmt_type: type = Stmt
+    noun = ""
+
+    def run(self, ctx: LintContext, out: DiagnosticCollector) -> None:
+        for m in ctx.circuit.modules.values():
+            env = _literal_env(m)
+            for s in walk_stmts(m.body):
+                if not isinstance(s, self.stmt_type):
+                    continue
+                cond = _fold(s.cond, env)
+                if not isinstance(cond, Literal):
+                    continue
+                self.report(s, bool(cond.value), m.name, out)
+
+    def report(
+        self, s: Stmt, always: bool, module: str, out: DiagnosticCollector
+    ) -> None:
+        raise NotImplementedError
+
+
+class ConstStopRule(_ConstCondRule):
+    rule_id = "const-stop"
+    description = "stop condition folds to a constant"
+    stmt_type = Stop
+
+    def report(self, s, always, module, out):
+        msg = (
+            "stop condition is always true; simulation halts at the "
+            "first clock edge"
+            if always
+            else "stop condition is always false; the stop never fires"
+        )
+        out.warning(self.rule_id, msg, module=module, location=s.info)
+
+
+class ConstPrintfRule(_ConstCondRule):
+    rule_id = "const-printf"
+    description = "printf condition folds to a constant"
+    stmt_type = Printf
+
+    def report(self, s, always, module, out):
+        msg = (
+            "printf condition is always true; prints every cycle"
+            if always
+            else "printf condition is always false; never prints"
+        )
+        out.info(self.rule_id, msg, module=module, location=s.info)
+
+
+class ConstMuxRule(Rule):
+    """Mux selects that fold to a constant: one input is unreachable and
+    the mux is an obfuscated wire."""
+
+    rule_id = "const-mux"
+    description = "mux select is constant; one input is unreachable"
+
+    def run(self, ctx: LintContext, out: DiagnosticCollector) -> None:
+        for m in ctx.circuit.modules.values():
+            env = _literal_env(m)
+            for s in walk_stmts(m.body):
+                info = getattr(s, "info", UNKNOWN)
+                for e in _stmt_reads(s):
+                    for node in walk_expr(e):
+                        if not (
+                            isinstance(node, PrimOp) and node.op == "mux"
+                        ):
+                            continue
+                        sel = _fold(node.args[0], env)
+                        if not isinstance(sel, Literal):
+                            continue
+                        arm = "false" if sel.value else "true"
+                        out.warning(
+                            self.rule_id,
+                            f"mux select {node.args[0]} is constant "
+                            f"({sel.value}); the {arm} input is "
+                            f"unreachable",
+                            module=m.name,
+                            location=info,
+                        )
+
+
+def default_rules() -> list[Rule]:
+    """The built-in rule set, in report-stable order."""
+    return [
+        CombCycleRule(),
+        UndrivenRule(),
+        UnusedSignalRule(),
+        WidthTruncRule(),
+        ConstWhenRule(),
+        MultiDrivenRule(),
+        UninitRegRule(),
+        ConstStopRule(),
+        ConstPrintfRule(),
+        ConstMuxRule(),
+    ]
+
+
+ALL_RULES: tuple[type[Rule], ...] = (
+    CombCycleRule,
+    UndrivenRule,
+    UnusedSignalRule,
+    WidthTruncRule,
+    ConstWhenRule,
+    MultiDrivenRule,
+    UninitRegRule,
+    ConstStopRule,
+    ConstPrintfRule,
+    ConstMuxRule,
+)

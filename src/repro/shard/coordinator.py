@@ -17,6 +17,7 @@ against, and the fallback on platforms without ``fork``.
 
 from __future__ import annotations
 
+import contextlib
 import itertools
 import multiprocessing
 import os
@@ -146,7 +147,7 @@ class ShardSession:
             self._server.stop()
             self._server = None
 
-    def __enter__(self) -> "ShardSession":
+    def __enter__(self) -> ShardSession:
         return self
 
     def __exit__(self, *exc) -> bool:
@@ -227,14 +228,15 @@ class ShardSession:
         workers = self.workers
         if workers is None:
             workers = default_workers(len(specs))
-        if workers <= 0 or not _fork_available():
-            report = self._run_inline(specs, on_event)
-        else:
-            report = self._run_pool(
+        report = (
+            self._run_inline(specs, on_event)
+            if workers <= 0 or not _fork_available()
+            else self._run_pool(
                 specs, workers, on_event, timeout,
                 retry if retry is not None else RetryPolicy(),
                 as_deadline_policy(deadline), faults,
             )
+        )
         report.wall_time_s = time.perf_counter() - t0
         return report
 
@@ -572,10 +574,8 @@ def _pump_pipe(conn, token: int, events: queue.Queue) -> None:
             events.put(("event", token, decode_line(data)))
         except WireError:
             events.put(("corrupt", token, None))
-    try:
+    with contextlib.suppress(OSError):
         conn.close()
-    except OSError:
-        pass
     events.put(("eof", token, None))
 
 

@@ -42,7 +42,7 @@ class BreakpointSpec:
         }
 
     @classmethod
-    def from_wire(cls, d: dict) -> "BreakpointSpec":
+    def from_wire(cls, d: dict) -> BreakpointSpec:
         return cls(
             filename=d["filename"],
             line=d["line"],
@@ -67,7 +67,7 @@ class WatchSpec:
         }
 
     @classmethod
-    def from_wire(cls, d: dict) -> "WatchSpec":
+    def from_wire(cls, d: dict) -> WatchSpec:
         return cls(
             name=d["name"],
             instance=d.get("instance"),
@@ -118,7 +118,7 @@ class ShardSpec:
         }
 
     @classmethod
-    def from_wire(cls, d: dict) -> "ShardSpec":
+    def from_wire(cls, d: dict) -> ShardSpec:
         return cls(
             shard_id=d["shard_id"],
             seed=d["seed"],
@@ -189,7 +189,7 @@ class ShardResult:
         }
 
     @classmethod
-    def from_wire(cls, d: dict) -> "ShardResult":
+    def from_wire(cls, d: dict) -> ShardResult:
         return cls(
             shard_id=d["shard_id"],
             seed=d["seed"],

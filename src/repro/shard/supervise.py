@@ -116,7 +116,7 @@ class DeadlinePolicy:
         return self.base_s + self.per_kcycle_s * cycles / 1000.0
 
     @classmethod
-    def fixed(cls, seconds: float, **kwargs) -> "DeadlinePolicy":
+    def fixed(cls, seconds: float, **kwargs) -> DeadlinePolicy:
         """A flat per-attempt deadline (the CLI's ``--deadline S``)."""
         return cls(base_s=seconds, per_kcycle_s=0.0, **kwargs)
 

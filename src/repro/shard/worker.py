@@ -13,6 +13,7 @@ reset asserted for ``reset_cycles`` first.
 
 from __future__ import annotations
 
+import contextlib
 import random
 import time
 
@@ -121,10 +122,9 @@ def run_shard(
     # cadences, preserving the historical event stream exactly.
     on_progress = None
     beat_every = spec.progress_every or max(1, min(spec.cycles // 16, 2048))
-    if spec.progress_every:
-        progress_each = spec.progress_every
-    else:
-        progress_each = beat_every * max(1, (spec.cycles // 4) // beat_every)
+    progress_each = spec.progress_every or beat_every * max(
+        1, (spec.cycles // 4) // beat_every
+    )
     if emit is not None:
         emit(heartbeat_event(spec.shard_id, 0))  # armed: setup finished
 
@@ -206,7 +206,7 @@ def worker_entry(
             )
         emit(done_event(result))
     except Exception as exc:  # noqa: BLE001 - process boundary
-        try:
+        with contextlib.suppress(OSError):
             # The spec itself may be what failed to decode: fall back to
             # the raw wire dict for the shard id so the coordinator still
             # gets the real error instead of a bare pipe EOF.  A
@@ -218,7 +218,5 @@ def worker_entry(
                 shard_id, f"{type(exc).__name__}: {exc}",
                 transient=isinstance(exc, ConnectionError),
             ))
-        except OSError:
-            pass
     finally:
         conn.close()

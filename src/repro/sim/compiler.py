@@ -316,7 +316,8 @@ class CompiledDesign:
 
     def _build_pos_fns(self) -> list:
         src = []
-        for i, (t, code) in enumerate(zip(self.order_targets, self.order_code)):
+        ordered = zip(self.order_targets, self.order_code, strict=False)
+        for i, (t, code) in enumerate(ordered):
             src.append(f"def _p{i}(v, w, m):\n    {self.lane_target(t)} = {code}")
         ns = dict(self.namespace)
         exec(compile("\n".join(src), "<repro-sim-pos>", "exec"), ns)

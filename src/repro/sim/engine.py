@@ -92,6 +92,13 @@ class Simulator(SimulatorInterface):
             ``"numpy"``, or ``"auto"`` (numpy when importable, else typed
             64-bit lanes).  ``None`` defers to ``$REPRO_VALUE_STORE``,
             then ``"auto"``.  See ``repro.sim.store``.
+        strict: compile-time lint gate (``repro.lint``).  ``None`` defers
+            to ``$REPRO_LINT`` (default off); ``"warn"`` runs the linter
+            and reports findings as a ``LintWarning``; ``"error"`` (or
+            ``True``) additionally raises ``LintError`` on error-severity
+            findings (e.g. a combinational cycle) before compiling.  The
+            gate only runs when this simulator compiles the circuit itself
+            — a shared ``compiled`` design is assumed already vetted.
     """
 
     def __init__(
@@ -106,7 +113,16 @@ class Simulator(SimulatorInterface):
         snapshot_bytes: int | None = None,
         snapshot_codec: str | None = None,
         keyframe_every: int = 0,
+        strict=None,
     ):
+        if compiled is None:
+            from ..lint.engine import GATE_OFF, gate_circuit, resolve_gate
+
+            mode = resolve_gate(strict)
+            if mode != GATE_OFF:
+                gate_circuit(
+                    circuit, mode, form="low", design=circuit.name
+                )
         self.design: CompiledDesign = (
             compiled if compiled is not None else compile_design(circuit, top_path)
         )
@@ -321,10 +337,11 @@ class Simulator(SimulatorInterface):
         timeline = self.timeline
         journal = timeline is not None and timeline.snap_mems
         fast = self._fast
-        if fast:
-            tick = design.tick_act_journal if journal else design.tick_act
-        else:
-            tick = design.tick_journal if journal else design.tick
+        tick = (
+            (design.tick_act_journal if journal else design.tick_act)
+            if fast
+            else (design.tick_journal if journal else design.tick)
+        )
         jw = timeline.mem_written.add if journal else None
         ch = self._tick_changed.add
         for _ in range(cycles):
@@ -451,7 +468,7 @@ class Simulator(SimulatorInterface):
         """
         self._settle()
         h = hashlib.sha1(self.store.digest_bytes())
-        for spec, mem in zip(self.design.mems, self.mems):
+        for spec, mem in zip(self.design.mems, self.mems, strict=False):
             if spec.width <= LANE_BITS:
                 h.update(array("Q", mem).tobytes())
             else:

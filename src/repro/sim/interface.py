@@ -53,10 +53,10 @@ class HierNode:
     name: str                 # instance name
     path: str                 # full hierarchical path
     module: str               # module definition name
-    children: list["HierNode"] = field(default_factory=list)
+    children: list[HierNode] = field(default_factory=list)
     signals: list[SignalInfo] = field(default_factory=list)
 
-    def find(self, path: str) -> "HierNode | None":
+    def find(self, path: str) -> HierNode | None:
         """Locate a descendant (or self) by full hierarchical path."""
         if self.path == path:
             return self

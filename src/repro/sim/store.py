@@ -85,7 +85,7 @@ def resolve_store_kind(kind: str | None) -> str:
     return kind
 
 
-def make_store(kind: str | None, design) -> "ValueStore":
+def make_store(kind: str | None, design) -> ValueStore:
     """Build a value store for a compiled design (see :func:`resolve_store_kind`)."""
     resolved = resolve_store_kind(kind)
     cls = {"list": ListStore, "array": ArrayStore, "numpy": NumpyStore}[resolved]
@@ -429,7 +429,8 @@ class NumpyStore(ArrayStore):
 
     def delta_pairs(self, delta) -> list[tuple[int, int]]:
         ks, vals = delta
-        return [(int(i), int(v)) for i, v in zip(ks, vals)]  # ks ascending
+        # ks ascending
+        return [(int(i), int(v)) for i, v in zip(ks, vals, strict=False)]
 
     def encode_rle(self, delta):
         """Vectorized run detection: one ``diff`` over the (ascending)

@@ -431,7 +431,7 @@ class Timeline(TimelineView):
         store.restore_narrow(vals)
         store.restore_wide(entry.wide)
         if mems_rec is not None:
-            for mem, saved in zip(self.mems, mems_rec):
+            for mem, saved in zip(self.mems, mems_rec, strict=False):
                 mem[:] = saved
         self.mem_written.clear()
         if entry.values is None:
@@ -548,7 +548,7 @@ def iter_wire_states(wire: dict):
     mems: list[list[int]] | None = None
     for rec in wire.get("entries", ()):
         if "k" in rec:
-            state = dict(zip(wire.get("state", ()), rec["k"]))
+            state = dict(zip(wire.get("state", ()), rec["k"], strict=False))
             if "m" in rec:
                 mems = [list(m) for m in rec["m"]]
         else:
@@ -604,8 +604,8 @@ def first_state_divergence(states_a: dict, states_b: dict) -> dict | None:
             if va != vb:
                 return {"time": t, "kind": "signal", "index": i, "a": va, "b": vb}
         if ma is not None and mb is not None:
-            for mi, (mem_a, mem_b) in enumerate(zip(ma, mb)):
-                for a_, (va, vb) in enumerate(zip(mem_a, mem_b)):
+            for mi, (mem_a, mem_b) in enumerate(zip(ma, mb, strict=False)):
+                for a_, (va, vb) in enumerate(zip(mem_a, mem_b, strict=False)):
                     if va != vb:
                         return {
                             "time": t,

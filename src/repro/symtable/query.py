@@ -140,10 +140,11 @@ class SQLiteSymbolTable(SymbolTableInterface):
     """Native symbol table over the Fig. 3 SQLite schema."""
 
     def __init__(self, conn_or_path):
-        if isinstance(conn_or_path, sqlite3.Connection):
-            self.conn = conn_or_path
-        else:
-            self.conn = open_symbol_db(conn_or_path)
+        self.conn = (
+            conn_or_path
+            if isinstance(conn_or_path, sqlite3.Connection)
+            else open_symbol_db(conn_or_path)
+        )
         self.conn.row_factory = sqlite3.Row
 
     def breakpoints_at(self, filename, line, column=None) -> list[BreakpointRec]:

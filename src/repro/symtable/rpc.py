@@ -12,6 +12,7 @@ irrelevant to the protocol content — see DESIGN.md substitutions.)
 
 from __future__ import annotations
 
+import contextlib
 import json
 import socket
 import socketserver
@@ -171,17 +172,15 @@ class RPCSymbolTable(SymbolTableInterface):
         self._file = self._sock.makefile("rwb")
 
     def _drop_connection(self) -> None:
-        try:
+        with contextlib.suppress(OSError):
             self._file.close()
             self._sock.close()
-        except OSError:
-            pass
 
     def close(self) -> None:
         self._closed = True
         self._drop_connection()
 
-    def __enter__(self) -> "RPCSymbolTable":
+    def __enter__(self) -> RPCSymbolTable:
         return self
 
     def __exit__(self, *exc) -> bool:

@@ -53,7 +53,7 @@ class VcdScope:
 
     name: str
     path: str
-    children: list["VcdScope"] = field(default_factory=list)
+    children: list[VcdScope] = field(default_factory=list)
     signals: list[VcdSignal] = field(default_factory=list)
 
 
@@ -86,10 +86,7 @@ def _parse_value(token: str) -> int:
 
 def parse_vcd(source: str | io.TextIOBase) -> VcdFile:
     """Parse VCD text (a path-less string or an open file object)."""
-    if isinstance(source, str):
-        stream = io.StringIO(source)
-    else:
-        stream = source
+    stream = io.StringIO(source) if isinstance(source, str) else source
 
     tokens = _tokenize(stream)
     root_scopes: list[VcdScope] = []

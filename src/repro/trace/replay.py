@@ -45,7 +45,7 @@ class ReplayEngine(SimulatorInterface):
                 raise SimulatorError("could not locate a clock in the trace")
         self._clock = clock
         self._posedges = [
-            t for t, v in zip(clock.times, clock.values) if v == 1
+            t for t, v in zip(clock.times, clock.values, strict=False) if v == 1
         ]
         if not self._posedges:
             raise SimulatorError("trace contains no clock rising edges")
@@ -56,7 +56,7 @@ class ReplayEngine(SimulatorInterface):
         self.timeline = FullTraceTimeline(len(self._posedges), label="VCD replay")
 
     @classmethod
-    def from_file(cls, path: str, clock_path: str | None = None) -> "ReplayEngine":
+    def from_file(cls, path: str, clock_path: str | None = None) -> ReplayEngine:
         return cls(parse_vcd_file(path), clock_path)
 
     # -- replay control ----------------------------------------------------

@@ -34,7 +34,7 @@ def _gen_loop_program(rng: random.Random) -> str:
     n = rng.randrange(3, 12)
     ops = ["add", "sub", "xor", "or", "and", "sll", "srl", "sra", "mul"]
     body = []
-    for i in range(rng.randrange(2, 8)):
+    for _ in range(rng.randrange(2, 8)):
         op = rng.choice(ops)
         body.append(f"    {op} t2, t0, t1")
         body.append("    add s3, s3, t2")
@@ -60,7 +60,7 @@ def _gen_memory_program(rng: random.Random) -> str:
     """Random word stores and loads over a scratch region."""
     lines = ["li sp, 0x7FF0", "li s3, 0", "li s0, 0x5000"]
     slots = rng.randrange(4, 16)
-    for i in range(rng.randrange(5, 20)):
+    for _ in range(rng.randrange(5, 20)):
         slot = rng.randrange(slots) * 4
         if rng.random() < 0.5:
             lines.append(f"li t0, {rng.randrange(1 << 31)}")

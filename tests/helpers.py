@@ -104,7 +104,7 @@ class SumLoop(hgf.Module):
         self.result <<= total.value
 
 
-def line_of(design: "repro.Design", sink: str, module: str | None = None) -> tuple[str, int]:
+def line_of(design: repro.Design, sink: str, module: str | None = None) -> tuple[str, int]:
     """(filename, line) of the first debug entry assigning ``sink``."""
     for entry in design.debug_info.all_entries():
         if entry.sink == sink and (module is None or entry.module == module):

@@ -113,9 +113,8 @@ class TestWhenChains:
             def __init__(self):
                 super().__init__()
                 self.a = self.input("a", 1)
-                with pytest.raises(HgfError):
-                    with self.elsewhen(self.a == 1):
-                        pass
+                with pytest.raises(HgfError), self.elsewhen(self.a == 1):
+                    pass
                 self.o = self.output("o", 1)
                 self.o <<= 0
 
@@ -125,9 +124,8 @@ class TestWhenChains:
         class M(hgf.Module):
             def __init__(self):
                 super().__init__()
-                with pytest.raises(HgfError):
-                    with self.otherwise():
-                        pass
+                with pytest.raises(HgfError), self.otherwise():
+                    pass
                 self.o = self.output("o", 1)
                 self.o <<= 0
 

@@ -50,10 +50,8 @@ def _interpret(program, a: int, b: int, c: int, current: int) -> int:
             current = values[stmt[1]]
         else:
             _kind, bit, then_p, else_p = stmt
-            if bits[bit]:
-                current = _interpret(then_p, a, b, c, current)
-            else:
-                current = _interpret(else_p, a, b, c, current)
+            branch = then_p if bits[bit] else else_p
+            current = _interpret(branch, a, b, c, current)
     return current
 
 

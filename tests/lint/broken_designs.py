@@ -1,0 +1,36 @@
+"""Deliberately broken factories for CLI/gate integration tests.
+
+Importable as ``tests.lint.broken_designs:NAME`` — the same factory-spec
+syntax the ``hgdb-py lint`` and ``hgdb-py shard`` subcommands take.
+"""
+
+import repro.hgf as hgf
+
+
+class Loopy(hgf.Module):
+    """Combinational cycle through two wires: an error-severity finding."""
+
+    def __init__(self):
+        super().__init__()
+        out = self.output("out", 4)
+        w1 = self.wire("w1", 4)
+        w2 = self.wire("w2", 4)
+        w1 <<= (w2 + 1)[3:0]
+        w2 <<= (w1 + 1)[3:0]
+        out <<= w1
+
+
+class Sloppy(hgf.Module):
+    """Warning-only findings: an unused register and a lossy connect."""
+
+    def __init__(self):
+        super().__init__()
+        a = self.input("a", 4)
+        out = self.output("out", 4)
+        ghost = self.reg("ghost", 4, init=0)
+        ghost <<= (ghost + 1)[3:0]
+        out <<= a * a
+
+
+def not_a_module():
+    return object()

@@ -1,0 +1,124 @@
+"""Form checkers report every violation in one batch, not just the first."""
+
+import pytest
+
+import repro
+import repro.hgf as hgf
+from repro.ir.expr import Literal, Ref
+from repro.ir.passes.check import (
+    CheckError,
+    check_high_form,
+    check_low_form,
+    high_form_diagnostics,
+    low_form_diagnostics,
+)
+from repro.ir.source import SourceInfo
+from repro.ir.stmt import Block, Circuit, Connect, DefWire, ModuleIR, Port
+from repro.ir.types import UIntType
+from repro.lint import Severity
+
+
+def _broken_high() -> Circuit:
+    """Two independent violations: a duplicate wire and an undeclared ref."""
+    u4 = UIntType(4)
+    m = ModuleIR(
+        name="Top",
+        ports=[Port("out", "output", u4)],
+        body=Block(
+            (
+                DefWire("w", u4, SourceInfo("t.py", 3, 0)),
+                DefWire("w", u4, SourceInfo("t.py", 4, 0)),
+                Connect(
+                    Ref("out", u4),
+                    Ref("ghost", u4),
+                    SourceInfo("t.py", 5, 0),
+                ),
+            )
+        ),
+    )
+    return Circuit(name="Top", modules={"Top": m}, main="Top")
+
+
+def _broken_low() -> Circuit:
+    """Two drivers for the same sink plus a width-mismatched connect."""
+    u4, u8 = UIntType(4), UIntType(8)
+    m = ModuleIR(
+        name="Top",
+        ports=[Port("out", "output", u4)],
+        body=Block(
+            (
+                Connect(Ref("out", u4), Literal(1, u4), SourceInfo("t.py", 2, 0)),
+                Connect(Ref("out", u4), Literal(2, u4), SourceInfo("t.py", 3, 0)),
+                DefWire("wide", u8, SourceInfo("t.py", 4, 0)),
+                Connect(
+                    Ref("wide", u8), Literal(1, u4), SourceInfo("t.py", 5, 0)
+                ),
+            )
+        ),
+    )
+    return Circuit(name="Top", modules={"Top": m}, main="Top")
+
+
+class TestHighFormCollectsAll:
+    def test_all_violations_reported(self):
+        diags = high_form_diagnostics(_broken_high())
+        assert sorted(d.rule for d in diags) == ["duplicate-def", "undeclared-ref"]
+        assert all(d.severity is Severity.ERROR for d in diags)
+        assert all(d.module == "Top" for d in diags)
+
+    def test_locations_point_at_the_statements(self):
+        by_rule = {d.rule: d for d in high_form_diagnostics(_broken_high())}
+        assert by_rule["duplicate-def"].location.line == 4
+        assert by_rule["undeclared-ref"].location.line == 5
+
+    def test_check_error_carries_the_batch(self):
+        with pytest.raises(CheckError) as exc_info:
+            check_high_form(_broken_high())
+        err = exc_info.value
+        assert len(err.diagnostics) == 2
+        assert "2 form violations:" in str(err)
+        assert "duplicate definition of 'w'" in str(err)
+        assert "undeclared name 'ghost'" in str(err)
+
+    def test_single_violation_keeps_bare_message(self):
+        u4 = UIntType(4)
+        m = ModuleIR(
+            name="Top",
+            ports=[Port("out", "output", u4)],
+            body=Block((Connect(Ref("out", u4), Ref("nope", u4)),)),
+        )
+        circuit = Circuit(name="Top", modules={"Top": m}, main="Top")
+        with pytest.raises(CheckError) as exc_info:
+            check_high_form(circuit)
+        assert "form violations" not in str(exc_info.value)
+        assert "undeclared name 'nope'" in str(exc_info.value)
+
+
+class TestLowFormCollectsAll:
+    def test_all_violations_reported(self):
+        rules = sorted(d.rule for d in low_form_diagnostics(_broken_low()))
+        assert rules == ["connect-width-low", "multi-driver-low"]
+
+    def test_check_error_lists_both(self):
+        with pytest.raises(CheckError) as exc_info:
+            check_low_form(_broken_low())
+        msg = str(exc_info.value)
+        assert "2 form violations:" in msg
+        assert "multiple drivers for 'out'" in msg
+        assert "width mismatch connecting 'wide'" in msg
+
+
+class TestCleanCircuits:
+    def test_compiled_design_passes_both_checkers(self):
+        class Inc(hgf.Module):
+            def __init__(self):
+                super().__init__()
+                a = self.input("a", 4)
+                out = self.output("out", 4)
+                out <<= (a + 1)[3:0]
+
+        design = repro.compile(Inc())
+        assert high_form_diagnostics(design.high) == []
+        assert low_form_diagnostics(design.low) == []
+        check_high_form(design.high)
+        check_low_form(design.low)

@@ -1,0 +1,78 @@
+"""Property: every shipped design lints error-clean.
+
+Warnings are allowed (real designs legitimately carry info/warning
+findings), but an error-severity diagnostic on a design that compiles and
+simulates would mean a rule is wrong — this is the regression net for
+false positives.
+"""
+
+import pytest
+
+import repro
+import repro.hgf as hgf
+from examples.ide_session import Simd4
+from examples.quickstart import PacketFilter
+from examples.reverse_debugging import Fifo
+from repro.cpu import RV32Core, assemble
+from repro.cpu.cpu import Alu
+from repro.fpu import FCmp, FpuCmp
+from repro.lint import Severity, lint_circuit
+from tests.helpers import (
+    Accumulator,
+    AluLike,
+    Counter,
+    SumLoop,
+    TwoLeaves,
+)
+
+DESIGNS = [
+    pytest.param(Counter, id="Counter"),
+    pytest.param(Accumulator, id="Accumulator"),
+    pytest.param(AluLike, id="AluLike"),
+    pytest.param(SumLoop, id="SumLoop"),
+    pytest.param(TwoLeaves, id="TwoLeaves"),
+    pytest.param(PacketFilter, id="PacketFilter"),
+    pytest.param(Fifo, id="Fifo"),
+    pytest.param(Simd4, id="Simd4"),
+    pytest.param(Alu, id="Alu"),
+    pytest.param(FCmp, id="FCmp"),
+    pytest.param(FpuCmp, id="FpuCmp"),
+    pytest.param(
+        lambda: RV32Core(assemble("addi x0, x0, 0").words, mem_words=64),
+        id="RV32Core",
+    ),
+]
+
+
+def _errors(diags):
+    return [d for d in diags if d.severity >= Severity.ERROR]
+
+
+@pytest.mark.parametrize("factory", DESIGNS)
+def test_high_form_is_error_clean(factory):
+    circuit = hgf.elaborate(factory())
+    diags = lint_circuit(circuit, form="high")
+    assert _errors(diags) == [], "\n".join(d.format() for d in _errors(diags))
+
+
+@pytest.mark.parametrize("factory", DESIGNS)
+def test_low_form_is_error_clean(factory):
+    design = repro.compile(factory())
+    diags = lint_circuit(design.low, form="low")
+    assert _errors(diags) == [], "\n".join(d.format() for d in _errors(diags))
+
+
+def test_design_lint_helper_matches_direct_call():
+    design = repro.compile(Counter())
+    via_helper = design.lint()
+    direct = lint_circuit(design.high, form="high")
+    assert [d.format() for d in via_helper] == [d.format() for d in direct]
+
+
+def test_no_lowering_failures_on_shipped_designs():
+    for param in DESIGNS:
+        factory = param.values[0]
+        diags = lint_circuit(hgf.elaborate(factory()), form="high")
+        assert not any(d.rule == "lowering-failed" for d in diags)
+        assert not any(d.rule == "lint-internal" for d in diags)
+        assert not any(d.rule == "check-internal" for d in diags)

@@ -1,0 +1,134 @@
+"""Diagnostic core: severity ordering, formatting, JSON schema, collector."""
+
+import pytest
+
+from repro.ir.source import UNKNOWN, SourceInfo
+from repro.lint import (
+    Diagnostic,
+    DiagnosticCollector,
+    Related,
+    Severity,
+    diagnostics_to_json,
+    format_diagnostics,
+    has_errors,
+    worst_severity,
+)
+
+
+class TestSeverity:
+    def test_ordering(self):
+        assert Severity.INFO < Severity.WARNING < Severity.ERROR
+        assert max([Severity.WARNING, Severity.ERROR]) is Severity.ERROR
+
+    def test_str_is_lowercase_name(self):
+        assert str(Severity.WARNING) == "warning"
+
+    def test_parse_roundtrip(self):
+        for s in Severity:
+            assert Severity.parse(str(s)) is s
+        assert Severity.parse(" ERROR ") is Severity.ERROR
+
+    def test_parse_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown severity"):
+            Severity.parse("fatal")
+
+
+def _diag(line=10, rule="undriven", severity=Severity.WARNING, **kw):
+    return Diagnostic(
+        rule=rule,
+        severity=severity,
+        message=kw.pop("message", "wire 'w' is never driven"),
+        module=kw.pop("module", "Top"),
+        location=SourceInfo("design.py", line, 0),
+        **kw,
+    )
+
+
+class TestDiagnostic:
+    def test_format_is_file_line_rule_message(self):
+        text = _diag().format()
+        assert text == (
+            "design.py:10: warning: [undriven] wire 'w' is never driven "
+            "(module Top)"
+        )
+
+    def test_format_unknown_location(self):
+        d = Diagnostic("missing-main", Severity.ERROR, "main missing")
+        assert d.format().startswith("<unknown>: error: [missing-main]")
+
+    def test_format_renders_related(self):
+        d = _diag(
+            related=(Related(SourceInfo("design.py", 4, 0), "earlier"),)
+        )
+        lines = d.format().splitlines()
+        assert lines[1] == "    related: design.py:4: earlier"
+
+    def test_to_json_fields(self):
+        doc = _diag().to_json()
+        assert doc["rule"] == "undriven"
+        assert doc["severity"] == "warning"
+        assert doc["file"] == "design.py"
+        assert doc["line"] == 10
+        assert doc["related"] == []
+
+    def test_sort_unknown_locations_last(self):
+        known = _diag(line=50)
+        unknown = Diagnostic("x", Severity.ERROR, "m", location=UNKNOWN)
+        ordered = sorted([unknown, known], key=Diagnostic.sort_key)
+        assert ordered == [known, unknown]
+
+    def test_sort_by_location_then_severity(self):
+        late = _diag(line=20)
+        early_warn = _diag(line=5)
+        early_err = _diag(line=5, severity=Severity.ERROR, rule="comb-cycle")
+        ordered = sorted(
+            [late, early_warn, early_err], key=Diagnostic.sort_key
+        )
+        assert ordered == [early_err, early_warn, late]
+
+
+class TestCollector:
+    def test_emit_levels_and_worst(self):
+        out = DiagnosticCollector()
+        out.info("a", "i")
+        out.warning("b", "w")
+        assert out.worst() is Severity.WARNING
+        out.error("c", "e")
+        assert out.worst() is Severity.ERROR
+        assert len(out) == 3
+        assert [d.rule for d in out] == ["a", "b", "c"]
+
+    def test_empty_worst_is_none(self):
+        assert DiagnosticCollector().worst() is None
+        assert worst_severity([]) is None
+
+    def test_has_errors(self):
+        out = DiagnosticCollector()
+        out.warning("a", "w")
+        assert not has_errors(out)
+        out.error("b", "e")
+        assert has_errors(out)
+
+
+class TestJsonDocument:
+    def test_counts_and_order(self):
+        doc = diagnostics_to_json(
+            [_diag(line=9), _diag(line=2, severity=Severity.ERROR)],
+            design="Top",
+        )
+        assert doc["version"] == 1
+        assert doc["design"] == "Top"
+        assert doc["counts"] == {"error": 1, "warning": 1}
+        assert [d["line"] for d in doc["diagnostics"]] == [2, 9]
+
+    def test_json_serializable(self):
+        import json
+
+        json.dumps(diagnostics_to_json([_diag()]))
+
+
+def test_format_diagnostics_sorts_and_joins():
+    text = format_diagnostics([_diag(line=30), _diag(line=3)])
+    first, second = text.splitlines()
+    assert first.startswith("design.py:3:")
+    assert second.startswith("design.py:30:")

@@ -75,7 +75,7 @@ def test_chaos_sweep_is_bit_identical_to_fault_free(
         )
     assert report.ok, report.summary()
     assert len(report.results) == SHARDS
-    for got, want in zip(report.results, reference.results):
+    for got, want in zip(report.results, reference.results, strict=False):
         assert got.shard_id == want.shard_id and got.seed == want.seed
         assert got.cycles == want.cycles
         assert got.hits == want.hits
@@ -107,5 +107,5 @@ def test_chaos_plan_actually_bites(sweep, reference):
     assert report.ok
     assert len(report.retried) == SHARDS
     assert report.total_attempts == 2 * SHARDS
-    for got, want in zip(report.results, reference.results):
+    for got, want in zip(report.results, reference.results, strict=False):
         assert got.state_digest == want.state_digest

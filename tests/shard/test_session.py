@@ -47,7 +47,7 @@ class TestEndToEnd:
             mp_report = mp_session.sweep(**kwargs)
         with ShardSession(d, workers=0) as inline_session:
             inline_report = inline_session.sweep(**kwargs)
-        for a, b in zip(mp_report.results, inline_report.results):
+        for a, b in zip(mp_report.results, inline_report.results, strict=False):
             assert a.shard_id == b.shard_id and a.seed == b.seed
             assert a.cycles == b.cycles
             assert a.hits == b.hits

@@ -147,7 +147,7 @@ class TestCrashRecovery:
         assert [f["class"] for f in hurt.failures] == ["crash"]
         assert "exit code" in hurt.failures[0]["message"]
         # the retried shard is bit-identical to the fault-free reference
-        for got, want in zip(report.results, reference.results):
+        for got, want in zip(report.results, reference.results, strict=False):
             assert got.state_digest == want.state_digest
             assert got.hits == want.hits
 
@@ -302,7 +302,7 @@ class TestExhaustionAndDegradation:
         plan = FaultPlan(seed=0, rpc_rate=1.0, rpc_kinds=("drop",))
         report = _sweep(d, bp, faults=plan)
         assert report.ok
-        for got, want in zip(report.results, reference.results):
+        for got, want in zip(report.results, reference.results, strict=False):
             assert got.attempts == FAST.max_attempts + 1
             assert {f["class"] for f in got.failures} == {"rpc"}
             assert got.state_digest == want.state_digest

@@ -379,7 +379,8 @@ def test_levelized_schedule_invariants(mod_cls):
     the schedule into contiguous same-level runs."""
     design = repro.compile(mod_cls())
     cd = Simulator(design.low).design
-    level_of = {t: lvl for t, lvl in zip(cd.order_targets, cd.order_level)}
+    pairs = zip(cd.order_targets, cd.order_level, strict=False)
+    level_of = {t: lvl for t, lvl in pairs}
     for pos, deps in enumerate(cd.order_deps):
         for dep in deps:
             if dep in level_of and dep != cd.order_targets[pos]:

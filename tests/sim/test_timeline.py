@@ -174,7 +174,7 @@ class TestKeyframes:
         assert sum(kinds) >= 3  # head + periodic keyframes
         # Between two keyframes there are exactly keyframe_every deltas.
         key_pos = [i for i, k in enumerate(kinds) if k]
-        assert all(b - a == 9 for a, b in zip(key_pos, key_pos[1:]))
+        assert all(b - a == 9 for a, b in zip(key_pos, key_pos[1:], strict=False))
 
     def test_rewind_onto_periodic_keyframe_and_resume(self):
         sim = _counter(snapshots=64, snapshot_codec="rle", keyframe_every=4)

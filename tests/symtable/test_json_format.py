@@ -33,7 +33,7 @@ class TestRoundTrip:
         bps1 = st.all_breakpoints()
         bps2 = st2.all_breakpoints()
         assert len(bps1) == len(bps2)
-        for a, b in zip(bps1, bps2):
+        for a, b in zip(bps1, bps2, strict=False):
             assert (a.filename, a.line, a.node, a.enable) == (
                 b.filename, b.line, b.node, b.enable,
             )

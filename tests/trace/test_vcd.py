@@ -85,7 +85,7 @@ class TestRoundTrip:
         vcd = parse_vcd(open(path).read())
         clk = vcd.find_clock()
         assert clk is not None
-        rising = [t for t, v in zip(clk.times, clk.values) if v == 1]
+        rising = [t for t, v in zip(clk.times, clk.values, strict=False) if v == 1]
         assert len(rising) == 5  # reset cycle + 4 steps
 
     def test_hierarchy_preserved(self, tmp_path):
