@@ -333,6 +333,48 @@ def test_fastpath_vectorized_store_speedup(capsys):
         assert speedup >= 1.3, f"vectorized store only {speedup:.2f}x"
 
 
+# -- observability off-mode overhead ----------------------------------------
+
+
+def test_fastpath_obs_disabled_overhead(compiled_suite, capsys):
+    """Observability must be free when off (and nearly free in metrics
+    mode): hot objects bump always-on plain ints either way, and the
+    registry is only touched at snapshot time.  Runs the poke-heavy
+    workload with ``obs="off"`` vs ``obs="metrics"`` and pins the ratio.
+    The two paths must also stay bit-identical."""
+    _bench, design, _st = compiled_suite[("vvadd", False)]
+    sims = {}
+    for mode in ("off", "metrics"):
+        sim = Simulator(design.low, fast=True, obs=mode)
+        sim.reset()
+        _poke_workload(sim, 2)  # warm cone caches equally
+        sims[mode] = sim
+
+    t_off = _best_of(_poke_workload, sims["off"], _POKE_CYCLES)
+    t_metrics = _best_of(_poke_workload, sims["metrics"], _POKE_CYCLES)
+
+    assert sims["off"].state_digest() == sims["metrics"].state_digest()
+    assert sims["off"].values == sims["metrics"].values
+    # The enabled side actually collected: the snapshot carries the ticks.
+    snap = sims["metrics"].obs.metrics.snapshot()
+    ticks = next(
+        m for m in snap["metrics"] if m["name"] == "sim_ticks_total"
+    )
+    assert ticks["value"] == sims["metrics"].stats()["ticks"]
+
+    overhead = t_metrics / t_off
+    with capsys.disabled():
+        print(
+            f"\n=== fastpath: observability overhead (poke-heavy workload, "
+            f"{_POKE_CYCLES} cycles) ===\n"
+            f"obs=off:     {t_off * 1e3:8.2f} ms\n"
+            f"obs=metrics: {t_metrics * 1e3:8.2f} ms\n"
+            f"ratio: {overhead:.3f}x (bar: <= 1.05x)"
+        )
+    if not _SMOKE:
+        assert overhead <= 1.05, f"metrics-mode overhead {overhead:.3f}x"
+
+
 def test_fastpath_armed_stepping_report(capsys):
     """End-to-end: armed stepping (simulation + scheduling + conditions)
     with both paths enabled vs. both references.  Reported for context; the

@@ -8,6 +8,13 @@ engineer would actually use with trace files and symbol tables on disk::
     hgdb-py vcd-info run.vcd                   # inspect a trace
     hgdb-py shard pkg.mod:factory -b f.py:42   # parallel seed sweep
     hgdb-py lint pkg.mod:factory --json        # static analysis gate
+    hgdb-py stats pkg.mod:factory              # profile one shard run
+
+Observability (``repro.obs``, see docs/observability.md): ``stats`` runs
+one instrumented shard and prints the metric catalog; ``shard
+--trace-out t.json`` records a merged Chrome trace (coordinator + every
+worker) loadable in Perfetto, and ``--prometheus m.prom`` writes the
+aggregated metrics in text exposition format.
 
 Also usable as ``python -m repro.cli ...``.
 """
@@ -209,8 +216,21 @@ def _cmd_shard(args) -> int:
                 f"{ev['hits']} hit(s)"
             )
 
+    # Exporter flags imply the depth they need; an explicit --obs wins.
+    obs_mode = args.obs
+    if obs_mode is None and args.trace_out:
+        obs_mode = "trace"
+    elif obs_mode is None and args.prometheus:
+        obs_mode = "metrics"
+    if args.trace_out and obs_mode != "trace":
+        print(
+            f"error: --trace-out needs --obs trace, not {obs_mode!r}",
+            file=sys.stderr,
+        )
+        return 2
+
     retry = RetryPolicy(max_attempts=max(1, args.retries))
-    with ShardSession(design, workers=args.workers) as session:
+    with ShardSession(design, workers=args.workers, obs=obs_mode) as session:
         report = session.sweep(
             shards=args.shards,
             cycles=args.cycles,
@@ -231,7 +251,56 @@ def _cmd_shard(args) -> int:
             json.dump(report.to_json(), f, indent=2)
             f.write("\n")
         print(f"wrote {args.json}")
+    if args.trace_out:
+        report.write_chrome_trace(args.trace_out)
+        print(f"wrote {args.trace_out} ({len(report.trace_spans())} span(s))")
+    if args.prometheus:
+        with open(args.prometheus, "w") as f:
+            f.write(report.prometheus())
+        print(f"wrote {args.prometheus}")
     return 0 if report.ok else 1
+
+
+def _cmd_stats(args) -> int:
+    import json
+
+    import repro
+    from .obs import format_metrics, make_obs, write_chrome_trace, write_prometheus
+    from .shard import ShardSpec
+    from .shard.worker import run_shard
+    from .symtable import SQLiteSymbolTable
+    from .symtable.writer import write_symbol_table
+
+    factory = _load_factory(args.factory)
+    if factory is None:
+        return 2
+    design = repro.compile(factory(), debug=args.debug)
+    symtable = SQLiteSymbolTable(write_symbol_table(design))
+    mode = "trace" if args.trace_out else "metrics"
+    obs = make_obs(mode, proc="stats", labels={"shard": "0"})
+    spec = ShardSpec(
+        shard_id=0, seed=args.seed, cycles=args.cycles,
+        timeline_cycles=args.timeline,
+    )
+    result = run_shard(design.low, symtable, spec, obs=obs)
+    snapshot = obs.metrics.snapshot()
+    print(
+        f"{design.name}: {result.cycles} cycles in {result.wall_time_s:.3f}s "
+        f"(seed {spec.seed})"
+    )
+    print(format_metrics(snapshot))
+    if args.json:
+        with open(args.json, "w") as f:
+            json.dump(snapshot, f, indent=2)
+            f.write("\n")
+        print(f"wrote {args.json}")
+    if args.trace_out:
+        write_chrome_trace(args.trace_out, obs.tracer.spans)
+        print(f"wrote {args.trace_out} ({len(obs.tracer.spans)} span(s))")
+    if args.prometheus:
+        write_prometheus(args.prometheus, snapshot)
+        print(f"wrote {args.prometheus}")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -349,6 +418,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", help="also write the aggregated report as JSON"
     )
     p_shard.add_argument(
+        "--obs", choices=["off", "metrics", "trace"], default=None,
+        help="observability depth (repro.obs) for the coordinator and "
+             "every worker; default: $REPRO_OBS, then off.  Implied by "
+             "--trace-out (trace) and --prometheus (metrics)",
+    )
+    p_shard.add_argument(
+        "--trace-out", metavar="PATH",
+        help="write the sweep's merged Chrome trace (coordinator + every "
+             "worker on one timeline; open in Perfetto)",
+    )
+    p_shard.add_argument(
+        "--prometheus", metavar="PATH",
+        help="write the aggregated metrics in Prometheus text format",
+    )
+    p_shard.add_argument(
         "--debug", action="store_true",
         help="compile in debug mode (-O0 analog; keeps every variable)",
     )
@@ -357,6 +441,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="print per-shard progress events as they stream in",
     )
     p_shard.set_defaults(fn=_cmd_shard)
+
+    p_stats = sub.add_parser(
+        "stats",
+        help="run one instrumented shard and print its metric catalog",
+    )
+    p_stats.add_argument(
+        "factory",
+        help="design factory as MODULE:CALLABLE returning an hgf.Module",
+    )
+    p_stats.add_argument(
+        "--cycles", type=int, default=1000, help="cycles to run"
+    )
+    p_stats.add_argument("--seed", type=int, default=0, help="stimulus seed")
+    p_stats.add_argument(
+        "--timeline", type=int, default=0, metavar="N",
+        help="also retain N cycles of compressed history (exercises the "
+             "timeline metrics)",
+    )
+    p_stats.add_argument(
+        "--json", metavar="PATH", help="write the metrics snapshot as JSON"
+    )
+    p_stats.add_argument(
+        "--trace-out", metavar="PATH",
+        help="record spans too and write a Chrome trace (Perfetto)",
+    )
+    p_stats.add_argument(
+        "--prometheus", metavar="PATH",
+        help="write the snapshot in Prometheus text format",
+    )
+    p_stats.add_argument(
+        "--debug", action="store_true",
+        help="compile in debug mode (-O0 analog; keeps every variable)",
+    )
+    p_stats.set_defaults(fn=_cmd_stats)
     return parser
 
 

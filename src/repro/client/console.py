@@ -27,6 +27,9 @@ Commands::
     timeline history NAME [N]  last N retained values of a signal
     lint [SEVERITY]          static analysis of the attached circuit
                              (findings at/above SEVERITY; docs/lint.md)
+    stats                    simulator execution counters; full metric
+                             catalog when observability is armed
+                             (docs/observability.md)
     shard N CYCLES [SEED] [retries=K] [deadline=S]
                              parallel sweep: run N seeds of this design
                              with the current breakpoints, aggregate hits;
@@ -188,6 +191,8 @@ class ConsoleDebugger:
             self._cmd_lint(args)
         elif cmd == "shard":
             self._cmd_shard(args)
+        elif cmd == "stats":
+            self._cmd_stats(args)
         else:
             self._out(f"unknown command {cmd!r}; try c/s/rs/rc/b/p/info/q")
         return None
@@ -430,6 +435,24 @@ class ConsoleDebugger:
             )
         for line in report.summary().splitlines():
             self._out(line)
+
+    def _cmd_stats(self, args: list[str]) -> None:
+        """``stats``: print the attached simulator's execution counters
+        (ticks, settle passes, cone-cache traffic, timeline retention),
+        plus the full metric catalog when the session was started with
+        observability armed (``$REPRO_OBS`` / ``Simulator(obs=...)``)."""
+        stats_fn = getattr(self.runtime.sim, "stats", None)
+        if stats_fn is None:
+            self._out("stats: no counters on this backend (trace replay session)")
+            return
+        for key, value in stats_fn().items():
+            self._out(f"  {key:<24} {value}")
+        obs = getattr(self.runtime.sim, "obs", None)
+        if obs is not None and getattr(obs, "metrics", None) is not None:
+            from ..obs import format_metrics
+
+            for line in format_metrics(obs.metrics.snapshot()).splitlines():
+                self._out(line)
 
     def _frame(self):
         if self.current_hit is None:

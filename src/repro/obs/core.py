@@ -1,0 +1,120 @@
+"""The Obs facade: mode resolution and the no-op fast path.
+
+Three depths, cumulative:
+
+``off``      nothing is collected.  Hot objects still bump their plain
+             ints (cheaper than a guard); everything registry- or
+             tracer-shaped short-circuits on ``NULL_OBS``.
+``metrics``  counters/gauges/histograms collected; no spans.
+``trace``    metrics plus spans.
+
+Resolution order for an unspecified mode: the process-wide value set by
+:func:`configure` (used by the CLI so forked shard workers inherit it),
+then ``$REPRO_OBS``, then ``off``.
+"""
+
+from __future__ import annotations
+
+import os
+
+from .metrics import MetricsRegistry
+from .tracer import NULL_SPAN, Tracer
+
+OBS_ENV = "REPRO_OBS"
+MODES = ("off", "metrics", "trace")
+
+_configured: str | None = None
+
+
+def configure(mode: str | None) -> None:
+    """Set the process-wide default mode (overrides ``$REPRO_OBS``)."""
+    global _configured
+    if mode is not None and mode not in MODES:
+        raise ValueError(f"unknown obs mode {mode!r}; expected one of {MODES}")
+    _configured = mode
+
+
+def configured_mode() -> str | None:
+    return _configured
+
+
+def resolve_mode(mode: str | None = None) -> str:
+    """Resolve an explicit/None mode to one of ``MODES``."""
+    if mode is None:
+        mode = _configured
+    if mode is None:
+        mode = os.environ.get(OBS_ENV, "off").strip().lower() or "off"
+    if mode not in MODES:
+        raise ValueError(f"unknown obs mode {mode!r}; expected one of {MODES}")
+    return mode
+
+
+class Obs:
+    """What instrumented layers hold: a mode, a registry, maybe a tracer.
+
+    ``metrics`` is ``None`` in off mode and ``tracer`` is ``None`` unless
+    mode is ``trace`` — instrumentation sites test those attributes (an
+    attribute load plus an ``is None`` check) rather than calling through
+    virtual no-ops, keeping the disabled path flat.
+    """
+
+    __slots__ = ("mode", "metrics", "tracer")
+
+    def __init__(self, mode: str, proc: str = "main", labels: dict | None = None):
+        if mode not in MODES:
+            raise ValueError(f"unknown obs mode {mode!r}; expected one of {MODES}")
+        self.mode = mode
+        self.metrics = MetricsRegistry(default_labels=labels) if mode != "off" else None
+        self.tracer = Tracer(proc=proc) if mode == "trace" else None
+
+    @property
+    def enabled(self) -> bool:
+        return self.mode != "off"
+
+    def span(self, name: str, **args):
+        """Span context manager; a shared no-op when tracing is off."""
+        if self.tracer is None:
+            return NULL_SPAN
+        return self.tracer.span(name, **args)
+
+    def to_wire(self) -> dict | None:
+        """JSON-safe dump: metrics snapshot + spans (rides the shard wire)."""
+        if self.metrics is None:
+            return None
+        out: dict = {"metrics": self.metrics.snapshot()}
+        if self.tracer is not None:
+            out["spans"] = self.tracer.to_wire()
+        return out
+
+
+class _NullObs(Obs):
+    """The off-mode singleton.  Never collects; safe to share globally."""
+
+    __slots__ = ()
+
+    def __init__(self):
+        super().__init__("off")
+
+
+NULL_OBS = _NullObs()
+
+
+def make_obs(
+    obs: Obs | str | None = None,
+    *,
+    proc: str = "main",
+    labels: dict | None = None,
+) -> Obs:
+    """Coerce an ``obs=`` argument (Obs | mode-string | None) to an Obs.
+
+    Passing an existing :class:`Obs` shares it (the simulator inside a
+    shard worker reports into the shard's registry); a string or None
+    builds a fresh one with the resolved mode.  Off always returns the
+    shared ``NULL_OBS`` so disabled paths stay allocation-free.
+    """
+    if isinstance(obs, Obs):
+        return obs
+    mode = resolve_mode(obs)
+    if mode == "off":
+        return NULL_OBS
+    return Obs(mode, proc=proc, labels=labels)

@@ -1,0 +1,256 @@
+"""Metric primitives: counters, gauges, fixed-bucket histograms.
+
+Design constraints, in order:
+
+1. **Zero hot-path cost.**  The per-cycle simulator loop never calls into
+   this module.  Hot objects keep always-on plain-int counters (a bare
+   ``self._stat_ticks += 1`` is cheaper than any enabled-check), and a
+   *collector* callback registered on the owning registry folds them into
+   proper metrics only when :meth:`MetricsRegistry.snapshot` runs.
+2. **Zero dependencies.**  Snapshots are plain dicts of JSON types so
+   they can ride the shard farm's JSON-lines wire unchanged.
+3. **Mergeable.**  :func:`merge_snapshots` sums counters and
+   bucket-compatible histograms across processes, which is how per-shard
+   metrics aggregate into one ``ShardReport`` view.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from collections.abc import Callable, Iterable, Mapping
+
+SNAPSHOT_VERSION = 1
+
+# Default histogram bounds: latency-flavored, seconds.  Callers with a
+# different unit (bytes, counts) pass explicit bounds.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.001,
+    0.005,
+    0.01,
+    0.05,
+    0.1,
+    0.5,
+    1.0,
+    5.0,
+    10.0,
+)
+
+
+def _labels_key(labels: Mapping[str, str] | None) -> tuple[tuple[str, str], ...]:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonically increasing count.
+
+    ``set_total`` exists for the collector pattern: a collector reads an
+    always-on plain int from a hot object and *sets* the counter to it,
+    rather than the hot path incrementing the counter directly.
+    """
+
+    __slots__ = ("name", "help", "labels", "value")
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "", labels: Mapping[str, str] | None = None):
+        self.name = name
+        self.help = help
+        self.labels = dict(labels or {})
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+    def set_total(self, total: float) -> None:
+        # Monotonicity is the *source's* job; collectors mirror totals.
+        self.value = total
+
+    def to_wire(self) -> dict:
+        return {
+            "name": self.name,
+            "type": self.kind,
+            "help": self.help,
+            "labels": self.labels,
+            "value": self.value,
+        }
+
+
+class Gauge:
+    """A value that can go up and down (bytes held, workers live)."""
+
+    __slots__ = ("name", "help", "labels", "value")
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "", labels: Mapping[str, str] | None = None):
+        self.name = name
+        self.help = help
+        self.labels = dict(labels or {})
+        self.value: float = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        self.value -= amount
+
+    def to_wire(self) -> dict:
+        return {
+            "name": self.name,
+            "type": self.kind,
+            "help": self.help,
+            "labels": self.labels,
+            "value": self.value,
+        }
+
+
+class Histogram:
+    """Fixed-bound cumulative-bucket histogram (Prometheus semantics).
+
+    ``bounds`` are the upper bounds of the finite buckets; an implicit
+    ``+Inf`` bucket catches the rest.  ``counts`` stores *per-bucket*
+    (non-cumulative) counts internally; the wire/exposition formats
+    cumulate on the way out.
+    """
+
+    __slots__ = ("name", "help", "labels", "bounds", "counts", "sum", "count")
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labels: Mapping[str, str] | None = None,
+        bounds: Iterable[float] = DEFAULT_BUCKETS,
+    ):
+        self.name = name
+        self.help = help
+        self.labels = dict(labels or {})
+        self.bounds = tuple(float(b) for b in bounds)
+        if list(self.bounds) != sorted(self.bounds):
+            raise ValueError(f"histogram bounds must be sorted: {self.bounds}")
+        self.counts = [0] * (len(self.bounds) + 1)  # last slot = +Inf
+        self.sum: float = 0.0
+        self.count: int = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def to_wire(self) -> dict:
+        return {
+            "name": self.name,
+            "type": self.kind,
+            "help": self.help,
+            "labels": self.labels,
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "sum": self.sum,
+            "count": self.count,
+        }
+
+
+class MetricsRegistry:
+    """Registry of metric instruments plus lazy collectors.
+
+    ``default_labels`` (e.g. ``{"shard": "3"}``) are merged into every
+    instrument created through the registry, which is how per-shard
+    identity stays attached through wire transit and aggregation.
+    """
+
+    __slots__ = ("default_labels", "_metrics", "_collectors")
+
+    def __init__(self, default_labels: Mapping[str, str] | None = None):
+        self.default_labels = dict(default_labels or {})
+        self._metrics: dict[tuple[str, tuple[tuple[str, str], ...]], object] = {}
+        self._collectors: list[Callable[[MetricsRegistry], None]] = []
+
+    # -- instrument accessors (get-or-create, keyed by name+labels) --------
+
+    def _get(self, cls, name: str, help: str, labels: Mapping[str, str] | None, **kw):
+        merged = dict(self.default_labels)
+        merged.update(labels or {})
+        key = (name, _labels_key(merged))
+        inst = self._metrics.get(key)
+        if inst is None:
+            inst = cls(name, help=help, labels=merged, **kw)
+            self._metrics[key] = inst
+        elif type(inst) is not cls:
+            raise TypeError(f"metric {name!r} already registered as {type(inst).__name__}")
+        return inst
+
+    def counter(self, name: str, help: str = "", labels: Mapping[str, str] | None = None) -> Counter:
+        return self._get(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "", labels: Mapping[str, str] | None = None) -> Gauge:
+        return self._get(Gauge, name, help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Mapping[str, str] | None = None,
+        bounds: Iterable[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._get(Histogram, name, help, labels, bounds=bounds)
+
+    # -- collectors --------------------------------------------------------
+
+    def add_collector(self, fn: Callable[[MetricsRegistry], None]) -> None:
+        """Register a callback run at snapshot time.
+
+        Collectors are how hot objects expose always-on plain-int stats
+        without ever touching the registry from a hot loop.
+        """
+        self._collectors.append(fn)
+
+    def snapshot(self) -> dict:
+        """Run collectors, then return a JSON-safe snapshot of everything."""
+        for fn in list(self._collectors):
+            fn(self)
+        metrics = [m.to_wire() for m in self._metrics.values()]  # type: ignore[attr-defined]
+        metrics.sort(key=lambda m: (m["name"], sorted(m["labels"].items())))
+        return {"v": SNAPSHOT_VERSION, "metrics": metrics}
+
+
+def merge_snapshots(snapshots: Iterable[dict]) -> dict:
+    """Merge snapshots from several processes into one.
+
+    Counters sum; gauges keep the max (the only aggregate that is
+    meaningful without a timeline); histograms with identical bounds sum
+    bucket-wise.  Label sets are preserved, so per-shard series stay
+    distinct unless the shards emitted identical labels.
+    """
+    merged: dict[tuple, dict] = {}
+    for snap in snapshots:
+        if not snap:
+            continue
+        for m in snap.get("metrics", ()):
+            key = (m["name"], _labels_key(m.get("labels")))
+            prev = merged.get(key)
+            if prev is None:
+                merged[key] = {k: (list(v) if isinstance(v, list) else v) for k, v in m.items()}
+                continue
+            if prev.get("type") != m.get("type"):
+                raise ValueError(f"metric {m['name']!r} has conflicting types across snapshots")
+            if m["type"] == "counter":
+                prev["value"] += m["value"]
+            elif m["type"] == "gauge":
+                prev["value"] = max(prev["value"], m["value"])
+            elif m["type"] == "histogram":
+                if prev["bounds"] != m["bounds"]:
+                    raise ValueError(
+                        f"histogram {m['name']!r} has conflicting bucket bounds across snapshots"
+                    )
+                prev["counts"] = [a + b for a, b in zip(prev["counts"], m["counts"])]
+                prev["sum"] += m["sum"]
+                prev["count"] += m["count"]
+    out = sorted(merged.values(), key=lambda m: (m["name"], sorted(m["labels"].items())))
+    return {"v": SNAPSHOT_VERSION, "metrics": out}

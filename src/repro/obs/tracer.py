@@ -1,0 +1,139 @@
+"""Span-based tracing with cross-process merge support.
+
+Every span records *two* clocks:
+
+- ``wall`` (``time.time()``) anchors the span on a timeline shared by
+  every process — it is what lets coordinator and forked-worker spans
+  interleave correctly in one Chrome trace.
+- ``dur`` is measured with ``time.monotonic()`` so a wall-clock step
+  (NTP, suspend) cannot produce negative or inflated durations.
+
+Spans also carry the process identity (``pid``, a human ``proc`` name
+like ``"coordinator"`` or ``"shard 3"``) so the Chrome exporter can put
+each process on its own track.  Worker tracers are created *after* fork,
+so the pid is genuinely distinct per worker.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass(slots=True)
+class SpanRecord:
+    """One completed span.  ``wall``/``dur`` in seconds."""
+
+    name: str
+    wall: float
+    dur: float
+    pid: int
+    proc: str
+    args: dict = field(default_factory=dict)
+
+    def to_wire(self) -> dict:
+        return {
+            "name": self.name,
+            "wall": self.wall,
+            "dur": self.dur,
+            "pid": self.pid,
+            "proc": self.proc,
+            "args": self.args,
+        }
+
+    @classmethod
+    def from_wire(cls, d: dict) -> SpanRecord:
+        return cls(
+            name=d["name"],
+            wall=d["wall"],
+            dur=d["dur"],
+            pid=d["pid"],
+            proc=d.get("proc", ""),
+            args=d.get("args", {}),
+        )
+
+
+class _Span:
+    """Context manager that records a SpanRecord on exit."""
+
+    __slots__ = ("_tracer", "_name", "_args", "_wall", "_mono")
+
+    def __init__(self, tracer: Tracer, name: str, args: dict):
+        self._tracer = tracer
+        self._name = name
+        self._args = args
+
+    def __enter__(self) -> _Span:
+        self._wall = time.time()
+        self._mono = time.monotonic()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self._tracer.record_span(
+            self._name,
+            wall=self._wall,
+            dur=time.monotonic() - self._mono,
+            args=self._args,
+        )
+        return False
+
+
+class _NullSpan:
+    """Shared no-op context manager for the tracing-off path."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects SpanRecords for one process/shard."""
+
+    __slots__ = ("proc", "pid", "spans")
+
+    def __init__(self, proc: str = "main"):
+        self.proc = proc
+        self.pid = os.getpid()
+        self.spans: list[SpanRecord] = []
+
+    def span(self, name: str, **args):
+        """``with tracer.span("sim.settle", cycle=42): ...``"""
+        return _Span(self, name, args)
+
+    def record_span(
+        self,
+        name: str,
+        *,
+        wall: float,
+        dur: float,
+        args: dict | None = None,
+        proc: str | None = None,
+        pid: int | None = None,
+    ) -> SpanRecord:
+        """Record an already-timed span.
+
+        Event loops (the shard coordinator) time attempts themselves and
+        call this with explicit start/duration; ``proc``/``pid`` override
+        the tracer identity when recording on behalf of another process.
+        """
+        rec = SpanRecord(
+            name=name,
+            wall=wall,
+            dur=dur,
+            pid=self.pid if pid is None else pid,
+            proc=self.proc if proc is None else proc,
+            args=dict(args or {}),
+        )
+        self.spans.append(rec)
+        return rec
+
+    def to_wire(self) -> list[dict]:
+        return [s.to_wire() for s in self.spans]

@@ -29,6 +29,8 @@ import hashlib
 import json
 from dataclasses import dataclass, field
 
+from ..obs import merge_snapshots, to_prometheus
+from ..obs import write_chrome_trace as _write_chrome_trace
 from ..sim.timeline import decode_timeline_states, first_state_divergence
 from .spec import ShardResult
 
@@ -133,6 +135,10 @@ class ShardReport:
         self.signal_names = signal_names
         self.mem_names = mem_names
         self._timeline_divs: list[TimelineDivergence] | None = None
+        #: Coordinator-side ``Obs.to_wire()`` dump (attempt/retry counts,
+        #: heartbeat gap histogram, sweep + per-attempt spans), attached
+        #: by the session after a run.  None for obs-off sweeps.
+        self.coordinator_obs: dict | None = None
 
     # -- basic rollups -----------------------------------------------------
 
@@ -328,6 +334,119 @@ class ShardReport:
                 )
         return out
 
+    # -- observability rollup (repro.obs) ----------------------------------
+
+    @property
+    def has_obs(self) -> bool:
+        """True when any side of the sweep collected telemetry."""
+        return self.coordinator_obs is not None or any(
+            r.obs is not None for r in self.results
+        )
+
+    def merged_metrics(self) -> dict:
+        """One metrics snapshot for the whole sweep.
+
+        Per-shard snapshots keep their ``shard=<id>`` label so series
+        stay distinct; coordinator-side supervision metrics carry no
+        shard label.  Empty (no series) for obs-off sweeps.
+        """
+        snaps = [
+            r.obs["metrics"]
+            for r in self.results
+            if r.obs is not None and r.obs.get("metrics")
+        ]
+        if self.coordinator_obs is not None and self.coordinator_obs.get("metrics"):
+            snaps.append(self.coordinator_obs["metrics"])
+        return merge_snapshots(snaps)
+
+    def prometheus(self) -> str:
+        """The merged snapshot in Prometheus text exposition format."""
+        return to_prometheus(self.merged_metrics())
+
+    def trace_spans(self) -> list[dict]:
+        """Every span from the sweep: coordinator first, then shards.
+
+        Worker spans were recorded in the forked processes (distinct
+        pids, ``shard <id>`` process names) and shipped home inside the
+        results, so one Chrome trace shows every process on its own
+        track of a shared wall-clock timeline.
+        """
+        spans: list[dict] = []
+        if self.coordinator_obs is not None:
+            spans.extend(self.coordinator_obs.get("spans", ()))
+        for r in self.results:
+            if r.obs is not None:
+                spans.extend(r.obs.get("spans", ()))
+        return spans
+
+    def write_chrome_trace(self, path) -> None:
+        """Write the merged sweep trace as Chrome trace-event JSON
+        (loadable in Perfetto / chrome://tracing)."""
+        _write_chrome_trace(path, self.trace_spans())
+
+    def _sum_metric(self, merged: dict, name: str) -> float | None:
+        """Sum one counter/gauge across every label set; None if absent."""
+        total, found = 0.0, False
+        for m in merged["metrics"]:
+            if m["name"] == name and m["type"] in ("counter", "gauge"):
+                total += m["value"]
+                found = True
+        return total if found else None
+
+    def _sum_histogram(self, merged: dict, name: str) -> tuple[int, float] | None:
+        """(count, sum) of one histogram across every label set."""
+        count, total, found = 0, 0.0, False
+        for m in merged["metrics"]:
+            if m["name"] == name and m["type"] == "histogram":
+                count += m["count"]
+                total += m["sum"]
+                found = True
+        return (count, total) if found else None
+
+    def _obs_summary_lines(self) -> list[str]:
+        merged = self.merged_metrics()
+        if not merged["metrics"]:
+            return []
+        lines = ["observability:"]
+        attempts = self._sum_metric(merged, "shard_attempts_total")
+        if attempts is not None:
+            retries = self._sum_metric(merged, "shard_retries_total") or 0
+            terms = self._sum_metric(merged, "shard_terminations_total") or 0
+            lines.append(
+                f"  supervision: {attempts:.0f} attempt(s), "
+                f"{retries:.0f} retry(s), {terms:.0f} termination(s)"
+            )
+        hb = self._sum_histogram(merged, "shard_heartbeat_gap_seconds")
+        if hb is not None and hb[0]:
+            lines.append(
+                f"  heartbeat gap: {hb[0]} sample(s), "
+                f"mean {hb[1] / hb[0] * 1000:.1f}ms"
+            )
+        rpc = self._sum_metric(merged, "rpc_requests_total")
+        if rpc is not None:
+            rec = self._sum_metric(merged, "rpc_reconnects_total") or 0
+            rep = self._sum_metric(merged, "rpc_replays_total") or 0
+            lat = self._sum_histogram(merged, "rpc_request_seconds")
+            mean = (
+                f", mean {lat[1] / lat[0] * 1000:.2f}ms"
+                if lat is not None and lat[0] else ""
+            )
+            lines.append(
+                f"  rpc: {rpc:.0f} request(s), {rec:.0f} reconnect(s), "
+                f"{rep:.0f} replay(s){mean}"
+            )
+        ticks = self._sum_metric(merged, "sim_ticks_total")
+        if ticks is not None:
+            hits = self._sum_metric(merged, "sim_cone_cache_hits_total") or 0
+            misses = self._sum_metric(merged, "sim_cone_cache_misses_total") or 0
+            fb = self._sum_metric(merged, "sim_cone_fallback_total") or 0
+            lines.append(
+                f"  sim: {ticks:.0f} tick(s), cone cache "
+                f"{hits:.0f} hit(s) / {misses:.0f} compile(s) / "
+                f"{fb:.0f} fallback(s)"
+            )
+        return lines
+
     # -- rendering ---------------------------------------------------------
 
     def to_json(self) -> dict:
@@ -367,6 +486,14 @@ class ShardReport:
                 }
                 for d in self.timeline_divergences()
             ],
+            "shard_timings": {
+                str(r.shard_id): {
+                    "wall_time_s": round(r.wall_time_s, 6),
+                    "attempts": r.attempts,
+                }
+                for r in self.results
+            },
+            "obs": self.merged_metrics() if self.has_obs else None,
             "total_attempts": self.total_attempts,
             "retried": [r.shard_id for r in self.retried],
             "failures": {
@@ -396,12 +523,12 @@ class ShardReport:
                 f"{len(r.hits)} hit(s)"
                 + (f", exit {r.exit_code}" if r.exit_code is not None else "")
             )
-            if r.attempts > 1:
-                status += f" [{r.attempts} attempts]"
+            status += f" [{r.wall_time_s:.2f}s, {r.attempts} attempt(s)]"
             lines.append(
                 f"  shard {r.shard_id} (seed {r.seed}): "
                 f"{r.cycles} cycles, {status}"
             )
+        lines.extend(self._obs_summary_lines())
         recoveries = [r for r in self.results if r.failures]
         if recoveries:
             lines.append("fault recovery:")

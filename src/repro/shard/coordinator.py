@@ -27,6 +27,7 @@ import time
 from collections import deque
 from dataclasses import dataclass, field
 
+from ..obs import make_obs
 from ..sim.compiler import compile_design
 from ..symtable.rpc import SymbolTableServer
 from ..symtable.writer import write_symbol_table
@@ -83,6 +84,7 @@ class _WorkerState:
     started: float
     deadline: float | None     # absolute monotonic attempt deadline
     last_beat: float           # monotonic time of the last event seen
+    started_wall: float = 0.0  # wall-clock launch time (trace span anchor)
     corrupt_seen: int = 0      # undecodable wire lines this attempt
     settled: bool = False      # outcome decided (done/error/hang)
 
@@ -112,10 +114,19 @@ class ShardSession:
         compiled: reuse an existing ``CompiledDesign`` (e.g. the one a
             live console session is already running) instead of compiling
             the circuit again; this also preserves its ``top_path``.
+        obs: observability depth (``repro.obs``): an ``Obs``, a mode
+            string, or None (``configure``/``$REPRO_OBS``).  The session
+            holds the **coordinator-side** telemetry — attempt/retry/
+            termination counts, the heartbeat gap histogram, sweep and
+            per-attempt spans — while each worker (forked or inline)
+            builds its own per-shard ``Obs`` from the same mode; the
+            aggregated :class:`ShardReport` merges both sides, and
+            ``report.write_chrome_trace`` puts them on one timeline.
     """
 
     def __init__(self, design, symtable=None, workers: int | None = None,
-                 fast: bool = True, compiled=None):
+                 fast: bool = True, compiled=None, obs=None):
+        self.obs = make_obs(obs, proc="coordinator")
         low = getattr(design, "low", None)
         self.circuit = low if low is not None else design
         if symtable is None:
@@ -228,16 +239,18 @@ class ShardSession:
         workers = self.workers
         if workers is None:
             workers = default_workers(len(specs))
-        report = (
-            self._run_inline(specs, on_event)
-            if workers <= 0 or not _fork_available()
-            else self._run_pool(
-                specs, workers, on_event, timeout,
-                retry if retry is not None else RetryPolicy(),
-                as_deadline_policy(deadline), faults,
+        with self.obs.span("shard.sweep", shards=len(specs), workers=workers):
+            report = (
+                self._run_inline(specs, on_event)
+                if workers <= 0 or not _fork_available()
+                else self._run_pool(
+                    specs, workers, on_event, timeout,
+                    retry if retry is not None else RetryPolicy(),
+                    as_deadline_policy(deadline), faults,
+                )
             )
-        )
         report.wall_time_s = time.perf_counter() - t0
+        report.coordinator_obs = self.obs.to_wire()
         return report
 
     def _report(self, results: list[ShardResult]) -> ShardReport:
@@ -250,10 +263,14 @@ class ShardSession:
         )
 
     def _run_inline(self, specs: list[ShardSpec], on_event) -> ShardReport:
+        # Each shard still gets its own per-shard Obs (fresh registry,
+        # shard label) built from the session's mode, exactly like a
+        # forked worker would — aggregation is path-independent.
         results = [
             run_shard(
                 self.circuit, self.symtable, spec,
                 emit=on_event, compiled=self.compiled, fast=self.fast,
+                obs=self.obs.mode,
             )
             for spec in specs
         ]
@@ -277,6 +294,7 @@ class ShardSession:
             res = run_shard(
                 self.circuit, self.symtable, spec,
                 emit=emit, compiled=self.compiled, fast=self.fast,
+                obs=self.obs.mode,
             )
         except Exception as exc:  # noqa: BLE001 - degradation boundary
             res = ShardResult(
@@ -307,6 +325,26 @@ class ShardSession:
         ctx = multiprocessing.get_context("fork")
         events: queue.Queue = queue.Queue()
         now = time.monotonic
+        # Coordinator-side supervision metrics, resolved once; every
+        # per-event touch below is guarded by a single `is not None`.
+        m = self.obs.metrics
+        c_attempts = c_retries = c_terms = hb_hist = None
+        if m is not None:
+            c_attempts = m.counter(
+                "shard_attempts_total", "Worker attempts launched"
+            )
+            c_retries = m.counter(
+                "shard_retries_total", "Failed attempts that were retried"
+            )
+            c_terms = m.counter(
+                "shard_terminations_total",
+                "Workers terminated by the supervisor (hang/cleanup)",
+            )
+            hb_hist = m.histogram(
+                "shard_heartbeat_gap_seconds",
+                "Gap between consecutive events from a live worker",
+                bounds=(0.01, 0.05, 0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 30.0),
+            )
         # `timeout` is a wall-clock budget for the WHOLE sweep: a fixed
         # deadline computed once, not a per-event wait that a chatty
         # worker could reset indefinitely.
@@ -338,9 +376,11 @@ class ShardSession:
                     self.circuit, self.compiled, job.spec.to_wire(),
                     host, port, w_conn,
                 ),
-                kwargs={"fault": fault},
+                kwargs={"fault": fault, "obs_mode": self.obs.mode},
                 daemon=True,
             )
+            if c_attempts is not None:
+                c_attempts.inc()
             proc.start()
             # Close the parent's copy of the write end *before* the next
             # launch: later children must not inherit it, or this pipe
@@ -354,28 +394,49 @@ class ShardSession:
             t = now()
             active[token] = _WorkerState(
                 job=job, token=token, proc=proc, conn=r_conn, pump=pump,
-                started=t, last_beat=t,
+                started=t, last_beat=t, started_wall=time.time(),
                 deadline=(
                     t + deadline.deadline_for(job.spec.cycles)
                     if deadline is not None else None
                 ),
             )
 
+        def attempt_span(st: _WorkerState, outcome: str) -> None:
+            """Record the settled attempt as a coordinator-side span."""
+            tracer = self.obs.tracer
+            if tracer is None:
+                return
+            tracer.record_span(
+                "shard.attempt",
+                wall=st.started_wall,
+                dur=now() - st.started,
+                args={
+                    "shard": st.job.spec.shard_id,
+                    "attempt": st.job.attempt,
+                    "outcome": outcome,
+                },
+            )
+
         def retire(proc) -> None:
             """Terminate a worker and queue the SIGKILL escalation."""
             if proc.is_alive():
                 proc.terminate()
+                if c_terms is not None:
+                    c_terms.inc()
             grace = deadline.kill_grace_s if deadline is not None else 2.0
             zombies.append(_Zombie(proc, now() + grace))
 
         def settle_failure(st: _WorkerState, fclass: str, message: str) -> None:
             """One attempt failed: retry, degrade inline, or go terminal."""
             st.settled = True
+            attempt_span(st, fclass)
             job = st.job
             job.failures.append(
                 failure_record(job.attempt, fclass, message, now() - st.started)
             )
             if retry.should_retry(fclass, job.attempt):
+                if c_retries is not None:
+                    c_retries.inc()
                 job.attempt += 1
                 job.ready_at = now() + retry.backoff_for(job.attempt - 1)
                 waiting.append(job)
@@ -458,14 +519,20 @@ class ShardSession:
                 elif kind == "event":
                     if st is None:
                         continue  # stale: a settled/terminated attempt
-                    st.last_beat = now()
                     name = payload["event"]
+                    if hb_hist is not None and name == "heartbeat":
+                        # Gap since the previous proof of life: the
+                        # distribution the deadline policy's heartbeat
+                        # timeout should sit safely above.
+                        hb_hist.observe(now() - st.last_beat)
+                    st.last_beat = now()
                     if on_event is not None:
                         shown = dict(payload)
                         shown["attempt"] = st.job.attempt
                         on_event(shown)
                     if name == "done":
                         st.settled = True
+                        attempt_span(st, "ok")
                         res = ShardResult.from_wire(payload["result"])
                         res.attempts = st.job.attempt
                         res.failures = list(st.job.failures)

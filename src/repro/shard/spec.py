@@ -162,6 +162,7 @@ class ShardResult:
     timeline: dict | None = None        # serialized Timeline.to_wire()
     attempts: int = 1                   # attempts consumed (incl. fallback)
     failures: list = field(default_factory=list)   # per-failed-attempt records
+    obs: dict | None = None             # repro.obs dump (Obs.to_wire())
 
     @property
     def ok(self) -> bool:
@@ -186,6 +187,7 @@ class ShardResult:
             "timeline": self.timeline,
             "attempts": self.attempts,
             "failures": self.failures,
+            "obs": self.obs,
         }
 
     @classmethod
@@ -203,6 +205,7 @@ class ShardResult:
             timeline=d.get("timeline"),
             attempts=d.get("attempts", 1),
             failures=list(d.get("failures", [])),
+            obs=d.get("obs"),
         )
 
 

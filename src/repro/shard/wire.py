@@ -15,6 +15,7 @@ Event shapes (all carry ``v`` — the protocol version — and ``shard``)::
     {"event": "done",      "shard": N, "result": {...}}       ShardResult
     {"event": "error",     "shard": N, "message": "...",
                            "transient": bool}                 worker failed
+    {"event": "stats",     "shard": N, "obs": {...}}          obs snapshot
 
 ``error.transient`` distinguishes infrastructure trouble the worker
 observed itself (its symbol-table RPC client gave up: retry-worthy,
@@ -36,6 +37,13 @@ run-length-encoded delta runs, plain JSON ints) — which the aggregator
 feeds to :func:`repro.sim.timeline.first_timeline_divergence` for
 stateful divergence localization.  Absent/None for older producers, so
 the protocol version is unchanged.
+
+``stats`` carries a worker's final ``repro.obs`` dump (metrics snapshot
+plus trace spans, ``Obs.to_wire``) just before ``done``; the same dump
+also rides ``done.result["obs"]`` so the aggregated ``ShardReport`` works
+for inline runs that never touch the wire.  Workers only emit it when an
+obs mode is armed, and older consumers can ignore the event — the
+protocol version is unchanged.
 """
 
 from __future__ import annotations
@@ -48,7 +56,7 @@ from .spec import ShardResult
 PROTOCOL_VERSION = 1
 
 _EVENTS = frozenset(
-    {"hit", "progress", "heartbeat", "warning", "done", "error"}
+    {"hit", "progress", "heartbeat", "warning", "done", "error", "stats"}
 )
 
 
@@ -117,3 +125,7 @@ def done_event(result: ShardResult) -> dict:
 
 def error_event(shard_id: int, message: str, transient: bool = False) -> dict:
     return _event("error", shard_id, message=message, transient=transient)
+
+
+def stats_event(shard_id: int, obs_wire: dict) -> dict:
+    return _event("stats", shard_id, obs=obs_wire)

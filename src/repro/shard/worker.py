@@ -18,6 +18,7 @@ import random
 import time
 
 from ..core.runtime import HitRecorder, Runtime
+from ..obs import make_obs
 from ..sim.engine import Simulator
 from ..symtable.rpc import RPCSymbolTable
 from .spec import ShardResult, ShardSpec
@@ -28,6 +29,7 @@ from .wire import (
     heartbeat_event,
     hit_event,
     progress_event,
+    stats_event,
     warning_event,
 )
 
@@ -68,6 +70,7 @@ def run_shard(
     compiled=None,
     fast: bool = True,
     on_cycle=None,
+    obs=None,
 ) -> ShardResult:
     """Run one shard to completion and return its result.
 
@@ -83,35 +86,50 @@ def run_shard(
         on_cycle: optional ``on_cycle(cycle)`` hook invoked before each
             stimulus cycle — the fault-injection seam (``repro.faults``).
             None (the default) adds no per-cycle overhead.
+        obs: observability depth (``repro.obs``): an ``Obs`` to report
+            into, a mode string, or None (``configure``/``$REPRO_OBS``).
+            A fresh registry/tracer is built per shard with a
+            ``shard=<id>`` label and ``shard <id>`` process name, so
+            per-shard series stay distinct through wire transit and the
+            merged Chrome trace shows one track per shard.  When armed,
+            the final dump rides ``ShardResult.obs`` (and, with ``emit``,
+            a ``stats`` wire event just before ``done``).
     """
     t0 = time.perf_counter()
+    obs = make_obs(
+        obs,
+        proc=f"shard {spec.shard_id}",
+        labels={"shard": str(spec.shard_id)},
+    )
     # With timeline streaming the shard retains its last N cycles of
     # state history (rle-compressed — store-native deltas collapse into
     # index runs) and ships the serialized window home with the result,
     # so the aggregator can localize replica divergence to the first
     # divergent cycle and signal, not just report a digest mismatch.
-    sim = Simulator(
-        circuit,
-        fast=fast,
-        compiled=compiled,
-        snapshots=spec.timeline_cycles,
-        snapshot_codec="rle" if spec.timeline_cycles else None,
-    )
-    on_record = None
-    if emit is not None:
-        on_record = lambda rec: emit(hit_event(spec.shard_id, rec))  # noqa: E731
-    recorder = HitRecorder(on_record=on_record, limit=spec.hit_limit)
-    runtime = Runtime(sim, symtable, on_hit=recorder)
-    runtime.attach()
-    for bp in spec.breakpoints:
-        runtime.add_breakpoint(bp.filename, bp.line, bp.column, bp.condition)
-    for wp in spec.watchpoints:
-        runtime.add_watchpoint(wp.name, wp.instance, wp.condition)
+    with obs.span("shard.setup", shard=spec.shard_id):
+        sim = Simulator(
+            circuit,
+            fast=fast,
+            compiled=compiled,
+            snapshots=spec.timeline_cycles,
+            snapshot_codec="rle" if spec.timeline_cycles else None,
+            obs=obs,
+        )
+        on_record = None
+        if emit is not None:
+            on_record = lambda rec: emit(hit_event(spec.shard_id, rec))  # noqa: E731
+        recorder = HitRecorder(on_record=on_record, limit=spec.hit_limit)
+        runtime = Runtime(sim, symtable, on_hit=recorder)
+        runtime.attach()
+        for bp in spec.breakpoints:
+            runtime.add_breakpoint(bp.filename, bp.line, bp.column, bp.condition)
+        for wp in spec.watchpoints:
+            runtime.add_watchpoint(wp.name, wp.instance, wp.condition)
 
-    for name in spec.overrides:
-        sim.poke(name, spec.overrides[name])
-    if spec.reset_cycles:
-        sim.reset(spec.reset_cycles)
+        for name in spec.overrides:
+            sim.poke(name, spec.overrides[name])
+        if spec.reset_cycles:
+            sim.reset(spec.reset_cycles)
 
     # Heartbeats ride the run-loop progress hook at a finer cadence than
     # progress events: the hook fires every `beat_every` cycles and always
@@ -145,15 +163,30 @@ def run_shard(
             on_cycle(cycle)
             base_stimulus(s, cycle)
 
-    ran = sim.run_cycles(
-        spec.cycles,
-        stimulus=stimulus,
-        on_progress=on_progress,
-        progress_every=beat_every,
-    )
+    with obs.span("shard.run", shard=spec.shard_id, seed=spec.seed):
+        ran = sim.run_cycles(
+            spec.cycles,
+            stimulus=stimulus,
+            on_progress=on_progress,
+            progress_every=beat_every,
+        )
     if emit is not None:
         for message in runtime.warnings:
             emit(warning_event(spec.shard_id, message))
+    obs_wire = None
+    if obs.metrics is not None:
+        wall = time.perf_counter() - t0
+        m = obs.metrics
+        m.counter("shard_cycles_total", "Stimulus cycles run").set_total(ran)
+        m.gauge(
+            "shard_cycles_per_second", "Shard throughput over its wall time"
+        ).set(ran / wall if wall > 0 else 0.0)
+        m.counter("shard_hits_total", "Breakpoint/watchpoint hits").set_total(
+            len(recorder)
+        )
+        obs_wire = obs.to_wire()
+        if emit is not None:
+            emit(stats_event(spec.shard_id, obs_wire))
     return ShardResult(
         shard_id=spec.shard_id,
         seed=spec.seed,
@@ -170,12 +203,13 @@ def run_shard(
         timeline=(
             sim.timeline.to_wire() if sim.timeline is not None else None
         ),
+        obs=obs_wire,
     )
 
 
 def worker_entry(
     circuit, compiled, spec_wire: dict, host: str, port: int, conn,
-    fault=None,
+    fault=None, obs_mode: str | None = None,
 ) -> None:
     """Forked worker process main: run one shard, stream JSON-line events
     through ``conn`` (a write-only ``multiprocessing`` connection), finish
@@ -186,6 +220,12 @@ def worker_entry(
     wire corruption garbles every line emitted from the fault cycle on —
     including the final ``done`` line, so the coordinator classifies the
     attempt as corrupt instead of silently accepting a damaged result.
+
+    ``obs_mode`` arms observability for this attempt (the coordinator
+    passes its own resolved mode so ``--obs``/``$REPRO_OBS`` on the
+    coordinator reaches every worker).  The ``Obs`` is built *here*,
+    after the fork, so its pid and span buffer are genuinely this
+    worker's — and shared by the RPC client and the shard run.
     """
     from ..faults import FaultInjector, corrupt_line
 
@@ -199,10 +239,16 @@ def worker_entry(
 
     try:
         spec = ShardSpec.from_wire(spec_wire)
-        with RPCSymbolTable(host, port) as table:
+        obs = make_obs(
+            obs_mode,
+            proc=f"shard {spec.shard_id}",
+            labels={"shard": str(spec.shard_id)},
+        )
+        with RPCSymbolTable(host, port, obs=obs) as table:
             result = run_shard(
                 circuit, table, spec, emit=emit, compiled=compiled,
                 on_cycle=injector.on_cycle if injector is not None else None,
+                obs=obs,
             )
         emit(done_event(result))
     except Exception as exc:  # noqa: BLE001 - process boundary

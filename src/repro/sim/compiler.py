@@ -143,6 +143,12 @@ class CompiledDesign:
     _mem_read_mask: int = -1     # -1 = not yet computed
     _tick_mask: int = -1         # -1 = not yet computed
     _pos_fns: list | None = None
+    # Always-on cone-cache stats: plain ints bumped on the hot path (one
+    # increment per settle — cheaper than any enabled-guard) and read
+    # lazily by repro.obs collectors / Simulator.stats().
+    stat_cone_hits: int = 0
+    stat_cone_misses: int = 0
+    stat_cone_fallbacks: int = 0
 
     @property
     def n_signals(self) -> int:
@@ -293,9 +299,11 @@ class CompiledDesign:
             return
         fn = self._mask_cones.get(mask)
         if fn is not None:
+            self.stat_cone_hits += 1
             fn(v, w, m)
             return
         if len(self._mask_cones) < self.MASK_CONE_CAP:
+            self.stat_cone_misses += 1
             fn = self.compile_cone(self._mask_positions(mask))
             self._mask_cones[mask] = fn
             fn(v, w, m)
@@ -304,6 +312,7 @@ class CompiledDesign:
         # repeats): execute the merged cone through per-statement thunks —
         # one-time setup, no recurring exec-compiles, cost still linear in
         # the cone size rather than the full schedule.
+        self.stat_cone_fallbacks += 1
         fns = self._pos_fns
         if fns is None:
             fns = self._build_pos_fns()

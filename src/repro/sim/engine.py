@@ -44,6 +44,7 @@ from array import array
 from contextlib import contextmanager
 
 from ..ir.stmt import Circuit
+from ..obs import make_obs
 from .compiler import CompiledDesign, compile_design
 from .interface import (
     HierNode,
@@ -99,6 +100,15 @@ class Simulator(SimulatorInterface):
             findings (e.g. a combinational cycle) before compiling.  The
             gate only runs when this simulator compiles the circuit itself
             — a shared ``compiled`` design is assumed already vetted.
+        obs: observability depth (``repro.obs``) — an :class:`~repro.obs.Obs`
+            to share (how a shard worker's simulator reports into the
+            shard's registry), a mode string (``"off"``/``"metrics"``/
+            ``"trace"``), or None to defer to ``repro.obs.configure`` then
+            ``$REPRO_OBS`` (default off).  The hot path is identical in
+            every mode: per-cycle work bumps always-on plain ints and a
+            registry collector folds them into metrics only when a
+            snapshot is taken.  ``stats()`` reads the same ints directly
+            and works in every mode, including off.
     """
 
     def __init__(
@@ -114,7 +124,9 @@ class Simulator(SimulatorInterface):
         snapshot_codec: str | None = None,
         keyframe_every: int = 0,
         strict=None,
+        obs=None,
     ):
+        self.obs = make_obs(obs, proc="sim")
         if compiled is None:
             from ..lint.engine import GATE_OFF, gate_circuit, resolve_gate
 
@@ -123,9 +135,11 @@ class Simulator(SimulatorInterface):
                 gate_circuit(
                     circuit, mode, form="low", design=circuit.name
                 )
-        self.design: CompiledDesign = (
-            compiled if compiled is not None else compile_design(circuit, top_path)
-        )
+        if compiled is not None:
+            self.design: CompiledDesign = compiled
+        else:
+            with self.obs.span("sim.compile", design=circuit.name):
+                self.design = compile_design(circuit, top_path)
         self.store: ValueStore = make_store(store, self.design)
         # The hot paths index the store's raw buffers directly; these
         # references are stable for the simulator's lifetime (the store
@@ -149,6 +163,13 @@ class Simulator(SimulatorInterface):
         self._dirty: set[int] = set()
         self._tick_changed: set[int] = set()
         self._tick_mem = False
+        # Always-on stats: bare int increments on the hot path (cheaper
+        # than any mode guard), folded into repro.obs metrics lazily by
+        # the snapshot-time collector below, or read via stats().
+        self._stat_ticks = 0
+        self._stat_settle_full = 0
+        self._stat_settle_seeds = 0
+        self._stat_settle_tick = 0
         # Time travel: all history state (entry ring, delta baselines, the
         # memory-write journal the generated journaling tick feeds) lives
         # on the Timeline, bound to this simulator's store and memories.
@@ -172,6 +193,8 @@ class Simulator(SimulatorInterface):
         self.design.comb(self._v, self._w, self.mems)
         if trace is not None:
             trace.begin(self)
+        if self.obs.metrics is not None:
+            self.obs.metrics.add_collector(self._collect_metrics)
 
     @property
     def values(self):
@@ -218,11 +241,13 @@ class Simulator(SimulatorInterface):
             self._dirty.clear()
             self._tick_changed.clear()
             self._tick_mem = False
+            self._stat_settle_full += 1
             self.design.comb(self._v, self._w, self.mems)
             return
         dirty = self._dirty
         ticked = self._tick_changed
         if dirty:
+            self._stat_settle_seeds += 1
             seeds = dirty | ticked if ticked else dirty
             self.design.settle_seeds(
                 self._v, self._w, self.mems, seeds, self._tick_mem
@@ -230,6 +255,7 @@ class Simulator(SimulatorInterface):
         elif ticked or self._tick_mem:
             # Pure clock-edge activity: the design may collapse a busy
             # edge onto the precomputed full tick cone.
+            self._stat_settle_tick += 1
             self.design.settle_tick(
                 self._v, self._w, self.mems, ticked, self._tick_mem
             )
@@ -382,11 +408,13 @@ class Simulator(SimulatorInterface):
                 # keeps its full-comb-per-edge semantics.
                 self._finished = fin.exit_code
                 self._time += 1
+                self._stat_ticks += 1
                 if not fast:
                     self._pending_full = True
                 self._settle()
                 return
             self._time += 1
+            self._stat_ticks += 1
         self._settle()
 
     def run(self, max_cycles: int = 1_000_000) -> int | None:
@@ -453,6 +481,86 @@ class Simulator(SimulatorInterface):
         if self.get_time() != t0:
             self.set_time(t0)
         self._finished = token
+
+    # -- observability (repro.obs) ------------------------------------------
+
+    def stats(self) -> dict:
+        """Always-available runtime counters, whatever the obs mode.
+
+        Ticks and settle-shape counts live on the engine, cone-cache
+        hit/miss/fallback counts on the (possibly shared) compiled
+        design, and history stats on the bound timeline.  All are plain
+        ints maintained unconditionally; reading them costs nothing
+        beyond this call.
+        """
+        design = self.design
+        out = {
+            "ticks": self._stat_ticks,
+            "settle_full": self._stat_settle_full,
+            "settle_seeds": self._stat_settle_seeds,
+            "settle_tick": self._stat_settle_tick,
+            "cone_hits": design.stat_cone_hits,
+            "cone_misses": design.stat_cone_misses,
+            "cone_fallbacks": design.stat_cone_fallbacks,
+            "printfs": len(self._printf_out),
+        }
+        timeline = self.timeline
+        if timeline is not None:
+            out.update(
+                {
+                    "timeline_entries": len(timeline),
+                    "timeline_records": timeline.stat_records,
+                    "timeline_keyframes": timeline.stat_keyframes,
+                    "timeline_evictions": timeline.stat_evictions,
+                    "snapshot_bytes": timeline.nbytes,
+                    "timeline_compression_ratio": timeline.compression_ratio(),
+                }
+            )
+        return out
+
+    def _collect_metrics(self, reg) -> None:
+        """Snapshot-time collector: fold the always-on ints into metrics."""
+        s = self.stats()
+        reg.counter("sim_ticks_total", "Clock posedges executed").set_total(s["ticks"])
+        reg.counter(
+            "sim_settle_full_total", "Full comb re-evaluations"
+        ).set_total(s["settle_full"])
+        reg.counter(
+            "sim_settle_seeds_total", "Merged dirty-set cone settles"
+        ).set_total(s["settle_seeds"])
+        reg.counter(
+            "sim_settle_tick_total", "Activity-tracked clock-edge settles"
+        ).set_total(s["settle_tick"])
+        reg.counter(
+            "sim_cone_cache_hits_total", "Mask-cone cache hits"
+        ).set_total(s["cone_hits"])
+        reg.counter(
+            "sim_cone_cache_misses_total", "Mask-cone cache compiles"
+        ).set_total(s["cone_misses"])
+        reg.counter(
+            "sim_cone_fallback_total",
+            "Per-statement fallbacks after MASK_CONE_CAP saturation",
+        ).set_total(s["cone_fallbacks"])
+        if "timeline_entries" in s:
+            reg.gauge(
+                "sim_timeline_entries", "Retained history entries"
+            ).set(s["timeline_entries"])
+            reg.counter(
+                "sim_timeline_records_total", "History entries recorded"
+            ).set_total(s["timeline_records"])
+            reg.counter(
+                "sim_timeline_keyframes_total", "Timeline keyframes taken"
+            ).set_total(s["timeline_keyframes"])
+            reg.counter(
+                "sim_timeline_evictions_total", "Head-keyframe fold-forward evictions"
+            ).set_total(s["timeline_evictions"])
+            reg.gauge(
+                "sim_snapshot_bytes", "Bytes held by the retained history window"
+            ).set(s["snapshot_bytes"])
+            reg.gauge(
+                "sim_timeline_compression_ratio",
+                "All-keyframes-equivalent bytes over retained bytes",
+            ).set(s["timeline_compression_ratio"])
 
     # -- state fingerprinting ----------------------------------------------
 

@@ -231,6 +231,11 @@ class Timeline(TimelineView):
         self._base = None          # state baseline for the next delta
         self._since_key = 0        # delta entries since the last keyframe
         self._nbytes = 0
+        # Always-on history stats: plain ints read lazily by repro.obs
+        # collectors / Simulator.stats(); never consulted on the hot path.
+        self.stat_keyframes = 0
+        self.stat_evictions = 0
+        self.stat_records = 0
         total_words = sum(spec.depth for spec in mem_specs)
         self.snap_mems = bool(mem_specs) and total_words <= MEM_HISTORY_WORD_CAP
         if mem_specs and not self.snap_mems:
@@ -324,6 +329,7 @@ class Timeline(TimelineView):
             self._since_key += 1
         entries.append(entry)
         self.by_time[time] = entry
+        self.stat_records += 1
         if budget is not None:
             # Byte accounting stays off the per-cycle path unless a
             # budget actually needs it.
@@ -338,6 +344,7 @@ class Timeline(TimelineView):
                 self._evict_oldest()
 
     def _make_keyframe(self, time: int) -> TimelineEntry:
+        self.stat_keyframes += 1
         store = self.store
         values = store.copy_narrow()
         mem_copy = (
@@ -358,6 +365,7 @@ class Timeline(TimelineView):
     def _evict_oldest(self) -> None:
         """Drop the head keyframe by folding it into its successor —
         O(successor delta), never a rescan of the whole state."""
+        self.stat_evictions += 1
         old = self.entries.popleft()
         del self.by_time[old.time]
         self._nbytes -= old.nbytes
@@ -463,6 +471,23 @@ class Timeline(TimelineView):
         )
 
     # -- byte accounting ---------------------------------------------------
+
+    def compression_ratio(self) -> float:
+        """Uncompressed-equivalent bytes / retained bytes.
+
+        The head entry is always a keyframe, so its footprint is what
+        every retained cycle would cost without delta compression; the
+        ratio is that hypothetical all-keyframes size over the actual
+        retained size.  1.0 when empty or when every entry is a keyframe.
+        """
+        entries = self.entries
+        if not entries:
+            return 1.0
+        actual = self.nbytes
+        if actual <= 0:
+            return 1.0
+        full = self._entry_nbytes(entries[0]) * len(entries)
+        return full / actual
 
     def _entry_nbytes(self, entry: TimelineEntry) -> int:
         store = self.store

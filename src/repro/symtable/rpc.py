@@ -149,10 +149,16 @@ class RPCSymbolTable(SymbolTableInterface):
     method is a read-only query, so replays are safe).  Protocol-level
     failures (server-reported errors, response id mismatches) are never
     retried: they are deterministic, not transient.
+
+    ``obs`` (a ``repro.obs.Obs``, or None) arms request accounting:
+    request count and latency, reconnect attempts, and replayed
+    requests.  Shard workers pass their per-shard ``Obs`` so RPC health
+    is attributable per shard in the aggregated report.
     """
 
     def __init__(self, host: str, port: int, timeout: float = 10.0,
-                 max_reconnects: int = 3, reconnect_backoff_s: float = 0.05):
+                 max_reconnects: int = 3, reconnect_backoff_s: float = 0.05,
+                 obs=None):
         self._host = host
         self._port = port
         self._timeout = timeout
@@ -161,6 +167,26 @@ class RPCSymbolTable(SymbolTableInterface):
         self._lock = threading.Lock()
         self._next_id = 1
         self._closed = False
+        # Metric instruments are resolved once here; _call guards on a
+        # single attribute so the unobserved path stays flat.
+        self._m_requests = self._m_reconnects = self._m_replays = None
+        self._h_latency = None
+        if obs is not None and obs.metrics is not None:
+            m = obs.metrics
+            self._m_requests = m.counter(
+                "rpc_requests_total", "Symbol-table RPC requests completed"
+            )
+            self._m_reconnects = m.counter(
+                "rpc_reconnects_total", "RPC reconnect attempts after transport failures"
+            )
+            self._m_replays = m.counter(
+                "rpc_replays_total", "Requests replayed on a fresh connection"
+            )
+            self._h_latency = m.histogram(
+                "rpc_request_seconds",
+                "Symbol-table RPC request latency (incl. reconnect/replay)",
+                bounds=(0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0),
+            )
         self._connect()
 
     def _connect(self) -> None:
@@ -191,9 +217,12 @@ class RPCSymbolTable(SymbolTableInterface):
         with self._lock:
             if self._closed:
                 raise ConnectionError("symbol table RPC client is closed")
+            t0 = time.monotonic() if self._h_latency is not None else 0.0
             last_exc: Exception | None = None
             for attempt in range(self._max_reconnects + 1):
                 if attempt:
+                    if self._m_reconnects is not None:
+                        self._m_reconnects.inc()
                     self._drop_connection()
                     time.sleep(
                         self._reconnect_backoff_s * 2 ** (attempt - 1)
@@ -203,6 +232,8 @@ class RPCSymbolTable(SymbolTableInterface):
                     except OSError as exc:
                         last_exc = exc
                         continue
+                    if self._m_replays is not None:
+                        self._m_replays.inc()
                 req_id = self._next_id
                 self._next_id += 1
                 msg = {"id": req_id, "method": method, "params": list(params)}
@@ -236,6 +267,9 @@ class RPCSymbolTable(SymbolTableInterface):
                         f"symbol table RPC response id mismatch: "
                         f"sent {req_id}, got {resp.get('id')!r}"
                     )
+                if self._h_latency is not None:
+                    self._h_latency.observe(time.monotonic() - t0)
+                    self._m_requests.inc()
                 return _decode(resp.get("result"))
             raise ConnectionError(
                 f"symbol table RPC {method!r} failed after "

@@ -250,3 +250,48 @@ class TestTimelineCommand:
         assert any("full VCD replay" in l for l in dbg.transcript)
         dbg.execute("timeline history total 3")
         assert any(l.startswith("  cycle") for l in dbg.transcript)
+
+
+class TestStatsCommand:
+    def _dbg(self, obs="off"):
+        d = repro.compile(Accumulator())
+        sim = Simulator(d.low, obs=obs, snapshots=16)
+        rt = make_runtime(d, sim)
+        dbg = ConsoleDebugger(rt, script=[])
+        sim.poke("en", 1)
+        sim.reset()
+        sim.step(10)
+        return dbg
+
+    def test_counters_always_available(self):
+        dbg = self._dbg()
+        dbg.execute("stats")
+        assert any(l.strip().startswith("ticks") for l in dbg.transcript)
+        assert any("settle_seeds" in l for l in dbg.transcript)
+        # obs is off: no metric catalog beyond the plain counters
+        assert not any("sim_ticks_total" in l for l in dbg.transcript)
+
+    def test_metric_catalog_when_obs_armed(self):
+        dbg = self._dbg(obs="metrics")
+        dbg.execute("stats")
+        assert any("sim_ticks_total" in l for l in dbg.transcript)
+
+    def test_replay_backend_reports_no_counters(self, tmp_path):
+        from repro.core import Runtime
+        from repro.symtable import SQLiteSymbolTable, write_symbol_table
+        from repro.trace import ReplayEngine, VcdWriter
+
+        d = repro.compile(Accumulator())
+        vcd = str(tmp_path / "run.vcd")
+        w = VcdWriter(vcd)
+        sim = Simulator(d.low, trace=w)
+        sim.reset()
+        sim.step(5)
+        w.close()
+        rt = Runtime(
+            ReplayEngine.from_file(vcd),
+            SQLiteSymbolTable(write_symbol_table(d)),
+        )
+        dbg = ConsoleDebugger(rt)
+        dbg.execute("stats")
+        assert any("no counters" in l for l in dbg.transcript)

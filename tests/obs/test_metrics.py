@@ -1,0 +1,156 @@
+"""repro.obs.metrics: instruments, registry, cross-process merge."""
+
+import json
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry, merge_snapshots
+
+
+class TestInstruments:
+    def test_counter_inc_and_set_total(self):
+        c = Counter("x_total", "help text")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        c.set_total(42)  # collector pattern: mirror an always-on int
+        assert c.value == 42
+        wire = c.to_wire()
+        assert wire["type"] == "counter" and wire["value"] == 42
+        assert wire["help"] == "help text"
+
+    def test_gauge_moves_both_ways(self):
+        g = Gauge("bytes")
+        g.set(10)
+        g.inc(5)
+        g.dec(3)
+        assert g.value == 12
+        assert g.to_wire()["type"] == "gauge"
+
+    def test_histogram_bucket_placement(self):
+        h = Histogram("lat", bounds=(0.1, 1.0))
+        h.observe(0.05)  # le=0.1
+        h.observe(0.1)   # le=0.1 (inclusive upper bound)
+        h.observe(0.5)   # le=1.0
+        h.observe(9.0)   # +Inf
+        assert h.counts == [2, 1, 1]
+        assert h.count == 4
+        assert h.sum == pytest.approx(9.65)
+
+    def test_histogram_rejects_unsorted_bounds(self):
+        with pytest.raises(ValueError, match="sorted"):
+            Histogram("lat", bounds=(1.0, 0.1))
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        reg = MetricsRegistry()
+        a = reg.counter("ticks_total")
+        b = reg.counter("ticks_total")
+        assert a is b
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError, match="already registered"):
+            reg.gauge("x")
+
+    def test_default_labels_merged_into_every_instrument(self):
+        reg = MetricsRegistry(default_labels={"shard": "3"})
+        c = reg.counter("x", labels={"kind": "a"})
+        assert c.labels == {"shard": "3", "kind": "a"}
+
+    def test_label_sets_keep_series_distinct(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x", labels={"k": "1"})
+        b = reg.counter("x", labels={"k": "2"})
+        assert a is not b
+
+    def test_collector_runs_at_snapshot_time(self):
+        reg = MetricsRegistry()
+        source = {"ticks": 0}
+        reg.add_collector(
+            lambda r: r.counter("ticks_total").set_total(source["ticks"])
+        )
+        source["ticks"] = 7
+        snap = reg.snapshot()
+        (m,) = snap["metrics"]
+        assert m["value"] == 7
+        source["ticks"] = 11  # a later snapshot sees the fresh total
+        assert reg.snapshot()["metrics"][0]["value"] == 11
+
+    def test_snapshot_is_json_safe_and_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("b_total").inc()
+        reg.gauge("a_gauge").set(2)
+        reg.histogram("c_seconds").observe(0.1)
+        snap = reg.snapshot()
+        json.dumps(snap)  # must round-trip the shard wire unchanged
+        assert [m["name"] for m in snap["metrics"]] == [
+            "a_gauge", "b_total", "c_seconds",
+        ]
+
+
+class TestMerge:
+    def _snap(self, **totals):
+        reg = MetricsRegistry()
+        for name, v in totals.items():
+            reg.counter(name).inc(v)
+        return reg.snapshot()
+
+    def test_counters_sum(self):
+        merged = merge_snapshots([self._snap(x=1), self._snap(x=4)])
+        (m,) = merged["metrics"]
+        assert m["value"] == 5
+
+    def test_gauges_keep_max(self):
+        def gsnap(v):
+            reg = MetricsRegistry()
+            reg.gauge("g").set(v)
+            return reg.snapshot()
+
+        merged = merge_snapshots([gsnap(3), gsnap(9), gsnap(5)])
+        assert merged["metrics"][0]["value"] == 9
+
+    def test_histograms_sum_bucket_wise(self):
+        def hsnap(*values):
+            reg = MetricsRegistry()
+            h = reg.histogram("h", bounds=(0.1, 1.0))
+            for v in values:
+                h.observe(v)
+            return reg.snapshot()
+
+        merged = merge_snapshots([hsnap(0.05), hsnap(0.5, 9.0)])
+        (m,) = merged["metrics"]
+        assert m["counts"] == [1, 1, 1]
+        assert m["count"] == 3
+        assert m["sum"] == pytest.approx(9.55)
+
+    def test_distinct_labels_stay_distinct(self):
+        def lsnap(shard):
+            reg = MetricsRegistry(default_labels={"shard": shard})
+            reg.counter("x").inc()
+            return reg.snapshot()
+
+        merged = merge_snapshots([lsnap("0"), lsnap("1")])
+        assert len(merged["metrics"]) == 2
+        assert all(m["value"] == 1 for m in merged["metrics"])
+
+    def test_type_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.gauge("x").set(1)
+        with pytest.raises(ValueError, match="conflicting types"):
+            merge_snapshots([self._snap(x=1), reg.snapshot()])
+
+    def test_bound_mismatch_raises(self):
+        def hsnap(bounds):
+            reg = MetricsRegistry()
+            reg.histogram("h", bounds=bounds).observe(0.5)
+            return reg.snapshot()
+
+        with pytest.raises(ValueError, match="bucket bounds"):
+            merge_snapshots([hsnap((0.1, 1.0)), hsnap((0.2, 2.0))])
+
+    def test_empty_and_none_snapshots_tolerated(self):
+        merged = merge_snapshots([{}, self._snap(x=2)])
+        assert merged["metrics"][0]["value"] == 2

@@ -1,0 +1,125 @@
+"""repro.obs tracer and exporters: spans, Chrome trace JSON, Prometheus
+text exposition, and the human-readable metric table."""
+
+import json
+import os
+
+from repro.obs import (
+    MetricsRegistry,
+    SpanRecord,
+    Tracer,
+    format_metrics,
+    to_chrome_trace,
+    to_prometheus,
+    write_chrome_trace,
+    write_prometheus,
+)
+from repro.obs.tracer import NULL_SPAN
+
+
+class TestTracer:
+    def test_span_context_manager_records(self):
+        t = Tracer(proc="test")
+        with t.span("work", cycle=42):
+            pass
+        (s,) = t.spans
+        assert s.name == "work"
+        assert s.args == {"cycle": 42}
+        assert s.dur >= 0.0
+        assert s.pid == os.getpid()
+        assert s.proc == "test"
+
+    def test_record_span_with_identity_overrides(self):
+        t = Tracer(proc="coordinator")
+        t.record_span("attempt", wall=100.0, dur=0.5,
+                      args={"shard": 1}, proc="shard 1", pid=999)
+        (s,) = t.spans
+        assert (s.proc, s.pid, s.wall, s.dur) == ("shard 1", 999, 100.0, 0.5)
+
+    def test_wire_round_trip(self):
+        t = Tracer(proc="p")
+        with t.span("x"):
+            pass
+        wire = t.to_wire()
+        json.dumps(wire)  # must ride the shard JSON-lines wire
+        back = SpanRecord.from_wire(wire[0])
+        assert back == t.spans[0]
+
+    def test_null_span_is_a_shared_noop(self):
+        with NULL_SPAN as s:
+            assert s is NULL_SPAN
+
+
+class TestChromeTrace:
+    def _spans(self):
+        return [
+            SpanRecord("sweep", wall=10.0, dur=2.0, pid=1, proc="coordinator"),
+            SpanRecord("run", wall=10.5, dur=1.0, pid=2, proc="shard 0"),
+        ]
+
+    def test_timestamps_normalized_to_earliest_wall(self):
+        doc = to_chrome_trace(self._spans())
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert xs[0]["ts"] == 0.0
+        assert xs[1]["ts"] == 0.5e6  # µs
+        assert xs[1]["dur"] == 1.0e6
+
+    def test_process_metadata_per_pid(self):
+        doc = to_chrome_trace(self._spans())
+        meta = {
+            e["pid"]: e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert meta == {1: "coordinator", 2: "shard 0"}
+
+    def test_accepts_wire_dicts(self):
+        doc = to_chrome_trace([s.to_wire() for s in self._spans()])
+        assert len(doc["traceEvents"]) == 4
+
+    def test_write_round_trips(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(path, self._spans())
+        doc = json.loads(path.read_text())
+        assert doc["displayTimeUnit"] == "ms"
+        assert len(doc["traceEvents"]) == 4
+
+
+class TestPrometheus:
+    def _snapshot(self):
+        reg = MetricsRegistry(default_labels={"shard": "0"})
+        reg.counter("sim_ticks_total", "Clock ticks").inc(30)
+        h = reg.histogram("rpc_request_seconds", bounds=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(0.5)
+        h.observe(9.0)
+        return reg.snapshot()
+
+    def test_exposition_format(self):
+        text = to_prometheus(self._snapshot())
+        assert "# HELP sim_ticks_total Clock ticks" in text
+        assert "# TYPE sim_ticks_total counter" in text
+        assert 'sim_ticks_total{shard="0"} 30' in text
+        assert "# TYPE rpc_request_seconds histogram" in text
+        # buckets are cumulative, with a closing +Inf
+        assert 'rpc_request_seconds_bucket{shard="0",le="0.1"} 1' in text
+        assert 'rpc_request_seconds_bucket{shard="0",le="1"} 2' in text
+        assert 'rpc_request_seconds_bucket{shard="0",le="+Inf"} 3' in text
+        assert 'rpc_request_seconds_count{shard="0"} 3' in text
+        assert text.endswith("\n")
+
+    def test_label_values_escaped(self):
+        reg = MetricsRegistry(default_labels={"name": 'a"b\\c'})
+        reg.counter("x").inc()
+        text = to_prometheus(reg.snapshot())
+        assert 'x{name="a\\"b\\\\c"} 1' in text
+
+    def test_write_round_trips(self, tmp_path):
+        path = tmp_path / "metrics.prom"
+        write_prometheus(path, self._snapshot())
+        assert "sim_ticks_total" in path.read_text()
+
+    def test_format_metrics_table(self):
+        table = format_metrics(self._snapshot())
+        assert 'sim_ticks_total{shard="0"}  30' in table
+        assert "count=3" in table

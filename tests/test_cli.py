@@ -181,3 +181,78 @@ class TestTimelineFlags:
         for shard in report["shards"]:
             assert shard["timeline"]["codec"] == "rle"
             assert len(shard["timeline"]["entries"]) <= 8
+
+
+class TestObservability:
+    def test_shard_trace_out_and_prometheus(self, tmp_path, capsys):
+        import json
+
+        d = repro.compile(Accumulator())
+        _f, line = line_of(d, "acc")
+        trace = str(tmp_path / "sweep.trace.json")
+        prom = str(tmp_path / "sweep.prom")
+        rc = main(
+            [
+                "shard", "tests.helpers:Accumulator",
+                "--shards", "2", "--workers", "2", "--cycles", "20",
+                "-b", f"helpers.py:{line}",
+                "-o", "en=1",
+                "--trace-out", trace, "--prometheus", prom,
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "observability:" in out
+        with open(trace) as f:
+            doc = json.load(f)
+        procs = {
+            e["args"]["name"] for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert procs == {"coordinator", "shard 0", "shard 1"}
+        with open(prom) as f:
+            text = f.read()
+        assert "# TYPE sim_ticks_total counter" in text
+
+    def test_shard_trace_out_conflicts_with_weaker_obs(self, tmp_path, capsys):
+        rc = main(
+            [
+                "shard", "tests.helpers:Accumulator",
+                "--shards", "2", "--cycles", "5",
+                "--obs", "metrics",
+                "--trace-out", str(tmp_path / "t.json"),
+            ]
+        )
+        assert rc == 2
+        assert "--trace-out needs --obs trace" in capsys.readouterr().err
+
+    def test_stats_command(self, tmp_path, capsys):
+        import json
+
+        snap = str(tmp_path / "stats.json")
+        prom = str(tmp_path / "stats.prom")
+        trace = str(tmp_path / "stats.trace.json")
+        rc = main(
+            [
+                "stats", "tests.helpers:Accumulator",
+                "--cycles", "200", "--timeline", "16",
+                "--json", snap, "--prometheus", prom, "--trace-out", trace,
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "200 cycles in" in out
+        assert "sim_ticks_total" in out
+        with open(snap) as f:
+            names = {m["name"] for m in json.load(f)["metrics"]}
+        assert {
+            "sim_ticks_total", "sim_timeline_entries", "shard_cycles_total",
+        } <= names
+        with open(prom) as f:
+            assert "sim_ticks_total" in f.read()
+        with open(trace) as f:
+            doc = json.load(f)
+        assert any(e["name"] == "shard.run" for e in doc["traceEvents"])
+
+    def test_stats_bad_factory(self, capsys):
+        assert main(["stats", "tests.helpers:NoSuchThing"]) == 2
