@@ -1,0 +1,195 @@
+"""Hub amortization: compile once, debug many times.
+
+The ``repro.hub`` debug server exists to amortize elaboration + lint +
+compile across debug sessions: the design is hot after the first attach,
+so the Nth engineer's time-to-first-breakpoint is the per-session cost
+(value store + symbol table handle), not the per-design cost (compile).
+This benchmark measures exactly that, against the honest alternative —
+every engineer constructing their own ``Simulator`` (which recompiles):
+
+* time-to-first-breakpoint for N cold independent sessions vs N hub
+  attaches on one hot design;
+* state-digest parity: K concurrent hub sessions with distinct seeds,
+  each bit-identical to a standalone seeded ``Simulator`` run.
+
+Acceptance bars: the Nth hub attach reaches its first breakpoint >= 5x
+faster than a cold independent session (asserted non-smoke, N=8), and
+every concurrent session's digest matches its standalone twin (asserted
+always, K=32, smoke 8).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import repro
+import repro.hgf as hgf
+from repro.core import Runtime
+from repro.cpu import RV32Core, assemble, benchmark_by_name
+from repro.hub import DebugHub, HubClient, LocalSession
+from repro.shard.spec import ShardSpec
+from repro.shard.worker import make_stimulus
+from repro.sim import Simulator
+from repro.symtable import SQLiteSymbolTable
+from repro.symtable.writer import write_symbol_table
+
+_SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+_SESSIONS = 4 if _SMOKE else 8          # time-to-first-breakpoint fan-in
+_PARITY_SESSIONS = 8 if _SMOKE else 32  # concurrent digest-parity fan-in
+_PARITY_CYCLES = 40 if _SMOKE else 200
+
+
+class _HubPipe(hgf.Module):
+    """A register pipeline big enough that compilation dominates session
+    setup — the cost the hub exists to amortize."""
+
+    def __init__(self, stages: int = 12 if _SMOKE else 48, width: int = 32):
+        super().__init__()
+        self.x = self.input("x", width)
+        self.o = self.output("o", width)
+        mask = (1 << width) - 1
+        acc = self.x
+        for k in range(stages):
+            r = self.reg(f"p{k}", width, init=(k * 2654435761) & mask)
+            r <<= ((acc ^ r) + self.lit((2 * k + 1) & mask, width))[width - 1:0]
+            acc = r
+        self.o <<= acc
+
+
+def test_time_to_first_breakpoint(capsys):
+    bench = benchmark_by_name("median")
+    words = assemble(bench.source).words
+
+    def make_cpu() -> repro.Design:
+        return repro.compile(RV32Core(words, mem_words=8192), debug=True)
+
+    design = make_cpu()
+    entry = design.debug_info.all_entries()[0]
+    filename, line = entry.info.filename, entry.info.line
+
+    # Cold path: every session elaborates and compiles the design for
+    # itself — what N engineers each running their own debug script pay
+    # before their first breakpoint.
+    cold = []
+    for i in range(_SESSIONS):
+        t0 = time.perf_counter()
+        fresh = make_cpu()
+        sim = Simulator(fresh.low)  # no compiled= : a fresh compile
+        runtime = Runtime(
+            sim, SQLiteSymbolTable(write_symbol_table(fresh))
+        )
+        session = LocalSession(
+            runtime,
+            stimulus=make_stimulus(sim, ShardSpec(i, seed=i, cycles=0)),
+        )
+        session.add_breakpoint(filename, line)
+        stop = session.run(1000)
+        cold.append(time.perf_counter() - t0)
+        assert stop.reason == "breakpoint", stop.reason
+        session.detach()
+
+    # Hub path: one compile at serve time, N attaches against the hot
+    # design.  The hub's own compile is charged separately below.
+    t0 = time.perf_counter()
+    hub = DebugHub(design)
+    host, port = hub.serve_background()
+    hub_compile = time.perf_counter() - t0
+
+    hot = []
+    clients = []
+    try:
+        for i in range(_SESSIONS):
+            t0 = time.perf_counter()
+            client = HubClient(host, port)
+            clients.append(client)
+            session = client.attach(seed=i)
+            session.add_breakpoint(filename, line)
+            stop = session.run(1000)
+            hot.append(time.perf_counter() - t0)
+            assert stop.reason == "breakpoint", stop.reason
+    finally:
+        for client in clients:
+            client.close()
+        hub.close()
+
+    speedup = cold[-1] / hot[-1]
+    with capsys.disabled():
+        print(
+            f"\n=== hub amortization: time-to-first-breakpoint "
+            f"({_SESSIONS} sessions) ==="
+        )
+        print(f"{'session':>8} {'cold (ms)':>12} {'hub (ms)':>12}")
+        for i, (c, h) in enumerate(zip(cold, hot)):
+            print(f"{i:>8} {c * 1e3:>12.1f} {h * 1e3:>12.1f}")
+        print(f"hub compile (once): {hub_compile * 1e3:.1f}ms")
+        print(
+            f"session {_SESSIONS - 1}: {speedup:.1f}x faster attached "
+            f"(bar: >= 5x, asserted non-smoke)"
+        )
+
+    if not _SMOKE:
+        assert speedup >= 5.0, (
+            f"Nth hub attach only {speedup:.2f}x faster than a cold "
+            f"independent session"
+        )
+
+
+def test_concurrent_session_digest_parity(capsys):
+    from repro.sim.compiler import compile_design
+
+    design = repro.compile(_HubPipe(), debug=True)
+    compiled = compile_design(design.low, None)
+
+    # Standalone twins: one seeded Simulator run per session, sharing one
+    # compiled design (construction cost only — parity is the point here).
+    def standalone_digest(seed: int) -> str:
+        sim = Simulator(design.low, compiled=compiled)
+        stim = make_stimulus(sim, ShardSpec(seed, seed=seed, cycles=0))
+        sim.reset(1)
+        sim.run_cycles(_PARITY_CYCLES, stimulus=stim)
+        return sim.state_digest()
+
+    expected = {seed: standalone_digest(seed) for seed in range(_PARITY_SESSIONS)}
+
+    hub = DebugHub(design)
+    host, port = hub.serve_background()
+
+    def hub_digest(seed: int) -> str:
+        client = HubClient(host, port)
+        try:
+            session = client.attach(seed=seed)
+            session.reset(1)
+            stop = session.run(_PARITY_CYCLES)
+            assert stop.reason == "done", stop.reason
+            digest = session.state_digest()
+            session.detach()
+            return digest
+        finally:
+            client.close()
+
+    t0 = time.perf_counter()
+    try:
+        with ThreadPoolExecutor(max_workers=_PARITY_SESSIONS) as pool:
+            got = dict(
+                zip(
+                    range(_PARITY_SESSIONS),
+                    pool.map(hub_digest, range(_PARITY_SESSIONS)),
+                )
+            )
+    finally:
+        hub.close()
+    wall = time.perf_counter() - t0
+
+    mismatches = [s for s in expected if got[s] != expected[s]]
+    with capsys.disabled():
+        print(
+            f"\n=== hub isolation: {_PARITY_SESSIONS} concurrent sessions x "
+            f"{_PARITY_CYCLES} cycles in {wall * 1e3:.0f}ms ==="
+        )
+        print(
+            f"digest parity vs standalone seeded runs: "
+            f"{_PARITY_SESSIONS - len(mismatches)}/{_PARITY_SESSIONS}"
+        )
+    assert not mismatches, f"sessions diverged from standalone: {mismatches}"

@@ -9,6 +9,8 @@ engineer would actually use with trace files and symbol tables on disk::
     hgdb-py shard pkg.mod:factory -b f.py:42   # parallel seed sweep
     hgdb-py lint pkg.mod:factory --json        # static analysis gate
     hgdb-py stats pkg.mod:factory              # profile one shard run
+    hgdb-py hub serve pkg.mod:factory          # multi-session debug server
+    hgdb-py hub attach localhost:9000 -b f.py:42 -c "c; p out; q"
 
 Observability (``repro.obs``, see docs/observability.md): ``stats`` runs
 one instrumented shard and prints the metric catalog; ``shard
@@ -97,9 +99,11 @@ def _parse_location(text: str):
     return filename, int(line_s), (condition.strip() or None)
 
 
-def _load_factory(spec: str):
-    """Resolve a ``MODULE:CALLABLE`` design factory.  Returns the callable
-    or prints an error and returns None."""
+def load_design_factory(spec: str):
+    """Resolve a ``MODULE:CALLABLE`` design factory — the one import
+    helper every factory-taking subcommand (``lint``/``shard``/``stats``/
+    ``hub``) shares, so the error messages stay uniform.  Returns the
+    callable, or prints an error and returns None."""
     import importlib
 
     mod_name, _, attr = spec.partition(":")
@@ -138,7 +142,7 @@ def _cmd_lint(args) -> int:
     exit_code = 0
     documents = []
     for spec in args.factory:
-        factory = _load_factory(spec)
+        factory = load_design_factory(spec)
         if factory is None:
             return 2
         try:
@@ -174,6 +178,7 @@ def _cmd_shard(args) -> int:
     import json
 
     import repro
+    from .hub import SessionOptions
     from .shard import (
         BreakpointSpec,
         RetryPolicy,
@@ -181,7 +186,7 @@ def _cmd_shard(args) -> int:
         WatchSpec,
     )
 
-    factory = _load_factory(args.factory)
+    factory = load_design_factory(args.factory)
     if factory is None:
         return 2
     design = repro.compile(factory(), debug=args.debug)
@@ -230,7 +235,10 @@ def _cmd_shard(args) -> int:
         return 2
 
     retry = RetryPolicy(max_attempts=max(1, args.retries))
-    with ShardSession(design, workers=args.workers, obs=obs_mode) as session:
+    with ShardSession(
+        design, workers=args.workers,
+        options=SessionOptions(obs=obs_mode),
+    ) as session:
         report = session.sweep(
             shards=args.shards,
             cycles=args.cycles,
@@ -271,7 +279,7 @@ def _cmd_stats(args) -> int:
     from .symtable import SQLiteSymbolTable
     from .symtable.writer import write_symbol_table
 
-    factory = _load_factory(args.factory)
+    factory = load_design_factory(args.factory)
     if factory is None:
         return 2
     design = repro.compile(factory(), debug=args.debug)
@@ -300,6 +308,83 @@ def _cmd_stats(args) -> int:
     if args.prometheus:
         write_prometheus(args.prometheus, snapshot)
         print(f"wrote {args.prometheus}")
+    return 0
+
+
+def _cmd_hub_serve(args) -> int:
+    import time
+
+    import repro
+    from .hub import DebugHub, SessionOptions
+
+    factory = load_design_factory(args.factory)
+    if factory is None:
+        return 2
+    design = repro.compile(factory(), debug=args.debug)
+    options = SessionOptions(
+        snapshots=args.snapshots, obs=args.obs, strict=args.strict
+    )
+    hub = DebugHub(
+        design, host=args.host, port=args.port,
+        idle_ttl=args.idle_exit, options=options,
+    )
+    host, port = hub.serve_background()
+    print(f"hub serving {design.name} on {host}:{port}")
+    if args.address_file:
+        with open(args.address_file, "w") as f:
+            f.write(f"{host}:{port}\n")
+    try:
+        if args.serve_seconds is not None:
+            # Bounded serving (tests, CI): hold the design hot for a
+            # fixed window, then exit cleanly.
+            time.sleep(args.serve_seconds)
+        else:
+            while True:
+                time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        hub.close()
+    return 0
+
+
+def _cmd_hub_attach(args) -> int:
+    from .client import ConsoleDebugger
+    from .hub import HubClient
+
+    host, _, port_s = args.address.rpartition(":")
+    if not host:
+        print(f"error: expected HOST:PORT, got {args.address!r}",
+              file=sys.stderr)
+        return 2
+    script = None
+    if args.command:
+        script = [
+            c.strip()
+            for chunk in args.command
+            for c in chunk.split(";")
+            if c.strip()
+        ]
+    client = HubClient(host, int(port_s))
+    try:
+        hello = client.hello()
+        session = client.attach(seed=args.seed, name=args.name)
+        print(
+            f"attached to {hello['design']} "
+            f"({hello['sessions']} other session(s))"
+        )
+        debugger = ConsoleDebugger(session=session, script=script, echo=True)
+        for pre in args.breakpoint or []:
+            debugger.execute(f"b {pre}")
+        stop = debugger.drive(args.cycles)
+        if stop is None or stop.reason != "detached":
+            # One-shot CLI attach: release the hub session instead of
+            # leaving it parked for re-attach.
+            session.detach()
+        if stop is not None and stop.reason == "error":
+            return 1
+    finally:
+        client.close()
     return 0
 
 
@@ -441,6 +526,81 @@ def build_parser() -> argparse.ArgumentParser:
         help="print per-shard progress events as they stream in",
     )
     p_shard.set_defaults(fn=_cmd_shard)
+
+    p_hub = sub.add_parser(
+        "hub",
+        help="persistent multi-session debug server (docs/hub.md)",
+    )
+    hub_sub = p_hub.add_subparsers(dest="hub_command", required=True)
+
+    p_serve = hub_sub.add_parser(
+        "serve",
+        help="compile a design once and serve debug sessions over TCP",
+    )
+    p_serve.add_argument(
+        "factory",
+        help="design factory as MODULE:CALLABLE returning an hgf.Module",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    p_serve.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (default: an ephemeral port, printed on startup)",
+    )
+    p_serve.add_argument(
+        "--address-file", metavar="PATH",
+        help="write the bound HOST:PORT to this file once listening "
+             "(lets scripts attach to an ephemeral port)",
+    )
+    p_serve.add_argument(
+        "--idle-exit", type=float, default=None, metavar="S",
+        help="evict sessions idle for S seconds (default: keep forever)",
+    )
+    p_serve.add_argument(
+        "--serve-seconds", type=float, default=None, metavar="S",
+        help="serve for S seconds then exit (default: until interrupted)",
+    )
+    p_serve.add_argument(
+        "--snapshots", type=int, default=0, metavar="N",
+        help="per-session retained timeline entries (enables reverse "
+             "debugging across cycles)",
+    )
+    p_serve.add_argument(
+        "--obs", choices=["off", "metrics", "trace"], default=None,
+        help="hub observability depth (repro.obs); default: $REPRO_OBS",
+    )
+    p_serve.add_argument(
+        "--strict", choices=["off", "warning", "error"], default=None,
+        help="lint gate severity at hub compile (default: error)",
+    )
+    p_serve.add_argument(
+        "--debug", action="store_true",
+        help="compile in debug mode (-O0 analog; keeps every variable)",
+    )
+    p_serve.set_defaults(fn=_cmd_hub_serve)
+
+    p_attach = hub_sub.add_parser(
+        "attach", help="attach a console session to a running hub"
+    )
+    p_attach.add_argument("address", help="hub HOST:PORT")
+    p_attach.add_argument(
+        "-b", "--breakpoint", action="append",
+        help="breakpoint FILE:LINE to insert before running (repeatable)",
+    )
+    p_attach.add_argument(
+        "-c", "--command", action="append",
+        help="debugger command to run at stops; repeatable, and each "
+             "occurrence may hold several separated by ';' "
+             "(otherwise interactive)",
+    )
+    p_attach.add_argument(
+        "--seed", type=int, default=None,
+        help="drive the session with the deterministic seed-N stimulus",
+    )
+    p_attach.add_argument(
+        "--cycles", type=int, default=1000, help="cycles to run"
+    )
+    p_attach.add_argument("--name", default=None, help="session name")
+    p_attach.set_defaults(fn=_cmd_hub_attach)
 
     p_stats = sub.add_parser(
         "stats",

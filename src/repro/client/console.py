@@ -1,45 +1,35 @@
 """A gdb-inspired console debugger (paper Sec. 3.5).
 
-Works in-process against a :class:`repro.core.Runtime`: when a breakpoint
-hits, the REPL runs inside the (blocking) clock callback, exactly like gdb
-sitting on a ptrace stop.  Fully scriptable — pass ``script`` a list of
-commands and read ``transcript`` — which is how the tests and the paper's
-case study drive it.
+Two ways to drive a session, one command surface:
 
-Commands::
+* **passive** (the classic shape): construct with a
+  :class:`repro.core.Runtime`; when a breakpoint hits, the REPL runs
+  inside the (blocking) clock callback, exactly like gdb sitting on a
+  ptrace stop.  The embedding code owns the clock (``sim.step(...)``).
+* **driving**: construct with any
+  :class:`~repro.hub.api.SessionHandle` — a hub session
+  (:class:`~repro.hub.client.HubSession`) or an in-process
+  :class:`~repro.hub.api.LocalSession` — and call :meth:`drive`; the
+  console owns the run loop and every control command resumes the
+  session.  This is ``hgdb-py hub attach``.
 
-    b FILE:LINE [if COND]    insert breakpoint(s)
-    watch NAME [if COND]     data breakpoint: stop when NAME changes
-    ignore ID N              skip the next N hits of breakpoint ID
-    delete [ID]              remove one or all breakpoints
-    c / continue             resume until next breakpoint
-    s / step                 stop at next source statement
-    rs / reverse-step        step backwards (intra-cycle, then prior cycle)
-    rc / reverse-continue    run backwards to the previous breakpoint hit
-    p EXPR                   evaluate in the current frame's scope
-    info threads|breakpoints|time|files|warnings
-    frame [N]                select the N-th concurrent thread
-    locals                   print the current frame's local variables
-    gen                      print the current frame's generator variables
-    set PATH VALUE           force a signal value (live simulation only)
-    timeline                 show the retained time-travel window
-    timeline goto T          jump to retained cycle T (set_time)
-    timeline history NAME [N]  last N retained values of a signal
-    lint [SEVERITY]          static analysis of the attached circuit
-                             (findings at/above SEVERITY; docs/lint.md)
-    stats                    simulator execution counters; full metric
-                             catalog when observability is armed
-                             (docs/observability.md)
-    shard N CYCLES [SEED] [retries=K] [deadline=S]
-                             parallel sweep: run N seeds of this design
-                             with the current breakpoints, aggregate hits;
-                             failed workers retry K times (deadline S
-                             seconds per attempt) before running inline
-    q / quit                 detach from the simulation
+In both modes, every data command goes through the unified session API
+(:class:`~repro.hub.api.SessionHandle`), so the console never touches a
+concrete engine class.  Fully scriptable — pass ``script`` a list of
+commands and read ``transcript`` — which is how the tests and the
+paper's case study drive it.
+
+Commands are declared in a registry (:func:`register_command`): name,
+aliases, usage, help, handler.  ``help`` output is generated from the
+registry, and embedders add commands by registering specs instead of
+patching the dispatcher.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
+from ..core.frames import VariableView
 from ..core.runtime import (
     CONTINUE,
     DETACH,
@@ -51,25 +41,99 @@ from ..core.runtime import (
     HitGroup,
     Runtime,
 )
-from ..core.frames import VariableView
+from ..hub.api import LocalSession, SessionError, SessionHandle, StopInfo
+
+# -- the command registry ---------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class CommandSpec:
+    """One console command: how it's named, parsed, documented, run."""
+
+    name: str                 # canonical name ("continue")
+    handler: object           # fn(dbg, args: list[str]) -> Command | None
+    aliases: tuple = ()       # short forms ("c",)
+    usage: str = ""           # one-line syntax, shown by `help`
+    help: str = ""            # one-line description, shown by `help`
+
+
+#: Default commands every ConsoleDebugger starts with, in `help` order.
+_REGISTRY: dict[str, CommandSpec] = {}
+
+
+def register_command(name: str, *, aliases=(), usage: str = "",
+                     help: str = ""):
+    """Declare a console command.  Used as a decorator on a handler
+    ``fn(dbg, args)``; the spec lands in the default registry that every
+    new :class:`ConsoleDebugger` copies (instances can also
+    :meth:`~ConsoleDebugger.register` their own)."""
+
+    def deco(fn):
+        _REGISTRY[name] = CommandSpec(
+            name, fn, tuple(aliases), usage or name, help
+        )
+        return fn
+
+    return deco
+
+
+# -- frame normalization ----------------------------------------------------
+# A stop's frames are core.frames.Frame objects in passive mode and
+# Frame.to_dict() records when they crossed the hub wire; these helpers
+# give every command one shape to render.
+
+
+def _frame_instance(frame) -> str:
+    return frame["instance"] if isinstance(frame, dict) else frame.instance_path
+
+
+def _frame_breakpoint_id(frame) -> int:
+    if isinstance(frame, dict):
+        return frame["breakpoint_id"]
+    return frame.breakpoint.id
+
+
+def _frame_vars(frame, kind: str) -> list[VariableView]:
+    if isinstance(frame, dict):
+        return [VariableView.from_dict(v) for v in frame.get(kind, [])]
+    return frame.local_vars if kind == "local" else frame.generator_vars
 
 
 class ConsoleDebugger:
-    """Scriptable gdb-like front end."""
+    """Scriptable gdb-like front end over the unified session API."""
 
     def __init__(
         self,
-        runtime: Runtime,
+        runtime: Runtime | None = None,
         script: list[str] | None = None,
         echo: bool = False,
+        session: SessionHandle | None = None,
     ):
+        if (runtime is None) == (session is None):
+            raise ValueError(
+                "ConsoleDebugger needs a Runtime (passive mode) or a "
+                "SessionHandle (driving mode), not both"
+            )
         self.runtime = runtime
-        runtime.on_hit = self._on_hit
+        if runtime is not None:
+            runtime.on_hit = self._on_hit
+            self.session: SessionHandle = LocalSession(runtime)
+            self.driving = False
+        else:
+            self.session = session
+            self.driving = True
         self.script = list(script) if script else None
         self.echo = echo
         self.transcript: list[str] = []
-        self.current_hit: HitGroup | None = None
+        #: the current stop: a HitGroup (passive) or StopInfo (driving)
+        self.current_hit: HitGroup | StopInfo | None = None
         self.current_frame = 0
+        self.last_stop: StopInfo | None = None
+        self.commands: dict[str, CommandSpec] = dict(_REGISTRY)
+
+    def register(self, spec: CommandSpec) -> None:
+        """Add (or replace) a command on this console instance."""
+        self.commands[spec.name] = spec
 
     # -- I/O -----------------------------------------------------------------
 
@@ -81,27 +145,39 @@ class ConsoleDebugger:
     def _read(self) -> str:
         if self.script is not None:
             if not self.script:
-                return "c"  # scripted session exhausted: keep running
+                # Scripted session exhausted: keep running (passive) or
+                # detach (driving — nobody is left to answer the REPL).
+                return "q" if self.driving else "c"
             cmd = self.script.pop(0)
             self._out(f"(hgdb) {cmd}")
             return cmd
         return input("(hgdb) ")
 
-    # -- hit handling -----------------------------------------------------------
+    # -- hit handling (passive mode) -----------------------------------------
 
     def _on_hit(self, hit: HitGroup) -> Command:
         self.current_hit = hit
         self.current_frame = 0
-        if hit.watch is not None:
-            w = hit.watch
-            if "error" in w:
+        self._print_stop_banner(hit)
+        while True:
+            cmd = self.execute(self._read())
+            if cmd is not None:
+                self.current_hit = None
+                return cmd
+
+    def _print_stop_banner(self, hit) -> None:
+        """The stop banner; ``hit`` is a HitGroup or a stopped StopInfo
+        (both carry time/filename/line/frames/watch)."""
+        watch = hit.watch if not isinstance(hit, dict) else None
+        if watch is not None:
+            if "error" in watch:
                 self._out(
-                    f"watchpoint #{w['id']} condition error: {w['error']}; "
-                    f"watching unconditionally"
+                    f"watchpoint #{watch['id']} condition error: "
+                    f"{watch['error']}; watching unconditionally"
                 )
             self._out(
-                f"watchpoint #{w['id']} {w['label']}: {w['old']} -> {w['new']}"
-                f" @ cycle {hit.time}"
+                f"watchpoint #{watch['id']} {watch['label']}: "
+                f"{watch['old']} -> {watch['new']} @ cycle {hit.time}"
             )
         else:
             short = hit.filename.rsplit("/", 1)[-1]
@@ -109,13 +185,62 @@ class ConsoleDebugger:
                 f"stopped at {short}:{hit.line} @ cycle {hit.time} "
                 f"[{len(hit.frames)} thread(s)]"
             )
-        while True:
-            cmd = self.execute(self._read())
-            if cmd is not None:
-                self.current_hit = None
-                return cmd
 
-    # -- command dispatch ------------------------------------------------------------
+    # -- driving mode ---------------------------------------------------------
+
+    def drive(self, cycles: int = 1_000_000) -> StopInfo | None:
+        """Own the run loop of an attached session: run up to ``cycles``
+        cycles, serve the REPL at every stop, resume on control commands,
+        and return the final :class:`StopInfo` (done/detached/error)."""
+        self._enter_stop(self.session.run(cycles))
+        while self.last_stop is not None and self.last_stop.stopped:
+            self.execute(self._read())
+        return self.last_stop
+
+    def _enter_stop(self, stop: StopInfo | None) -> None:
+        self.last_stop = stop
+        self.current_frame = 0
+        if stop is None:
+            self.current_hit = None
+            return
+        if stop.stopped:
+            self.current_hit = stop
+            self._print_stop_banner(stop)
+            return
+        self.current_hit = None
+        if stop.reason == "done":
+            if stop.exit_code is not None:
+                self._out(
+                    f"finished @ cycle {stop.time} (exit {stop.exit_code})"
+                )
+            else:
+                self._out(
+                    f"ran {stop.cycles} cycle(s); now at cycle {stop.time}"
+                )
+        elif stop.reason == "detached":
+            self._out(f"detached @ cycle {stop.time}")
+        elif stop.reason == "error":
+            self._out(f"error: {stop.message}")
+
+    def _control(self, command: Command) -> Command | None:
+        """Passive mode: bubble the Command to the runtime's scan loop.
+        Driving mode: apply it to the session here and show the stop."""
+        if not self.driving:
+            return command
+        session = self.session
+        if command is DETACH:
+            self._enter_stop(session.detach())
+        elif command is CONTINUE:
+            self._enter_stop(session.cont())
+        elif command is STEP:
+            self._enter_stop(session.step())
+        elif command is REVERSE_STEP:
+            self._enter_stop(session.reverse_step())
+        elif command is REVERSE_CONTINUE:
+            self._enter_stop(session.reverse_cont())
+        return None
+
+    # -- command dispatch ------------------------------------------------------
 
     def execute(self, line: str) -> Command | None:
         """Run one command.  Returns a control Command to resume, or None to
@@ -125,6 +250,12 @@ class ConsoleDebugger:
             return None
         try:
             return self._dispatch(line)
+        except SessionError as exc:
+            # Session errors are user-facing statements, not failures —
+            # they arrive pre-worded ("no timeline: ...", "stats: no
+            # counters ...", "shard requires a live Simulator backend").
+            self._out(str(exc))
+            return None
         except Exception as exc:  # noqa: BLE001 - REPL surface
             self._out(f"error: {exc}")
             return None
@@ -132,327 +263,18 @@ class ConsoleDebugger:
     def _dispatch(self, line: str) -> Command | None:
         parts = line.split()
         cmd, args = parts[0], parts[1:]
-
-        if cmd in ("c", "continue"):
-            return CONTINUE
-        if cmd in ("s", "step", "n", "next"):
-            return STEP
-        if cmd in ("rs", "reverse-step"):
-            return REVERSE_STEP
-        if cmd in ("rc", "reverse-continue"):
-            return REVERSE_CONTINUE
-        if cmd in ("q", "quit", "detach"):
-            return DETACH
-
-        if cmd == "b" or cmd == "break":
-            self._cmd_break(args)
-        elif cmd == "watch":
-            condition = None
-            if len(args) >= 3 and args[1] == "if":
-                condition = " ".join(args[2:])
-            wp = self.runtime.add_watchpoint(args[0], condition=condition)
-            self._out(f"watchpoint #{wp.id} on {wp.path}")
-        elif cmd == "ignore":
-            bp = self.runtime.scheduler.inserted.get(int(args[0]))
-            if bp is None:
-                self._out(f"no breakpoint {args[0]}")
-            else:
-                bp.ignore_count = int(args[1])
-                self._out(f"ignoring next {args[1]} hits of #{args[0]}")
-        elif cmd == "delete":
-            if args:
-                ok = self.runtime.remove_breakpoint(int(args[0]))
-                self._out("deleted" if ok else f"no breakpoint {args[0]}")
-            else:
-                self.runtime.clear_breakpoints()
-                self._out("all breakpoints deleted")
-        elif cmd == "p" or cmd == "print":
-            self._cmd_print(" ".join(args))
-        elif cmd == "info":
-            self._cmd_info(args[0] if args else "time", args[1:])
-        elif cmd == "frame":
-            self._cmd_frame(args)
-        elif cmd == "locals":
-            self._print_vars(self._frame().local_vars)
-        elif cmd == "gen":
-            self._print_vars(self._frame().generator_vars)
-        elif cmd == "where":
-            hit = self.current_hit
-            if hit is None:
-                self._out("not stopped")
-            else:
-                self._out(f"{hit.filename}:{hit.line} @ cycle {hit.time}")
-        elif cmd == "set":
-            self.runtime.sim.set_value(args[0], int(args[1], 0))
-            self._out(f"{args[0]} = {args[1]}")
-        elif cmd == "timeline":
-            self._cmd_timeline(args)
-        elif cmd == "lint":
-            self._cmd_lint(args)
-        elif cmd == "shard":
-            self._cmd_shard(args)
-        elif cmd == "stats":
-            self._cmd_stats(args)
-        else:
+        spec = self.commands.get(cmd)
+        if spec is None:
+            for candidate in self.commands.values():
+                if cmd in candidate.aliases:
+                    spec = candidate
+                    break
+        if spec is None:
             self._out(f"unknown command {cmd!r}; try c/s/rs/rc/b/p/info/q")
-        return None
+            return None
+        return spec.handler(self, args)
 
-    # -- individual commands ----------------------------------------------------
-
-    def _cmd_break(self, args: list[str]) -> None:
-        if not args:
-            self._out("usage: b FILE:LINE [if COND]")
-            return
-        location = args[0]
-        condition = None
-        if len(args) >= 3 and args[1] == "if":
-            condition = " ".join(args[2:])
-        filename, _, line_s = location.rpartition(":")
-        bps = self.runtime.add_breakpoint(filename, int(line_s), condition=condition)
-        self._out(
-            f"breakpoint set: {len(bps)} emulated breakpoint(s) at "
-            f"{location}" + (f" if {condition}" if condition else "")
-        )
-        for bp in bps:
-            enable = bp.rec.enable_src or bp.rec.enable or "always"
-            self._out(f"  #{bp.rec.id} {bp.rec.instance_name} [{enable}]")
-
-    def _cmd_print(self, expr: str) -> None:
-        if not expr:
-            self._out("usage: p EXPR")
-            return
-        bp = None
-        if self.current_hit is not None and self.current_hit.frames:
-            bp = self._frame().breakpoint
-        value = self.runtime.evaluate(expr, bp)
-        self._out(f"{expr} = {value} (0x{value:x})" if isinstance(value, int) else f"{expr} = {value}")
-
-    def _cmd_info(self, what: str, rest: list[str]) -> None:
-        rt = self.runtime
-        if what == "threads":
-            hit = self.current_hit
-            if hit is None:
-                self._out("not stopped")
-                return
-            for i, f in enumerate(hit.frames):
-                marker = "*" if i == self.current_frame else " "
-                self._out(f"{marker} thread {i}: {f.instance_path}")
-        elif what == "breakpoints":
-            for bp in rt.list_breakpoints():
-                cond = f" if {bp.condition_src}" if bp.condition_src else ""
-                short = bp.rec.filename.rsplit("/", 1)[-1]
-                self._out(
-                    f"#{bp.rec.id} {short}:{bp.rec.line} {bp.rec.instance_name}"
-                    f"{cond} (hits: {bp.hit_count})"
-                )
-            for wp in rt.watchpoints:
-                self._out(f"watch #{wp.id} {wp.path} (hits: {wp.hit_count})")
-            if not rt.list_breakpoints() and not len(rt.watchpoints):
-                self._out("no breakpoints")
-        elif what == "time":
-            self._out(f"cycle {rt.sim.get_time()}")
-        elif what == "files":
-            for f in rt.symtable.filenames():
-                self._out(f)
-        elif what == "warnings":
-            for w in rt.warnings:
-                self._out(w)
-            if not rt.warnings:
-                self._out("no warnings")
-        else:
-            self._out(f"unknown info {what!r}")
-
-    def _cmd_frame(self, args: list[str]) -> None:
-        hit = self.current_hit
-        if hit is None:
-            self._out("not stopped")
-            return
-        if args:
-            idx = int(args[0])
-            if not 0 <= idx < len(hit.frames):
-                self._out(f"no thread {idx}")
-                return
-            self.current_frame = idx
-        f = hit.frames[self.current_frame]
-        self._out(f"thread {self.current_frame}: {f.instance_path}")
-
-    def _cmd_timeline(self, args: list[str]) -> None:
-        """``timeline [info|goto T|history NAME [N]]``: inspect and use
-        the backend's retained time-travel window.  One command serves
-        both backends — the live simulator's compressed keyframe+delta
-        timeline and the replay engine's full-trace window — because both
-        expose the same ``TimelineView``/``history`` API."""
-        sim = self.runtime.sim
-        timeline = sim.timeline
-        if timeline is None:
-            self._out(
-                "no timeline: this backend keeps no history (construct the "
-                "simulator with snapshots=N or snapshot_bytes=N)"
-            )
-            return
-        sub = args[0] if args else "info"
-        if sub == "info":
-            self._out(timeline.describe())
-            self._out(f"current cycle: {sim.get_time()}")
-        elif sub == "goto":
-            if len(args) < 2:
-                self._out("usage: timeline goto T")
-                return
-            sim.set_time(int(args[1], 0))
-            self._out(f"now at cycle {sim.get_time()}")
-        elif sub == "history":
-            if len(args) < 2:
-                self._out("usage: timeline history NAME [N]")
-                return
-            limit = int(args[2]) if len(args) > 2 else 16
-            path = self.runtime._resolve_watch_path(args[1], None)
-            # Bound the walk to the last N retained cycles up front: each
-            # history sample is one set_time hop, and a replayed trace
-            # can retain tens of thousands of cycles.
-            times = timeline.times()
-            start = times[-limit] if 0 < limit < len(times) else None
-            series = sim.history(path, start=start)
-            if not series:
-                self._out(f"no retained history for {path}")
-                return
-            shown = series[-limit:]
-            total = len(timeline)  # the walk may have retained "now" too
-            if total > len(shown):
-                self._out(f"{path}: last {len(shown)} of {total} retained")
-            else:
-                self._out(f"{path}: {len(shown)} retained cycle(s)")
-            for t, v in shown:
-                self._out(f"  cycle {t}: {v} (0x{v:x})")
-        else:
-            self._out(f"unknown timeline subcommand {sub!r}; "
-                      f"try info/goto/history")
-
-    def _cmd_lint(self, args: list[str]) -> None:
-        """``lint [error|warning|info]``: statically analyze the attached
-        circuit (the lowered form the simulator executes) and print every
-        diagnostic at or above the given severity (default: all).  See
-        ``docs/lint.md`` for the rule catalog."""
-        from ..lint import Severity, format_diagnostics, lint_circuit
-
-        design = getattr(self.runtime.sim, "design", None)
-        circuit = getattr(design, "circuit", None)
-        if circuit is None:
-            self._out("lint: no circuit attached (trace replay session)")
-            return
-        diags = lint_circuit(circuit, form="low")
-        if args:
-            threshold = Severity.parse(args[0])
-            diags = [d for d in diags if d.severity >= threshold]
-        if not diags:
-            self._out("lint: clean")
-            return
-        self._out(f"lint: {len(diags)} diagnostic(s)")
-        for line in format_diagnostics(diags).splitlines():
-            self._out(f"  {line}")
-
-    def _cmd_shard(self, args: list[str]) -> None:
-        """``shard N CYCLES [SEED_BASE] [retries=K] [deadline=S]``: fan
-        the current design out to a parallel seed sweep, re-arming this
-        session's breakpoints and watchpoints in every shard, and print
-        the aggregated report.  ``retries``/``deadline`` tune the
-        supervision layer (attempts per shard, per-attempt wall-clock
-        budget)."""
-        from ..shard import (
-            BreakpointSpec,
-            RetryPolicy,
-            ShardSession,
-            WatchSpec,
-            make_sweep,
-        )
-
-        retries = None
-        deadline = None
-        positional = []
-        for arg in args:
-            key, eq, value = arg.partition("=")
-            if eq and key in ("retries", "deadline"):
-                try:
-                    if key == "retries":
-                        retries = max(1, int(value))
-                    else:
-                        deadline = float(value)
-                except ValueError:
-                    self._out(f"bad {key} value {value!r}")
-                    return
-            else:
-                positional.append(arg)
-        args = positional
-        if len(args) < 2:
-            self._out("usage: shard N CYCLES [SEED] [retries=K] [deadline=S]")
-            return
-        shards, cycles = int(args[0]), int(args[1])
-        seed_base = int(args[2]) if len(args) > 2 else 0
-        design = getattr(self.runtime.sim, "design", None)
-        circuit = getattr(design, "circuit", None)
-        if circuit is None:
-            self._out("shard requires a live Simulator backend")
-            return
-        seen: set[tuple] = set()
-        breakpoints = []
-        for bp in self.runtime.list_breakpoints():
-            key = (bp.rec.filename, bp.rec.line, bp.condition_src)
-            if key not in seen:
-                seen.add(key)
-                breakpoints.append(
-                    BreakpointSpec(
-                        bp.rec.filename, bp.rec.line, condition=bp.condition_src
-                    )
-                )
-        watchpoints = [
-            WatchSpec(wp.label, condition=wp.condition_src)
-            for wp in self.runtime.watchpoints
-        ]
-        if not breakpoints and not watchpoints:
-            self._out("no breakpoints to sweep; insert some first (b/watch)")
-            return
-        # Reuse the session's already-compiled design: forked workers
-        # inherit it copy-on-write (same top_path, no recompilation).
-        # Without fork, shards run inline in this process and must not
-        # share the live simulator's design (printf plumbing and cone
-        # caches live on it) — recompile instead.
-        import multiprocessing
-
-        can_fork = "fork" in multiprocessing.get_all_start_methods()
-        with ShardSession(
-            circuit, self.runtime.symtable,
-            compiled=design if can_fork else None,
-        ) as session:
-            report = session.run(
-                make_sweep(
-                    shards, cycles, seed_base=seed_base,
-                    breakpoints=breakpoints, watchpoints=watchpoints,
-                ),
-                retry=(
-                    RetryPolicy(max_attempts=retries)
-                    if retries is not None else None
-                ),
-                deadline=deadline,
-            )
-        for line in report.summary().splitlines():
-            self._out(line)
-
-    def _cmd_stats(self, args: list[str]) -> None:
-        """``stats``: print the attached simulator's execution counters
-        (ticks, settle passes, cone-cache traffic, timeline retention),
-        plus the full metric catalog when the session was started with
-        observability armed (``$REPRO_OBS`` / ``Simulator(obs=...)``)."""
-        stats_fn = getattr(self.runtime.sim, "stats", None)
-        if stats_fn is None:
-            self._out("stats: no counters on this backend (trace replay session)")
-            return
-        for key, value in stats_fn().items():
-            self._out(f"  {key:<24} {value}")
-        obs = getattr(self.runtime.sim, "obs", None)
-        if obs is not None and getattr(obs, "metrics", None) is not None:
-            from ..obs import format_metrics
-
-            for line in format_metrics(obs.metrics.snapshot()).splitlines():
-                self._out(line)
+    # -- shared helpers ----------------------------------------------------
 
     def _frame(self):
         if self.current_hit is None:
@@ -474,3 +296,325 @@ class ConsoleDebugger:
 
         for v in views:
             rec(v, indent)
+
+
+# -- control commands -------------------------------------------------------
+
+
+@register_command("continue", aliases=("c",),
+                  help="resume until next breakpoint")
+def _cmd_continue(dbg: ConsoleDebugger, args) -> Command | None:
+    return dbg._control(CONTINUE)
+
+
+@register_command("step", aliases=("s", "n", "next"),
+                  help="stop at next source statement")
+def _cmd_step(dbg: ConsoleDebugger, args) -> Command | None:
+    return dbg._control(STEP)
+
+
+@register_command("reverse-step", aliases=("rs",),
+                  help="step backwards (intra-cycle, then prior cycle)")
+def _cmd_reverse_step(dbg: ConsoleDebugger, args) -> Command | None:
+    return dbg._control(REVERSE_STEP)
+
+
+@register_command("reverse-continue", aliases=("rc",),
+                  help="run backwards to the previous breakpoint hit")
+def _cmd_reverse_continue(dbg: ConsoleDebugger, args) -> Command | None:
+    return dbg._control(REVERSE_CONTINUE)
+
+
+@register_command("quit", aliases=("q", "detach"),
+                  help="detach from the simulation")
+def _cmd_quit(dbg: ConsoleDebugger, args) -> Command | None:
+    return dbg._control(DETACH)
+
+
+@register_command("run", usage="run [CYCLES]",
+                  help="run an attached session (driving mode only)")
+def _cmd_run(dbg: ConsoleDebugger, args) -> None:
+    if not dbg.driving:
+        dbg._out("run: the embedding code owns the clock in passive mode")
+        return
+    cycles = int(args[0]) if args else 1_000_000
+    dbg._enter_stop(dbg.session.run(cycles))
+
+
+# -- breakpoints ------------------------------------------------------------
+
+
+@register_command("break", aliases=("b",), usage="b FILE:LINE [if COND]",
+                  help="insert breakpoint(s)")
+def _cmd_break(dbg: ConsoleDebugger, args) -> None:
+    if not args:
+        dbg._out("usage: b FILE:LINE [if COND]")
+        return
+    location = args[0]
+    condition = None
+    if len(args) >= 3 and args[1] == "if":
+        condition = " ".join(args[2:])
+    filename, _, line_s = location.rpartition(":")
+    bps = dbg.session.add_breakpoint(filename, int(line_s), condition=condition)
+    dbg._out(
+        f"breakpoint set: {len(bps)} emulated breakpoint(s) at "
+        f"{location}" + (f" if {condition}" if condition else "")
+    )
+    for bp in bps:
+        dbg._out(f"  #{bp['id']} {bp['instance']} [{bp['enable']}]")
+
+
+@register_command("watch", usage="watch NAME [if COND]",
+                  help="data breakpoint: stop when NAME changes")
+def _cmd_watch(dbg: ConsoleDebugger, args) -> None:
+    condition = None
+    if len(args) >= 3 and args[1] == "if":
+        condition = " ".join(args[2:])
+    wp = dbg.session.add_watchpoint(args[0], condition=condition)
+    dbg._out(f"watchpoint #{wp['id']} on {wp['path']}")
+
+
+@register_command("ignore", usage="ignore ID N",
+                  help="skip the next N hits of breakpoint ID")
+def _cmd_ignore(dbg: ConsoleDebugger, args) -> None:
+    if dbg.session.ignore(int(args[0]), int(args[1])):
+        dbg._out(f"ignoring next {args[1]} hits of #{args[0]}")
+    else:
+        dbg._out(f"no breakpoint {args[0]}")
+
+
+@register_command("delete", usage="delete [ID]",
+                  help="remove one or all breakpoints")
+def _cmd_delete(dbg: ConsoleDebugger, args) -> None:
+    if args:
+        ok = dbg.session.remove_breakpoint(int(args[0]))
+        dbg._out("deleted" if ok else f"no breakpoint {args[0]}")
+    else:
+        dbg.session.clear_breakpoints()
+        dbg._out("all breakpoints deleted")
+
+
+# -- inspection -------------------------------------------------------------
+
+
+@register_command("print", aliases=("p",), usage="p EXPR",
+                  help="evaluate in the current frame's scope")
+def _cmd_print(dbg: ConsoleDebugger, args) -> None:
+    expr = " ".join(args)
+    if not expr:
+        dbg._out("usage: p EXPR")
+        return
+    bp_id = None
+    if dbg.current_hit is not None and dbg.current_hit.frames:
+        bp_id = _frame_breakpoint_id(dbg._frame())
+    value = dbg.session.evaluate(expr, breakpoint_id=bp_id)
+    dbg._out(
+        f"{expr} = {value} (0x{value:x})"
+        if isinstance(value, int)
+        else f"{expr} = {value}"
+    )
+
+
+@register_command("info", usage="info threads|breakpoints|time|files|warnings",
+                  help="session facts")
+def _cmd_info(dbg: ConsoleDebugger, args) -> None:
+    what = args[0] if args else "time"
+    if what == "threads":
+        hit = dbg.current_hit
+        if hit is None:
+            dbg._out("not stopped")
+            return
+        for i, f in enumerate(hit.frames):
+            marker = "*" if i == dbg.current_frame else " "
+            dbg._out(f"{marker} thread {i}: {_frame_instance(f)}")
+    elif what == "breakpoints":
+        bps = dbg.session.breakpoints()
+        wps = dbg.session.watchpoints()
+        for bp in bps:
+            cond = f" if {bp['condition']}" if bp["condition"] else ""
+            short = bp["filename"].rsplit("/", 1)[-1]
+            dbg._out(
+                f"#{bp['id']} {short}:{bp['line']} {bp['instance']}"
+                f"{cond} (hits: {bp['hits']})"
+            )
+        for wp in wps:
+            dbg._out(f"watch #{wp['id']} {wp['path']} (hits: {wp['hits']})")
+        if not bps and not wps:
+            dbg._out("no breakpoints")
+    elif what == "time":
+        dbg._out(f"cycle {dbg.session.get_time()}")
+    elif what == "files":
+        for f in dbg.session.files():
+            dbg._out(f)
+    elif what == "warnings":
+        warnings = dbg.session.warnings()
+        for w in warnings:
+            dbg._out(w)
+        if not warnings:
+            dbg._out("no warnings")
+    else:
+        dbg._out(f"unknown info {what!r}")
+
+
+@register_command("frame", usage="frame [N]",
+                  help="select the N-th concurrent thread")
+def _cmd_frame(dbg: ConsoleDebugger, args) -> None:
+    hit = dbg.current_hit
+    if hit is None:
+        dbg._out("not stopped")
+        return
+    if args:
+        idx = int(args[0])
+        if not 0 <= idx < len(hit.frames):
+            dbg._out(f"no thread {idx}")
+            return
+        dbg.current_frame = idx
+    f = hit.frames[dbg.current_frame]
+    dbg._out(f"thread {dbg.current_frame}: {_frame_instance(f)}")
+
+
+@register_command("locals", help="print the current frame's local variables")
+def _cmd_locals(dbg: ConsoleDebugger, args) -> None:
+    dbg._print_vars(_frame_vars(dbg._frame(), "local"))
+
+
+@register_command("gen", help="print the current frame's generator variables")
+def _cmd_gen(dbg: ConsoleDebugger, args) -> None:
+    dbg._print_vars(_frame_vars(dbg._frame(), "generator"))
+
+
+@register_command("where", help="current stop location")
+def _cmd_where(dbg: ConsoleDebugger, args) -> None:
+    hit = dbg.current_hit
+    if hit is None:
+        dbg._out("not stopped")
+    else:
+        dbg._out(f"{hit.filename}:{hit.line} @ cycle {hit.time}")
+
+
+@register_command("set", usage="set PATH VALUE",
+                  help="force a signal value (live simulation only)")
+def _cmd_set(dbg: ConsoleDebugger, args) -> None:
+    dbg.session.poke(args[0], int(args[1], 0))
+    dbg._out(f"{args[0]} = {args[1]}")
+
+
+# -- subsystem commands -----------------------------------------------------
+
+
+@register_command("timeline", usage="timeline [info|goto T|history NAME [N]]",
+                  help="inspect/use the retained time-travel window")
+def _cmd_timeline(dbg: ConsoleDebugger, args) -> None:
+    """One command serves every backend — the live simulator's compressed
+    keyframe+delta timeline, the replay engine's full-trace window, and a
+    remote hub session — because all expose the same session API."""
+    info = dbg.session.timeline_info()
+    if info is None:
+        dbg._out(
+            "no timeline: this backend keeps no history (construct the "
+            "simulator with snapshots=N or snapshot_bytes=N)"
+        )
+        return
+    sub = args[0] if args else "info"
+    if sub == "info":
+        dbg._out(info["describe"])
+        dbg._out(f"current cycle: {info['time']}")
+    elif sub == "goto":
+        if len(args) < 2:
+            dbg._out("usage: timeline goto T")
+            return
+        dbg.session.set_time(int(args[1], 0))
+        dbg._out(f"now at cycle {dbg.session.get_time()}")
+    elif sub == "history":
+        if len(args) < 2:
+            dbg._out("usage: timeline history NAME [N]")
+            return
+        limit = int(args[2]) if len(args) > 2 else 16
+        series = dbg.session.history(args[1], limit=limit)
+        path, samples, total = series["path"], series["samples"], series["total"]
+        if not samples:
+            dbg._out(f"no retained history for {path}")
+            return
+        if total > len(samples):
+            dbg._out(f"{path}: last {len(samples)} of {total} retained")
+        else:
+            dbg._out(f"{path}: {len(samples)} retained cycle(s)")
+        for t, v in samples:
+            dbg._out(f"  cycle {t}: {v} (0x{v:x})")
+    else:
+        dbg._out(f"unknown timeline subcommand {sub!r}; "
+                 f"try info/goto/history")
+
+
+@register_command("lint", usage="lint [SEVERITY]",
+                  help="static analysis of the attached circuit "
+                       "(docs/lint.md)")
+def _cmd_lint(dbg: ConsoleDebugger, args) -> None:
+    result = dbg.session.lint(args[0] if args else None)
+    if not result["count"]:
+        dbg._out("lint: clean")
+        return
+    dbg._out(f"lint: {result['count']} diagnostic(s)")
+    for line in result["text"].splitlines():
+        dbg._out(f"  {line}")
+
+
+@register_command(
+    "shard",
+    usage="shard N CYCLES [SEED] [retries=K] [deadline=S]",
+    help="parallel sweep: N seeds of this design with the current "
+         "breakpoints, hits aggregated (docs/sharding.md)",
+)
+def _cmd_shard(dbg: ConsoleDebugger, args) -> None:
+    retries = None
+    deadline = None
+    positional = []
+    for arg in args:
+        key, eq, value = arg.partition("=")
+        if eq and key in ("retries", "deadline"):
+            try:
+                if key == "retries":
+                    retries = max(1, int(value))
+                else:
+                    deadline = float(value)
+            except ValueError:
+                dbg._out(f"bad {key} value {value!r}")
+                return
+        else:
+            positional.append(arg)
+    args = positional
+    if len(args) < 2:
+        dbg._out("usage: shard N CYCLES [SEED] [retries=K] [deadline=S]")
+        return
+    report = dbg.session.shard_sweep(
+        int(args[0]),
+        int(args[1]),
+        seed_base=int(args[2]) if len(args) > 2 else 0,
+        retries=retries,
+        deadline=deadline,
+    )
+    for line in report["summary"].splitlines():
+        dbg._out(line)
+
+
+@register_command("stats",
+                  help="simulator execution counters; full metric catalog "
+                       "when observability is armed (docs/observability.md)")
+def _cmd_stats(dbg: ConsoleDebugger, args) -> None:
+    for key, value in dbg.session.stats().items():
+        dbg._out(f"  {key:<24} {value}")
+    snapshot = dbg.session.metrics()
+    if snapshot is not None:
+        from ..obs import format_metrics
+
+        for line in format_metrics(snapshot).splitlines():
+            dbg._out(line)
+
+
+@register_command("help", aliases=("h", "?"),
+                  help="this command list (generated from the registry)")
+def _cmd_help(dbg: ConsoleDebugger, args) -> None:
+    for spec in dbg.commands.values():
+        names = "/".join((spec.name,) + spec.aliases)
+        syntax = spec.usage if spec.usage != spec.name else names
+        dbg._out(f"  {syntax:<42} {spec.help}")

@@ -1,13 +1,25 @@
 """A Debug Adapter Protocol (DAP) style adapter — the IDE integration.
 
 The paper's second debugger is a VSCode extension (Fig. 4).  VSCode talks
-DAP; this adapter translates DAP-shaped requests into runtime operations and
+DAP; this adapter translates DAP-shaped requests into session operations and
 produces DAP-shaped events/responses, reproducing each panel of Fig. 4:
 
 * **A** — ``scopes``/``variables``: local + generator variables per frame;
 * **B** — ``threads``: one thread per concurrent instance at a stop;
 * **C** — ``continue``/``next``/``stepBack``/``reverseContinue`` controls;
 * **D** — ``setBreakpoints`` with optional per-line conditions.
+
+Like the console, the adapter has two modes over one unified session API
+(:class:`~repro.hub.api.SessionHandle`):
+
+* **passive** — construct with a :class:`~repro.core.Runtime`; the
+  embedding code owns the clock and the adapter answers requests inside
+  the blocking hit callback (queue a control with ``continue``/``next``/…
+  before the next hit, or use :class:`ScriptedDapSession`);
+* **driving** — construct with any :class:`SessionHandle` (hub session or
+  in-process :class:`~repro.hub.api.LocalSession`); control requests
+  resume the session immediately and the custom ``hgdbRun`` request
+  starts it, so a real IDE can sit on a hub connection.
 
 The adapter is transport-agnostic: feed it request dicts and collect event
 dicts (tests and ``examples/ide_session.py`` do exactly that; a real IDE
@@ -18,7 +30,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..core.frames import Frame, VariableView
+from ..core.frames import VariableView
 from ..core.runtime import (
     CONTINUE,
     DETACH,
@@ -29,6 +41,16 @@ from ..core.runtime import (
     HitGroup,
     Runtime,
 )
+from ..hub.api import LocalSession, SessionHandle, StopInfo
+from .console import _frame_breakpoint_id, _frame_instance, _frame_vars
+
+_CONTROLS = {
+    "continue": CONTINUE,
+    "next": STEP,
+    "stepBack": REVERSE_STEP,
+    "reverseContinue": REVERSE_CONTINUE,
+    "disconnect": DETACH,
+}
 
 
 @dataclass(slots=True)
@@ -41,35 +63,42 @@ class DapEvent:
 
 
 class DapAdapter:
-    """In-process DAP-style debug adapter over a :class:`Runtime`."""
+    """In-process DAP-style debug adapter over the unified session API."""
 
-    def __init__(self, runtime: Runtime):
+    def __init__(
+        self,
+        runtime: Runtime | None = None,
+        session: SessionHandle | None = None,
+    ):
+        if (runtime is None) == (session is None):
+            raise ValueError(
+                "DapAdapter needs a Runtime (passive mode) or a "
+                "SessionHandle (driving mode), not both"
+            )
         self.runtime = runtime
-        runtime.on_hit = self._on_hit
+        if runtime is not None:
+            runtime.on_hit = self._on_hit
+            self.session: SessionHandle = LocalSession(runtime)
+            self.driving = False
+        else:
+            self.session = session
+            self.driving = True
         self.events: list[dict] = []
         self._seq = 0
-        self._stopped: HitGroup | None = None
+        #: the current stop: a HitGroup (passive) or StopInfo (driving)
+        self._stopped: HitGroup | StopInfo | None = None
         self._pending: Command | None = None
         self._var_refs: dict[int, list[VariableView]] = {}
         self._next_ref = 1
-        self._frame_ids: dict[int, Frame] = {}
+        self._frame_ids: dict[int, object] = {}
 
-    # -- runtime side ---------------------------------------------------------
+    # -- runtime side (passive mode) ----------------------------------------
 
     def _on_hit(self, hit: HitGroup) -> Command:
         self._stopped = hit
         self._var_refs.clear()
         self._frame_ids.clear()
-        self._emit(
-            "stopped",
-            {
-                "reason": "breakpoint",
-                "description": f"{hit.filename}:{hit.line}",
-                "threadId": 0,
-                "allThreadsStopped": True,
-                "hgdbTime": hit.time,
-            },
-        )
+        self._emit_stopped(hit.filename, hit.line, hit.time)
         # Scripted usage: the embedding client queues a control request
         # (continue/next/stepBack/...) before the simulation reaches the
         # next hit; with nothing queued the adapter auto-continues.  Use
@@ -83,7 +112,53 @@ class DapAdapter:
     def _emit(self, event: str, body: dict) -> None:
         self.events.append(DapEvent(event, body).to_dict())
 
-    # -- request handling ---------------------------------------------------------
+    def _emit_stopped(self, filename, line, time) -> None:
+        self._emit(
+            "stopped",
+            {
+                "reason": "breakpoint",
+                "description": f"{filename}:{line}",
+                "threadId": 0,
+                "allThreadsStopped": True,
+                "hgdbTime": time,
+            },
+        )
+
+    # -- session side (driving mode) ----------------------------------------
+
+    def _enter_stop(self, stop: StopInfo | None) -> None:
+        self._var_refs.clear()
+        self._frame_ids.clear()
+        if stop is not None and stop.stopped:
+            self._stopped = stop
+            self._emit_stopped(stop.filename, stop.line, stop.time)
+            return
+        self._stopped = None
+        if stop is None:
+            return
+        if stop.reason == "done":
+            self._emit("terminated", {"hgdbTime": stop.time})
+        elif stop.reason == "detached":
+            self._emit("exited", {"exitCode": stop.exit_code or 0})
+        elif stop.reason == "error":
+            self._emit(
+                "output", {"category": "stderr", "output": stop.message}
+            )
+
+    def _drive_control(self, command: str) -> dict:
+        session = self.session
+        self._emit("continued", {"threadId": 0, "allThreadsContinued": True})
+        stop = {
+            "continue": session.cont,
+            "next": session.step,
+            "stepBack": session.reverse_step,
+            "reverseContinue": session.reverse_cont,
+            "disconnect": session.detach,
+        }[command]()
+        self._enter_stop(stop)
+        return {}
+
+    # -- request handling ----------------------------------------------------
 
     def handle(self, request: dict) -> dict:
         """Handle one DAP request dict, returning the response dict."""
@@ -109,40 +184,43 @@ class DapAdapter:
             }
 
     def _dispatch(self, command: str, args: dict) -> dict:
-        rt = self.runtime
         if command == "initialize":
             return {
                 "supportsConfigurationDoneRequest": True,
-                "supportsStepBack": rt.sim.can_set_time or True,  # intra-cycle always
+                # Intra-cycle reverse-step is always available; set_time
+                # extends it across retained cycles.
+                "supportsStepBack": self.session.can_set_time or True,
                 "supportsConditionalBreakpoints": True,
                 "supportsEvaluateForHovers": True,
             }
         if command == "setBreakpoints":
             source = args["source"]["path"]
-            rt_bps = []
             # DAP replaces the whole set for a file each time.
-            resolved = rt.resolve_filename(source)
-            for bp in list(rt.list_breakpoints()):
-                if resolved and bp.rec.filename == resolved:
-                    rt.remove_breakpoint(bp.rec.id)
+            resolved = self.session.resolve_file(source)
+            for bp in self.session.breakpoints():
+                if resolved and bp["filename"] == resolved:
+                    self.session.remove_breakpoint(bp["id"])
             results = []
             for spec in args.get("breakpoints", []):
                 try:
-                    inserted = rt.add_breakpoint(
+                    self.session.add_breakpoint(
                         source, spec["line"], condition=spec.get("condition")
                     )
-                    rt_bps.extend(inserted)
                     results.append({"verified": True, "line": spec["line"]})
                 except Exception as exc:  # noqa: BLE001
                     results.append(
-                        {"verified": False, "line": spec["line"], "message": str(exc)}
+                        {
+                            "verified": False,
+                            "line": spec["line"],
+                            "message": str(exc),
+                        }
                     )
             return {"breakpoints": results}
         if command == "threads":
             hit = self._require_stopped()
             return {
                 "threads": [
-                    {"id": i, "name": f.instance_path}
+                    {"id": i, "name": _frame_instance(f)}
                     for i, f in enumerate(hit.frames)
                 ]
             }
@@ -156,7 +234,7 @@ class DapAdapter:
                 "stackFrames": [
                     {
                         "id": frame_id,
-                        "name": frame.instance_path,
+                        "name": _frame_instance(frame),
                         "source": {"path": hit.filename},
                         "line": hit.line,
                         "column": hit.column,
@@ -166,12 +244,15 @@ class DapAdapter:
             }
         if command == "scopes":
             frame = self._frame_ids[args["frameId"]]
-            local_ref = self._register_vars(frame.local_vars)
-            gen_ref = self._register_vars(frame.generator_vars)
+            local_ref = self._register_vars(_frame_vars(frame, "local"))
+            gen_ref = self._register_vars(_frame_vars(frame, "generator"))
             return {
                 "scopes": [
                     {"name": "Local", "variablesReference": local_ref},
-                    {"name": "Generator Variables", "variablesReference": gen_ref},
+                    {
+                        "name": "Generator Variables",
+                        "variablesReference": gen_ref,
+                    },
                 ]
             }
         if command == "variables":
@@ -183,7 +264,9 @@ class DapAdapter:
                         {
                             "name": v.name,
                             "value": "{...}",
-                            "variablesReference": self._register_vars(v.children),
+                            "variablesReference": self._register_vars(
+                                v.children
+                            ),
                         }
                     )
                 else:
@@ -193,31 +276,42 @@ class DapAdapter:
                         else str(v.value)
                     )
                     out.append(
-                        {"name": v.name, "value": shown, "variablesReference": 0}
+                        {
+                            "name": v.name,
+                            "value": shown,
+                            "variablesReference": 0,
+                        }
                     )
             return {"variables": out}
         if command == "evaluate":
             hit = self._stopped
-            bp = hit.frames[0].breakpoint if hit else None
-            value = rt.evaluate(args["expression"], bp)
+            bp_id = None
+            if hit is not None and hit.frames:
+                bp_id = _frame_breakpoint_id(hit.frames[0])
+            value = self.session.evaluate(
+                args["expression"], breakpoint_id=bp_id
+            )
             return {"result": str(value), "variablesReference": 0}
-        if command in ("continue", "next", "stepBack", "reverseContinue", "disconnect"):
-            mapping = {
-                "continue": CONTINUE,
-                "next": STEP,
-                "stepBack": REVERSE_STEP,
-                "reverseContinue": REVERSE_CONTINUE,
-                "disconnect": DETACH,
-            }
-            self._pending = mapping[command]
+        if command in _CONTROLS:
+            if self.driving:
+                return self._drive_control(command)
+            self._pending = _CONTROLS[command]
             return {}
+        if command == "hgdbRun":
+            # Custom request: start an attached session's run loop.
+            if not self.driving:
+                raise ValueError(
+                    "hgdbRun requires an attached session (driving mode)"
+                )
+            self._enter_stop(self.session.run(args.get("cycles", 1_000_000)))
+            return {"time": self.session.get_time()}
         if command == "configurationDone":
             return {}
         raise ValueError(f"unsupported DAP command {command!r}")
 
-    # -- helpers -----------------------------------------------------------------
+    # -- helpers -------------------------------------------------------------
 
-    def _require_stopped(self) -> HitGroup:
+    def _require_stopped(self):
         if self._stopped is None:
             raise ValueError("not stopped")
         return self._stopped
@@ -230,7 +324,7 @@ class DapAdapter:
 
 
 class ScriptedDapSession:
-    """Drives a DapAdapter with a scripted list of per-stop requests.
+    """Drives a passive DapAdapter with a scripted list of per-stop requests.
 
     For each breakpoint stop, the session replays ``at_stop`` requests
     (recording responses), then issues the next control command from
@@ -238,7 +332,14 @@ class ScriptedDapSession:
     without threads — suitable for tests and the Fig. 4 example.
     """
 
-    def __init__(self, adapter: DapAdapter, at_stop: list[dict], controls: list[str]):
+    def __init__(
+        self, adapter: DapAdapter, at_stop: list[dict], controls: list[str]
+    ):
+        if adapter.runtime is None:
+            raise ValueError(
+                "ScriptedDapSession scripts the blocking hit callback; "
+                "driving-mode adapters replay requests directly instead"
+            )
         self.adapter = adapter
         self.at_stop = at_stop
         self.controls = list(controls)
@@ -249,25 +350,9 @@ class ScriptedDapSession:
         self.adapter._stopped = hit
         self.adapter._var_refs.clear()
         self.adapter._frame_ids.clear()
-        self.adapter._emit(
-            "stopped",
-            {
-                "reason": "breakpoint",
-                "description": f"{hit.filename}:{hit.line}",
-                "threadId": 0,
-                "allThreadsStopped": True,
-                "hgdbTime": hit.time,
-            },
-        )
+        self.adapter._emit_stopped(hit.filename, hit.line, hit.time)
         responses = [self.adapter.handle(req) for req in self.at_stop]
         self.stops.append(responses)
         control = self.controls.pop(0) if self.controls else "continue"
         self.adapter._stopped = None
-        mapping = {
-            "continue": CONTINUE,
-            "next": STEP,
-            "stepBack": REVERSE_STEP,
-            "reverseContinue": REVERSE_CONTINUE,
-            "disconnect": DETACH,
-        }
-        return mapping[control]
+        return _CONTROLS[control]

@@ -54,6 +54,17 @@ class VariableView:
             }
         return {"name": self.name, "value": self.value, "rtl": self.rtl}
 
+    @classmethod
+    def from_dict(cls, rec: dict) -> VariableView:
+        """Rebuild a view from its :meth:`to_dict` form — how debugger
+        front ends render frames that crossed the hub wire."""
+        if "children" in rec:
+            return cls(
+                rec["name"],
+                children=[cls.from_dict(c) for c in rec["children"]],
+            )
+        return cls(rec["name"], value=rec.get("value"), rtl=rec.get("rtl"))
+
 
 @dataclass(slots=True)
 class Frame:

@@ -1,0 +1,388 @@
+"""The debug hub: compile once, debug many (ROADMAP's debug-service shape).
+
+:class:`DebugHub` elaborates, lints, and compiles one design and then
+multiplexes any number of concurrent debug sessions over the hot
+:class:`~repro.sim.compiler.CompiledDesign`.  The expensive work — the
+lint gate, code generation, cone analysis, symbol table extraction —
+happens exactly once at hub startup; attaching a session only allocates a
+fresh value store and runtime, which is why the Nth engineer's
+time-to-first-breakpoint is dominated by their breakpoint, not by the
+compiler (``benchmarks/bench_hub.py``).
+
+Transport: newline-delimited JSON over TCP, framed with the same
+``__type__``-tagged codec as the shard event wire and the symbol table
+RPC (:mod:`repro.shard.wire`) — one request object per line, one
+response per line, matched by ``id``::
+
+    -> {"id": 1, "method": "attach", "params": {"seed": 7}}
+    <- {"id": 1, "result": {"sid": 1, "kind": "live", ...}}
+    -> {"id": 2, "method": "s.run", "params": {"cycles": 500}}
+    <- {"id": 2, "result": {"reason": "breakpoint", "time": 12, ...}}
+
+``s.*`` methods address the session bound to the connection (one
+``attach`` per connection; re-attach to a surviving session by ``sid``).
+Hub-level methods: ``hello``, ``attach``, ``detach``, ``list_sessions``.
+
+The asyncio loop only shuffles frames; every session operation runs in a
+worker thread (``asyncio.to_thread``), so a session blocked at a
+breakpoint never stalls the other connections.  Sessions left idle past
+``idle_ttl`` are evicted by a background sweep (their simulator state is
+dropped; the design stays hot).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+import os
+import tempfile
+import threading
+import time
+
+from ..obs import make_obs
+from ..shard.wire import decode_deep, encode_deep
+from ..sim.compiler import compile_design
+from ..symtable.writer import write_symbol_table
+from .api import SessionOptions, resolve_session_options
+from .session import DebugSession
+
+PROTOCOL_VERSION = 1
+
+
+class HubError(Exception):
+    """Raised on hub-level failures (bad attach, unknown method...)."""
+
+
+class DebugHub:
+    """Serve one compiled design to many concurrent debug sessions.
+
+    Args:
+        design: a compiled :class:`repro.Design` (``repro.compile(...)``) —
+            the hub needs its debug info to write the symbol table.
+        options: default :class:`SessionOptions` for every session this
+            hub creates.  ``options.strict`` also configures the hub's
+            compile-time lint gate, which — unlike a standalone
+            ``Simulator`` — defaults to ``"error"``: a design served to
+            many engineers should not compile with known-broken constructs.
+        host/port: bind address (port 0 picks a free port).
+        idle_ttl: evict sessions idle longer than this many seconds
+            (None disables eviction).
+        obs: hub-side observability (``repro.obs``): sessions-active
+            gauge, attach count/latency, per-session cycle counter.
+        legacy session keywords (``snapshots=``, ``store=``, ...) are
+            accepted like ``Simulator``'s, with the same deprecation.
+    """
+
+    def __init__(
+        self,
+        design,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        idle_ttl: float | None = None,
+        obs=None,
+        options: SessionOptions | None = None,
+        **legacy,
+    ):
+        options = resolve_session_options(options, legacy, "DebugHub")
+        low = getattr(design, "low", None)
+        if low is None:
+            raise HubError(
+                "DebugHub needs a compiled repro.Design (repro.compile(...))"
+            )
+        self.design_name = design.name
+        self.circuit = low
+        self.host = host
+        self.port = port
+        self.idle_ttl = idle_ttl
+        self.obs = make_obs(obs, proc="hub")
+        # Serving a design to many engineers: lint it like a release
+        # artifact.  strict=None (the SessionOptions default) hardens to
+        # "error" here; an explicit strict (e.g. "warn", "off") wins.
+        from ..lint.engine import GATE_OFF, gate_circuit, resolve_gate
+
+        strict = options.strict if options.strict is not None else "error"
+        mode = resolve_gate(strict)
+        if mode != GATE_OFF:
+            gate_circuit(self.circuit, mode, form="low",
+                         design=self.design_name)
+        # Sessions must not re-gate what the hub just vetted (and their
+        # simulators reuse `compiled` anyway, which skips the gate).
+        self.options = dataclasses.replace(options, strict="off")
+        with self.obs.span("hub.compile", design=self.design_name):
+            self.compiled = compile_design(self.circuit, None)
+            # One on-disk symbol table; every session opens its own
+            # sqlite connection to it (connections don't cross threads).
+            fd, self._symtable_path = tempfile.mkstemp(
+                prefix=f"hgdb-hub-{self.design_name}-", suffix=".db"
+            )
+            os.close(fd)
+            write_symbol_table(design, self._symtable_path).close()
+
+        self._sessions: dict[int, DebugSession] = {}
+        self._next_sid = 1
+        self._lock = threading.Lock()
+        self._server: asyncio.base_events.Server | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._closed = False
+        if self.obs.metrics is not None:
+            self._m_active = self.obs.metrics.gauge(
+                "hub_sessions_active", "debug sessions currently attached"
+            )
+            self._m_attaches = self.obs.metrics.counter(
+                "hub_attaches_total", "sessions attached over the hub lifetime"
+            )
+            self._m_attach_s = self.obs.metrics.histogram(
+                "hub_attach_seconds", "session construction latency"
+            )
+            self._m_requests = self.obs.metrics.counter(
+                "hub_requests_total", "wire requests served"
+            )
+        else:
+            self._m_active = self._m_attaches = None
+            self._m_attach_s = self._m_requests = None
+
+    # -- session management ------------------------------------------------
+
+    def attach(self, seed: int | None = None, name: str | None = None,
+               snapshots: int | None = None) -> DebugSession:
+        """Create (and register) one new session over the hot design."""
+        t0 = time.monotonic()
+        options = self.options
+        if snapshots is not None:
+            options = dataclasses.replace(options, snapshots=int(snapshots))
+        with self._lock:
+            sid = self._next_sid
+            self._next_sid += 1
+        session = DebugSession(
+            sid,
+            self.circuit,
+            self.compiled,
+            self._symtable_path,
+            options,
+            seed=seed,
+            name=name,
+            obs=self.obs,
+        )
+        with self._lock:
+            self._sessions[sid] = session
+        if self._m_attaches is not None:
+            self._m_attaches.inc()
+            self._m_attach_s.observe(time.monotonic() - t0)
+            self._m_active.set(len(self._sessions))
+        return session
+
+    def get_session(self, sid: int) -> DebugSession:
+        with self._lock:
+            session = self._sessions.get(sid)
+        if session is None:
+            raise HubError(f"no session {sid}")
+        return session
+
+    def detach(self, sid: int) -> bool:
+        """Close and drop one session.  Idempotent."""
+        with self._lock:
+            session = self._sessions.pop(sid, None)
+        if session is None:
+            return False
+        session.close()
+        if self._m_active is not None:
+            self._m_active.set(len(self._sessions))
+        return True
+
+    def list_sessions(self) -> list[dict]:
+        with self._lock:
+            sessions = list(self._sessions.values())
+        return [
+            {
+                "sid": s.sid,
+                "name": s.name,
+                "state": s.state,
+                "seed": s.seed,
+                "time": s.session.get_time(),
+                "idle_for": round(s.idle_for, 3),
+                "cycles_run": s.cycles_run,
+            }
+            for s in sessions
+        ]
+
+    @property
+    def session_count(self) -> int:
+        with self._lock:
+            return len(self._sessions)
+
+    def evict_idle(self, ttl: float | None = None) -> list[int]:
+        """Drop every session idle longer than ``ttl`` (defaults to the
+        hub's ``idle_ttl``).  Running sessions are never evicted — a long
+        ``run`` keeps a session busy, not idle.  Returns evicted sids."""
+        ttl = self.idle_ttl if ttl is None else ttl
+        if ttl is None:
+            return []
+        with self._lock:
+            stale = [
+                s.sid
+                for s in self._sessions.values()
+                if s.idle_for > ttl and s.state != "running"
+            ]
+        return [sid for sid in stale if self.detach(sid)]
+
+    # -- wire protocol -----------------------------------------------------
+
+    def _hello(self) -> dict:
+        return {
+            "protocol": PROTOCOL_VERSION,
+            "design": self.design_name,
+            "top": self.compiled.hierarchy.path,
+            "sessions": self.session_count,
+        }
+
+    def _handle_request(self, bound: list, method: str, params: dict):
+        """Serve one request (worker thread).  ``bound`` is the
+        connection's one-element session-binding cell."""
+        if self._m_requests is not None:
+            self._m_requests.inc()
+        if method == "hello":
+            return self._hello()
+        if method == "attach":
+            sid = params.pop("sid", None)
+            if sid is not None:
+                session = self.get_session(int(sid))
+            else:
+                session = self.attach(**params)
+            bound[0] = session
+            out = session.invoke("describe", {})
+            out.update(sid=session.sid, name=session.name)
+            return out
+        if method == "detach":
+            session, bound[0] = bound[0], None
+            if session is None:
+                return {"detached": False}
+            return {"detached": self.detach(session.sid)}
+        if method == "list_sessions":
+            return self.list_sessions()
+        if method.startswith("s."):
+            session = bound[0]
+            if session is None:
+                raise HubError("no session bound; send attach first")
+            return session.invoke(method[2:], params)
+        raise HubError(f"unknown hub method {method!r}")
+
+    async def _serve_connection(self, reader, writer) -> None:
+        bound: list = [None]  # the connection's attached session
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    req = decode_deep(json.loads(line))
+                    req_id = req.get("id")
+                    result = await asyncio.to_thread(
+                        self._handle_request,
+                        bound,
+                        req.get("method", ""),
+                        req.get("params") or {},
+                    )
+                    resp = {"id": req_id, "result": result}
+                except Exception as exc:  # noqa: BLE001 - wire boundary
+                    resp = {
+                        "id": req.get("id") if isinstance(req, dict) else None,
+                        "error": f"{exc}",
+                        "kind": type(exc).__name__,
+                    }
+                writer.write(json.dumps(encode_deep(resp)).encode() + b"\n")
+                await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except asyncio.CancelledError:
+            pass  # hub shutdown while the connection was idle
+        finally:
+            # The session survives a dropped connection (re-attach by
+            # sid); the idle sweeper reaps it if nobody comes back.
+            writer.close()
+
+    async def _evict_loop(self) -> None:
+        while True:
+            await asyncio.sleep(max(0.05, (self.idle_ttl or 1.0) / 4))
+            await asyncio.to_thread(self.evict_idle)
+
+    async def start(self) -> tuple[str, int]:
+        """Bind and start serving on the running event loop."""
+        self._loop = asyncio.get_running_loop()
+        self._server = await asyncio.start_server(
+            self._serve_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        if self.idle_ttl is not None:
+            self._evictor = self._loop.create_task(self._evict_loop())
+        return (self.host, self.port)
+
+    async def serve_forever(self) -> None:
+        await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    # -- threaded embedding ------------------------------------------------
+
+    def serve_background(self) -> tuple[str, int]:
+        """Run the hub on a dedicated event-loop thread; returns the bound
+        address.  This is how tests, benchmarks, and in-process tools host
+        a hub next to their own code."""
+        started = threading.Event()
+
+        def main() -> None:
+            self._loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(self._loop)
+
+            async def run() -> None:
+                await self.start()
+                started.set()
+                async with self._server:
+                    try:
+                        await self._server.serve_forever()
+                    except asyncio.CancelledError:
+                        pass
+
+            try:
+                self._loop.run_until_complete(run())
+            finally:
+                self._loop.close()
+
+        self._thread = threading.Thread(
+            target=main, daemon=True, name="repro-hub"
+        )
+        self._thread.start()
+        if not started.wait(timeout=30):
+            raise HubError("hub failed to start within 30s")
+        return (self.host, self.port)
+
+    def close(self) -> None:
+        """Stop serving, close every session, drop the symbol table."""
+        if self._closed:
+            return
+        self._closed = True
+        loop, server = self._loop, self._server
+        if loop is not None and server is not None and loop.is_running():
+            def stop() -> None:
+                server.close()
+                for task in asyncio.all_tasks(loop):
+                    task.cancel()
+
+            loop.call_soon_threadsafe(stop)
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+            self._thread = None
+        for sid in list(self._sessions):
+            self.detach(sid)
+        try:
+            os.unlink(self._symtable_path)
+        except OSError:
+            pass
+
+    def __enter__(self) -> DebugHub:
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False

@@ -49,6 +49,10 @@ from .wire import WireError, decode_line
 from .worker import run_shard, worker_entry
 
 
+#: distinguishes "kwarg not passed" from an explicit value (None included)
+_UNSET = object()
+
+
 def default_workers(n_shards: int) -> int:
     """Worker-pool size when the caller does not pin one: one process per
     available CPU, never more than there are shards."""
@@ -110,23 +114,40 @@ class ShardSession:
             ``write_symbol_table(design)`` for a ``Design``.
         workers: pool size for :meth:`run`.  ``None`` sizes to the machine
             (:func:`default_workers`); ``0`` forces inline execution.
-        fast: forwarded to each worker's ``Simulator``.
+        fast: forwarded to each worker's ``Simulator`` (deprecated; pass
+            ``options=SessionOptions(fast=...)``).
         compiled: reuse an existing ``CompiledDesign`` (e.g. the one a
             live console session is already running) instead of compiling
             the circuit again; this also preserves its ``top_path``.
         obs: observability depth (``repro.obs``): an ``Obs``, a mode
-            string, or None (``configure``/``$REPRO_OBS``).  The session
+            string, or None (``configure``/``$REPRO_OBS``).  Deprecated;
+            pass ``options=SessionOptions(obs=...)``.  The session
             holds the **coordinator-side** telemetry — attempt/retry/
             termination counts, the heartbeat gap histogram, sweep and
             per-attempt spans — while each worker (forked or inline)
             builds its own per-shard ``Obs`` from the same mode; the
             aggregated :class:`ShardReport` merges both sides, and
             ``report.write_chrome_trace`` puts them on one timeline.
+        options: a :class:`repro.hub.SessionOptions` — the shared session
+            configuration record (``fast``/``obs`` here; other fields are
+            per-shard and come from the :class:`ShardSpec`).
     """
 
     def __init__(self, design, symtable=None, workers: int | None = None,
-                 fast: bool = True, compiled=None, obs=None):
-        self.obs = make_obs(obs, proc="coordinator")
+                 fast=_UNSET, compiled=None, obs=_UNSET, options=None):
+        # Imported here (not at module top) to keep this package importable
+        # in any order relative to repro.hub (which lazily imports us for
+        # SessionHandle.shard_sweep).
+        from ..hub.api import resolve_session_options
+
+        legacy = {}
+        if fast is not _UNSET:
+            legacy["fast"] = fast
+        if obs is not _UNSET:
+            legacy["obs"] = obs
+        opt = resolve_session_options(options, legacy, "ShardSession")
+        self.options = opt
+        self.obs = make_obs(opt.obs, proc="coordinator")
         low = getattr(design, "low", None)
         self.circuit = low if low is not None else design
         if symtable is None:
@@ -137,7 +158,7 @@ class ShardSession:
             symtable = SQLiteSymbolTable(write_symbol_table(design))
         self.symtable = symtable
         self.workers = workers
-        self.fast = fast
+        self.fast = opt.fast
         # Elaborate/compile once; forked workers inherit this copy.
         self.compiled = (
             compiled if compiled is not None

@@ -97,6 +97,13 @@ def _decode_deep(obj):
     return _decode(obj)
 
 
+# Public names for the recursive codec: the debug hub's newline-JSON
+# transport (repro.hub.server) frames its messages with the same
+# __type__-tagged encoding, so hub and shard wires stay mutually readable.
+encode_deep = _encode_deep
+decode_deep = _decode_deep
+
+
 def _event(kind: str, shard_id: int, **fields) -> dict:
     ev = {"event": kind, "v": PROTOCOL_VERSION, "shard": shard_id}
     ev.update(fields)

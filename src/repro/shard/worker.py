@@ -18,6 +18,7 @@ import random
 import time
 
 from ..core.runtime import HitRecorder, Runtime
+from ..hub.api import SessionOptions
 from ..obs import make_obs
 from ..sim.engine import Simulator
 from ..symtable.rpc import RPCSymbolTable
@@ -109,11 +110,13 @@ def run_shard(
     with obs.span("shard.setup", shard=spec.shard_id):
         sim = Simulator(
             circuit,
-            fast=fast,
             compiled=compiled,
-            snapshots=spec.timeline_cycles,
-            snapshot_codec="rle" if spec.timeline_cycles else None,
-            obs=obs,
+            options=SessionOptions(
+                fast=fast,
+                snapshots=spec.timeline_cycles,
+                snapshot_codec="rle" if spec.timeline_cycles else None,
+                obs=obs,
+            ),
         )
         on_record = None
         if emit is not None:

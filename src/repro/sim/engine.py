@@ -43,6 +43,8 @@ import hashlib
 from array import array
 from contextlib import contextmanager
 
+import threading
+
 from ..ir.stmt import Circuit
 from ..obs import make_obs
 from .compiler import CompiledDesign, compile_design
@@ -54,6 +56,36 @@ from .interface import (
 )
 from .store import LANE_BITS, ValueStore, make_store
 from .timeline import Timeline, TimelineError
+
+# Sentinel distinguishing "caller passed this legacy kwarg" from its
+# default, so options= and the deprecated keywords can coexist.
+_UNSET = object()
+
+
+class _PrintfDispatcher:
+    """Routes generated-code ``printf`` calls to the simulator currently
+    stepping on each thread.
+
+    The generated ``tick`` reaches its printf sink through one module
+    global (``_pf``).  With several simulators sharing one
+    :class:`CompiledDesign` — hub sessions on their own threads, inline
+    shards interleaving on one thread — a plain closure there would send
+    every design's output to whichever simulator installed it last.  The
+    dispatcher is installed into the design's namespace once; each
+    simulator binds its own sink at construction and again on every
+    ``step`` entry (thread-local, so concurrently stepping sessions never
+    see each other's binding)."""
+
+    __slots__ = ("_tls",)
+
+    def __init__(self):
+        self._tls = threading.local()
+
+    def bind(self, sink) -> None:
+        self._tls.sink = sink
+
+    def __call__(self, index: int, *args: int) -> None:
+        self._tls.sink(index, *args)
 
 
 class Simulator(SimulatorInterface):
@@ -83,12 +115,14 @@ class Simulator(SimulatorInterface):
             function — the reference semantics the fast path is tested
             against.
         compiled: reuse an already-compiled design instead of compiling
-            ``circuit`` again.  This is how the shard coordinator
-            elaborates and compiles once and has every forked worker build
-            its own simulator instance for free.  Simulators sharing one
-            ``CompiledDesign`` must not interleave stepping within a single
-            process (printf plumbing and cone caches live on the design);
-            across forked processes each child owns a copy-on-write copy.
+            ``circuit`` again.  This is how the shard coordinator and the
+            debug hub elaborate and compile once and have every worker or
+            session build its own simulator instance for free.  Sharing is
+            safe within one process too: each simulator owns its value
+            store, memories, and timeline; printf output is routed
+            per-stepping-simulator (see ``_PrintfDispatcher``); and the
+            design's cone caches are value-independent.  Across forked
+            processes each child owns a copy-on-write copy.
         store: value-table backend name — ``"list"``, ``"array"``,
             ``"numpy"``, or ``"auto"`` (numpy when importable, else typed
             64-bit lanes).  ``None`` defers to ``$REPRO_VALUE_STORE``,
@@ -109,23 +143,57 @@ class Simulator(SimulatorInterface):
             registry collector folds them into metrics only when a
             snapshot is taken.  ``stats()`` reads the same ints directly
             and works in every mode, including off.
+        options: a :class:`~repro.hub.api.SessionOptions` bundling the
+            session-configuration keywords above (store / obs / strict /
+            fast / snapshot budget) — the one record shared with
+            ``ShardSession`` and the debug hub.  Passing the individual
+            keywords still works but is deprecated; an explicitly passed
+            keyword overrides the corresponding ``options`` field.
     """
 
     def __init__(
         self,
         circuit: Circuit,
         top_path: str | None = None,
-        snapshots: int = 0,
+        snapshots: int = _UNSET,
         trace=None,
-        fast: bool = True,
+        fast: bool = _UNSET,
         compiled: CompiledDesign | None = None,
-        store: str | None = None,
-        snapshot_bytes: int | None = None,
-        snapshot_codec: str | None = None,
-        keyframe_every: int = 0,
-        strict=None,
-        obs=None,
+        store: str | None = _UNSET,
+        snapshot_bytes: int | None = _UNSET,
+        snapshot_codec: str | None = _UNSET,
+        keyframe_every: int = _UNSET,
+        strict=_UNSET,
+        obs=_UNSET,
+        options=None,
     ):
+        # Imported lazily: repro.hub.api sits above the core runtime,
+        # which imports this package — a module-level import would cycle.
+        from ..hub.api import resolve_session_options
+
+        legacy = {
+            key: value
+            for key, value in (
+                ("snapshots", snapshots),
+                ("fast", fast),
+                ("store", store),
+                ("snapshot_bytes", snapshot_bytes),
+                ("snapshot_codec", snapshot_codec),
+                ("keyframe_every", keyframe_every),
+                ("strict", strict),
+                ("obs", obs),
+            )
+            if value is not _UNSET
+        }
+        opt = resolve_session_options(options, legacy, "Simulator")
+        snapshots = opt.snapshots
+        fast = opt.fast
+        store = opt.store
+        snapshot_bytes = opt.snapshot_bytes
+        snapshot_codec = opt.snapshot_codec
+        keyframe_every = opt.keyframe_every
+        strict = opt.strict
+        obs = opt.obs
         self.obs = make_obs(obs, proc="sim")
         if compiled is None:
             from ..lint.engine import GATE_OFF, gate_circuit, resolve_gate
@@ -225,8 +293,21 @@ class Simulator(SimulatorInterface):
             out.append(text)
             print(text)
 
-        # Patch the generated tick()'s namespace (shared with tick_journal).
-        self.design.tick.__globals__["_pf"] = _pf
+        # The generated tick()'s namespace (shared with tick_journal) holds
+        # one _PrintfDispatcher per design; every simulator sharing the
+        # design routes through it.  Bind this simulator's sink now and at
+        # each step() entry — printf only fires inside tick, so the binding
+        # active during *this* simulator's step is always its own.
+        self._has_printf = bool(self.design.printf_specs)
+        namespace = self.design.tick.__globals__
+        dispatcher = namespace.get("_pf")
+        if not isinstance(dispatcher, _PrintfDispatcher):
+            dispatcher = _PrintfDispatcher()
+            namespace["_pf"] = dispatcher
+        self._pf_dispatcher = dispatcher
+        self._pf_sink = _pf
+        if self._has_printf:
+            dispatcher.bind(_pf)
 
     @property
     def printf_output(self) -> list[str]:
@@ -357,6 +438,11 @@ class Simulator(SimulatorInterface):
 
     def step(self, cycles: int = 1) -> None:
         """Advance the clock by ``cycles`` posedges."""
+        if self._has_printf:
+            # Re-claim the shared design's printf routing for this
+            # simulator (cheap: one thread-local store); see
+            # _PrintfDispatcher for why this happens per step.
+            self._pf_dispatcher.bind(self._pf_sink)
         v, w, m = self._v, self._w, self.mems
         design = self.design
         cb_list = self._cb_list

@@ -1,0 +1,185 @@
+"""The console and DAP front ends driving remote hub sessions — the same
+command/request surface they expose over an in-process Runtime."""
+
+import pytest
+
+import repro
+from repro.client import ConsoleDebugger, DapAdapter
+from repro.client.console import CommandSpec
+from repro.hub import DebugHub, HubClient
+from repro.sim import Simulator
+from tests.helpers import Counter, line_of, make_runtime
+
+
+def _serve(mod_cls=Counter):
+    design = repro.compile(mod_cls())
+    hub = DebugHub(design)
+    host, port = hub.serve_background()
+    return design, hub, host, port
+
+
+class TestConstruction:
+    def test_exactly_one_backend(self):
+        design = repro.compile(Counter())
+        sim = Simulator(design.low)
+        runtime = make_runtime(design, sim)
+        with pytest.raises(ValueError, match="not both"):
+            ConsoleDebugger()
+        with pytest.raises(ValueError, match="not both"):
+            DapAdapter(runtime, session=object())
+
+
+class TestConsoleOverHub:
+    def test_drive_breakpoint_repl_detach(self):
+        design, hub, host, port = _serve()
+        _f, line = line_of(design, "count")
+        with hub, HubClient(host, port) as client:
+            session = client.attach(seed=1)
+            dbg = ConsoleDebugger(
+                session=session, script=["p count", "c", "q"]
+            )
+            dbg.execute(f"b helpers.py:{line}")
+            dbg.execute("info breakpoints")
+            stop = dbg.drive(50)
+            joined = "\n".join(dbg.transcript)
+            assert "breakpoint set" in joined
+            assert "stopped at helpers.py:" in joined
+            assert "count = " in joined  # p at the stop
+            assert "detached @ cycle" in joined  # q
+            assert stop.reason == "detached"
+
+    def test_drive_to_completion(self):
+        design, hub, host, port = _serve()
+        with hub, HubClient(host, port) as client:
+            session = client.attach(seed=2)
+            dbg = ConsoleDebugger(session=session, script=[])
+            stop = dbg.drive(10)
+            assert stop.reason == "done"
+            assert any(
+                "ran 10 cycle(s)" in line for line in dbg.transcript
+            )
+
+    def test_script_exhaustion_detaches(self):
+        # A driving console whose script runs dry at a stop must not
+        # spin: it detaches (nobody is left to answer the REPL).
+        design, hub, host, port = _serve()
+        _f, line = line_of(design, "count")
+        with hub, HubClient(host, port) as client:
+            session = client.attach(seed=1)
+            dbg = ConsoleDebugger(session=session, script=["p count"])
+            dbg.execute(f"b helpers.py:{line}")
+            stop = dbg.drive(50)
+            assert stop.reason == "detached"
+            assert hub.session_count == 0
+
+    def test_run_command_owns_cycles(self):
+        design, hub, host, port = _serve()
+        with hub, HubClient(host, port) as client:
+            session = client.attach(seed=2)
+            dbg = ConsoleDebugger(session=session, script=[])
+            dbg.execute("run 7")
+            assert session.get_time() == 7
+
+
+class TestRegistry:
+    def test_help_is_generated_from_the_registry(self):
+        design = repro.compile(Counter())
+        runtime = make_runtime(design, Simulator(design.low))
+        dbg = ConsoleDebugger(runtime, script=[])
+        dbg.execute("help")
+        joined = "\n".join(dbg.transcript)
+        for name in ("continue/c", "timeline", "shard", "watch"):
+            assert name in joined, name
+
+    def test_instance_registration_and_aliases(self):
+        design = repro.compile(Counter())
+        runtime = make_runtime(design, Simulator(design.low))
+        dbg = ConsoleDebugger(runtime, script=[])
+        dbg.register(
+            CommandSpec(
+                "greet",
+                lambda d, args: d._out(f"hello {' '.join(args) or 'world'}"),
+                aliases=("hi",),
+                help="wave back",
+            )
+        )
+        dbg.execute("hi there")
+        assert "hello there" in dbg.transcript
+        dbg.execute("help")
+        assert any("wave back" in line for line in dbg.transcript)
+        # Instance-local: a fresh console doesn't know the command.
+        other = ConsoleDebugger(make_runtime(design, Simulator(design.low)))
+        other.execute("greet")
+        assert any("unknown command" in line for line in other.transcript)
+
+
+class TestDapOverHub:
+    def test_attach_run_inspect_detach(self):
+        design, hub, host, port = _serve()
+        _f, line = line_of(design, "count")
+        with hub, HubClient(host, port) as client:
+            adapter = DapAdapter(session=client.attach(seed=1))
+            init = adapter.handle({"command": "initialize", "seq": 1})
+            assert init["body"]["supportsStepBack"]
+
+            resp = adapter.handle(
+                {
+                    "command": "setBreakpoints",
+                    "arguments": {
+                        "source": {"path": "helpers.py"},
+                        "breakpoints": [{"line": line}],
+                    },
+                }
+            )
+            assert resp["body"]["breakpoints"][0]["verified"]
+
+            run = adapter.handle(
+                {"command": "hgdbRun", "arguments": {"cycles": 50}}
+            )
+            assert run["success"]
+            assert adapter.events[-1]["event"] == "stopped"
+            assert adapter.events[-1]["body"]["hgdbTime"] >= 1
+
+            trace = adapter.handle(
+                {"command": "stackTrace", "arguments": {"threadId": 0}}
+            )
+            frame = trace["body"]["stackFrames"][0]
+            assert frame["line"] == line
+
+            scopes = adapter.handle(
+                {"command": "scopes", "arguments": {"frameId": frame["id"]}}
+            )
+            local_ref = scopes["body"]["scopes"][0]["variablesReference"]
+            variables = adapter.handle(
+                {
+                    "command": "variables",
+                    "arguments": {"variablesReference": local_ref},
+                }
+            )
+            names = {v["name"] for v in variables["body"]["variables"]}
+            assert {"count", "en"} <= names
+
+            ev = adapter.handle(
+                {
+                    "command": "evaluate",
+                    "arguments": {"expression": "count + 1"},
+                }
+            )
+            assert int(ev["body"]["result"]) >= 1
+
+            adapter.handle({"command": "continue", "arguments": {}})
+            kinds = [e["event"] for e in adapter.events]
+            assert kinds.count("continued") == 1
+            assert kinds.count("stopped") >= 1
+
+            adapter.handle({"command": "disconnect", "arguments": {}})
+            assert adapter.events[-1]["event"] == "exited"
+            assert hub.session_count == 0
+
+    def test_terminated_on_natural_completion(self):
+        design, hub, host, port = _serve()
+        with hub, HubClient(host, port) as client:
+            adapter = DapAdapter(session=client.attach(seed=3))
+            adapter.handle({"command": "hgdbRun", "arguments": {"cycles": 5}})
+            assert adapter.events[-1]["event"] == "terminated"
+            assert adapter.events[-1]["body"]["hgdbTime"] == 5

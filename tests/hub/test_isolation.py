@@ -1,0 +1,88 @@
+"""Session isolation: concurrent hub sessions share one compiled design
+but nothing mutable — each is bit-identical to a standalone run."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+import repro
+from repro.hub import DebugHub, HubClient
+from repro.shard.spec import ShardSpec
+from repro.shard.worker import make_stimulus
+from repro.sim import Simulator
+from tests.helpers import Accumulator, line_of
+
+_CYCLES = 40
+
+
+def _standalone_digest(design, compiled, seed: int) -> str:
+    """The seeded-stimulus contract, run on a private Simulator."""
+    sim = Simulator(design.low, compiled=compiled)
+    stim = make_stimulus(sim, ShardSpec(seed, seed=seed, cycles=0))
+    sim.reset(1)
+    sim.run_cycles(_CYCLES, stimulus=stim)
+    return sim.state_digest()
+
+
+def test_disjoint_breakpoints_and_digest_parity():
+    design = repro.compile(Accumulator())
+    _f, line = line_of(design, "acc")
+    hub = DebugHub(design)
+    host, port = hub.serve_background()
+    try:
+        with HubClient(host, port) as ca, HubClient(host, port) as cb:
+            a = ca.attach(seed=3, name="a")
+            b = cb.attach(seed=4, name="b")
+
+            # Disjoint breakpoints: a's insertion is invisible to b.
+            a.add_breakpoint("helpers.py", line)
+            assert len(a.breakpoints()) == 1
+            assert b.breakpoints() == []
+
+            a.reset(1)
+            b.reset(1)
+
+            # Run both concurrently: b straight to completion while a
+            # stops at every enabled hit of its breakpoint.
+            with ThreadPoolExecutor(max_workers=2) as pool:
+                fut_a = pool.submit(a.run, _CYCLES)
+                stop_b = b.run(_CYCLES)
+                stop_a = fut_a.result(timeout=60)
+            assert stop_b.reason == "done"
+            assert stop_a.reason == "breakpoint"
+
+            # Continue a through all its stops — every stop/resume must
+            # leave the state exactly where an uninterrupted run lands.
+            hits = 1
+            while stop_a.stopped:
+                stop_a = a.cont()
+                hits += 1
+            assert stop_a.reason == "done"
+            assert hits > 1  # the when-gate actually fired repeatedly
+
+            expected_a = _standalone_digest(design, hub.compiled, 3)
+            expected_b = _standalone_digest(design, hub.compiled, 4)
+            assert a.state_digest() == expected_a
+            assert b.state_digest() == expected_b
+            assert expected_a != expected_b  # distinct seeds, distinct state
+    finally:
+        hub.close()
+
+
+def test_in_process_sessions_do_not_share_values():
+    # Same isolation property without the wire: two DebugSessions over
+    # one DebugHub poke different values into the same input.
+    design = repro.compile(Accumulator())
+    with DebugHub(design) as hub:
+        s1 = hub.attach().session
+        s2 = hub.attach().session
+        s1.poke("d", 7)
+        s2.poke("d", 9)
+        assert s1.peek("d") == 7
+        assert s2.peek("d") == 9
+        s1.poke("en", 1)
+        s1.reset(1)
+        run = s1.run(3)
+        assert run.reason == "done"
+        # s2 never ran: its clock and accumulator are untouched.
+        assert s2.get_time() == 0
+        assert s2.peek("acc") == 0
+        assert s1.peek("acc") == 7 * 3
