@@ -52,11 +52,11 @@ def _pipeline(circuit_high, variant: str):
     return low, debug
 
 
+from conftest import best_of
+
 _VARIANTS = ["none", "constprop", "constprop+cse", "full", "full+inline"]
 
 _SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
-#: timing repeats per variant; best-of-N defeats one-off scheduler stalls
-_TIMING_REPS = 1 if _SMOKE else 3
 
 
 def _stats(low, debug):
@@ -82,8 +82,6 @@ def test_ablation_table(benchmark, capsys):
 
     benchmark.pedantic(sweep, rounds=1)
 
-    import time
-
     lines = ["", "=== Ablation: pass pipeline vs netlist size vs debug symbols ==="]
     lines.append(
         f"{'pipeline':16s} {'stmts':>7s} {'nodes':>7s} {'symbols':>8s} {'sim ms':>8s}"
@@ -91,19 +89,21 @@ def test_ablation_table(benchmark, capsys):
     sim_ms = {}
     for variant in _VARIANTS:
         (stmts, nodes, symbols), low = rows[variant]
-        # Best-of-N wall time: a single run is at the mercy of whatever
-        # else the CI box is doing, and the full-vs-none bound below flaked
-        # on exactly that.  The minimum is the least-noisy estimator.
-        best = None
-        for _ in range(_TIMING_REPS):
+        # Best-of-N (conftest.best_of): the full-vs-none bound below flaked
+        # on one-off scheduler stalls before.  Each repeat runs on a fresh
+        # reset simulator (the untimed setup) and is checked for the right
+        # answer afterwards.
+        sims = []
+
+        def fresh(low=low):
             sim = Simulator(low)
             sim.reset()
-            t0 = time.perf_counter()
-            sim.run(100_000)
-            dt = (time.perf_counter() - t0) * 1e3
-            best = dt if best is None else min(best, dt)
+            sims.append(sim)
+            return (sim, 100_000)
+
+        sim_ms[variant] = best = best_of(Simulator.run, setup=fresh) * 1e3
+        for sim in sims:
             assert sim.peek("tohost") == bench.expected, variant
-        sim_ms[variant] = best
         lines.append(
             f"{variant:16s} {stmts:7d} {nodes:7d} {symbols:8d} {best:8.1f}"
         )

@@ -40,20 +40,12 @@ from repro.core import CONTINUE, Runtime
 from repro.sim import Simulator, numpy_available
 from repro.symtable import SQLiteSymbolTable, write_symbol_table
 
+from conftest import TIMING_REPS, best_of as _best_of
+
 _SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
 _POKE_CYCLES = 20 if _SMOKE else 300
 _POKES_PER_CYCLE = 4
 _COND_ITERS = 100 if _SMOKE else 3000
-_REPEATS = 1 if _SMOKE else 3
-
-
-def _best_of(fn, *args) -> float:
-    best = float("inf")
-    for _ in range(_REPEATS):
-        t0 = time.perf_counter()
-        fn(*args)
-        best = min(best, time.perf_counter() - t0)
-    return best
 
 
 # -- poke-heavy workload on the CPU case study -----------------------------
@@ -165,7 +157,7 @@ def test_fastpath_batched_multi_poke_speedup(capsys):
     ref = Simulator(design.low, fast=False)
     ref.reset()
     _batched_workload(ref, 2)
-    for _ in range(_REPEATS):
+    for _ in range(TIMING_REPS):
         _batched_workload(ref, _BATCH_CYCLES)
     for sim, _fn in sims.values():
         sim.flush()
@@ -237,14 +229,20 @@ def test_fastpath_condition_eval_speedup(capsys):
         rt._find_hit(groups, 0, 1)  # warm: compiles the group closure once
         evals0 = rt.stats_bp_evals
 
-        t0 = time.perf_counter()
-        for _ in range(_COND_ITERS):
-            rt._find_hit(groups, 0, 1)
-        timings[compiled] = time.perf_counter() - t0
+        def eval_loop(rt=rt, groups=groups):
+            for _ in range(_COND_ITERS):
+                rt._find_hit(groups, 0, 1)
+
+        timings[compiled] = _best_of(eval_loop)
         hits_by_mode[compiled] = rt.stats_bp_evals - evals0
 
-    # Both modes evaluated the same number of breakpoint conditions.
-    assert hits_by_mode[True] == hits_by_mode[False] == _COND_ITERS * 16
+    # Both modes evaluated the same number of breakpoint conditions
+    # (every best-of repeat runs the full loop).
+    assert (
+        hits_by_mode[True]
+        == hits_by_mode[False]
+        == _COND_ITERS * 16 * TIMING_REPS
+    )
 
     speedup = timings[False] / timings[True]
     per_eval_ns = timings[True] / (_COND_ITERS * 16) * 1e9

@@ -24,6 +24,8 @@ from repro.core import CONTINUE, Runtime
 from repro.sim import Simulator
 from repro.symtable import SQLiteSymbolTable, write_symbol_table
 
+from conftest import best_of
+
 _SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
 
 
@@ -89,8 +91,6 @@ def test_fig2_group_evaluation_scales(benchmark, n_lanes):
 
 def test_fig2_reverse_order_costs_like_forward(benchmark, capsys):
     """Intra-cycle reverse scheduling is the same loop, reversed."""
-    import time
-
     design, sim, rt = _make(4)
     entry = next(e for e in design.debug_info.all_entries() if e.sink == "acc")
     rt.add_breakpoint(entry.info.filename, entry.info.line)
@@ -103,11 +103,16 @@ def test_fig2_reverse_order_costs_like_forward(benchmark, capsys):
 
     def measure():
         for label, cmds in (("forward", [STEP] * 40), ("reverse", [STEP, REVERSE_STEP] * 20)):
-            seq = iter(cmds)
-            rt.on_hit = lambda h: next(seq, CONTINUE)
-            t0 = time.perf_counter()
-            sim.step(20)
-            timings[label] = time.perf_counter() - t0
+            # Best-of-N (conftest.best_of): the x10 bound below is a
+            # ratio assertion, and a single 20-cycle sample flakes on
+            # scheduler noise.  The command sequence is re-armed untimed
+            # before every repeat.
+            def arm(cmds=cmds):
+                seq = iter(cmds)
+                rt.on_hit = lambda h: next(seq, CONTINUE)
+                return (20,)
+
+            timings[label] = best_of(sim.step, setup=arm)
 
     benchmark.pedantic(measure, rounds=1)
     with capsys.disabled():
@@ -124,8 +129,6 @@ def test_fig2_compiled_vs_interpreted_conditions(benchmark, capsys):
     """Fast-vs-reference row: armed scheduling with a conditional
     breakpoint over 16 concurrent instances, with exec-compiled group
     conditions vs. the tree-walking interpreter."""
-    import time
-
     cycles = 20 if _SMOKE else 200
     timings = {}
     evals = {}
@@ -143,9 +146,9 @@ def test_fig2_compiled_vs_interpreted_conditions(benchmark, capsys):
             )
             sim.poke("x", 1)
             sim.step(2)  # warm (compiles the group closure once)
-            t0 = time.perf_counter()
-            sim.step(cycles)
-            timings[label] = time.perf_counter() - t0
+            # Best-of-N: the "not slower" x1.1 bound is the tightest
+            # ratio bar in the suite and flaked on single samples.
+            timings[label] = best_of(sim.step, cycles)
             evals[label] = rt.stats_bp_evals
 
     benchmark.pedantic(measure, rounds=1)

@@ -114,7 +114,11 @@ def test_time_to_first_breakpoint(capsys):
             client.close()
         hub.close()
 
-    speedup = cold[-1] / hot[-1]
+    # Best-of across sessions (the conftest.best_of estimator, applied to
+    # the samples this loop already collected): every session repeats the
+    # same workload, so the column minima are the noise-robust sides of
+    # the ratio — the last-session sample alone flaked on one-off stalls.
+    speedup = min(cold) / min(hot)
     with capsys.disabled():
         print(
             f"\n=== hub amortization: time-to-first-breakpoint "
@@ -125,7 +129,7 @@ def test_time_to_first_breakpoint(capsys):
             print(f"{i:>8} {c * 1e3:>12.1f} {h * 1e3:>12.1f}")
         print(f"hub compile (once): {hub_compile * 1e3:.1f}ms")
         print(
-            f"session {_SESSIONS - 1}: {speedup:.1f}x faster attached "
+            f"best-of-{_SESSIONS}: {speedup:.1f}x faster attached "
             f"(bar: >= 5x, asserted non-smoke)"
         )
 

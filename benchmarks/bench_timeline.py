@@ -26,12 +26,13 @@ window.
 from __future__ import annotations
 
 import os
-import time
 
 import repro
 import repro.hgf as hgf
 from repro.sim import Simulator
 from repro.sim.store import numpy_available
+
+from conftest import best_of
 
 _SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
 _BUDGET = (24 if _SMOKE else 192) * 1024
@@ -173,13 +174,12 @@ def test_timeline_rewind_latency_report(capsys):
         sim.step(_LAT_WINDOW + 50)
         oldest = sim.timeline.times()[0]
         newest = sim.timeline.times()[-1]
-        best = float("inf")
-        for _ in range(3):
+
+        def back_to_head(sim=sim, newest=newest, oldest=oldest):
             sim.set_time(newest)
-            t0 = time.perf_counter()
-            sim.set_time(oldest)
-            best = min(best, time.perf_counter() - t0)
-        timings[label] = best
+            return (oldest,)
+
+        timings[label] = best_of(sim.set_time, n=3, setup=back_to_head)
         # Ground truth: the oldest cycle reconstructs the same bits both
         # ways (r0 counts 1/cycle from init 0, recorded pre-tick).
         assert sim.get_time() == oldest

@@ -252,6 +252,7 @@ def _cmd_shard(args) -> int:
             timeline_cycles=args.timeline,
             retry=retry,
             deadline=args.deadline,
+            worlds_per_shard=args.worlds,
         )
     print(report.summary())
     if args.json:
@@ -442,7 +443,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_shard = sub.add_parser(
         "shard",
-        help="run N design shards in parallel and aggregate debugger hits",
+        aliases=["sweep"],
+        help="run N design shards in parallel and aggregate debugger hits "
+             "(alias: sweep)",
     )
     p_shard.add_argument(
         "factory",
@@ -459,6 +462,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_shard.add_argument(
         "--seed-base", type=int, default=0,
         help="shard i runs seed SEED_BASE+i",
+    )
+    p_shard.add_argument(
+        "--worlds", type=int, default=0, metavar="N",
+        help="pack N consecutive shards per worker as scenario worlds of "
+             "one vectorized many-worlds simulator (needs numpy; groups "
+             "that arm breakpoints/watchpoints run their members "
+             "sequentially instead).  Results are identical either way; "
+             "0 = one shard per worker",
     )
     p_shard.add_argument(
         "-b", "--breakpoint", action="append",

@@ -63,6 +63,10 @@ class HitGroup:
 
     Watchpoint hits reuse the same shape with ``watch`` set to
     ``{"id", "label", "path", "old", "new"}`` and no frames.
+
+    Against a many-worlds backend ``worlds`` carries the exact set of
+    scenario-world indices whose condition mask fired (watch hits put the
+    set in ``watch["worlds"]`` instead); it is None on scalar backends.
     """
 
     time: int
@@ -71,6 +75,7 @@ class HitGroup:
     column: int
     frames: list[Frame] = field(default_factory=list)
     watch: dict | None = None
+    worlds: tuple[int, ...] | None = None
 
     @property
     def location(self) -> str:
@@ -93,6 +98,8 @@ class HitGroup:
             rec["frames"] = [f.to_dict() for f in self.frames]
         if self.watch is not None:
             rec["watch"] = dict(self.watch)
+        if self.worlds is not None:
+            rec["worlds"] = list(self.worlds)
         return rec
 
 
@@ -185,6 +192,15 @@ class Runtime:
         self._sim_wide = store.wide if store is not None else None
         design = getattr(sim, "design", None)
         self._signal_index = getattr(design, "signal_index", None)
+        # Many-worlds backend: names bind to whole scenario columns and
+        # conditions evaluate as boolean masks over the world axis; hits
+        # report the exact set of worlds that fired (docs/manyworlds.md).
+        self._worlds = getattr(sim, "worlds", None)
+        self._sim_matrix = getattr(store, "matrix", None)
+        self._wide_signals = getattr(store, "wide_signals", None)
+        self._vector = (
+            self._worlds is not None and self._sim_matrix is not None
+        )
         self.stats_callbacks = 0
         self.stats_bp_evals = 0
 
@@ -379,6 +395,24 @@ class Runtime:
             self.sim.get_value(path)
         except SimulatorError as exc:
             raise expr_eval.ExprError(str(exc)) from exc
+        if self._vector:
+            idx = (
+                self._signal_index.get(path)
+                if self._signal_index is not None
+                else None
+            )
+            if idx is None:
+                # get_value would read world 0 only — refuse, so the group
+                # compile fails loudly instead of silently mis-masking.
+                raise expr_eval.ExprError(
+                    f"{path!r} has no value-table index; cannot evaluate "
+                    "per world"
+                )
+            if self._wide_signals and idx in self._wide_signals:
+                env["_wcol"] = self._wide_column
+                return f"_wcol({idx})"
+            env["_mat"] = self._sim_matrix
+            return f"_mat[{idx}].astype(object)"
         if self._sim_values is not None and self._signal_index is not None:
             idx = self._signal_index.get(path)
             if idx is not None:
@@ -389,6 +423,15 @@ class Runtime:
         key = f"_p{len(env)}"
         env[key] = path
         return f"_g({key})"
+
+    def _wide_column(self, idx: int):
+        """One >64-bit signal as an object-dtype per-world column."""
+        import numpy as np
+
+        wide, n = self._sim_wide, self._worlds
+        return np.array(
+            [wide[idx * n + k] for k in range(n)], dtype=object
+        )
 
     def _rtl_binder(self, instance_name: str, env: dict):
         base = self.instance_map.get(instance_name, instance_name)
@@ -424,11 +467,12 @@ class Runtime:
     def _bp_condition_source(self, bp: InsertedBreakpoint, env: dict) -> str:
         """Python source for one breakpoint's enable∧user condition, with
         the interpreter's warning semantics applied at compile time."""
+        to_src = expr_eval.to_vector if self._vector else expr_eval.to_python
         parts = []
         if bp.enable_ast is not None:
             try:
                 parts.append(
-                    expr_eval.to_python(
+                    to_src(
                         bp.enable_ast,
                         self._rtl_binder(bp.rec.instance_name, env),
                     )
@@ -441,7 +485,7 @@ class Runtime:
         if bp.condition_ast is not None:
             try:
                 parts.append(
-                    expr_eval.to_python(
+                    to_src(
                         bp.condition_ast, self._scope_binder(bp.rec, env)
                     )
                 )
@@ -452,6 +496,10 @@ class Runtime:
                 return "0"
         if not parts:
             return "1"
+        if self._vector and len(parts) > 1:
+            return "_vb(" + " & ".join(
+                f"((({p})) != 0)" for p in parts
+            ) + ")"
         return "(" + ") and (".join(parts) + ")"
 
     def _compile_group(self, group: Group):
@@ -461,21 +509,71 @@ class Runtime:
         try:
             env: dict = dict(expr_eval.COMPILE_HELPERS)
             env["_g"] = self.sim.get_value
+            if self._vector:
+                env.update(expr_eval.VECTOR_HELPERS)
+                worlds = self._worlds
+                env["_vmask"] = (
+                    lambda x: expr_eval.vector_mask(x, worlds)
+                )
             conds = [
                 self._bp_condition_source(bp, env) for bp in group.breakpoints
             ]
             lines = ["def _grp(_v):", "    out = []"]
             for j, src in enumerate(conds):
-                lines.append(f"    if {src}: out.append({j})")
+                if self._vector:
+                    lines.append(f"    _ws{j} = _vmask({src})")
+                    lines.append(
+                        f"    if _ws{j} is not None: out.append(({j}, _ws{j}))"
+                    )
+                else:
+                    lines.append(f"    if {src}: out.append({j})")
             lines.append("    return out")
             exec(compile("\n".join(lines), "<repro-group-cond>", "exec"), env)
             return env["_grp"]
         except Exception:
             return False
 
-    def _eval_group(self, group: Group) -> list[InsertedBreakpoint]:
-        """All breakpoints of a group that hit this cycle."""
+    def _eval_group(self, group: Group) -> list:
+        """All breakpoints of a group that hit this cycle.
+
+        Scalar backends: a list of breakpoints.  Many-worlds backends: a
+        list of ``(breakpoint, world_indices)`` pairs — the exact worlds
+        whose condition mask fired, restricted to still-active worlds.
+        """
         bps = group.breakpoints
+        if self._vector:
+            if not self._compile_conditions:
+                self._warn_once(
+                    "many-worlds conditions require compiled conditions; "
+                    "breakpoint groups are skipped"
+                )
+                return []
+            fn = group.compiled
+            if fn is None:
+                fn = self._compile_group(group)
+                group.compiled = fn
+            if fn is False:
+                self._warn_once(
+                    f"breakpoint group at {group.key[0]}:{group.key[1]} "
+                    "failed to compile for per-world evaluation; skipped"
+                )
+                return []
+            self.stats_bp_evals += len(bps)
+            alive = self.sim.active_worlds
+            alive_set = set(alive)
+            hits = []
+            for j, ws in fn(self._sim_values):
+                bp = bps[j]
+                if len(alive) != self._worlds:
+                    ws = tuple(k for k in ws if k in alive_set)
+                    if not ws:
+                        continue
+                bp.hit_count += len(ws)
+                if bp.ignore_count > 0:
+                    bp.ignore_count -= 1
+                    continue
+                hits.append((bp, ws))
+            return hits
         if not self._compile_conditions:
             return [bp for bp in bps if self._bp_hits(bp)]
         fn = group.compiled
@@ -557,6 +655,13 @@ class Runtime:
                 "old": old,
                 "new": new,
             }
+            if wp.fired_worlds is not None:
+                # Many-worlds: old/new are the first fired world's pair;
+                # the full fired set rides along.
+                watch["worlds"] = list(wp.fired_worlds)
+                note = getattr(self.sim, "note_mask_hit", None)
+                if note is not None:
+                    note(len(wp.fired_worlds))
             if wp.error is not None and not wp.error_reported:
                 wp.error_reported = True
                 self._warn_once(wp.error)
@@ -620,15 +725,32 @@ class Runtime:
                 continue
 
             group = groups[hit_idx]
-            hit = HitGroup(
-                time=self.sim.get_time(),
-                filename=group.key[0],
-                line=group.key[1],
-                column=group.key[2],
-                frames=[
-                    self.frames.build(bp.rec, self.sim.get_time()) for bp in hits
-                ],
-            )
+            now = self.sim.get_time()
+            if self._vector:
+                # hits are (breakpoint, fired-world-indices) pairs; frames
+                # render world 0's view, the mask names the fired worlds.
+                worlds = tuple(sorted({k for _, ws in hits for k in ws}))
+                note = getattr(self.sim, "note_mask_hit", None)
+                if note is not None:
+                    note(len(worlds))
+                hit = HitGroup(
+                    time=now,
+                    filename=group.key[0],
+                    line=group.key[1],
+                    column=group.key[2],
+                    frames=[
+                        self.frames.build(bp.rec, now) for bp, _ in hits
+                    ],
+                    worlds=worlds,
+                )
+            else:
+                hit = HitGroup(
+                    time=now,
+                    filename=group.key[0],
+                    line=group.key[1],
+                    column=group.key[2],
+                    frames=[self.frames.build(bp.rec, now) for bp in hits],
+                )
             cmd = self.on_hit(hit)
             if self._flush is not None:
                 self._flush()  # client may have poked from the handler

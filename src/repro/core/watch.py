@@ -48,6 +48,9 @@ class Watchpoint:
     condition_fn: object | None = None   # compiled (old, new) -> int
     error: str | None = None       # first condition failure, surfaced once
     error_reported: bool = False
+    # Many-worlds backends: the world indices whose change fired on the
+    # most recent report (None on scalar backends).
+    fired_worlds: tuple[int, ...] | None = None
 
 
 def _compile_condition(ast):
@@ -88,6 +91,11 @@ class WatchStore:
         self._wide = store.wide if store is not None else None
         design = getattr(sim, "design", None)
         self._signal_index = getattr(design, "signal_index", None)
+        # Many-worlds backend: reads return per-world tuples and changes
+        # report the exact set of worlds that fired.
+        self._matrix = getattr(store, "matrix", None)
+        self._wide_signals = getattr(store, "wide_signals", None)
+        self._worlds = getattr(sim, "worlds", None)
 
     def add(self, path: str, label: str, condition: str | None = None) -> Watchpoint:
         wp = Watchpoint(self._next_id, path, label)
@@ -118,7 +126,13 @@ class WatchStore:
     def __iter__(self):
         return iter(self._watch.values())
 
-    def _read(self, sim, wp: Watchpoint) -> int:
+    def _read(self, sim, wp: Watchpoint):
+        if wp.index is not None and self._matrix is not None:
+            idx, n = wp.index, self._worlds
+            if self._wide_signals and idx in self._wide_signals:
+                wide = self._wide
+                return tuple(wide[idx * n + k] for k in range(n))
+            return tuple(int(x) for x in self._matrix[idx])
         if wp.index is not None and self._values is not None:
             if self._wide and wp.index in self._wide:
                 return self._wide[wp.index]
@@ -140,6 +154,13 @@ class WatchStore:
             if last is None:
                 wp.last = value
                 continue
+            if isinstance(value, tuple):
+                # Many-worlds: per-world compare, restricted to worlds
+                # still running (a finished world's column drifts).
+                hit = self._changed_worlds(sim, wp, last, value)
+                if hit is not None:
+                    out.append(hit)
+                continue
             if value != last:
                 wp.last = value
                 if wp.condition_fn is not None and wp.error is None:
@@ -154,6 +175,33 @@ class WatchStore:
                 wp.hit_count += 1
                 out.append((wp, last, value))
         return out
+
+    def _changed_worlds(self, sim, wp: Watchpoint, last, value):
+        """Many-worlds change detection: returns ``(wp, old, new)`` for
+        the first fired world (mask in ``wp.fired_worlds``) or None."""
+        wp.last = value
+        alive = getattr(sim, "active_worlds", None)
+        candidates = alive if alive is not None else range(len(value))
+        fired = [k for k in candidates if value[k] != last[k]]
+        if fired and wp.condition_fn is not None and wp.error is None:
+            passing = []
+            for k in fired:
+                try:
+                    if wp.condition_fn(last[k], value[k]):
+                        passing.append(k)
+                except (expr_eval.ExprError, ValueError, OverflowError) as exc:
+                    wp.error = (
+                        f"watchpoint condition {wp.condition_src!r} "
+                        f"failed: {exc}"
+                    )
+                    break
+            if wp.error is None:
+                fired = passing
+        if not fired:
+            return None
+        wp.fired_worlds = tuple(fired)
+        wp.hit_count += len(fired)
+        return (wp, last[fired[0]], value[fired[0]])
 
     def rewound(self, sim) -> None:
         """Re-prime every ``last`` value after a time jump.

@@ -38,6 +38,8 @@ from .spec import (
     ShardResult,
     ShardSpec,
     WatchSpec,
+    WorldGroupSpec,
+    group_worlds,
     make_sweep,
 )
 from .supervise import (
@@ -58,7 +60,12 @@ from .wire import (
     progress_event,
     warning_event,
 )
-from .worker import make_stimulus, run_shard, stimulus_inputs
+from .worker import (
+    make_stimulus,
+    run_shard,
+    run_world_group,
+    stimulus_inputs,
+)
 
 __all__ = [
     "BreakpointSpec",
@@ -75,6 +82,7 @@ __all__ = [
     "TimelineDivergence",
     "WatchSpec",
     "WireError",
+    "WorldGroupSpec",
     "as_deadline_policy",
     "decode_line",
     "default_workers",
@@ -83,6 +91,7 @@ __all__ = [
     "error_event",
     "failure_record",
     "frame_digest",
+    "group_worlds",
     "heartbeat_event",
     "hit_event",
     "location_of",
@@ -90,6 +99,7 @@ __all__ = [
     "make_sweep",
     "progress_event",
     "run_shard",
+    "run_world_group",
     "stimulus_inputs",
     "warning_event",
 ]

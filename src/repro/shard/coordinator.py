@@ -33,7 +33,14 @@ from ..symtable.rpc import SymbolTableServer
 from ..symtable.writer import write_symbol_table
 from ..symtable.query import SQLiteSymbolTable
 from .aggregate import ShardReport
-from .spec import ShardError, ShardResult, ShardSpec, make_sweep
+from .spec import (
+    ShardError,
+    ShardResult,
+    ShardSpec,
+    WorldGroupSpec,
+    group_worlds,
+    make_sweep,
+)
 from .supervise import (
     CORRUPT,
     CRASH,
@@ -46,7 +53,7 @@ from .supervise import (
     failure_record,
 )
 from .wire import WireError, decode_line
-from .worker import run_shard, worker_entry
+from .worker import run_shard, run_world_group, worker_entry
 
 
 #: distinguishes "kwarg not passed" from an explicit value (None included)
@@ -204,6 +211,7 @@ class ShardSession:
         retry: RetryPolicy | None = None,
         deadline: DeadlinePolicy | float | None = None,
         faults=None,
+        worlds_per_shard: int = 0,
     ) -> ShardReport:
         """Run the canonical seed sweep (see :func:`make_sweep`).
 
@@ -211,6 +219,15 @@ class ShardSession:
         last N cycles of rle-compressed state history, enabling the
         report's localized :meth:`~ShardReport.timeline_divergences`.
         ``retry``/``deadline``/``faults`` are forwarded to :meth:`run`.
+
+        ``worlds_per_shard > 1`` packs that many consecutive shards into
+        each worker as scenario *worlds* of one vectorized many-worlds
+        simulator (:class:`~repro.shard.spec.WorldGroupSpec`), so
+        processes × SIMD compose: the report is flattened back to one
+        result per shard, digest-identical to the unpacked sweep.
+        Groups that arm breakpoints/watchpoints/hit limits/timeline
+        streaming — or run where numpy is unavailable — transparently
+        fall back to sequential member execution inside the worker.
         """
         specs = make_sweep(
             shards, cycles, seed_base=seed_base, overrides=overrides,
@@ -219,7 +236,8 @@ class ShardSession:
             timeline_cycles=timeline_cycles,
         )
         return self.run(
-            specs, on_event=on_event, timeout=timeout,
+            group_worlds(specs, worlds_per_shard),
+            on_event=on_event, timeout=timeout,
             retry=retry, deadline=deadline, faults=faults,
         )
 
@@ -253,7 +271,11 @@ class ShardSession:
         """
         if not specs:
             raise ShardError("nothing to run: empty spec list")
-        ids = [s.shard_id for s in specs]
+        ids = [
+            m.shard_id
+            for s in specs
+            for m in (s.members if isinstance(s, WorldGroupSpec) else (s,))
+        ]
         if len(set(ids)) != len(ids):
             raise ShardError(f"duplicate shard ids in sweep: {sorted(ids)}")
         t0 = time.perf_counter()
@@ -287,22 +309,34 @@ class ShardSession:
         # Each shard still gets its own per-shard Obs (fresh registry,
         # shard label) built from the session's mode, exactly like a
         # forked worker would — aggregation is path-independent.
-        results = [
-            run_shard(
-                self.circuit, self.symtable, spec,
-                emit=on_event, compiled=self.compiled, fast=self.fast,
-                obs=self.obs.mode,
-            )
-            for spec in specs
-        ]
+        results = []
+        for spec in specs:
+            if isinstance(spec, WorldGroupSpec):
+                results.extend(
+                    run_world_group(
+                        self.circuit, self.symtable, spec,
+                        emit=on_event, compiled=self.compiled,
+                        fast=self.fast, obs=self.obs.mode,
+                    )
+                )
+            else:
+                results.append(
+                    run_shard(
+                        self.circuit, self.symtable, spec,
+                        emit=on_event, compiled=self.compiled,
+                        fast=self.fast, obs=self.obs.mode,
+                    )
+                )
         return self._report(results)
 
-    def _run_fallback(self, job: _Job, on_event) -> ShardResult:
+    def _run_fallback(self, job: _Job, on_event):
         """Graceful degradation: run one retry-exhausted shard inline.
 
         The inline path shares nothing with the failed attempts' fork +
         pipe + RPC machinery, so infrastructure faults cannot reach it;
-        results carry the full attempt/failure history."""
+        results carry the full attempt/failure history.  Returns one
+        :class:`ShardResult` — or a list of them for a world group job.
+        """
         job.attempt += 1
         spec = job.spec
         emit = None
@@ -311,20 +345,33 @@ class ShardSession:
                 event = dict(event)
                 event["attempt"] = job.attempt
                 on_event(event)
+        grouped = isinstance(spec, WorldGroupSpec)
         try:
-            res = run_shard(
-                self.circuit, self.symtable, spec,
-                emit=emit, compiled=self.compiled, fast=self.fast,
-                obs=self.obs.mode,
-            )
+            if grouped:
+                results = run_world_group(
+                    self.circuit, self.symtable, spec,
+                    emit=emit, compiled=self.compiled, fast=self.fast,
+                    obs=self.obs.mode,
+                )
+            else:
+                results = [run_shard(
+                    self.circuit, self.symtable, spec,
+                    emit=emit, compiled=self.compiled, fast=self.fast,
+                    obs=self.obs.mode,
+                )]
         except Exception as exc:  # noqa: BLE001 - degradation boundary
-            res = ShardResult(
-                spec.shard_id, spec.seed, 0,
-                error=f"inline fallback failed: {type(exc).__name__}: {exc}",
+            message = (
+                f"inline fallback failed: {type(exc).__name__}: {exc}"
             )
-        res.attempts = job.attempt
-        res.failures = list(job.failures)
-        return res
+            members = spec.members if grouped else (spec,)
+            results = [
+                ShardResult(m.shard_id, m.seed, 0, error=message)
+                for m in members
+            ]
+        for res in results:
+            res.attempts = job.attempt
+            res.failures = list(job.failures)
+        return results if grouped else results[0]
 
     def _run_pool(
         self,
@@ -464,11 +511,19 @@ class ShardSession:
             elif retry.wants_fallback(fclass):
                 fallback.append(job)
             else:
-                results[job.spec.shard_id] = ShardResult(
-                    job.spec.shard_id, job.spec.seed, 0,
-                    error=message, attempts=job.attempt,
-                    failures=list(job.failures),
-                )
+                # Terminal: every member of a world group job shares the
+                # attempt's fate (one process ran them all).
+                spec = job.spec
+                grouped = isinstance(spec, WorldGroupSpec)
+                settled = [
+                    ShardResult(
+                        m.shard_id, m.seed, 0,
+                        error=message, attempts=job.attempt,
+                        failures=list(job.failures),
+                    )
+                    for m in (spec.members if grouped else (spec,))
+                ]
+                results[spec.shard_id] = settled if grouped else settled[0]
 
         def sweep_expired() -> ShardError:
             outstanding = sorted(
@@ -554,9 +609,21 @@ class ShardSession:
                     if name == "done":
                         st.settled = True
                         attempt_span(st, "ok")
-                        res = ShardResult.from_wire(payload["result"])
-                        res.attempts = st.job.attempt
-                        res.failures = list(st.job.failures)
+                        wire = payload["result"]
+                        if "group" in wire:
+                            # One done line settles every member of a
+                            # world group attempt.
+                            res = [
+                                ShardResult.from_wire(w)
+                                for w in wire["group"]
+                            ]
+                            for r in res:
+                                r.attempts = st.job.attempt
+                                r.failures = list(st.job.failures)
+                        else:
+                            res = ShardResult.from_wire(wire)
+                            res.attempts = st.job.attempt
+                            res.failures = list(st.job.failures)
                         results[st.job.spec.shard_id] = res
                     elif name == "error":
                         # The worker reported its own exception.  A
@@ -613,7 +680,11 @@ class ShardSession:
             if self._server is not None:
                 self._server.faults = None
 
-        return self._report([results[s.shard_id] for s in specs])
+        flat: list[ShardResult] = []
+        for s in specs:
+            res = results[s.shard_id]
+            flat.extend(res) if isinstance(res, list) else flat.append(res)
+        return self._report(flat)
 
 
 def _next_wait(

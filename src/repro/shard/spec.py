@@ -209,6 +209,83 @@ class ShardResult:
         )
 
 
+@dataclass(frozen=True, slots=True)
+class WorldGroupSpec:
+    """M shards packed into one worker as scenario *worlds*.
+
+    A world group rides the pool exactly like a single :class:`ShardSpec`
+    (one process, one attempt token, one done event) but runs its members
+    together — vectorized in a
+    :class:`~repro.sim.manyworlds.ManyWorldsSimulator` when eligible (no
+    breakpoints/watchpoints/hit limits/timeline streaming and numpy
+    present), member-by-member sequentially otherwise.  Either way each
+    member still reports its own :class:`ShardResult`, digest-identical
+    to running it as a standalone shard: processes × SIMD compose.
+    """
+
+    members: tuple = ()                              # ShardSpec...
+
+    def __post_init__(self):
+        if not self.members:
+            raise ShardError("a world group needs at least one member")
+        first = self.members[0]
+        for m in self.members[1:]:
+            if m.cycles != first.cycles:
+                raise ShardError(
+                    "world group members must share a cycle count"
+                )
+            if m.reset_cycles != first.reset_cycles:
+                raise ShardError(
+                    "world group members must share reset_cycles"
+                )
+            if set(m.overrides) != set(first.overrides):
+                raise ShardError(
+                    "world group members must override the same inputs"
+                )
+
+    # A group impersonates its first member wherever the pool machinery
+    # needs one id/seed/cycle-count per job (tokens, deadlines, faults).
+    @property
+    def shard_id(self) -> int:
+        return self.members[0].shard_id
+
+    @property
+    def seed(self) -> int:
+        return self.members[0].seed
+
+    @property
+    def cycles(self) -> int:
+        return self.members[0].cycles
+
+    @property
+    def worlds(self) -> int:
+        return len(self.members)
+
+    def to_wire(self) -> dict:
+        return {
+            "shard_id": self.shard_id,
+            "worlds": [m.to_wire() for m in self.members],
+        }
+
+    @classmethod
+    def from_wire(cls, d: dict) -> WorldGroupSpec:
+        return cls(
+            members=tuple(ShardSpec.from_wire(m) for m in d["worlds"])
+        )
+
+
+def group_worlds(specs: list[ShardSpec], worlds_per_shard: int) -> list:
+    """Chunk a flat sweep into :class:`WorldGroupSpec` jobs of up to
+    ``worlds_per_shard`` members each (the last group takes the
+    remainder); ``worlds_per_shard <= 1`` returns the specs unchanged."""
+    if worlds_per_shard <= 1:
+        return list(specs)
+    return [
+        WorldGroupSpec(members=tuple(specs[i : i + worlds_per_shard]))
+        for i in range(0, len(specs), worlds_per_shard)
+    ]
+
+
 def make_sweep(
     shards: int,
     cycles: int,

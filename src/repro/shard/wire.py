@@ -38,6 +38,11 @@ feeds to :func:`repro.sim.timeline.first_timeline_divergence` for
 stateful divergence localization.  Absent/None for older producers, so
 the protocol version is unchanged.
 
+A *world group* attempt (``WorldGroupSpec``: M scenarios packed into one
+worker, vectorized many-worlds when eligible) settles with a single
+``done`` whose result is ``{"shard_id": N, "group": [member result
+wires...]}`` — see :func:`group_done_event`.
+
 ``stats`` carries a worker's final ``repro.obs`` dump (metrics snapshot
 plus trace spans, ``Obs.to_wire``) just before ``done``; the same dump
 also rides ``done.result["obs"]`` so the aggregated ``ShardReport`` works
@@ -128,6 +133,25 @@ def warning_event(shard_id: int, message: str) -> dict:
 
 def done_event(result: ShardResult) -> dict:
     return _event("done", result.shard_id, result=result.to_wire())
+
+
+def group_done_event(shard_id: int, results: list[ShardResult]) -> dict:
+    """A world group's single completion event.
+
+    A group occupies one worker attempt, so (like any attempt) it settles
+    with exactly one ``done`` line — its ``result`` carries a ``group``
+    list of the member ``ShardResult`` wires instead of one flat result.
+    Older consumers treat it as an unknown result shape on a known event;
+    the protocol version is unchanged.
+    """
+    return _event(
+        "done",
+        shard_id,
+        result={
+            "shard_id": shard_id,
+            "group": [r.to_wire() for r in results],
+        },
+    )
 
 
 def error_event(shard_id: int, message: str, transient: bool = False) -> dict:

@@ -21,12 +21,15 @@ from ..core.runtime import HitRecorder, Runtime
 from ..hub.api import SessionOptions
 from ..obs import make_obs
 from ..sim.engine import Simulator
+from ..sim.manyworlds import ManyWorldsSimulator, make_sweep_stimulus
+from ..sim.store import numpy_available
 from ..symtable.rpc import RPCSymbolTable
-from .spec import ShardResult, ShardSpec
+from .spec import ShardResult, ShardSpec, WorldGroupSpec
 from .wire import (
     done_event,
     encode_line,
     error_event,
+    group_done_event,
     heartbeat_event,
     hit_event,
     progress_event,
@@ -210,6 +213,126 @@ def run_shard(
     )
 
 
+def run_world_group(
+    circuit,
+    symtable,
+    group: WorldGroupSpec,
+    emit=None,
+    compiled=None,
+    fast: bool = True,
+    obs=None,
+) -> list[ShardResult]:
+    """Run a :class:`WorldGroupSpec`'s members together in one process.
+
+    When the group is *vector-eligible* — numpy importable, more than one
+    member, and no member arms breakpoints, watchpoints, a hit limit, or
+    timeline streaming — all members advance in lockstep as scenario
+    worlds of one :class:`~repro.sim.manyworlds.ManyWorldsSimulator`
+    (per-world seeds/overrides honor the spec stimulus contract exactly).
+    Otherwise members run sequentially through :func:`run_shard` in this
+    same process.  Either way every member gets its own
+    :class:`ShardResult` whose ``state_digest``, ``exit_code``, and
+    cycle count are bit-identical to running it as a standalone shard.
+
+    ``obs`` is a mode (string/None), not a built ``Obs``: the sequential
+    path hands it to each member's :func:`run_shard` so per-shard
+    registries stay distinct, while the vector path builds one
+    group-level ``Obs`` (``worlds <id>`` process, worlds/sec gauges from
+    the simulator's collector) and ships it on the first member's result.
+    """
+    eligible = (
+        numpy_available()
+        and group.worlds > 1
+        and not any(
+            m.breakpoints
+            or m.watchpoints
+            or m.hit_limit is not None
+            or m.timeline_cycles
+            for m in group.members
+        )
+    )
+    if not eligible:
+        return [
+            run_shard(
+                circuit, symtable, m, emit=emit, compiled=compiled,
+                fast=fast, obs=obs,
+            )
+            for m in group.members
+        ]
+
+    t0 = time.perf_counter()
+    first = group.members[0]
+    gid = group.shard_id
+    obs = make_obs(obs, proc=f"worlds {gid}", labels={"shard": str(gid)})
+    with obs.span("worlds.setup", shard=gid, worlds=group.worlds):
+        sim = ManyWorldsSimulator(
+            circuit,
+            group.worlds,
+            compiled=compiled,
+            options=SessionOptions(fast=fast, obs=obs),
+        )
+        for name in sorted(first.overrides):
+            sim.poke_worlds(
+                name, [m.overrides[name] for m in group.members]
+            )
+        if first.reset_cycles:
+            sim.reset(first.reset_cycles)
+
+    beat_every = first.progress_every or max(1, min(first.cycles // 16, 2048))
+    on_progress = None
+    if emit is not None:
+        emit(heartbeat_event(gid, 0))  # armed: setup finished
+
+        def on_progress(_s, done: int) -> None:
+            emit(heartbeat_event(gid, done))
+
+    stimulus = make_sweep_stimulus(
+        sim, [m.seed for m in group.members], overrides=first.overrides
+    )
+    with obs.span("worlds.run", shard=gid, worlds=group.worlds):
+        ran = sim.run_cycles(
+            first.cycles,
+            stimulus=stimulus,
+            on_progress=on_progress,
+            progress_every=beat_every,
+        )
+    wall = time.perf_counter() - t0
+    obs_wire = None
+    if obs.metrics is not None:
+        obs_wire = obs.to_wire()
+        if emit is not None:
+            emit(stats_event(gid, obs_wire))
+    exit_codes = sim.exit_codes
+    finish_ticks = sim.finish_ticks
+    results = []
+    for k, m in enumerate(group.members):
+        # A finished world ran fewer stimulus cycles than the lockstep
+        # loop: its Stop fired at absolute tick `ft`, i.e. stimulus cycle
+        # ft - reset_cycles, and the scalar run loop breaks *before* the
+        # next cycle — so it counts ft + 1 - reset_cycles cycles (clamped:
+        # a Stop during reset means zero stimulus cycles ran).
+        ft = finish_ticks[k]
+        ran_k = (
+            min(ran, max(0, ft + 1 - first.reset_cycles))
+            if ft is not None
+            else ran
+        )
+        results.append(
+            ShardResult(
+                shard_id=m.shard_id,
+                seed=m.seed,
+                cycles=ran_k,
+                exit_code=exit_codes[k],
+                # One lockstep run served every member; amortize its wall
+                # time so summing member walls recovers the group's.
+                wall_time_s=wall / group.worlds,
+                state_digest=sim.state_digest(k),
+                obs=obs_wire if k == 0 else None,
+            )
+        )
+    return results
+
+
 def worker_entry(
     circuit, compiled, spec_wire: dict, host: str, port: int, conn,
     fault=None, obs_mode: str | None = None,
@@ -241,6 +364,19 @@ def worker_entry(
         conn.send_bytes(data)
 
     try:
+        if "worlds" in spec_wire:
+            # A packed world group: M member specs, one attempt, one done
+            # event carrying every member result.  The faults layer's
+            # per-cycle hook has no lockstep seam, so injected faults stay
+            # a plain-shard (chaos-test) feature.
+            group = WorldGroupSpec.from_wire(spec_wire)
+            with RPCSymbolTable(host, port) as table:
+                results = run_world_group(
+                    circuit, table, group, emit=emit, compiled=compiled,
+                    obs=obs_mode,
+                )
+            emit(group_done_event(group.shard_id, results))
+            return
         spec = ShardSpec.from_wire(spec_wire)
         obs = make_obs(
             obs_mode,

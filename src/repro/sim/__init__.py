@@ -5,8 +5,15 @@ simulator interface (paper Sec. 3.3) used by the hgdb runtime; the same
 interface is implemented by ``repro.trace.ReplayEngine`` for offline traces.
 """
 
-from .compiler import CombLoopError, CompiledDesign, compile_design
+from .compiler import (
+    CombLoopError,
+    CompiledDesign,
+    VectorKernels,
+    compile_design,
+    compile_vector,
+)
 from .engine import Simulator
+from .manyworlds import ManyWorldsSimulator, make_sweep_stimulus
 from .interface import (
     HierNode,
     SignalInfo,
@@ -17,6 +24,7 @@ from .interface import (
 from .store import (
     ArrayStore,
     ListStore,
+    MatrixStore,
     NumpyStore,
     ValueStore,
     make_store,
@@ -40,6 +48,8 @@ __all__ = [
     "FullTraceTimeline",
     "HierNode",
     "ListStore",
+    "ManyWorldsSimulator",
+    "MatrixStore",
     "Monitor",
     "NumpyStore",
     "SignalInfo",
@@ -53,9 +63,12 @@ __all__ = [
     "TimelineView",
     "Transaction",
     "ValueStore",
+    "VectorKernels",
     "compile_design",
+    "compile_vector",
     "first_timeline_divergence",
     "make_store",
+    "make_sweep_stimulus",
     "numpy_available",
     "resolve_store_kind",
 ]

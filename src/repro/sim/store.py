@@ -456,3 +456,50 @@ class NumpyStore(ArrayStore):
 
     def _narrow_bytes(self) -> bytes:
         return self.narrow.tobytes()
+
+
+class MatrixStore(NumpyStore):
+    """The many-worlds backend: N scenario worlds stacked as columns of one
+    ``(n_signals, worlds)`` uint64 matrix (``repro.sim.manyworlds``).
+
+    Storage is the flat NumpyStore buffer in signal-major order — flat index
+    ``signal * worlds + world`` — with ``matrix`` a zero-copy 2D view of it,
+    so every inherited bulk operation (snapshot delta scan, RLE codec,
+    keyframe copy/restore, digests) works unchanged over the flattened
+    layout: the :class:`~repro.sim.timeline.Timeline` machinery captures all
+    worlds at once without knowing they exist.  Signals wider than one lane
+    keep the overflow-dict representation with per-world flat keys, and
+    ``wide_signals`` records the *design-level* wide indices.
+
+    ``digest_bytes_world`` slices one world's column in the exact byte
+    layout :meth:`ValueStore.digest_bytes` produces for a scalar store, so
+    per-world digests compare bit-for-bit against sequential reference runs.
+    """
+
+    kind = "matrix"
+
+    def __init__(self, n_signals, wide_indices, state_indices, worlds):
+        if worlds < 1:
+            raise SimulatorError("worlds must be >= 1")
+        self.worlds = worlds
+        self.n_signals = n_signals
+        self.wide_signals = frozenset(wide_indices)
+        flat_wide = [
+            i * worlds + k for i in sorted(wide_indices) for k in range(worlds)
+        ]
+        flat_state = [
+            i * worlds + k for i in state_indices for k in range(worlds)
+        ]
+        super().__init__(n_signals * worlds, flat_wide, flat_state)
+        self.matrix = self.view.reshape(n_signals, worlds)
+
+    def digest_bytes_world(self, k: int) -> bytes:
+        """One world's column in scalar ``digest_bytes`` layout."""
+        out = self.matrix[:, k].tobytes()
+        if self.wide_signals:
+            stride = self.worlds
+            wide = self.wide
+            out += repr(
+                sorted((i, wide[i * stride + k]) for i in self.wide_signals)
+            ).encode()
+        return out

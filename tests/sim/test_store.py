@@ -22,6 +22,8 @@ import repro
 import repro.hgf as hgf
 from repro.sim import Simulator, SimulatorError
 from repro.sim.store import (
+    ListStore,
+    NumpyStore,
     make_store,
     numpy_available,
     resolve_store_kind,
@@ -334,3 +336,75 @@ def test_store_digest_bytes_uses_raw_buffer():
         blob = store.digest_bytes()
         assert isinstance(blob, bytes)
         assert len(blob) >= 8 * len(store)
+
+
+# -- RLE codec: vectorized run detection vs the pure-python reference -------
+#
+# NumpyStore.encode_rle finds run breaks with one ``diff`` over the
+# changed-index array; the ListStore codec walks the sorted dict.  These
+# micro-tests pin the two against each other on the adversarial change
+# patterns: every-signal (one maximal run), alternating (no two indices
+# adjacent — worst case for run detection), and a single change.
+
+
+def _rle_roundtrip(kind: str, n: int, changed: dict[int, int]):
+    """Apply ``changed`` to a fresh store, capture its native delta, and
+    return ``(store, delta, encoded)``."""
+    cls = {"list": ListStore, "numpy": NumpyStore}[kind]
+    store = cls(n, (), tuple(range(n)))
+    base = store.capture_state()
+    for i, v in changed.items():
+        store[i] = v
+    delta = store.state_delta(base)
+    return store, delta, store.encode_rle(delta)
+
+
+def _run_count(kind: str, encoded) -> int:
+    runs, _values = encoded
+    return len(runs) // 2
+
+
+@pytest.mark.skipif(not numpy_available(), reason="needs the numpy codec")
+@pytest.mark.parametrize(
+    ("label", "changed", "runs"),
+    [
+        ("all-same", {i: 7 for i in range(64)}, 1),
+        ("alternating", {i: i + 1 for i in range(0, 64, 2)}, 32),
+        ("single-change", {17: 0xDEAD}, 1),
+        ("two-runs", {**{i: 1 for i in range(4)},
+                      **{i: 2 for i in range(40, 44)}}, 2),
+        ("empty", {}, 0),
+    ],
+)
+def test_encode_rle_vectorized_matches_reference(label, changed, runs):
+    n = 64
+    _ref_store, ref_delta, ref_enc = _rle_roundtrip("list", n, changed)
+    np_store, np_delta, np_enc = _rle_roundtrip("numpy", n, changed)
+
+    # Identical logical content, identical run structure.
+    assert np_store.rle_pairs(np_enc) == ListStore.rle_pairs(ref_enc)
+    assert np_store.rle_pairs(np_enc) == sorted(changed.items())
+    assert _run_count("numpy", np_enc) == _run_count("list", ref_enc) == runs
+
+    # And both replay onto a captured buffer to the same bytes.
+    for store, enc in ((_ref_store, ref_enc), (np_store, np_enc)):
+        saved = store.copy_narrow()
+        for i in changed:
+            saved[i] = 0  # scribble over the changed lanes
+        store.apply_rle(saved, enc)
+        assert list(saved) == list(store.narrow), label
+
+
+@pytest.mark.skipif(not numpy_available(), reason="needs the numpy codec")
+def test_encode_rle_random_patterns_match_reference():
+    rng = random.Random(2024)
+    n = 256
+    for _trial in range(25):
+        changed = {
+            i: rng.getrandbits(64)
+            for i in rng.sample(range(n), rng.randint(0, n))
+        }
+        _ls, _ld, ref_enc = _rle_roundtrip("list", n, changed)
+        ns, _nd, np_enc = _rle_roundtrip("numpy", n, changed)
+        assert ns.rle_pairs(np_enc) == ListStore.rle_pairs(ref_enc)
+        assert _run_count("numpy", np_enc) == _run_count("list", ref_enc)

@@ -140,6 +140,29 @@ class TestShard:
         assert report["total_attempts"] == 2
         assert report["retried"] == [] and report["failed"] == []
 
+    def test_sweep_alias_with_worlds(self, tmp_path, capsys):
+        """``sweep --worlds N`` packs shards into vectorized world groups
+        (or falls back to sequential members without numpy) — either way
+        the aggregated report is digest-identical to the plain run."""
+        import json
+
+        plain_out = str(tmp_path / "plain.json")
+        grouped_out = str(tmp_path / "grouped.json")
+        args = [
+            "tests.helpers:Accumulator",
+            "--shards", "4", "--workers", "0", "--cycles", "40",
+            "-o", "en=1",
+        ]
+        assert main(["shard", *args, "--json", plain_out]) == 0
+        assert main(["sweep", *args, "--worlds", "2", "--json", grouped_out]) == 0
+        with open(plain_out) as f:
+            plain = json.load(f)
+        with open(grouped_out) as f:
+            grouped = json.load(f)
+        assert grouped["state_digests"] == plain["state_digests"]
+        assert len(grouped["shards"]) == 4
+        assert grouped["total_cycles"] == plain["total_cycles"]
+
     def test_shard_bad_factory(self, capsys):
         assert main(["shard", "tests.helpers"]) == 2
         assert main(["shard", "tests.helpers:NoSuchThing"]) == 2
